@@ -1,0 +1,215 @@
+(* The untenable command-line tool.
+
+     untenable-cli helpers [--version VER]   list the helper table
+     untenable-cli audit                     call-graph audit (Fig. 3 data)
+     untenable-cli demos                     list the exploit corpus
+     untenable-cli demo ID [--fixed]         run one exploit demo
+     untenable-cli matrix                    executable Table 2
+     untenable-cli datasets                  the paper's static datasets
+*)
+
+open Untenable
+open Cmdliner
+
+let version_arg =
+  let parse s =
+    match Kerndata.Kver.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown kernel version %S" s))
+  in
+  let print ppf v = Format.fprintf ppf "%s" (Kerndata.Kver.to_string v) in
+  Arg.conv (parse, print)
+
+(* ---- helpers ---- *)
+
+let helpers_cmd =
+  let run version =
+    let defs = Helpers.Registry.available ~version in
+    Printf.printf "%d helpers available in %s:\n" (List.length defs)
+      (Kerndata.Kver.to_string version);
+    List.iter
+      (fun (d : Helpers.Registry.def) ->
+        Printf.printf "  %3d  %-28s since %-6s callgraph=%-5d %s\n" d.id d.name
+          (Kerndata.Kver.to_string d.introduced)
+          d.callgraph_nodes
+          (match d.disposition with
+          | Some disp -> "[" ^ Kerndata.Retirement.disposition_to_string disp ^ "]"
+          | None -> ""))
+      (List.sort (fun a b -> compare a.Helpers.Registry.id b.Helpers.Registry.id) defs)
+  in
+  let version =
+    Arg.(value & opt version_arg Kerndata.Kver.V5_18 & info [ "version" ] ~doc:"Kernel version.")
+  in
+  Cmd.v (Cmd.info "helpers" ~doc:"List the helper-function table")
+    Term.(const run $ version)
+
+(* ---- audit ---- *)
+
+let audit_cmd =
+  let run () =
+    let dist = Callgraph.Analysis.measure (Callgraph.Kernel_graph.build ()) in
+    Printf.printf
+      "helper call-graph complexity (%d helpers): min=%d median=%d mean=%.0f max=%d\n"
+      dist.Callgraph.Analysis.n dist.Callgraph.Analysis.min_nodes
+      dist.Callgraph.Analysis.median dist.Callgraph.Analysis.mean
+      dist.Callgraph.Analysis.max_nodes;
+    Printf.printf "30+ nodes: %.1f%%  500+ nodes: %.1f%% (paper: 52.2%% / 34.5%%)\n"
+      (100. *. dist.Callgraph.Analysis.share_ge30)
+      (100. *. dist.Callgraph.Analysis.share_ge500)
+  in
+  Cmd.v (Cmd.info "audit" ~doc:"Audit helper call-graph complexity (Figure 3)")
+    Term.(const run $ const ())
+
+(* ---- demos ---- *)
+
+let demos_cmd =
+  let run () =
+    List.iter
+      (fun (d : Framework.Exploits.demo) ->
+        Printf.printf "  %-36s [%s] %s\n" d.id d.bug_class d.title)
+      Framework.Exploits.all
+  in
+  Cmd.v (Cmd.info "demos" ~doc:"List the exploit corpus")
+    Term.(const run $ const ())
+
+let demo_cmd =
+  let run id fixed =
+    match Framework.Exploits.find id with
+    | None ->
+      Printf.eprintf "unknown demo %S (see `untenable-cli demos`)\n" id;
+      exit 1
+    | Some d ->
+      let r = d.Framework.Exploits.run ~vulnerable:(not fixed) in
+      Printf.printf "%s\n  load: %s\n  run:  %s\n  kernel dead: %b\n  attack: %s\n"
+        d.Framework.Exploits.title r.Framework.Exploits.gate
+        r.Framework.Exploits.runtime r.Framework.Exploits.kernel_dead
+        (if r.Framework.Exploits.attack_succeeded then "SUCCEEDED" else "defeated")
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let fixed =
+    Arg.(value & flag & info [ "fixed" ] ~doc:"Run against the fixed/guarded kernel.")
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run one exploit demo") Term.(const run $ id $ fixed)
+
+(* ---- matrix ---- *)
+
+let matrix_cmd =
+  let run () =
+    let rows = Framework.Safety_matrix.rows () in
+    print_string
+      (Framework.Report.table
+         ~header:[ "Safety property"; "Enforcement"; "Upheld" ]
+         (List.map
+            (fun (r : Framework.Safety_matrix.row) ->
+              [ r.property;
+                Kerndata.Safety_props.mechanism_to_string r.mechanism;
+                Framework.Report.check r.upheld ])
+            rows))
+  in
+  Cmd.v (Cmd.info "matrix" ~doc:"Run the executable Table 2 safety matrix")
+    Term.(const run $ const ())
+
+(* ---- datasets ---- *)
+
+let datasets_cmd =
+  let run () =
+    Printf.printf "Figure 2 — verifier LoC by version:\n";
+    List.iter
+      (fun (p : Kerndata.Verifier_loc.point) ->
+        Printf.printf "  %-6s %6d  %s\n" (Kerndata.Kver.to_string p.version) p.loc
+          (String.concat "; " p.features_added))
+      Kerndata.Verifier_loc.series;
+    Printf.printf "\nFigure 4 — helper count by version:\n";
+    List.iter
+      (fun (p : Kerndata.Helper_history.point) ->
+        Printf.printf "  %-6s %4d\n" (Kerndata.Kver.to_string p.version) p.count)
+      Kerndata.Helper_history.series;
+    Printf.printf "\nTable 1 — bug classes (2021-2022):\n";
+    List.iter
+      (fun (c : Kerndata.Bug_stats.clazz) ->
+        Printf.printf "  %-28s total=%2d helper=%2d verifier=%2d\n" c.name c.total
+          c.in_helpers c.in_verifier)
+      Kerndata.Bug_stats.classes
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"Print the paper's static datasets")
+    Term.(const run $ const ())
+
+(* ---- rustlite source ---- *)
+
+let read_source path_or_inline =
+  if Sys.file_exists path_or_inline then begin
+    let ic = open_in_bin path_or_inline in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  end
+  else path_or_inline (* treat the argument as inline source *)
+
+let rl_check_cmd =
+  let run src_arg =
+    let src = read_source src_arg in
+    match Rustlite.Parser.parse src with
+    | Error e ->
+      Printf.eprintf "parse error at %d:%d: %s\n" e.Rustlite.Parser.line
+        e.Rustlite.Parser.col e.Rustlite.Parser.msg;
+      exit 1
+    | Ok body -> (
+      match Rustlite.Toolchain.compile { Rustlite.Toolchain.name = "cli"; maps = []; body } with
+      | Error e ->
+        Format.printf "toolchain rejected: %a@." Rustlite.Toolchain.pp_error e;
+        exit 1
+      | Ok ext ->
+        Printf.printf "ok: typechecked, ownership-checked, signed (digest %s...)\n"
+          (String.sub ext.Rustlite.Toolchain.signature.Rustlite.Sign.digest_hex 0 16))
+  in
+  let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE|SOURCE") in
+  Cmd.v (Cmd.info "rl-check" ~doc:"Type/ownership-check and sign rustlite source")
+    Term.(const run $ src)
+
+let rl_run_cmd =
+  let run src_arg wall_ms =
+    let src = read_source src_arg in
+    match Rustlite.Parser.parse src with
+    | Error e ->
+      Printf.eprintf "parse error at %d:%d: %s\n" e.Rustlite.Parser.line
+        e.Rustlite.Parser.col e.Rustlite.Parser.msg;
+      exit 1
+    | Ok body -> (
+      match Rustlite.Toolchain.compile { Rustlite.Toolchain.name = "cli"; maps = []; body } with
+      | Error e ->
+        Format.printf "toolchain rejected: %a@." Rustlite.Toolchain.pp_error e;
+        exit 1
+      | Ok ext -> (
+        let world = Framework.World.create_populated () in
+        match Framework.Loader.load_rustlite world ext with
+        | Error e ->
+          Format.printf "load failed: %a@." Framework.Loader.pp_load_error e;
+          exit 1
+        | Ok loaded ->
+          let report =
+            Framework.Loader.run
+              ~wall_ns:(Int64.mul (Int64.of_int wall_ms) 1_000_000L) world loaded
+          in
+          List.iter (Printf.printf "trace: %s\n") report.Framework.Loader.trace;
+          Format.printf "%a@.kernel: %a@." Framework.Loader.pp_outcome
+            report.Framework.Loader.outcome Kernel_sim.Kernel.pp_health
+            report.Framework.Loader.health))
+  in
+  let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE|SOURCE") in
+  let wall =
+    Arg.(value & opt int 100 & info [ "watchdog-ms" ] ~doc:"Watchdog budget in ms.")
+  in
+  Cmd.v
+    (Cmd.info "rl-run"
+       ~doc:"Run rustlite source through the signed-extension path (with watchdog)")
+    Term.(const run $ src $ wall)
+
+let main =
+  Cmd.group
+    (Cmd.info "untenable-cli" ~version:Untenable.version
+       ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
+    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; matrix_cmd; datasets_cmd;
+      rl_check_cmd; rl_run_cmd ]
+
+let () = exit (Cmd.eval main)

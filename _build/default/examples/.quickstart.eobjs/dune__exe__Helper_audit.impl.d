@@ -1,0 +1,1 @@
+examples/helper_audit.ml: Callgraph Helpers Kerndata List Printf String Untenable

@@ -1,0 +1,1 @@
+examples/helper_audit.mli:

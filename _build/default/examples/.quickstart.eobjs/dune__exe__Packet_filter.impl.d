@@ -1,0 +1,1 @@
+examples/packet_filter.ml: Bpf_verifier Bytes Char Ebpf Format Framework Helpers Int64 List Printf Rustlite Untenable

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bpf_verifier Ebpf Format Framework Helpers Kernel_sim List Maps Printf Rustlite String Untenable

@@ -1,0 +1,1 @@
+examples/rustlite_source.ml: Format Framework Int64 Kernel_sim List Maps Printf Rustlite Untenable

@@ -1,0 +1,1 @@
+examples/rustlite_source.mli:

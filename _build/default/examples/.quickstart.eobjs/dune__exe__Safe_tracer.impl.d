@@ -1,0 +1,1 @@
+examples/safe_tracer.ml: Bytes Format Framework Int64 Kernel_sim List Maps Option Printf Rustlite String Untenable

@@ -1,0 +1,65 @@
+(* A helper-surface audit tool over the simulated kernel: call-graph
+   complexity per helper (Figure 3's metric), growth across kernel versions
+   (Figure 4), and the §3.2 retire/simplify/wrap classification.
+
+   Run with: dune exec examples/helper_audit.exe *)
+
+open Untenable
+module Analysis = Callgraph.Analysis
+module Kernel_graph = Callgraph.Kernel_graph
+module Registry = Helpers.Registry
+module Retirement = Kerndata.Retirement
+
+let () =
+  let built = Kernel_graph.build () in
+  let dist = Analysis.measure built in
+  Printf.printf "helper call-graph audit over the synthetic Linux-5.18 graph\n";
+  Printf.printf "  %d helpers, graph: %d nodes / %d edges\n\n" dist.Analysis.n
+    (Callgraph.Graph.node_count built.Kernel_graph.graph)
+    (Callgraph.Graph.edge_count built.Kernel_graph.graph);
+  Printf.printf "top 10 by call-graph footprint (the danger list):\n";
+  List.iteri
+    (fun i (m : Analysis.measurement) ->
+      if i < 10 then Printf.printf "  %2d. %-24s %5d nodes\n" (i + 1) m.helper m.nodes)
+    (List.rev dist.Analysis.measurements);
+  Printf.printf "\nbottom 5 (the harmless end):\n";
+  List.iteri
+    (fun i (m : Analysis.measurement) ->
+      if i < 5 then Printf.printf "  %2d. %-24s %5d nodes\n" (i + 1) m.helper m.nodes)
+    dist.Analysis.measurements;
+  Printf.printf "\ndistribution: min=%d median=%d mean=%.0f max=%d\n"
+    dist.Analysis.min_nodes dist.Analysis.median dist.Analysis.mean
+    dist.Analysis.max_nodes;
+  Printf.printf "  30+ nodes: %.1f%%   500+ nodes: %.1f%%\n"
+    (100. *. dist.Analysis.share_ge30)
+    (100. *. dist.Analysis.share_ge500);
+  (* §3.2 classification over the implemented helpers *)
+  Printf.printf "\n§3.2 disposition of the implemented helper table (%d helpers):\n"
+    Registry.count;
+  List.iter
+    (fun disposition ->
+      let names =
+        List.filter_map
+          (fun (d : Registry.def) ->
+            if d.Registry.disposition = Some disposition then Some d.Registry.name
+            else None)
+          Registry.defs
+      in
+      Printf.printf "  %-9s %2d: %s\n"
+        (Retirement.disposition_to_string disposition)
+        (List.length names) (String.concat ", " names))
+    [ Retirement.Retire; Retirement.Simplify; Retirement.Wrap ];
+  Printf.printf "\npaper's taxonomy: %d retirable helpers" Retirement.retire_count;
+  Printf.printf " (bpf_loop, bpf_strtol, bpf_strncmp are the worked examples)\n";
+  (* growth, Figure 4 *)
+  Printf.printf "\nhelper-count growth by kernel version (Fig. 4):\n";
+  List.iter
+    (fun (p : Kerndata.Helper_history.point) ->
+      Printf.printf "  %-6s (%d)  %3d  %s\n"
+        (Kerndata.Kver.to_string p.Kerndata.Helper_history.version)
+        (Kerndata.Kver.year p.Kerndata.Helper_history.version)
+        p.Kerndata.Helper_history.count
+        (String.make (p.Kerndata.Helper_history.count / 4) '#'))
+    Kerndata.Helper_history.series;
+  Printf.printf "  slope: %.1f helpers per two years (paper: ~50)\n"
+    Kerndata.Helper_history.per_two_years

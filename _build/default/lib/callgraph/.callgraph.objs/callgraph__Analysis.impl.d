@@ -1,0 +1,1 @@
+lib/callgraph/analysis.ml: Array Graph Kernel_graph List String

@@ -1,0 +1,1 @@
+lib/callgraph/analysis.mli: Kernel_graph

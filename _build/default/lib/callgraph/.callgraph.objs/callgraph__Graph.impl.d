@@ -1,0 +1,1 @@
+lib/callgraph/graph.ml: Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/callgraph/graph.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/callgraph/kernel_graph.ml: Array Float Graph Helpers Int64 Kerndata List Printf

@@ -1,0 +1,1 @@
+lib/callgraph/kernel_graph.mli: Graph

@@ -1,0 +1,56 @@
+(* Figure 3's measurement: BFS from every helper root, then distribution
+   statistics over the per-helper call-graph footprints. *)
+
+type measurement = { helper : string; nodes : int }
+
+type distribution = {
+  measurements : measurement list; (* sorted by nodes, ascending *)
+  n : int;
+  min_nodes : int;
+  max_nodes : int;
+  median : int;
+  mean : float;
+  share_ge30 : float;
+  share_ge500 : float;
+}
+
+let measure (built : Kernel_graph.built) : distribution =
+  let measurements =
+    List.map
+      (fun (helper, root) ->
+        { helper; nodes = Graph.reachable_count built.Kernel_graph.graph root })
+      built.Kernel_graph.helper_roots
+    |> List.sort (fun a b -> compare a.nodes b.nodes)
+  in
+  let n = List.length measurements in
+  let nodes = List.map (fun m -> m.nodes) measurements in
+  let share p = float_of_int (List.length (List.filter p nodes)) /. float_of_int n in
+  {
+    measurements;
+    n;
+    min_nodes = List.fold_left min max_int nodes;
+    max_nodes = List.fold_left max 0 nodes;
+    median = List.nth nodes (n / 2);
+    mean = float_of_int (List.fold_left ( + ) 0 nodes) /. float_of_int n;
+    share_ge30 = share (fun x -> x >= 30);
+    share_ge500 = share (fun x -> x >= 500);
+  }
+
+let find d helper = List.find_opt (fun m -> String.equal m.helper helper) d.measurements
+
+(* Log-scale histogram buckets (the shape of the paper's scatter): bucket i
+   holds helpers with nodes in [10^i, 10^(i+1)). *)
+let log_histogram d =
+  let buckets = Array.make 5 0 in
+  List.iter
+    (fun m ->
+      let b =
+        if m.nodes < 10 then 0
+        else if m.nodes < 100 then 1
+        else if m.nodes < 1000 then 2
+        else if m.nodes < 10000 then 3
+        else 4
+      in
+      buckets.(b) <- buckets.(b) + 1)
+    d.measurements;
+  buckets

@@ -1,0 +1,23 @@
+(** Figure 3's measurement: BFS from every helper root of the generated
+    kernel call graph, summarised as the distribution the paper reports
+    (min/median/max, the 30+/500+ shares, log-scale buckets). *)
+
+type measurement = { helper : string; nodes : int }
+
+type distribution = {
+  measurements : measurement list; (** sorted by nodes, ascending *)
+  n : int;
+  min_nodes : int;
+  max_nodes : int;
+  median : int;
+  mean : float;
+  share_ge30 : float;   (** paper: 52.2% *)
+  share_ge500 : float;  (** paper: 34.5% *)
+}
+
+val measure : Kernel_graph.built -> distribution
+
+val find : distribution -> string -> measurement option
+
+val log_histogram : distribution -> int array
+(** Buckets [1-9 | 10-99 | 100-999 | 1000-9999 | >=10000]. *)

@@ -1,0 +1,45 @@
+(* A plain directed graph over int node ids with named nodes, plus the BFS
+   reachability used to measure helper call-graph footprints (Figure 3's
+   metric: "the number of unique nodes in the call graph of each helper"). *)
+
+type t = {
+  mutable n_nodes : int;
+  names : (int, string) Hashtbl.t;
+  succs : (int, int list) Hashtbl.t;
+}
+
+let create () = { n_nodes = 0; names = Hashtbl.create 256; succs = Hashtbl.create 256 }
+
+let add_node t ~name =
+  let id = t.n_nodes in
+  t.n_nodes <- t.n_nodes + 1;
+  Hashtbl.replace t.names id name;
+  id
+
+let add_edge t ~src ~dst =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.succs src) in
+  if not (List.mem dst cur) then Hashtbl.replace t.succs src (dst :: cur)
+
+let succs t id = Option.value ~default:[] (Hashtbl.find_opt t.succs id)
+let name t id = Option.value ~default:"?" (Hashtbl.find_opt t.names id)
+let node_count t = t.n_nodes
+
+let edge_count t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.succs 0
+
+(* Unique nodes reachable from [root], counting the root itself. *)
+let reachable_count t root =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  Hashtbl.replace seen root ();
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem seen w) then begin
+          Hashtbl.replace seen w ();
+          Queue.add w queue
+        end)
+      (succs t v)
+  done;
+  Hashtbl.length seen

@@ -1,0 +1,25 @@
+(** A plain directed graph over integer node ids with the BFS reachability
+    measurement behind Figure 3 ("the number of unique nodes in the call
+    graph of each helper"). *)
+
+type t = {
+  mutable n_nodes : int;
+  names : (int, string) Hashtbl.t;
+  succs : (int, int list) Hashtbl.t;
+}
+
+val create : unit -> t
+
+val add_node : t -> name:string -> int
+(** Returns the fresh node's id. *)
+
+val add_edge : t -> src:int -> dst:int -> unit
+(** Idempotent: parallel edges are not recorded twice. *)
+
+val succs : t -> int -> int list
+val name : t -> int -> string
+val node_count : t -> int
+val edge_count : t -> int
+
+val reachable_count : t -> int -> int
+(** Unique nodes reachable from the given root, counting the root. *)

@@ -1,0 +1,21 @@
+(** The synthetic-but-calibrated Linux-5.18 call graph behind Figure 3.
+
+    Generation is deterministic; implemented helpers are pinned to their
+    registry node counts (including the paper's exact extremes: 1 for
+    bpf_get_current_pid_tgid, 4845 for bpf_sys_bpf) and the remaining
+    helpers fill the aggregate buckets so that measurement reproduces the
+    paper's 52.2% / 34.5% shares.  See DESIGN.md "Fidelity notes". *)
+
+val census : int
+(** 249: the paper's Linux-5.18 helper census. *)
+
+val target_ge30_share : float
+val target_ge500_share : float
+
+type built = {
+  graph : Graph.t;
+  helper_roots : (string * int) list; (** helper name -> root node id *)
+}
+
+val build : unit -> built
+(** Deterministic: equal results on every call. *)

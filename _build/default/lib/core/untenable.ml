@@ -1,0 +1,51 @@
+(** [untenable]: a complete, executable reproduction of {e Kernel extension
+    verification is untenable} (HotOS '23).
+
+    The umbrella module re-exports every subsystem:
+
+    - {!Tnum} — tristate numbers, the verifier's abstract value domain;
+    - {!Kernel_sim} — the simulated kernel (guarded memory, RCU, refcounts,
+      spinlocks, memory pool, virtual clock, oops machine);
+    - {!Maps} — eBPF maps (array/hash/LRU/per-CPU/ringbuf);
+    - {!Ebpf} — bytecode ISA, assembler, encoder, disassembler, CFG;
+    - {!Bpf_verifier} — the in-kernel-style verifier with injectable
+      historical bugs;
+    - {!Runtime} — interpreter, closure JIT, and the runtime guards
+      (watchdog, fuel, stack guard, destructor-list termination);
+    - {!Helpers} — the helper-function table with its own bug database;
+    - {!Callgraph} — the calibrated synthetic kernel call graph (Figure 3);
+    - {!Kerndata} — the paper's datasets (Figures 2/4, Tables 1/2, §3.2);
+    - {!Rustlite} — the proposed safe-language framework (typed AST,
+      ownership checker, signing toolchain, RAII kernel crate);
+    - {!Framework} — worlds, the two load paths, the exploit corpus, and
+      the executable safety matrix.
+
+    Quick start (see also [examples/quickstart.ml]):
+
+    {[
+      let world = Untenable.Framework.World.create_populated () in
+      let prog = (* build with Untenable.Ebpf.Asm *) ... in
+      match Untenable.Framework.Loader.load_ebpf world prog with
+      | Ok loaded ->
+        let report = Untenable.Framework.Loader.run world loaded in
+        Format.printf "%a@." Untenable.Framework.Loader.pp_outcome report.outcome
+      | Error e -> Format.printf "%a@." Untenable.Framework.Loader.pp_load_error e
+    ]} *)
+
+module Tnum = Tnum
+module Kernel_sim = Kernel_sim
+module Maps = Maps
+module Ebpf = Ebpf
+module Bpf_verifier = Bpf_verifier
+module Runtime = Runtime
+module Helpers = Helpers
+module Callgraph = Callgraph
+module Kerndata = Kerndata
+module Rustlite = Rustlite
+module Framework = Framework
+
+let version = "1.0.0"
+
+let paper =
+  "Jia, Sahu, Oswald, Williams, Le, Xu: Kernel extension verification is \
+   untenable. HotOS '23. https://doi.org/10.1145/3593856.3595892"

@@ -1,0 +1,1 @@
+lib/ebpf/cfg.ml: Array Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/ebpf/cfg.mli: Hashtbl Insn

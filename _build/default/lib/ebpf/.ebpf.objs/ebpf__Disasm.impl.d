@@ -1,0 +1,1 @@
+lib/ebpf/disasm.ml: Array Format Hashtbl Insn Printf

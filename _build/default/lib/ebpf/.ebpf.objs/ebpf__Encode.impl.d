@@ -1,0 +1,1 @@
+lib/ebpf/encode.ml: Array Buffer Bytes Char Insn Int32 Int64 List Printf

@@ -1,0 +1,1 @@
+lib/ebpf/program.ml: Array Asm Insn List Printf Result

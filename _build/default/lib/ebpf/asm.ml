@@ -1,0 +1,196 @@
+(* A small assembler for writing eBPF programs by hand, with symbolic jump
+   targets.  Jump offsets in the assembled [Insn.insn array] are in decoded
+   instruction units (documented divergence from the raw slot-unit encoding;
+   [Encode] round-trips arrays, not byte offsets).
+
+   Usage:
+     assemble [
+       mov_i r0 0;
+       label "loop"; ...;
+       jne_i r1 0 "loop";
+       exit_;
+     ]
+*)
+
+type item =
+  | Label of string
+  | Plain of Insn.insn
+  | Jmp_to of { cond : Insn.cond; width : Insn.width; dst : Insn.reg;
+                src : Insn.operand; target : string }
+  | Ja_to of string
+  | Mov_label of Insn.reg * string  (* dst := pc of label (for callbacks) *)
+  | Call_to of string               (* BPF-to-BPF call to a labelled subprog *)
+  | Call_named of string            (* helper call by name, resolved at load
+                                       time (the Fig. 5 "load-time fixup") *)
+
+let label s = Label s
+let insn i = Plain i
+
+open Insn
+
+(* re-export the registers so [open Ebpf.Asm] is self-contained *)
+let r0 = Insn.r0
+let r1 = Insn.r1
+let r2 = Insn.r2
+let r3 = Insn.r3
+let r4 = Insn.r4
+let r5 = Insn.r5
+let r6 = Insn.r6
+let r7 = Insn.r7
+let r8 = Insn.r8
+let r9 = Insn.r9
+let r10 = Insn.r10
+let fp = Insn.fp
+
+(* ALU sugar; [_i] = immediate operand, [_r] = register operand. *)
+let alu op dst src = Plain (Alu { op; width = W64; dst; src })
+let alu32 op dst src = Plain (Alu { op; width = W32; dst; src })
+let mov_i dst v = alu Mov dst (Imm v)
+let mov_r dst src = alu Mov dst (Reg src)
+let mov32_i dst v = alu32 Mov dst (Imm v)
+let mov32_r dst src = alu32 Mov dst (Reg src)
+let add_i dst v = alu Add dst (Imm v)
+let add_r dst src = alu Add dst (Reg src)
+let sub_i dst v = alu Sub dst (Imm v)
+let sub_r dst src = alu Sub dst (Reg src)
+let mul_i dst v = alu Mul dst (Imm v)
+let mul_r dst src = alu Mul dst (Reg src)
+let div_i dst v = alu Div dst (Imm v)
+let div_r dst src = alu Div dst (Reg src)
+let mod_i dst v = alu Mod dst (Imm v)
+let mod_r dst src = alu Mod dst (Reg src)
+let and_i dst v = alu And dst (Imm v)
+let and_r dst src = alu And dst (Reg src)
+let or_i dst v = alu Or dst (Imm v)
+let or_r dst src = alu Or dst (Reg src)
+let xor_i dst v = alu Xor dst (Imm v)
+let xor_r dst src = alu Xor dst (Reg src)
+let lsh_i dst v = alu Lsh dst (Imm v)
+let rsh_i dst v = alu Rsh dst (Imm v)
+let arsh_i dst v = alu Arsh dst (Imm v)
+let neg dst = alu Neg dst (Imm 0)
+let add32_i dst v = alu32 Add dst (Imm v)
+let sub32_r dst src = alu32 Sub dst (Reg src)
+
+let lddw dst v = Plain (Ld_imm64 (dst, v))
+let map_fd dst fd = Plain (Ld_map_fd (dst, fd))
+
+let ldx size dst src off = Plain (Ldx { size; dst; src; off })
+let ldxb dst src off = ldx B dst src off
+let ldxh dst src off = ldx H dst src off
+let ldxw dst src off = ldx W dst src off
+let ldxdw dst src off = ldx DW dst src off
+
+let st size dst off imm = Plain (St { size; dst; off; imm })
+let stw dst off imm = st W dst off imm
+let stdw dst off imm = st DW dst off imm
+
+let stx size dst off src = Plain (Stx { size; dst; off; src })
+
+(* atomics: [dst+off] op= src; fetch variants return the old value in src *)
+let atomic ?(fetch = false) aop size dst off src =
+  Plain (Atomic { aop; size; dst; src; off; fetch })
+let atomic_add ?fetch dst off src = atomic ?fetch A_add DW dst off src
+let atomic_or ?fetch dst off src = atomic ?fetch A_or DW dst off src
+let atomic_and ?fetch dst off src = atomic ?fetch A_and DW dst off src
+let atomic_xor ?fetch dst off src = atomic ?fetch A_xor DW dst off src
+let atomic_xchg dst off src = atomic ~fetch:true A_xchg DW dst off src
+let atomic_cmpxchg dst off src = atomic ~fetch:true A_cmpxchg DW dst off src
+let stxb dst off src = stx B dst off src
+let stxw dst off src = stx W dst off src
+let stxdw dst off src = stx DW dst off src
+
+(* Conditional jumps to labels. *)
+let jmp cond dst src target = Jmp_to { cond; width = W64; dst; src; target }
+let jmp32 cond dst src target = Jmp_to { cond; width = W32; dst; src; target }
+let jeq_i dst v t = jmp Eq dst (Imm v) t
+let jeq_r dst src t = jmp Eq dst (Reg src) t
+let jne_i dst v t = jmp Ne dst (Imm v) t
+let jne_r dst src t = jmp Ne dst (Reg src) t
+let jgt_i dst v t = jmp Gt dst (Imm v) t
+let jge_i dst v t = jmp Ge dst (Imm v) t
+let jlt_i dst v t = jmp Lt dst (Imm v) t
+let jle_i dst v t = jmp Le dst (Imm v) t
+let jsgt_i dst v t = jmp Sgt dst (Imm v) t
+let jslt_i dst v t = jmp Slt dst (Imm v) t
+let jsge_i dst v t = jmp Sge dst (Imm v) t
+let jsle_i dst v t = jmp Sle dst (Imm v) t
+let jset_i dst v t = jmp Set dst (Imm v) t
+let jlt_r dst src t = jmp Lt dst (Reg src) t
+let jge_r dst src t = jmp Ge dst (Reg src) t
+
+let ja target = Ja_to target
+let mov_label dst target = Mov_label (dst, target)
+let call_sub target = Call_to target
+let call_named name = Call_named name
+let call id = Plain (Call id)
+let exit_ = Plain Exit
+
+let assemble_with_relocs (items : item list) :
+    (Insn.insn array * (int * string) list, string) result =
+  (* pass 1: positions of labels in instruction units *)
+  let labels = Hashtbl.create 8 in
+  let pc = ref 0 in
+  let dup = ref None in
+  List.iter
+    (fun it ->
+      match it with
+      | Label s ->
+        if Hashtbl.mem labels s then dup := Some s else Hashtbl.replace labels s !pc
+      | Plain _ | Jmp_to _ | Ja_to _ | Mov_label _ | Call_to _ | Call_named _ ->
+        incr pc)
+    items;
+  match !dup with
+  | Some s -> Error (Printf.sprintf "duplicate label %S" s)
+  | None -> (
+    (* pass 2: emit, resolving targets relative to the next instruction *)
+    let missing = ref None in
+    let relocs = ref [] in
+    let resolve s next_pc =
+      match Hashtbl.find_opt labels s with
+      | Some target -> target - next_pc
+      | None ->
+        if !missing = None then missing := Some s;
+        0
+    in
+    let out = ref [] in
+    let pc = ref 0 in
+    List.iter
+      (fun it ->
+        match it with
+        | Label _ -> ()
+        | Plain i ->
+          incr pc;
+          out := i :: !out
+        | Jmp_to { cond; width; dst; src; target } ->
+          incr pc;
+          out := Jmp { cond; width; dst; src; off = resolve target !pc } :: !out
+        | Ja_to target ->
+          incr pc;
+          out := Ja (resolve target !pc) :: !out
+        | Mov_label (dst, target) ->
+          incr pc;
+          let abs = resolve target !pc + !pc in
+          out := Alu { op = Mov; width = W64; dst; src = Imm abs } :: !out
+        | Call_to target ->
+          incr pc;
+          out := Call_sub (resolve target !pc) :: !out
+        | Call_named name ->
+          (* a placeholder call; the loader's fixup patches the real id *)
+          relocs := (!pc, name) :: !relocs;
+          incr pc;
+          out := Call (-1) :: !out)
+      items;
+    match !missing with
+    | Some s -> Error (Printf.sprintf "undefined label %S" s)
+    | None -> Ok (Array.of_list (List.rev !out), List.rev !relocs))
+
+(* The relocation-free view: fails if the program uses call_named. *)
+let assemble items =
+  match assemble_with_relocs items with
+  | Error _ as e -> e
+  | Ok (insns, []) -> Ok insns
+  | Ok (_, _ :: _) -> Error "program has unresolved helper names (use the loader)"
+
+let assemble_exn items =
+  match assemble items with Ok p -> p | Error msg -> invalid_arg ("Asm.assemble: " ^ msg)

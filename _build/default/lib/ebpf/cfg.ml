@@ -1,0 +1,107 @@
+(* Control-flow graph over an instruction array: basic blocks, successor
+   edges, back-edge detection and a (capped) path count.  The verifier uses
+   the block structure for its statistics and the path count feeds the
+   §2.1 "verification is expensive" experiment. *)
+
+type block = {
+  start_pc : int;
+  end_pc : int; (* inclusive *)
+  mutable succs : int list; (* start pcs of successor blocks *)
+}
+
+type t = {
+  blocks : (int, block) Hashtbl.t; (* keyed by start pc *)
+  entry : int;
+  n_insns : int;
+}
+
+let successors_of_insn pc insn =
+  match insn with
+  | Insn.Exit -> []
+  | Insn.Ja off -> [ pc + 1 + off ]
+  | Insn.Jmp { off; _ } -> [ pc + 1; pc + 1 + off ]
+  | _ -> [ pc + 1 ]
+
+let build (insns : Insn.insn array) : t =
+  let n = Array.length insns in
+  let leader = Array.make (n + 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun pc insn ->
+      match insn with
+      | Insn.Ja off ->
+        if pc + 1 <= n then leader.(min n (pc + 1)) <- true;
+        let t = pc + 1 + off in
+        if t >= 0 && t <= n then leader.(min n t) <- true
+      | Insn.Jmp { off; _ } ->
+        if pc + 1 <= n then leader.(min n (pc + 1)) <- true;
+        let t = pc + 1 + off in
+        if t >= 0 && t <= n then leader.(min n t) <- true
+      | Insn.Exit -> if pc + 1 <= n then leader.(min n (pc + 1)) <- true
+      | _ -> ())
+    insns;
+  let blocks = Hashtbl.create 16 in
+  let start = ref 0 in
+  for pc = 0 to n - 1 do
+    let is_last = pc = n - 1 || leader.(pc + 1) in
+    if is_last then begin
+      let b = { start_pc = !start; end_pc = pc; succs = [] } in
+      b.succs <- successors_of_insn pc insns.(pc) |> List.filter (fun s -> s >= 0 && s < n);
+      Hashtbl.replace blocks !start b;
+      start := pc + 1
+    end
+  done;
+  { blocks; entry = 0; n_insns = n }
+
+let block_count t = Hashtbl.length t.blocks
+
+let edge_count t = Hashtbl.fold (fun _ b acc -> acc + List.length b.succs) t.blocks 0
+
+(* Back edges w.r.t. a DFS from the entry: the loop detector. *)
+let back_edges t =
+  let visited = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let backs = ref [] in
+  let rec dfs pc =
+    if not (Hashtbl.mem visited pc) then begin
+      Hashtbl.replace visited pc ();
+      Hashtbl.replace on_stack pc ();
+      (match Hashtbl.find_opt t.blocks pc with
+      | None -> ()
+      | Some b ->
+        List.iter
+          (fun s ->
+            if Hashtbl.mem on_stack s then backs := (pc, s) :: !backs
+            else dfs s)
+          b.succs);
+      Hashtbl.remove on_stack pc
+    end
+  in
+  if Hashtbl.mem t.blocks t.entry then dfs t.entry;
+  !backs
+
+let has_loop t = back_edges t <> []
+
+(* Number of distinct entry-to-exit paths, capped (the quantity that blows
+   up in path-sensitive verification).  On cyclic graphs returns the cap. *)
+let path_count ?(cap = 1_000_000_000) t =
+  if has_loop t then cap
+  else begin
+    let memo = Hashtbl.create 16 in
+    let rec count pc =
+      match Hashtbl.find_opt memo pc with
+      | Some c -> c
+      | None ->
+        let c =
+          match Hashtbl.find_opt t.blocks pc with
+          | None -> 1
+          | Some b ->
+            if b.succs = [] then 1
+            else
+              List.fold_left (fun acc s -> min cap (acc + count s)) 0 b.succs
+        in
+        Hashtbl.replace memo pc c;
+        c
+    in
+    count t.entry
+  end

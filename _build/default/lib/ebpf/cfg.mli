@@ -1,0 +1,31 @@
+(** Control-flow graph over an instruction array: basic blocks, back-edge
+    detection (the pre-5.3 loop rejection), and the capped path count that
+    feeds the §2.1 verification-cost experiment. *)
+
+type block = {
+  start_pc : int;
+  end_pc : int; (** inclusive *)
+  mutable succs : int list; (** start pcs of successor blocks *)
+}
+
+type t = {
+  blocks : (int, block) Hashtbl.t; (** keyed by start pc *)
+  entry : int;
+  n_insns : int;
+}
+
+val successors_of_insn : int -> Insn.insn -> int list
+
+val build : Insn.insn array -> t
+
+val block_count : t -> int
+val edge_count : t -> int
+
+val back_edges : t -> (int * int) list
+(** DFS back edges (from-block, to-block): the loop detector. *)
+
+val has_loop : t -> bool
+
+val path_count : ?cap:int -> t -> int
+(** Distinct entry-to-exit paths, capped (the quantity that explodes in
+    path-sensitive verification); returns the cap on cyclic graphs. *)

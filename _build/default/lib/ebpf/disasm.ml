@@ -1,0 +1,41 @@
+(* Textual disassembly with resolved jump targets. *)
+
+let jump_targets (insns : Insn.insn array) =
+  let targets = Hashtbl.create 8 in
+  Array.iteri
+    (fun pc insn ->
+      let record off =
+        let t = pc + 1 + off in
+        if not (Hashtbl.mem targets t) then
+          Hashtbl.replace targets t (Printf.sprintf "L%d" (Hashtbl.length targets))
+      in
+      match insn with
+      | Insn.Jmp { off; _ } -> record off
+      | Insn.Ja off -> record off
+      | _ -> ())
+    insns;
+  targets
+
+let pp ppf (insns : Insn.insn array) =
+  let targets = jump_targets insns in
+  Array.iteri
+    (fun pc insn ->
+      (match Hashtbl.find_opt targets pc with
+      | Some l -> Format.fprintf ppf "%s:@." l
+      | None -> ());
+      let suffix =
+        match insn with
+        | Insn.Jmp { off; _ } | Insn.Ja off -> (
+          match Hashtbl.find_opt targets (pc + 1 + off) with
+          | Some l -> Printf.sprintf "  ; -> %s" l
+          | None -> "")
+        | _ -> ""
+      in
+      Format.fprintf ppf "%4d: %a%s@." pc Insn.pp insn suffix)
+    insns;
+  (* a trailing label (jump past the end) *)
+  match Hashtbl.find_opt targets (Array.length insns) with
+  | Some l -> Format.fprintf ppf "%s:@." l
+  | None -> ()
+
+let to_string insns = Format.asprintf "%a" pp insns

@@ -1,0 +1,8 @@
+(** Textual disassembly with resolved jump labels ([L0:], [; -> L0]). *)
+
+val jump_targets : Insn.insn array -> (int, string) Hashtbl.t
+(** Label names for every pc that is a jump target. *)
+
+val pp : Format.formatter -> Insn.insn array -> unit
+
+val to_string : Insn.insn array -> string

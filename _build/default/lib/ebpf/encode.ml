@@ -1,0 +1,241 @@
+(* Wire format: the kernel's 8-byte instruction encoding.
+
+     struct bpf_insn {
+       __u8  code;     // opcode
+       __u8  dst_reg:4, src_reg:4;
+       __s16 off;
+       __s32 imm;
+     };
+
+   [Ld_imm64]/[Ld_map_fd] occupy two slots; the second slot carries the high
+   32 bits in its imm field.  Opcode values are the real ones, so encoded
+   programs are byte-compatible with the kernel format (modulo helper ids,
+   which are ours). *)
+
+(* instruction classes *)
+let class_ld = 0x00
+let class_ldx = 0x01
+let class_st = 0x02
+let class_stx = 0x03
+let class_alu = 0x04
+let class_jmp = 0x05
+let class_jmp32 = 0x06
+let class_alu64 = 0x07
+
+(* size field (LD/ST) *)
+let sz_w = 0x00
+let sz_h = 0x08
+let sz_b = 0x10
+let sz_dw = 0x18
+
+(* mode field *)
+let mode_imm = 0x00
+let mode_mem = 0x60
+let mode_atomic = 0xc0
+
+(* BPF_ATOMIC imm encodings *)
+let atomic_fetch = 0x01
+let atomic_code = function
+  | Insn.A_add -> 0x00 | A_or -> 0x40 | A_and -> 0x50 | A_xor -> 0xa0
+  | A_xchg -> 0xe0 | A_cmpxchg -> 0xf0
+let atomic_of_code = function
+  | 0x00 -> Some Insn.A_add | 0x40 -> Some Insn.A_or | 0x50 -> Some Insn.A_and
+  | 0xa0 -> Some Insn.A_xor | 0xe0 -> Some Insn.A_xchg | 0xf0 -> Some Insn.A_cmpxchg
+  | _ -> None
+
+(* source field *)
+let src_k = 0x00
+let src_x = 0x08
+
+let pseudo_map_fd = 1 (* src_reg value marking a map-fd load *)
+let pseudo_call = 1   (* src_reg value marking a BPF-to-BPF call *)
+
+let alu_code = function
+  | Insn.Add -> 0x00 | Sub -> 0x10 | Mul -> 0x20 | Div -> 0x30 | Or -> 0x40
+  | And -> 0x50 | Lsh -> 0x60 | Rsh -> 0x70 | Neg -> 0x80 | Mod -> 0x90
+  | Xor -> 0xa0 | Mov -> 0xb0 | Arsh -> 0xc0
+
+let alu_of_code = function
+  | 0x00 -> Some Insn.Add | 0x10 -> Some Sub | 0x20 -> Some Mul | 0x30 -> Some Div
+  | 0x40 -> Some Or | 0x50 -> Some And | 0x60 -> Some Lsh | 0x70 -> Some Rsh
+  | 0x80 -> Some Neg | 0x90 -> Some Mod | 0xa0 -> Some Xor | 0xb0 -> Some Mov
+  | 0xc0 -> Some Arsh | _ -> None
+
+let jmp_code = function
+  | Insn.Eq -> 0x10 | Gt -> 0x20 | Ge -> 0x30 | Set -> 0x40 | Ne -> 0x50
+  | Sgt -> 0x60 | Sge -> 0x70 | Lt -> 0xa0 | Le -> 0xb0 | Slt -> 0xc0 | Sle -> 0xd0
+
+let jmp_of_code = function
+  | 0x10 -> Some Insn.Eq | 0x20 -> Some Gt | 0x30 -> Some Ge | 0x40 -> Some Set
+  | 0x50 -> Some Ne | 0x60 -> Some Sgt | 0x70 -> Some Sge | 0xa0 -> Some Lt
+  | 0xb0 -> Some Le | 0xc0 -> Some Slt | 0xd0 -> Some Sle | _ -> None
+
+let size_code = function Insn.W -> sz_w | H -> sz_h | B -> sz_b | DW -> sz_dw
+
+let size_of_code = function
+  | c when c = sz_w -> Some Insn.W
+  | c when c = sz_h -> Some Insn.H
+  | c when c = sz_b -> Some Insn.B
+  | c when c = sz_dw -> Some Insn.DW
+  | _ -> None
+
+type raw = { code : int; dst : int; src : int; off : int; imm : int32 }
+
+let ja_code = 0x00
+let call_code = 0x80
+let exit_code = 0x90
+
+(* Encode one instruction into one or two raw slots. *)
+let encode_insn (i : Insn.insn) : raw list =
+  let imm32 v = Int32.of_int v in
+  match i with
+  | Alu { op; width; dst; src } ->
+    let cls = match width with Insn.W64 -> class_alu64 | W32 -> class_alu in
+    (match src with
+    | Reg s -> [ { code = cls lor src_x lor alu_code op; dst; src = s; off = 0; imm = 0l } ]
+    | Imm v -> [ { code = cls lor src_k lor alu_code op; dst; src = 0; off = 0; imm = imm32 v } ])
+  | Ld_imm64 (dst, v) ->
+    let lo = Int64.to_int32 v in
+    let hi = Int64.to_int32 (Int64.shift_right_logical v 32) in
+    [ { code = class_ld lor mode_imm lor sz_dw; dst; src = 0; off = 0; imm = lo };
+      { code = 0; dst = 0; src = 0; off = 0; imm = hi } ]
+  | Ld_map_fd (dst, fd) ->
+    [ { code = class_ld lor mode_imm lor sz_dw; dst; src = pseudo_map_fd; off = 0;
+        imm = imm32 fd };
+      { code = 0; dst = 0; src = 0; off = 0; imm = 0l } ]
+  | Ldx { size; dst; src; off } ->
+    [ { code = class_ldx lor mode_mem lor size_code size; dst; src; off; imm = 0l } ]
+  | St { size; dst; off; imm } ->
+    [ { code = class_st lor mode_mem lor size_code size; dst; src = 0; off; imm = imm32 imm } ]
+  | Stx { size; dst; off; src } ->
+    [ { code = class_stx lor mode_mem lor size_code size; dst; src; off; imm = 0l } ]
+  | Atomic { aop; size; dst; src; off; fetch } ->
+    let imm =
+      atomic_code aop
+      lor (if fetch || aop = Insn.A_xchg || aop = Insn.A_cmpxchg then atomic_fetch
+           else 0)
+    in
+    [ { code = class_stx lor mode_atomic lor size_code size; dst; src; off;
+        imm = Int32.of_int imm } ]
+  | Jmp { cond; width; dst; src; off } ->
+    let cls = match width with Insn.W64 -> class_jmp | W32 -> class_jmp32 in
+    (match src with
+    | Reg s -> [ { code = cls lor src_x lor jmp_code cond; dst; src = s; off; imm = 0l } ]
+    | Imm v -> [ { code = cls lor src_k lor jmp_code cond; dst; src = 0; off; imm = imm32 v } ])
+  | Ja off -> [ { code = class_jmp lor ja_code; dst = 0; src = 0; off; imm = 0l } ]
+  | Call id -> [ { code = class_jmp lor call_code; dst = 0; src = 0; off = 0; imm = imm32 id } ]
+  | Call_sub off ->
+    [ { code = class_jmp lor call_code; dst = 0; src = pseudo_call; off = 0;
+        imm = imm32 off } ]
+  | Exit -> [ { code = class_jmp lor exit_code; dst = 0; src = 0; off = 0; imm = 0l } ]
+
+let raw_to_bytes r =
+  let b = Bytes.create 8 in
+  Bytes.set b 0 (Char.chr (r.code land 0xff));
+  Bytes.set b 1 (Char.chr ((r.dst land 0xf) lor ((r.src land 0xf) lsl 4)));
+  Bytes.set_int16_le b 2 (r.off land 0xffff);
+  Bytes.set_int32_le b 4 r.imm;
+  b
+
+let raw_of_bytes b ~pos =
+  let byte i = Char.code (Bytes.get b (pos + i)) in
+  let off =
+    let v = Bytes.get_int16_le b (pos + 2) in
+    v
+  in
+  { code = byte 0; dst = byte 1 land 0xf; src = (byte 1 lsr 4) land 0xf; off;
+    imm = Bytes.get_int32_le b (pos + 4) }
+
+let to_bytes (prog : Insn.insn array) : Bytes.t =
+  let raws = Array.to_list prog |> List.concat_map encode_insn in
+  let buf = Buffer.create (8 * List.length raws) in
+  List.iter (fun r -> Buffer.add_bytes buf (raw_to_bytes r)) raws;
+  Buffer.to_bytes buf
+
+exception Decode_error of string
+
+let decode_raw (r : raw) (next : raw option) : Insn.insn * int =
+  let cls = r.code land 0x07 in
+  let open Insn in
+  if cls = class_ld && r.code land 0x18 = sz_dw && r.code land 0xe0 = mode_imm then begin
+    match next with
+    | None -> raise (Decode_error "truncated lddw")
+    | Some hi ->
+      if r.src = pseudo_map_fd then (Ld_map_fd (r.dst, Int32.to_int r.imm), 2)
+      else
+        let v =
+          Int64.logor
+            (Int64.logand (Int64.of_int32 r.imm) 0xffff_ffffL)
+            (Int64.shift_left (Int64.of_int32 hi.imm) 32)
+        in
+        (Ld_imm64 (r.dst, v), 2)
+  end
+  else if cls = class_ldx then
+    match size_of_code (r.code land 0x18) with
+    | Some size -> (Ldx { size; dst = r.dst; src = r.src; off = r.off }, 1)
+    | None -> raise (Decode_error "bad ldx size")
+  else if cls = class_st then
+    match size_of_code (r.code land 0x18) with
+    | Some size -> (St { size; dst = r.dst; off = r.off; imm = Int32.to_int r.imm }, 1)
+    | None -> raise (Decode_error "bad st size")
+  else if cls = class_stx && r.code land 0xe0 = mode_atomic then begin
+    match size_of_code (r.code land 0x18) with
+    | Some ((W | DW) as size) -> (
+      let imm = Int32.to_int r.imm in
+      match atomic_of_code (imm land 0xf0) with
+      | Some aop ->
+        let fetch =
+          imm land atomic_fetch <> 0 || aop = A_xchg || aop = A_cmpxchg
+        in
+        (Atomic { aop; size; dst = r.dst; src = r.src; off = r.off; fetch }, 1)
+      | None -> (
+        (* BPF_ADD is code 0x00: mask it out of the low nibble *)
+        match imm land 0xf0 with
+        | _ -> raise (Decode_error "bad atomic op")))
+    | _ -> raise (Decode_error "bad atomic size")
+  end
+  else if cls = class_stx then
+    match size_of_code (r.code land 0x18) with
+    | Some size -> (Stx { size; dst = r.dst; off = r.off; src = r.src }, 1)
+    | None -> raise (Decode_error "bad stx size")
+  else if cls = class_alu || cls = class_alu64 then begin
+    let width = if cls = class_alu64 then W64 else W32 in
+    match alu_of_code (r.code land 0xf0) with
+    | None -> raise (Decode_error "bad alu op")
+    | Some op ->
+      let src = if r.code land 0x08 = src_x then Reg r.src else Imm (Int32.to_int r.imm) in
+      (Alu { op; width; dst = r.dst; src }, 1)
+  end
+  else if cls = class_jmp || cls = class_jmp32 then begin
+    let opc = r.code land 0xf0 in
+    if cls = class_jmp && opc = ja_code then (Ja r.off, 1)
+    else if cls = class_jmp && opc = call_code then
+      (if r.src = pseudo_call then (Call_sub (Int32.to_int r.imm), 1)
+       else (Call (Int32.to_int r.imm), 1))
+    else if cls = class_jmp && opc = exit_code then (Exit, 1)
+    else
+      match jmp_of_code opc with
+      | None -> raise (Decode_error "bad jmp op")
+      | Some cond ->
+        let width = if cls = class_jmp then W64 else W32 in
+        let src = if r.code land 0x08 = src_x then Reg r.src else Imm (Int32.to_int r.imm) in
+        (Jmp { cond; width; dst = r.dst; src; off = r.off }, 1)
+  end
+  else raise (Decode_error (Printf.sprintf "bad class %d" cls))
+
+let of_bytes (b : Bytes.t) : (Insn.insn array, string) result =
+  if Bytes.length b mod 8 <> 0 then Error "program length not a multiple of 8"
+  else
+    try
+      let n = Bytes.length b / 8 in
+      let out = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let r = raw_of_bytes b ~pos:(!i * 8) in
+        let next = if !i + 1 < n then Some (raw_of_bytes b ~pos:((!i + 1) * 8)) else None in
+        let insn, used = decode_raw r next in
+        out := insn :: !out;
+        i := !i + used
+      done;
+      Ok (Array.of_list (List.rev !out))
+    with Decode_error msg -> Error msg

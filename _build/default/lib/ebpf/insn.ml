@@ -1,0 +1,109 @@
+(* The eBPF instruction set.
+
+   This mirrors the real bytecode: 11 registers (r0..r10, r10 = read-only
+   frame pointer), 64/32-bit ALU, memory loads/stores of 1/2/4/8 bytes,
+   conditional jumps (64- and 32-bit), helper calls and exit.  [Encode]
+   packs these into the kernel's 8-byte wire format. *)
+
+type reg = int (* 0..10; r10 is the frame pointer *)
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let fp = r10
+let max_reg = 10
+
+let valid_reg r = r >= 0 && r <= max_reg
+
+type size = B | H | W | DW
+
+let size_bytes = function B -> 1 | H -> 2 | W -> 4 | DW -> 8
+
+type alu_op = Add | Sub | Mul | Div | Or | And | Lsh | Rsh | Neg | Mod | Xor | Mov | Arsh
+
+type width = W64 | W32
+
+type operand = Reg of reg | Imm of int (* imm is a signed 32-bit value *)
+
+type cond = Eq | Gt | Ge | Set | Ne | Sgt | Sge | Lt | Le | Slt | Sle
+
+(* BPF_ATOMIC operations (kernel 5.12+ generalised atomics).  [fetch] makes
+   the source register receive the old memory value; cmpxchg always uses r0
+   as the comparand and always writes the old value back to r0. *)
+type atomic_op = A_add | A_or | A_and | A_xor | A_xchg | A_cmpxchg
+
+type insn =
+  | Alu of { op : alu_op; width : width; dst : reg; src : operand }
+  | Ld_imm64 of reg * int64
+  | Ld_map_fd of reg * int            (* pseudo: load a map reference *)
+  | Ldx of { size : size; dst : reg; src : reg; off : int }
+  | St of { size : size; dst : reg; off : int; imm : int }
+  | Stx of { size : size; dst : reg; off : int; src : reg }
+  | Atomic of { aop : atomic_op; size : size (* W or DW *); dst : reg;
+                src : reg; off : int; fetch : bool }
+  | Jmp of { cond : cond; width : width; dst : reg; src : operand; off : int }
+  | Ja of int                          (* unconditional, relative to next insn *)
+  | Call of int                        (* helper id *)
+  | Call_sub of int                    (* BPF-to-BPF call, relative to next insn *)
+  | Exit
+
+(* Number of 8-byte slots the instruction occupies on the wire. *)
+let slots = function Ld_imm64 _ | Ld_map_fd _ -> 2 | _ -> 1
+
+let alu_op_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Or -> "or"
+  | And -> "and" | Lsh -> "lsh" | Rsh -> "rsh" | Neg -> "neg" | Mod -> "mod"
+  | Xor -> "xor" | Mov -> "mov" | Arsh -> "arsh"
+
+let atomic_op_to_string = function
+  | A_add -> "add" | A_or -> "or" | A_and -> "and" | A_xor -> "xor"
+  | A_xchg -> "xchg" | A_cmpxchg -> "cmpxchg"
+
+let cond_to_string = function
+  | Eq -> "jeq" | Gt -> "jgt" | Ge -> "jge" | Set -> "jset" | Ne -> "jne"
+  | Sgt -> "jsgt" | Sge -> "jsge" | Lt -> "jlt" | Le -> "jle" | Slt -> "jslt"
+  | Sle -> "jsle"
+
+let size_to_string = function B -> "b" | H -> "h" | W -> "w" | DW -> "dw"
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "r%d" r
+  | Imm i -> Format.fprintf ppf "%d" i
+
+let pp ppf = function
+  | Alu { op = Neg; width; dst; _ } ->
+    Format.fprintf ppf "neg%s r%d" (match width with W64 -> "" | W32 -> "32") dst
+  | Alu { op; width; dst; src } ->
+    Format.fprintf ppf "%s%s r%d, %a" (alu_op_to_string op)
+      (match width with W64 -> "" | W32 -> "32")
+      dst pp_operand src
+  | Ld_imm64 (dst, v) -> Format.fprintf ppf "lddw r%d, 0x%Lx" dst v
+  | Ld_map_fd (dst, fd) -> Format.fprintf ppf "lddw r%d, map_fd %d" dst fd
+  | Ldx { size; dst; src; off } ->
+    Format.fprintf ppf "ldx%s r%d, [r%d%+d]" (size_to_string size) dst src off
+  | St { size; dst; off; imm } ->
+    Format.fprintf ppf "st%s [r%d%+d], %d" (size_to_string size) dst off imm
+  | Stx { size; dst; off; src } ->
+    Format.fprintf ppf "stx%s [r%d%+d], r%d" (size_to_string size) dst off src
+  | Atomic { aop; size; dst; src; off; fetch } ->
+    Format.fprintf ppf "atomic%s%s_%s [r%d%+d], r%d"
+      (if fetch then "_fetch" else "")
+      (size_to_string size) (atomic_op_to_string aop) dst off src
+  | Jmp { cond; width; dst; src; off } ->
+    Format.fprintf ppf "%s%s r%d, %a, %+d" (cond_to_string cond)
+      (match width with W64 -> "" | W32 -> "32")
+      dst pp_operand src off
+  | Ja off -> Format.fprintf ppf "ja %+d" off
+  | Call id -> Format.fprintf ppf "call %d" id
+  | Call_sub off -> Format.fprintf ppf "call pc%+d" off
+  | Exit -> Format.fprintf ppf "exit"
+
+let to_string i = Format.asprintf "%a" pp i

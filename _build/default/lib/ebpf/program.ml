@@ -1,0 +1,89 @@
+(* Programs and their attach-point context descriptors.
+
+   Each program type exposes a different context struct to the extension;
+   the verifier checks every ctx access against the descriptor (offset,
+   size, writability), which is the ctx half of the kernel's
+   [check_ctx_access].  Context fields here are scalars; packet payloads are
+   accessed through helpers (as bpf_skb_load_bytes does), which keeps the
+   model faithful without reimplementing packet-pointer range tracking. *)
+
+type prog_type = Socket_filter | Xdp | Kprobe | Tracepoint
+
+let prog_type_to_string = function
+  | Socket_filter -> "socket_filter"
+  | Xdp -> "xdp"
+  | Kprobe -> "kprobe"
+  | Tracepoint -> "tracepoint"
+
+type ctx_field = { fname : string; foff : int; fsize : int; writable : bool }
+
+type ctx_desc = { ctx_size : int; fields : ctx_field list }
+
+let skb_ctx =
+  { ctx_size = 32;
+    fields =
+      [ { fname = "len"; foff = 0; fsize = 4; writable = false };
+        { fname = "protocol"; foff = 4; fsize = 4; writable = false };
+        { fname = "mark"; foff = 8; fsize = 4; writable = true };
+        { fname = "queue_mapping"; foff = 12; fsize = 4; writable = true };
+        { fname = "ifindex"; foff = 16; fsize = 4; writable = false };
+        { fname = "hash"; foff = 20; fsize = 4; writable = false };
+        { fname = "priority"; foff = 24; fsize = 4; writable = true } ] }
+
+let xdp_ctx =
+  { ctx_size = 16;
+    fields =
+      [ { fname = "data_len"; foff = 0; fsize = 4; writable = false };
+        { fname = "ingress_ifindex"; foff = 4; fsize = 4; writable = false };
+        { fname = "rx_queue_index"; foff = 8; fsize = 4; writable = false } ] }
+
+let kprobe_ctx =
+  (* pt_regs-like: 8 readable u64 slots *)
+  { ctx_size = 64;
+    fields =
+      List.init 8 (fun i ->
+          { fname = Printf.sprintf "reg%d" i; foff = i * 8; fsize = 8; writable = false }) }
+
+let tracepoint_ctx =
+  { ctx_size = 48;
+    fields =
+      List.init 6 (fun i ->
+          { fname = Printf.sprintf "arg%d" i; foff = i * 8; fsize = 8; writable = false }) }
+
+let ctx_of_prog_type = function
+  | Socket_filter -> skb_ctx
+  | Xdp -> xdp_ctx
+  | Kprobe -> kprobe_ctx
+  | Tracepoint -> tracepoint_ctx
+
+let find_ctx_field desc ~off ~size =
+  List.find_opt (fun f -> f.foff = off && f.fsize = size) desc.fields
+
+type t = {
+  name : string;
+  prog_type : prog_type;
+  insns : Insn.insn array;
+  (* unresolved helper-name relocations (insn pc -> helper name); the
+     loader's fixup step patches them to helper ids *)
+  relocs : (int * string) list;
+}
+
+let make ?(relocs = []) ~name ~prog_type insns = { name; prog_type; insns; relocs }
+
+let of_items ~name ~prog_type items =
+  Result.map
+    (fun (insns, relocs) -> make ~relocs ~name ~prog_type insns)
+    (Asm.assemble_with_relocs items)
+
+let of_items_exn ~name ~prog_type items =
+  match of_items ~name ~prog_type items with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Program.of_items: " ^ msg)
+
+let length t = Array.length t.insns
+
+(* Map fds referenced by the program (for load-time resolution). *)
+let referenced_maps t =
+  Array.to_list t.insns
+  |> List.filter_map (function Insn.Ld_map_fd (_, fd) -> Some fd | _ -> None)
+  |> List.sort_uniq compare

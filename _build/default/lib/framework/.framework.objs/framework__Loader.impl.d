@@ -1,0 +1,1 @@
+lib/framework/loader.ml: Array Bpf_verifier Ebpf Format Hashtbl Helpers Int64 Kernel_sim List Maps Option Runtime Rustlite World

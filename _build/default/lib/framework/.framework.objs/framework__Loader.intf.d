@@ -1,0 +1,1 @@
+lib/framework/loader.mli: Bpf_verifier Bytes Ebpf Format Kernel_sim Runtime Rustlite World

@@ -1,0 +1,1 @@
+lib/framework/report.ml: Array Float List Printf String

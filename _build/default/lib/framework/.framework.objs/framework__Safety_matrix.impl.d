@@ -1,0 +1,1 @@
+lib/framework/safety_matrix.ml: Ebpf Format Helpers Kerndata Kernel_sim List Loader Maps Runtime Rustlite String World

@@ -1,0 +1,1 @@
+lib/framework/world.ml: Bpf_verifier Ebpf Hashtbl Helpers Kerndata Kernel_sim Maps

@@ -1,0 +1,1 @@
+lib/framework/world.mli: Bpf_verifier Ebpf Hashtbl Helpers Kerndata Kernel_sim Maps

@@ -1,0 +1,69 @@
+(** The two load paths of the study, side by side.
+
+    Path A (today's architecture, paper Figure 1): bytecode arrives in the
+    kernel; the in-kernel verifier symbolically executes it; acceptance is
+    the only safety gate and helpers are trusted.
+
+    Path B (the proposal, paper Figure 5): a signed artifact arrives; the
+    kernel validates the toolchain signature, performs only load-time
+    fixup, and relies on the runtime guards from then on.
+
+    Both paths produce a {!loaded} handle run by the same machinery
+    ({!run}), so any difference in observed safety is attributable to the
+    architecture. *)
+
+type loaded =
+  | Ebpf_prog of { prog_id : int; prog : Ebpf.Program.t;
+                   vstats : Bpf_verifier.Verifier.stats }
+  | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
+                      map_ids : (string * int) list }
+
+type load_error =
+  | Rejected of Bpf_verifier.Verifier.reject  (** path A: verifier said no *)
+  | Verifier_crashed of string                (** path A: a verifier bug fired *)
+  | Bad_signature                             (** path B: validation failed *)
+  | Fixup_failed of string                    (** unresolved helper relocation *)
+
+val pp_load_error : Format.formatter -> load_error -> unit
+
+val fixup : Ebpf.Program.t -> (Ebpf.Program.t, load_error) result
+(** Resolve helper-name relocations to helper ids (the §3.1 "load-time
+    fixup ... to resolve helper function addresses"). *)
+
+val load_ebpf : World.t -> Ebpf.Program.t -> (loaded, load_error) result
+(** Path A: fixup, then in-kernel verification. *)
+
+val load_rustlite :
+  World.t -> Rustlite.Toolchain.signed_extension -> (loaded, load_error) result
+(** Path B: signature validation + map registration, no analysis. *)
+
+type outcome =
+  | Finished of int64                  (** clean return value *)
+  | Crashed of Kernel_sim.Oops.report  (** the kernel is dead *)
+  | Stopped of Runtime.Guard.termination (** a runtime guard fired; cleaned up *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type run_report = {
+  outcome : outcome;
+  health : Kernel_sim.Kernel.health;
+  trace : string list;                  (** bpf_trace_printk / kcrate trace *)
+  resources_outstanding : int;          (** acquired resources left at exit *)
+}
+
+val max_tail_calls : int
+(** MAX_TAIL_CALL_CNT: the kernel's cap on chained tail calls. *)
+
+val run :
+  ?skb_payload:Bytes.t ->
+  ?fuel:int64 ->
+  ?wall_ns:int64 ->
+  ?ns_per_insn:int64 ->
+  ?use_jit:bool ->
+  ?jit_branch_bug:bool ->
+  World.t -> loaded -> run_report
+(** One invocation: builds the attach context (optionally around a packet
+    payload), snapshots refcounts for leak attribution, executes under the
+    requested guards, chases tail calls (up to {!max_tail_calls}), fires
+    armed timers (the simulated softirq), and reports the outcome together
+    with the kernel's health. *)

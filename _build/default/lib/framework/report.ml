@@ -1,0 +1,47 @@
+(* Plain-text rendering: aligned tables, section headers, and ASCII bar
+   charts for the figure reproductions. *)
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "\n%s\n= %s =\n%s\n" bar title bar
+
+let subsection title = Printf.sprintf "\n--- %s ---\n" title
+
+(* Render rows with left-aligned, width-fitted columns. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> cell ^ String.make (List.nth widths c - String.length cell) ' ')
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows) ^ "\n"
+
+(* Horizontal ASCII bar chart; values are scaled to [width] characters. *)
+let bar_chart ?(width = 50) (points : (string * float) list) =
+  let vmax = List.fold_left (fun a (_, v) -> Float.max a v) 1e-9 points in
+  let lmax = List.fold_left (fun a (l, _) -> max a (String.length l)) 0 points in
+  String.concat "\n"
+    (List.map
+       (fun (label, v) ->
+         let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+         Printf.sprintf "%-*s | %s %g" lmax label (String.make (max n 0) '#') v)
+       points)
+  ^ "\n"
+
+(* Log-scale scatter summary for Fig. 3 style distributions. *)
+let log_buckets_chart (buckets : int array) =
+  let labels = [| "1-9"; "10-99"; "100-999"; "1000-9999"; ">=10000" |] in
+  bar_chart
+    (Array.to_list (Array.mapi (fun i b -> (labels.(i), float_of_int b)) buckets))
+
+let check b = if b then "yes" else "NO"

@@ -1,0 +1,17 @@
+(** Plain-text rendering for the reproduction harness: aligned tables,
+    section headers and ASCII bar charts (the "figures"). *)
+
+val section : string -> string
+val subsection : string -> string
+
+val table : header:string list -> string list list -> string
+(** Width-fitted, left-aligned columns with a separator rule. *)
+
+val bar_chart : ?width:int -> (string * float) list -> string
+(** One [#]-bar per labelled value, scaled to [width] characters. *)
+
+val log_buckets_chart : int array -> string
+(** Render {!Callgraph.Analysis.log_histogram} buckets. *)
+
+val check : bool -> string
+(** "yes" / "NO" table cells. *)

@@ -1,0 +1,55 @@
+(* A complete testbed: one simulated kernel plus the map registry, the
+   helper bug database, the verifier configuration, and the table of loaded
+   programs (for tail calls).  Every experiment builds a fresh world, so
+   failures cannot contaminate each other. *)
+
+module Kernel = Kernel_sim.Kernel
+module Kver = Kerndata.Kver
+module Bpf_map = Maps.Bpf_map
+module Hctx = Helpers.Hctx
+module Bugdb = Helpers.Bugdb
+
+type t = {
+  kernel : Kernel.t;
+  maps : Bpf_map.Registry.t;
+  bugs : Bugdb.t;
+  mutable vconfig : Bpf_verifier.Verifier.config;
+  progs : (int, Ebpf.Program.t) Hashtbl.t;
+  mutable next_prog_id : int;
+  (* the BPF_MAP_TYPE_PROG_ARRAY stand-in: tail-call index -> prog id *)
+  prog_array : (int, int) Hashtbl.t;
+}
+
+let create ?(version = Kver.V5_18) ?vconfig () =
+  let vconfig =
+    match vconfig with
+    | Some c -> c
+    | None -> { (Bpf_verifier.Verifier.default_config ()) with Bpf_verifier.Verifier.version }
+  in
+  { kernel = Kernel.create (); maps = Bpf_map.Registry.create ();
+    bugs = Bugdb.create ~version (); vconfig; progs = Hashtbl.create 4;
+    next_prog_id = 1; prog_array = Hashtbl.create 4 }
+
+let register_map t (def : Bpf_map.def) = Bpf_map.Registry.register t.maps t.kernel def
+
+let new_hctx ?(owner = "bpf_prog") t =
+  let hctx = Hctx.create ~owner ~kernel:t.kernel ~maps:t.maps ~bugs:t.bugs () in
+  Hashtbl.iter (fun k v -> Hashtbl.replace hctx.Hctx.prog_array k v) t.prog_array;
+  hctx
+
+(* Wire a loaded program into the tail-call table at [index]. *)
+let set_tail_call t ~index ~prog_id = Hashtbl.replace t.prog_array index prog_id
+
+(* Populate a default environment: a couple of tasks and sockets for the
+   task/sock helpers to find. *)
+let populate t =
+  let task = Kernel.add_task t.kernel ~pid:1234 ~tgid:1234 ~comm:"nginx" in
+  Kernel.set_current t.kernel task;
+  ignore (Kernel.add_task t.kernel ~pid:1300 ~tgid:1300 ~comm:"postgres");
+  ignore (Kernel.add_sock t.kernel ~port:8080 ~state:Kernel_sim.Kobject.Established);
+  ignore (Kernel.add_sock t.kernel ~port:8443 ~state:Kernel_sim.Kobject.Request);
+  (* baseline the refcounts so health reports only extension-caused leaks *)
+  Kernel.snapshot_refs t.kernel;
+  t
+
+let create_populated ?version ?vconfig () = populate (create ?version ?vconfig ())

@@ -1,0 +1,41 @@
+(** A complete testbed: one simulated kernel plus the map registry, the
+    helper-bug database, the verifier configuration, the loaded-program
+    table (for tail calls), and the tail-call index.  Every experiment
+    builds a fresh world, so failures cannot contaminate each other. *)
+
+module Kernel = Kernel_sim.Kernel
+module Kver = Kerndata.Kver
+module Bpf_map = Maps.Bpf_map
+module Hctx = Helpers.Hctx
+module Bugdb = Helpers.Bugdb
+
+type t = {
+  kernel : Kernel.t;
+  maps : Bpf_map.Registry.t;
+  bugs : Bugdb.t;
+  mutable vconfig : Bpf_verifier.Verifier.config;
+  progs : (int, Ebpf.Program.t) Hashtbl.t;
+  mutable next_prog_id : int;
+  prog_array : (int, int) Hashtbl.t;  (** tail-call index -> prog id *)
+}
+
+val create : ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config -> unit -> t
+(** A bare world at the given simulated kernel version (default v5.18,
+    which also selects the default helper-bug windows). *)
+
+val register_map : t -> Bpf_map.def -> Bpf_map.t
+
+val new_hctx : ?owner:string -> t -> Hctx.t
+(** A fresh helper execution context wired to this world (including the
+    tail-call table). *)
+
+val set_tail_call : t -> index:int -> prog_id:int -> unit
+(** Wire a loaded program into the tail-call table. *)
+
+val populate : t -> t
+(** Add the standard task/socket population (nginx pid 1234 as current,
+    postgres, an established sock on 8080 and a request sock on 8443) and
+    snapshot refcounts so health reports only extension-caused leaks. *)
+
+val create_populated :
+  ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config -> unit -> t

@@ -1,0 +1,1 @@
+lib/helpers/bugdb.ml: Kerndata List String

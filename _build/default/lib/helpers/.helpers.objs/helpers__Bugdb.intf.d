@@ -1,0 +1,1 @@
+lib/helpers/bugdb.mli: Kerndata

@@ -1,0 +1,1 @@
+lib/helpers/errno.ml: Maps

@@ -1,0 +1,1 @@
+lib/helpers/hctx.ml: Array Bugdb Hashtbl Int64 Kernel_sim List Maps Printf Resources

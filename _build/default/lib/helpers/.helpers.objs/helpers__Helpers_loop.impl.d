@@ -1,0 +1,1 @@
+lib/helpers/helpers_loop.ml: Array Errno Hashtbl Hctx Int64 Kerndata Kernel_sim List

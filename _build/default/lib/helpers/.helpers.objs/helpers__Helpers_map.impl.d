@@ -1,0 +1,1 @@
+lib/helpers/helpers_map.ml: Array Bugdb Bytes Char Errno Hctx Int32 Int64 Kernel_sim Maps

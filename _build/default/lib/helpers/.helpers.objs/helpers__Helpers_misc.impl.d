@@ -1,0 +1,1 @@
+lib/helpers/helpers_misc.ml: Array Buffer Hctx Int64 Kernel_sim Printf String

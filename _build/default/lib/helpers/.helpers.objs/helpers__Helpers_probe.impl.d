@@ -1,0 +1,1 @@
+lib/helpers/helpers_probe.ml: Array Bugdb Bytes Errno Hctx Int64 Kernel_sim String

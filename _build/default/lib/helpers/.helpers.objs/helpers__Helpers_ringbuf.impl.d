@@ -1,0 +1,1 @@
+lib/helpers/helpers_ringbuf.ml: Array Bugdb Errno Hctx Int64 Kernel_sim List Maps Resources

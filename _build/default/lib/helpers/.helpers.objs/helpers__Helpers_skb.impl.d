@@ -1,0 +1,1 @@
+lib/helpers/helpers_skb.ml: Array Errno Hctx Int64 Kernel_sim

@@ -1,0 +1,1 @@
+lib/helpers/helpers_spin.ml: Array Errno Hctx Int64 Kernel_sim List Maps Resources

@@ -1,0 +1,1 @@
+lib/helpers/helpers_string.ml: Array Buffer Bytes Char Errno Hctx Int64 Kernel_sim Printf String

@@ -1,0 +1,1 @@
+lib/helpers/helpers_sys.ml: Array Bugdb Errno Hctx Int64 Kernel_sim Maps Printf String

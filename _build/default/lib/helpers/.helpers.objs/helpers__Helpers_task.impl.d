@@ -1,0 +1,1 @@
+lib/helpers/helpers_task.ml: Array Bugdb Bytes Errno Hctx Int32 Int64 Kernel_sim List Maps Printf String

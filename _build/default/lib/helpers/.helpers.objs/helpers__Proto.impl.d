@@ -1,0 +1,1 @@
+lib/helpers/proto.ml: List

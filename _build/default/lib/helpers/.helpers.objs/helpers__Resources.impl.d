@@ -1,0 +1,1 @@
+lib/helpers/resources.ml: Format Int64 List

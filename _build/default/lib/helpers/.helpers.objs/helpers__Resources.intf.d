@@ -1,0 +1,1 @@
+lib/helpers/resources.mli: Format

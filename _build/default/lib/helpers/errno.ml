@@ -1,0 +1,17 @@
+(* Negative errno return values, as helpers report failures to programs. *)
+
+let einval = -22L
+let enoent = -2L
+let e2big = -7L
+let efault = -14L
+let enomem = -12L
+let eperm = -1L
+let enotsupp = -524L
+let ebusy = -16L
+
+let of_map_error : Maps.Bpf_map.error -> int64 = function
+  | Maps.Bpf_map.E2BIG -> e2big
+  | ENOENT -> enoent
+  | EINVAL -> einval
+  | ENOTSUPP -> enotsupp
+  | ENOMEM -> enomem

@@ -1,0 +1,73 @@
+(* bpf_loop and bpf_tail_call: the control-flow escape hatches.
+
+   bpf_loop is the paper's prime §3.2 "retire" example ("merely provides a
+   loop mechanism") and the engine of the §2.2 termination exploit: each
+   level of nesting multiplies the iteration budget, giving "linear control
+   over total runtime" and, with enough nesting, runtimes of millions of
+   years — all while the verifier has pronounced the program terminating. *)
+
+module Kver = Kerndata.Kver
+
+(* The kernel's cap on a single bpf_loop invocation (BPF_MAX_LOOPS = 1<<23). *)
+let max_loops = 1 lsl 23
+
+(* The kernel's cap on chained tail calls (MAX_TAIL_CALL_CNT). *)
+let max_tail_calls = 33
+
+(* bpf_loop(nr_loops, callback_pc, callback_ctx, flags) -> iterations done *)
+let loop (ctx : Hctx.t) (args : int64 array) =
+  match ctx.call_subprog with
+  | None -> Errno.enotsupp
+  | Some call ->
+    let nr = Int64.to_int (Int64.logand args.(0) 0xffff_ffffL) in
+    if nr < 0 || nr > max_loops then Errno.e2big
+    else begin
+      let cb_pc = Int64.to_int args.(1) in
+      let cb_ctx = args.(2) in
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let rec go i =
+        if i >= nr then i
+        else begin
+          Hctx.charge ctx 20L;
+          let ret = call cb_pc [| Int64.of_int i; cb_ctx; 0L; 0L; 0L |] in
+          if Int64.equal ret 0L then go (i + 1) else i + 1
+        end
+      in
+      let done_ = go 0 in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      Int64.of_int done_
+    end
+
+(* bpf_tail_call(ctx, prog_array, index): on success never returns — the
+   runtime catches [Hctx.Tail_call] and jumps to the target program. *)
+let tail_call (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 40L;
+  let index = Int64.to_int args.(2) in
+  match Hashtbl.find_opt ctx.prog_array index with
+  | None -> Errno.enoent
+  | Some prog_id -> raise (Hctx.Tail_call prog_id)
+
+
+(* The bpf_timer family, modelled as one arming helper: the §2.1 "multitude
+   of new verifier features" exhibit (timers forced the verifier to learn
+   yet another callback shape and an in-map object kind).
+
+   bpf_timer_start(delay_ns, callback_pc, callback_ctx): arms a timer that
+   the kernel fires (simulated softirq) after the current invocation
+   completes, once the virtual clock passes the deadline. *)
+let timer_start (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 80L;
+  let deadline = Int64.add (Kernel_sim.Vclock.now ctx.kernel.clock) args.(0) in
+  if List.length ctx.timers >= 16 then Errno.e2big
+  else begin
+    ctx.timers <- ctx.timers @ [ (deadline, Int64.to_int args.(1), args.(2)) ];
+    0L
+  end
+
+(* bpf_timer_cancel(callback_pc): disarms timers for that callback. *)
+let timer_cancel (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 40L;
+  let pc = Int64.to_int args.(0) in
+  let before = List.length ctx.timers in
+  ctx.timers <- List.filter (fun (_, cb, _) -> cb <> pc) ctx.timers;
+  Int64.of_int (before - List.length ctx.timers)

@@ -1,0 +1,138 @@
+(* Map helpers: bpf_map_lookup_elem / update / delete / for_each.
+
+   bpf_map_lookup_elem carries the Table 1 "integer overflow" bug model
+   (fix 87ac0d60: 32-bit overflow when computing ARRAY map element offsets).
+   The real bug truncated (index * value_size) to 32 bits; a 4 GiB map does
+   not fit a simulation, so the model truncates to 16 bits — same defect
+   class (offset wraps, lookup aliases the wrong element), demonstrable on a
+   map a few hundred KiB large.  See DESIGN.md "Fidelity notes". *)
+
+module Kmem = Kernel_sim.Kmem
+module Bpf_map = Maps.Bpf_map
+
+let overflow_wrap_bits = 16
+
+let get_map (ctx : Hctx.t) handle = Bpf_map.Registry.find ctx.maps (Int64.to_int handle)
+
+let read_key (ctx : Hctx.t) (map : Bpf_map.t) key_ptr =
+  Kmem.load_bytes ctx.kernel.mem ~addr:key_ptr ~len:map.def.key_size
+    ~context:"bpf_map helper"
+
+let key_index key =
+  let rec go acc i =
+    if i < 0 then acc else go ((acc lsl 8) lor Char.code (Bytes.get key i)) (i - 1)
+  in
+  go 0 (min 3 (Bytes.length key - 1))
+
+let lookup_elem (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 50L;
+  match get_map ctx args.(0) with
+  | None -> 0L
+  | Some map -> (
+    let key = read_key ctx map args.(1) in
+    let buggy_overflow =
+      Bugdb.active ctx.bugs "hbug:array-map-32bit-overflow"
+      && map.def.kind = Bpf_map.Array
+    in
+    if buggy_overflow then begin
+      (* the buggy offset computation: (index * value_size) truncated *)
+      let idx = key_index key in
+      if idx < 0 || idx >= map.def.max_entries then 0L
+      else
+        let wrapped =
+          idx * map.def.value_size land ((1 lsl overflow_wrap_bits) - 1)
+        in
+        match map.storage with
+        | Bpf_map.Array_storage region -> Kmem.region_addr region wrapped
+        | _ -> 0L
+    end
+    else
+      match Bpf_map.lookup map ~key with
+      | Some addr -> addr
+      | None -> 0L)
+
+let update_elem (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 80L;
+  match get_map ctx args.(0) with
+  | None -> Errno.einval
+  | Some map -> (
+    let key = read_key ctx map args.(1) in
+    let value =
+      Kmem.load_bytes ctx.kernel.mem ~addr:args.(2) ~len:map.def.value_size
+        ~context:"bpf_map_update_elem"
+    in
+    match Bpf_map.update map ctx.kernel.mem ~key ~value with
+    | Ok () -> 0L
+    | Error e -> Errno.of_map_error e)
+
+let delete_elem (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  match get_map ctx args.(0) with
+  | None -> Errno.einval
+  | Some map -> (
+    let key = read_key ctx map args.(1) in
+    match Bpf_map.delete map ~key with
+    | Ok () -> 0L
+    | Error e -> Errno.of_map_error e)
+
+(* bpf_for_each_map_elem(map, callback_pc, callback_ctx, flags):
+   invokes callback(index, value_addr, callback_ctx) per element; a nonzero
+   callback return stops the iteration.  One of the expressiveness shims
+   (§3.2: "iteration callback shim") a real language retires. *)
+let for_each_map_elem (ctx : Hctx.t) (args : int64 array) =
+  match get_map ctx args.(0) with
+  | None -> Errno.einval
+  | Some map -> (
+    match ctx.call_subprog with
+    | None -> Errno.enotsupp
+    | Some call ->
+      let cb_pc = Int64.to_int args.(1) in
+      let cb_ctx = args.(2) in
+      let n = map.def.max_entries in
+      let rec go i count =
+        if i >= n then count
+        else begin
+          Hctx.charge ctx 30L;
+          let key = Bytes.create map.def.key_size in
+          Bytes.set_int32_le key 0 (Int32.of_int i);
+          match Bpf_map.lookup map ~key with
+          | None -> go (i + 1) count
+          | Some value_addr ->
+            let ret = call cb_pc [| Int64.of_int i; value_addr; cb_ctx; 0L; 0L |] in
+            if Int64.equal ret 0L then go (i + 1) (count + 1) else count + 1
+        end
+      in
+      Int64.of_int (go 0 0))
+
+(* queue/stack map helpers: three more of the §3.2 expressiveness shims
+   ("queue/stack push/pop/peek") a real language retires. *)
+
+(* bpf_map_push_elem(map, value, flags) *)
+let push_elem (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  match get_map ctx args.(0) with
+  | None -> Errno.einval
+  | Some map -> (
+    let value =
+      Kmem.load_bytes ctx.kernel.mem ~addr:args.(1) ~len:map.def.value_size
+        ~context:"bpf_map_push_elem"
+    in
+    match Bpf_map.push map ctx.kernel.mem ~value with
+    | Ok () -> 0L
+    | Error e -> Errno.of_map_error e)
+
+let pop_or_peek_elem ~remove (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  match get_map ctx args.(0) with
+  | None -> Errno.einval
+  | Some map -> (
+    let op = if remove then Bpf_map.pop else Bpf_map.peek in
+    match op map ctx.kernel.mem with
+    | Ok value ->
+      Kmem.store_bytes ctx.kernel.mem ~addr:args.(1) ~src:value
+        ~context:"bpf_map_pop_elem";
+      0L
+    | Error e -> Errno.of_map_error e)
+
+let pop_elem ctx args = pop_or_peek_elem ~remove:true ctx args
+let peek_elem ctx args = pop_or_peek_elem ~remove:false ctx args

@@ -1,0 +1,58 @@
+(* Small leaf helpers — including bpf_get_current_pid_tgid's cousins at the
+   harmless end of the Figure 3 complexity spectrum (call-graph size 1). *)
+
+module Kmem = Kernel_sim.Kmem
+module Vclock = Kernel_sim.Vclock
+
+let ktime_get_ns (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 15L;
+  Vclock.now ctx.kernel.clock
+
+let ktime_get_boot_ns = ktime_get_ns
+
+let jiffies64 (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 10L;
+  Int64.div (Vclock.now ctx.kernel.clock) 4_000_000L (* HZ=250 *)
+
+let get_prandom_u32 (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 15L;
+  Int64.logand (Hctx.next_random ctx) 0xffff_ffffL
+
+let get_smp_processor_id (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 10L;
+  Int64.of_int ctx.kernel.cpu
+
+let get_numa_node_id (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 10L;
+  0L
+
+(* bpf_trace_printk(fmt, fmt_size, arg1, arg2, arg3) *)
+let trace_printk (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 200L;
+  let fmt =
+    Kmem.load_cstring ctx.kernel.mem ~addr:args.(0)
+      ~max:(Int64.to_int args.(1)) ~context:"bpf_trace_printk"
+  in
+  let extra = [ args.(2); args.(3); args.(4) ] in
+  let next = ref extra in
+  let pop () =
+    match !next with [] -> 0L | v :: rest -> next := rest; v
+  in
+  let buf = Buffer.create 32 in
+  let i = ref 0 in
+  while !i < String.length fmt do
+    (if fmt.[!i] = '%' && !i + 1 < String.length fmt then begin
+       (match fmt.[!i + 1] with
+       | 'd' | 'u' -> Buffer.add_string buf (Int64.to_string (pop ()))
+       | 'x' -> Buffer.add_string buf (Printf.sprintf "%Lx" (pop ()))
+       | '%' -> Buffer.add_char buf '%'
+       | c -> Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf fmt.[!i];
+       incr i
+     end)
+  done;
+  ctx.trace <- Buffer.contents buf :: ctx.trace;
+  Int64.of_int (Buffer.length buf)

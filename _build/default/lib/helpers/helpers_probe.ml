@@ -1,0 +1,54 @@
+(* probe-read helpers: arbitrary-address kernel reads with (normally)
+   fault protection, plus the Table 1 out-of-bounds bug model
+   ("hbug:probe-read-size-unchecked": the helper copies 8 bytes more than
+   the verified destination size, overflowing the program's stack buffer). *)
+
+module Kmem = Kernel_sim.Kmem
+module Oops = Kernel_sim.Oops
+
+(* bpf_probe_read_kernel(dst, size, unsafe_src) *)
+let probe_read_kernel (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 120L;
+  let size = Int64.to_int args.(1) in
+  if size < 0 then Errno.einval
+  else begin
+    let over =
+      if Bugdb.active ctx.bugs "hbug:probe-read-size-unchecked" then 8 else 0
+    in
+    (* the *source* access is fault-protected: bad addresses yield -EFAULT *)
+    match
+      Kmem.load_bytes ctx.kernel.mem ~addr:args.(2) ~len:size ~context:"bpf_probe_read_kernel"
+    with
+    | data ->
+      let data =
+        if over > 0 then Bytes.cat data (Bytes.make over '\xaa') else data
+      in
+      (* the *destination* write is not protected: an oversized copy smashes
+         the program stack and faults for real *)
+      Kmem.store_bytes ctx.kernel.mem ~addr:args.(0) ~src:data
+        ~context:"bpf_probe_read_kernel";
+      0L
+    | exception Oops.Kernel_oops _ ->
+      (* copy_from_kernel_nofault semantics: the read faults softly *)
+      Errno.efault
+  end
+
+let probe_read_user = probe_read_kernel
+
+(* bpf_probe_read_kernel_str(dst, size, unsafe_src) -> length incl. NUL *)
+let probe_read_kernel_str (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 120L;
+  let size = Int64.to_int args.(1) in
+  if size <= 0 then Errno.einval
+  else
+    match
+      Kmem.load_cstring ctx.kernel.mem ~addr:args.(2) ~max:(size - 1)
+        ~context:"bpf_probe_read_kernel_str"
+    with
+    | s ->
+      let out = Bytes.make (String.length s + 1) '\000' in
+      Bytes.blit_string s 0 out 0 (String.length s);
+      Kmem.store_bytes ctx.kernel.mem ~addr:args.(0) ~src:out
+        ~context:"bpf_probe_read_kernel_str";
+      Int64.of_int (String.length s + 1)
+    | exception Oops.Kernel_oops _ -> Errno.efault

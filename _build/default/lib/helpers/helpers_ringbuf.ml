@@ -1,0 +1,74 @@
+(* Ring-buffer helpers.  Reservations are acquired resources: the trusted
+   wrapper records a discard destructor so forced termination cannot leak
+   the reservation (§3.1's cleanup-without-unwinding).
+
+   "hbug:ringbuf-double-submit" models the Table 1 use-after-free class: a
+   second submit of an already-completed record frees it twice. *)
+
+module Kmem = Kernel_sim.Kmem
+module Oops = Kernel_sim.Oops
+module Bpf_map = Maps.Bpf_map
+module Ringbuf = Maps.Ringbuf
+
+let get_ringbuf (ctx : Hctx.t) handle =
+  match Bpf_map.Registry.find ctx.maps (Int64.to_int handle) with
+  | None -> None
+  | Some map -> Bpf_map.ringbuf map
+
+(* bpf_ringbuf_reserve(map, size, flags) -> addr or 0 *)
+let ringbuf_reserve (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 100L;
+  match get_ringbuf ctx args.(0) with
+  | None -> 0L
+  | Some rb -> (
+    match Ringbuf.reserve rb ~size:(Int64.to_int args.(1)) with
+    | None -> 0L
+    | Some addr ->
+      let _rid =
+        Resources.acquire ctx.resources ~key:addr ~desc:"ringbuf reservation"
+          ~destroy:(fun () -> ignore (Ringbuf.discard rb addr))
+      in
+      addr)
+
+let complete ~submit (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  let addr = args.(0) in
+  let rbs = Bpf_map.Registry.all ctx.maps |> List.filter_map Bpf_map.ringbuf in
+  let rec try_all = function
+    | [] -> Errno.einval
+    | rb :: rest -> (
+      let f = if submit then Ringbuf.submit else Ringbuf.discard in
+      match f rb addr with
+      | Ok () ->
+        ignore (Resources.forget_by_key ctx.resources addr);
+        0L
+      | Error Ringbuf.Already_completed ->
+        if Bugdb.active ctx.bugs "hbug:ringbuf-double-submit" then
+          (* the bug: the helper frees the record again *)
+          Oops.raise_oops ~kind:Oops.Use_after_free ~addr
+            ~context:"bpf_ringbuf_submit (double)"
+            ~time_ns:(Kernel_sim.Vclock.now ctx.kernel.clock) ()
+        else Errno.einval
+      | Error Ringbuf.Not_reserved -> try_all rest)
+  in
+  try_all rbs
+
+let ringbuf_submit ctx args = complete ~submit:true ctx args
+let ringbuf_discard ctx args = complete ~submit:false ctx args
+
+(* bpf_ringbuf_output(map, data, size, flags): reserve+copy+submit *)
+let ringbuf_output (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 150L;
+  match get_ringbuf ctx args.(0) with
+  | None -> Errno.einval
+  | Some rb -> (
+    let size = Int64.to_int args.(2) in
+    match Ringbuf.reserve rb ~size with
+    | None -> Errno.enomem
+    | Some addr ->
+      let data =
+        Kmem.load_bytes ctx.kernel.mem ~addr:args.(1) ~len:size
+          ~context:"bpf_ringbuf_output"
+      in
+      Kmem.store_bytes ctx.kernel.mem ~addr ~src:data ~context:"bpf_ringbuf_output";
+      (match Ringbuf.submit rb addr with Ok () -> 0L | Error _ -> Errno.einval))

@@ -1,0 +1,44 @@
+(* Packet-access helpers.  Packet payloads are reached through these rather
+   than direct packet pointers (the bpf_skb_load_bytes route), which keeps
+   ctx fields scalar; see Program's ctx descriptor commentary. *)
+
+module Kmem = Kernel_sim.Kmem
+module Kobject = Kernel_sim.Kobject
+
+(* bpf_skb_load_bytes(offset, to, len) *)
+let skb_load_bytes (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  match ctx.skb with
+  | None -> Errno.einval
+  | Some skb ->
+    let off = Int64.to_int args.(0) and len = Int64.to_int args.(2) in
+    if off < 0 || len <= 0 || off + len > skb.Kobject.len then Errno.efault
+    else begin
+      let data =
+        Kmem.load_bytes ctx.kernel.mem
+          ~addr:(Int64.add (Kobject.skb_data skb) (Int64.of_int off))
+          ~len ~context:"bpf_skb_load_bytes"
+      in
+      Kmem.store_bytes ctx.kernel.mem ~addr:args.(1) ~src:data
+        ~context:"bpf_skb_load_bytes";
+      0L
+    end
+
+(* bpf_skb_store_bytes(offset, from, len, flags) *)
+let skb_store_bytes (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 80L;
+  match ctx.skb with
+  | None -> Errno.einval
+  | Some skb ->
+    let off = Int64.to_int args.(0) and len = Int64.to_int args.(2) in
+    if off < 0 || len <= 0 || off + len > skb.Kobject.len then Errno.efault
+    else begin
+      let data =
+        Kmem.load_bytes ctx.kernel.mem ~addr:args.(1) ~len
+          ~context:"bpf_skb_store_bytes"
+      in
+      Kmem.store_bytes ctx.kernel.mem
+        ~addr:(Int64.add (Kobject.skb_data skb) (Int64.of_int off))
+        ~src:data ~context:"bpf_skb_store_bytes";
+      0L
+    end

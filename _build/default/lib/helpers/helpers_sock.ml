@@ -1,0 +1,45 @@
+(* Socket helpers: the reference-acquiring family the verifier must track.
+
+   bpf_sk_lookup_tcp models the Table 1 reference-count leak (fix 3046a827:
+   "Fix request_sock leak in sk lookup helpers"): with the bug active, a
+   lookup that lands on a request_sock takes an extra reference that nothing
+   ever releases. *)
+
+module Kobject = Kernel_sim.Kobject
+module Refcount = Kernel_sim.Refcount
+
+(* bpf_sk_lookup_tcp(port) -> sock addr or 0; acquires a reference that the
+   program must release with bpf_sk_release. *)
+let sk_lookup_tcp (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 150L;
+  let port = Int64.to_int args.(0) in
+  match Hctx.Kernel.find_sock ctx.kernel ~port with
+  | None -> 0L
+  | Some sk ->
+    let refs = ctx.kernel.refs in
+    Refcount.get refs sk.Kobject.sock_ref;
+    let addr = Kobject.sock_addr sk in
+    let _rid =
+      Resources.acquire ctx.resources ~key:addr ~desc:"sock ref"
+        ~destroy:(fun () -> Refcount.put refs sk.Kobject.sock_ref)
+    in
+    if
+      sk.Kobject.state = Kobject.Request
+      && Bugdb.active ctx.bugs "hbug:sk-lookup-request-sock-leak"
+    then
+      (* the bug: an extra, untracked reference on request socks *)
+      Refcount.get refs sk.Kobject.sock_ref;
+    addr
+
+let sk_lookup_udp = sk_lookup_tcp
+
+(* bpf_sk_release(sock): drops the reference taken by a lookup. *)
+let sk_release (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 50L;
+  if Resources.release_by_key ctx.resources args.(0) then 0L else Errno.einval
+
+let get_socket_cookie (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 20L;
+  match ctx.skb with
+  | None -> 0L
+  | Some skb -> Int64.add 0x5eed_c00c_1eL skb.Kobject.mark

@@ -1,0 +1,49 @@
+(* bpf_spin_lock / bpf_spin_unlock.
+
+   The §2.1 example of verifier growth: supporting these two helpers meant
+   teaching the verifier to prove "only one lock held at a time, released
+   before exit".  At runtime the lock is a real (simulated) spinlock, so if
+   a buggy verifier lets a double-acquire through, the kernel deadlocks for
+   real; and a held lock at termination shows up in kernel health unless the
+   runtime cleanup releases it. *)
+
+module Bpf_map = Maps.Bpf_map
+module Kmem = Kernel_sim.Kmem
+module Spinlock = Kernel_sim.Spinlock
+
+let region_contains (region : Kmem.region) addr =
+  Int64.unsigned_compare addr region.Kmem.base >= 0
+  && Int64.unsigned_compare addr
+       (Int64.add region.Kmem.base (Int64.of_int region.Kmem.size))
+     < 0
+
+(* Find the lock of the map whose value region contains [addr] (spin locks
+   live inside map values). *)
+let find_lock (ctx : Hctx.t) addr =
+  Bpf_map.Registry.all ctx.maps
+  |> List.find_map (fun (map : Bpf_map.t) ->
+         match (map.lock, map.storage) with
+         | Some lock, Bpf_map.Array_storage region when region_contains region addr ->
+           Some lock
+         | Some lock, Bpf_map.Hash_storage (region, _) when region_contains region addr ->
+           Some lock
+         | _ -> None)
+
+let spin_lock (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 30L;
+  match find_lock ctx args.(0) with
+  | None -> Errno.einval
+  | Some lock ->
+    Spinlock.lock lock ~owner:ctx.owner;
+    let _rid =
+      Resources.acquire ctx.resources ~key:args.(0) ~desc:"spin lock"
+        ~destroy:(fun () -> Spinlock.unlock lock ~owner:ctx.owner)
+    in
+    0L
+
+let spin_unlock (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 30L;
+  match find_lock ctx args.(0) with
+  | None -> Errno.einval
+  | Some _lock ->
+    if Resources.release_by_key ctx.resources args.(0) then 0L else Errno.einval

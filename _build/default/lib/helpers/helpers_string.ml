@@ -1,0 +1,108 @@
+(* String helpers: the poster children of §3.2's "retire" class.  Each of
+   these exists only because restricted eBPF cannot express the loop or
+   parse itself; rustlite implements all three natively (see
+   Rustlite.Kcrate and the exp-retire bench). *)
+
+module Kmem = Kernel_sim.Kmem
+
+(* bpf_strtol(str, len, base_flags, res_ptr) -> consumed chars or -errno *)
+let strtol_impl ~signed (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 100L;
+  let len = Int64.to_int args.(1) in
+  if len <= 0 then Errno.einval
+  else begin
+    let raw =
+      Kmem.load_bytes ctx.kernel.mem ~addr:args.(0) ~len ~context:"bpf_strtol"
+      |> Bytes.to_string
+    in
+    let s =
+      match String.index_opt raw '\000' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    let s = String.trim s in
+    let negative = String.length s > 0 && s.[0] = '-' in
+    if negative && not signed then Errno.einval
+    else begin
+      let body = if negative || (String.length s > 0 && s.[0] = '+')
+        then String.sub s 1 (String.length s - 1) else s in
+      let rec consume i acc =
+        if i >= String.length body then (i, acc)
+        else
+          match body.[i] with
+          | '0' .. '9' as c ->
+            consume (i + 1) (Int64.add (Int64.mul acc 10L) (Int64.of_int (Char.code c - 48)))
+          | _ -> (i, acc)
+      in
+      let consumed, value = consume 0 0L in
+      if consumed = 0 then Errno.einval
+      else begin
+        let value = if negative then Int64.neg value else value in
+        Kmem.store ctx.kernel.mem ~size:8 ~addr:args.(3) ~value ~context:"bpf_strtol";
+        Int64.of_int (consumed + (if negative then 1 else 0))
+      end
+    end
+  end
+
+let strtol ctx args = strtol_impl ~signed:true ctx args
+let strtoul ctx args = strtol_impl ~signed:false ctx args
+
+(* bpf_strncmp(s1, s1_sz, s2) -> <0 / 0 / >0 *)
+let strncmp (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  let sz = Int64.to_int args.(1) in
+  if sz <= 0 then Errno.einval
+  else begin
+    let s1 = Kmem.load_cstring ctx.kernel.mem ~addr:args.(0) ~max:sz ~context:"bpf_strncmp" in
+    let s2 = Kmem.load_cstring ctx.kernel.mem ~addr:args.(2) ~max:sz ~context:"bpf_strncmp" in
+    Int64.of_int (compare s1 s2)
+  end
+
+(* bpf_snprintf(out, out_size, fmt, data, data_len): minimal %d/%s/%x
+   support, enough for the examples. *)
+let snprintf (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 150L;
+  let out_size = Int64.to_int args.(1) in
+  if out_size <= 0 then Errno.einval
+  else begin
+    let fmt =
+      Kmem.load_cstring ctx.kernel.mem ~addr:args.(2) ~max:256 ~context:"bpf_snprintf"
+    in
+    let data_len = Int64.to_int args.(4) in
+    let next_arg = ref 0 in
+    let read_arg () =
+      if !next_arg * 8 >= data_len then 0L
+      else begin
+        let v =
+          Kmem.load ctx.kernel.mem ~size:8
+            ~addr:(Int64.add args.(3) (Int64.of_int (!next_arg * 8)))
+            ~context:"bpf_snprintf"
+        in
+        incr next_arg;
+        v
+      end
+    in
+    let buf = Buffer.create 32 in
+    let i = ref 0 in
+    while !i < String.length fmt do
+      (if fmt.[!i] = '%' && !i + 1 < String.length fmt then begin
+         (match fmt.[!i + 1] with
+         | 'd' -> Buffer.add_string buf (Int64.to_string (read_arg ()))
+         | 'u' -> Buffer.add_string buf (Printf.sprintf "%Lu" (read_arg ()))
+         | 'x' -> Buffer.add_string buf (Printf.sprintf "%Lx" (read_arg ()))
+         | '%' -> Buffer.add_char buf '%'
+         | c -> Buffer.add_char buf c);
+         i := !i + 2
+       end
+       else begin
+         Buffer.add_char buf fmt.[!i];
+         incr i
+       end)
+    done;
+    let s = Buffer.contents buf in
+    let n = min (String.length s) (out_size - 1) in
+    let out = Bytes.make (n + 1) '\000' in
+    Bytes.blit_string s 0 out 0 n;
+    Kmem.store_bytes ctx.kernel.mem ~addr:args.(0) ~src:out ~context:"bpf_snprintf";
+    Int64.of_int n
+  end

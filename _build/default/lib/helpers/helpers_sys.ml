@@ -1,0 +1,122 @@
+(* bpf_sys_bpf: the widest escape hatch in the helper table (4845 call-graph
+   nodes in the paper's Figure 3 census) and the subject of the §2.2 safety
+   experiment.
+
+   The helper exposes a subset of the bpf(2) syscall.  Its attr argument is
+   a union; the verifier checks only that the pointer covers attr_size bytes
+   — it does not inspect the union's *fields*.  CVE-2022-2785: a NULL
+   pointer smuggled in a union field is dereferenced in kernel context,
+   crashing the kernel (and, steered at a chosen address, yielding an
+   arbitrary kernel read).
+
+   attr layout used here (a faithful miniature of union bpf_attr):
+     cmd = MAP_CREATE (0):  [map_type:u32@0][key_size:u32@4][value_size:u32@8]
+                            [max_entries:u32@12]
+     cmd = MAP_LOOKUP (1):  [map_fd:u32@0][key_ptr:u64@8][value_ptr:u64@16]
+     cmd = PROG_LOAD  (5):  rejected (-EPERM) as in the real allowlist
+*)
+
+module Kmem = Kernel_sim.Kmem
+module Bpf_map = Maps.Bpf_map
+
+(* The post-fix helper validates that attr pointer fields target memory the
+   program legitimately owns (its stack or map values) before copying; the
+   pre-fix helper trusts the raw union.  This models the CVE-2022-2785 fix's
+   bpfptr hardening. *)
+let ptr_allowed (ctx : Hctx.t) addr =
+  match Kmem.find_region ctx.kernel.mem addr with
+  | Some r ->
+    r.Kmem.alive
+    && (String.equal r.Kmem.kind "stack" || String.equal r.Kmem.kind "map_value")
+  | None -> false
+
+let cmd_map_create = 0
+let cmd_map_lookup = 1
+let cmd_map_update = 2
+let cmd_prog_load = 5
+
+(* bpf_sys_bpf(cmd, attr_ptr, attr_size) *)
+let sys_bpf (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 500L;
+  let cmd = Int64.to_int args.(0) in
+  let attr = args.(1) in
+  let attr_size = Int64.to_int args.(2) in
+  let mem = ctx.kernel.mem in
+  let u32 off = Kmem.load mem ~size:4 ~addr:(Int64.add attr (Int64.of_int off)) ~context:"bpf_sys_bpf" in
+  let u64 off = Kmem.load mem ~size:8 ~addr:(Int64.add attr (Int64.of_int off)) ~context:"bpf_sys_bpf" in
+  if cmd = cmd_map_create then begin
+    if attr_size < 16 then Errno.einval
+    else begin
+      let key_size = Int64.to_int (u32 4) in
+      let value_size = Int64.to_int (u32 8) in
+      let max_entries = Int64.to_int (u32 12) in
+      if key_size <= 0 || key_size > 64 || value_size <= 0 || value_size > 4096
+         || max_entries <= 0 || max_entries > 65536
+      then Errno.einval
+      else begin
+        let def =
+          { Bpf_map.name = "sys_bpf_map"; kind = Bpf_map.Array; key_size;
+            value_size; max_entries; lock_off = None }
+        in
+        let map = Bpf_map.Registry.register ctx.maps ctx.kernel def in
+        Int64.of_int map.Bpf_map.id
+      end
+    end
+  end
+  else if cmd = cmd_map_lookup then begin
+    if attr_size < 24 then Errno.einval
+    else begin
+      let map_fd = Int64.to_int (u32 0) in
+      let key_ptr = u64 8 in
+      let value_ptr = u64 16 in
+      match Bpf_map.Registry.find ctx.maps map_fd with
+      | None -> Errno.einval
+      | Some map ->
+        let fixed = not (Bugdb.active ctx.bugs "hbug:cve-2022-2785-sys-bpf") in
+        if fixed && not (ptr_allowed ctx key_ptr && ptr_allowed ctx value_ptr) then
+          (* post-fix: pointer fields are validated before use *)
+          Errno.einval
+        else begin
+          (* pre-fix: the union fields are trusted.  A NULL key_ptr is
+             dereferenced right here, in kernel context (kernel crash); a
+             crafted key_ptr is read from wherever it points (arbitrary
+             kernel read). *)
+          let key = Kmem.load_bytes mem ~addr:key_ptr ~len:map.def.key_size ~context:"bpf_sys_bpf(map_lookup)" in
+          match Bpf_map.lookup map ~key with
+          | None -> Errno.enoent
+          | Some value_addr ->
+            let value = Kmem.load_bytes mem ~addr:value_addr ~len:map.def.value_size ~context:"bpf_sys_bpf(map_lookup)" in
+            Kmem.store_bytes mem ~addr:value_ptr ~src:value ~context:"bpf_sys_bpf(map_lookup)";
+            0L
+        end
+    end
+  end
+  else if cmd = cmd_map_update then begin
+    if attr_size < 24 then Errno.einval
+    else begin
+      let map_fd = Int64.to_int (u32 0) in
+      let key_ptr = u64 8 in
+      let value_ptr = u64 16 in
+      match Bpf_map.Registry.find ctx.maps map_fd with
+      | None -> Errno.einval
+      | Some map ->
+        let fixed = not (Bugdb.active ctx.bugs "hbug:cve-2022-2785-sys-bpf") in
+        if fixed && not (ptr_allowed ctx key_ptr && ptr_allowed ctx value_ptr) then
+          Errno.einval
+        else begin
+          let key = Kmem.load_bytes mem ~addr:key_ptr ~len:map.def.key_size ~context:"bpf_sys_bpf(map_update)" in
+          let value = Kmem.load_bytes mem ~addr:value_ptr ~len:map.def.value_size ~context:"bpf_sys_bpf(map_update)" in
+          match Bpf_map.update map mem ~key ~value with
+          | Ok () -> 0L
+          | Error e -> Errno.of_map_error e
+        end
+    end
+  end
+  else if cmd = cmd_prog_load then Errno.eperm
+  else Errno.einval
+
+(* bpf_override_return(ctx, rc): kprobe-only side effect, recorded. *)
+let override_return (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 30L;
+  Hctx.Kernel.bump ctx.kernel (Printf.sprintf "override_return:%Ld" args.(1));
+  0L

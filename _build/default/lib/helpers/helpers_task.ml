@@ -1,0 +1,126 @@
+(* Task helpers, including two of the paper's Table 1 case studies:
+
+   - bpf_task_storage_get: "Local storage helpers should check nullness of
+     owner ptr passed" (fix 1a9c72ad) — with the bug active, a NULL task
+     pointer is dereferenced and the kernel oopses; fixed, it returns 0.
+   - bpf_get_task_stack: "Refcount task stack" (fix 06ab134c) — with the
+     bug active the helper takes a task reference and never releases it
+     (observable reference-count leak); fixed, the reference is scoped. *)
+
+module Kmem = Kernel_sim.Kmem
+module Kobject = Kernel_sim.Kobject
+module Refcount = Kernel_sim.Refcount
+module Bpf_map = Maps.Bpf_map
+
+let get_current_pid_tgid (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 10L;
+  let task = ctx.kernel.current in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int task.Kobject.tgid) 32)
+    (Int64.of_int task.Kobject.pid)
+
+let get_current_uid_gid (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 10L;
+  0L
+
+let get_current_comm (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 30L;
+  let size = Int64.to_int args.(1) in
+  if size <= 0 then Errno.einval
+  else begin
+    let comm = ctx.kernel.current.Kobject.comm in
+    let out = Bytes.make size '\000' in
+    Bytes.blit_string comm 0 out 0 (min (String.length comm) (size - 1));
+    Kmem.store_bytes ctx.kernel.mem ~addr:args.(0) ~src:out ~context:"bpf_get_current_comm";
+    0L
+  end
+
+let get_current_task (ctx : Hctx.t) (_ : int64 array) =
+  Hctx.charge ctx 10L;
+  Kobject.task_addr ctx.kernel.current
+
+let find_task (ctx : Hctx.t) addr =
+  List.find_opt (fun t -> Int64.equal (Kobject.task_addr t) addr) ctx.kernel.tasks
+
+(* bpf_task_storage_get(map, task_ptr, value, flags) *)
+let task_storage_get (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 90L;
+  let map_handle = args.(0) and task_ptr = args.(1) in
+  let buggy = Bugdb.active ctx.bugs "hbug:task-storage-null-owner" in
+  if Int64.equal task_ptr 0L && not buggy then Errno.einval
+  else
+    (* With the bug active and a NULL owner, the helper dereferences the
+       pointer: reading pid from offset 0 of a NULL task_struct. *)
+    let _pid_probe =
+      if Int64.equal task_ptr 0L then
+        Kmem.load ctx.kernel.mem ~size:4 ~addr:task_ptr ~context:"bpf_task_storage_get"
+      else 0L
+    in
+    match find_task ctx task_ptr with
+    | None -> 0L
+    | Some task -> (
+      match Bpf_map.Registry.find ctx.maps (Int64.to_int map_handle) with
+      | None -> 0L
+      | Some map -> (
+        let key = Bytes.make map.def.key_size '\000' in
+        Bytes.set_int32_le key 0 (Int32.of_int task.Kobject.pid);
+        match Bpf_map.lookup map ~key with
+        | Some addr -> addr
+        | None ->
+          (* BPF_LOCAL_STORAGE_GET_F_CREATE semantics when flags=1 *)
+          if Int64.equal args.(3) 1L then begin
+            let zero = Bytes.make map.def.value_size '\000' in
+            match Bpf_map.update map ctx.kernel.mem ~key ~value:zero with
+            | Ok () -> (
+              match Bpf_map.lookup map ~key with Some a -> a | None -> 0L)
+            | Error _ -> 0L
+          end
+          else 0L))
+
+let task_storage_delete (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 60L;
+  match find_task ctx args.(1) with
+  | None -> Errno.enoent
+  | Some task -> (
+    match Bpf_map.Registry.find ctx.maps (Int64.to_int args.(0)) with
+    | None -> Errno.einval
+    | Some map -> (
+      let key = Bytes.make map.def.key_size '\000' in
+      Bytes.set_int32_le key 0 (Int32.of_int task.Kobject.pid);
+      match Bpf_map.delete map ~key with
+      | Ok () -> 0L
+      | Error e -> Errno.of_map_error e))
+
+(* bpf_get_task_stack(task_ptr, buf, size, flags) *)
+let get_task_stack (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 200L;
+  match find_task ctx args.(0) with
+  | None -> Errno.einval
+  | Some task ->
+    let size = Int64.to_int args.(2) in
+    if size < 0 then Errno.einval
+    else begin
+      if Bugdb.active ctx.bugs "hbug:get-task-stack-no-ref" then
+        (* the bug: a reference is taken for the duration of the walk but
+           never dropped — a permanent leak on every call *)
+        Refcount.get ctx.kernel.refs task.Kobject.task_ref
+      else begin
+        (* fixed behaviour: scoped get/put around the stack walk *)
+        Refcount.get ctx.kernel.refs task.Kobject.task_ref;
+        Refcount.put ctx.kernel.refs task.Kobject.task_ref
+      end;
+      let n = min size Kobject.kstack_size in
+      let data =
+        Kmem.load_bytes ctx.kernel.mem ~addr:task.Kobject.kstack.base ~len:n
+          ~context:"bpf_get_task_stack"
+      in
+      Kmem.store_bytes ctx.kernel.mem ~addr:args.(1) ~src:data
+        ~context:"bpf_get_task_stack";
+      Int64.of_int n
+    end
+
+(* bpf_send_signal(sig): side effect recorded as a kernel stat *)
+let send_signal (ctx : Hctx.t) (args : int64 array) =
+  Hctx.charge ctx 40L;
+  Hctx.Kernel.bump ctx.kernel (Printf.sprintf "signal:%Ld" args.(0));
+  0L

@@ -1,0 +1,57 @@
+(* Helper prototypes: what the verifier knows about a helper.
+
+   This is deliberately shallow — argument types describe the pointer kind
+   and a size relation, nothing about the pointed-to *contents*.  That
+   shallowness is the paper's §2.2 point: "the verifier does not perform
+   deep argument inspection", so a union with a NULL field sails through. *)
+
+type mem_size =
+  | Fixed of int      (* pointed-to buffer has this exact size *)
+  | Size_arg of int   (* 0-based index of the argument carrying the size *)
+
+type arg_type =
+  | Arg_anything                      (* unchecked: the widest escape hatch *)
+  | Arg_scalar
+  | Arg_map_handle
+  | Arg_map_key
+  | Arg_map_value
+  | Arg_map_value_out                 (* writable buffer of value_size (pop/peek) *)
+  | Arg_mem_readable of mem_size
+  | Arg_mem_writable of mem_size
+  | Arg_ctx
+  | Arg_task                          (* pointer to a task_struct *)
+  | Arg_sock                          (* ref-tracked socket pointer *)
+  | Arg_spin_lock                     (* map value containing a bpf_spin_lock *)
+  | Arg_callback_pc                   (* static pc of a callback subprogram *)
+  | Arg_ringbuf_mem                   (* reservation returned by ringbuf_reserve *)
+
+type ret_type =
+  | Ret_scalar
+  | Ret_void
+  | Ret_map_value_or_null
+  | Ret_sock_or_null                  (* acquires a reference *)
+  | Ret_task                          (* current task: trusted, not acquired *)
+  | Ret_mem_or_null of mem_size       (* e.g. ringbuf_reserve *)
+
+(* Resource effects the verifier must track (and that the runtime records
+   for termination cleanup). *)
+type effect_ =
+  | Acquires                          (* ret carries a reference obligation *)
+  | Releases of int                   (* arg at index releases its reference *)
+  | Locks
+  | Unlocks
+
+type t = {
+  args : arg_type list;               (* at most 5 (r1..r5) *)
+  ret : ret_type;
+  effects : effect_ list;
+}
+
+let make ?(effects = []) ~args ~ret () = { args; ret; effects }
+
+let arg_count t = List.length t.args
+
+let acquires t = List.mem Acquires t.effects
+let releases t = List.find_map (function Releases i -> Some i | _ -> None) t.effects
+let locks t = List.mem Locks t.effects
+let unlocks t = List.mem Unlocks t.effects

@@ -1,0 +1,271 @@
+(* The helper-function table: every helper the simulation implements, with
+   its verifier-visible prototype, the kernel version that introduced it
+   (Figure 4's growth), its call-graph node count (Figure 3's complexity;
+   values for the two extremes are the ones the paper states: 1 for
+   bpf_get_current_pid_tgid, 4845 for bpf_sys_bpf), and its §3.2
+   disposition under a safe-language framework.
+
+   Helper ids follow the kernel UAPI numbering where the helper exists
+   there; the table, not the number, is authoritative for the simulation.
+
+   Note on calling convention: some prototypes are simplified (e.g.
+   bpf_sk_lookup_tcp takes a port scalar instead of a tuple struct, skb
+   helpers take the skb from the execution context); each simplification
+   keeps the verifier-relevant shape (pointer kinds, size relations,
+   acquire/release effects) intact. *)
+
+module Kver = Kerndata.Kver
+module Retirement = Kerndata.Retirement
+open Proto
+
+type def = {
+  id : int;
+  name : string;
+  proto : Proto.t;
+  introduced : Kver.t;
+  callgraph_nodes : int;
+  disposition : Retirement.disposition option;
+  impl : Hctx.t -> int64 array -> int64;
+}
+
+let p ?effects args ret = Proto.make ?effects ~args ~ret ()
+
+let defs =
+  [
+    (* maps *)
+    { id = 1; name = "bpf_map_lookup_elem";
+      proto = p [ Arg_map_handle; Arg_map_key ] Ret_map_value_or_null;
+      introduced = Kver.V3_18; callgraph_nodes = 73;
+      disposition = Some Retirement.Simplify; impl = Helpers_map.lookup_elem };
+    { id = 2; name = "bpf_map_update_elem";
+      proto = p [ Arg_map_handle; Arg_map_key; Arg_map_value; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V3_18; callgraph_nodes = 312; disposition = None;
+      impl = Helpers_map.update_elem };
+    { id = 3; name = "bpf_map_delete_elem";
+      proto = p [ Arg_map_handle; Arg_map_key ] Ret_scalar;
+      introduced = Kver.V3_18; callgraph_nodes = 287; disposition = None;
+      impl = Helpers_map.delete_elem };
+    { id = 87; name = "bpf_map_push_elem";
+      proto = p [ Arg_map_handle; Arg_map_value; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V4_20; callgraph_nodes = 54;
+      disposition = Some Retirement.Retire; impl = Helpers_map.push_elem };
+    { id = 88; name = "bpf_map_pop_elem";
+      proto = p [ Arg_map_handle; Arg_map_value_out ] Ret_scalar;
+      introduced = Kver.V4_20; callgraph_nodes = 49;
+      disposition = Some Retirement.Retire; impl = Helpers_map.pop_elem };
+    { id = 89; name = "bpf_map_peek_elem";
+      proto = p [ Arg_map_handle; Arg_map_value_out ] Ret_scalar;
+      introduced = Kver.V4_20; callgraph_nodes = 41;
+      disposition = Some Retirement.Retire; impl = Helpers_map.peek_elem };
+    { id = 164; name = "bpf_for_each_map_elem";
+      proto = p [ Arg_map_handle; Arg_callback_pc; Arg_anything; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 128;
+      disposition = Some Retirement.Retire; impl = Helpers_map.for_each_map_elem };
+    (* locks *)
+    { id = 93; name = "bpf_spin_lock";
+      proto = p ~effects:[ Locks ] [ Arg_spin_lock ] Ret_void;
+      introduced = Kver.V5_4; callgraph_nodes = 9; disposition = None;
+      impl = Helpers_spin.spin_lock };
+    { id = 94; name = "bpf_spin_unlock";
+      proto = p ~effects:[ Unlocks ] [ Arg_spin_lock ] Ret_void;
+      introduced = Kver.V5_4; callgraph_nodes = 7; disposition = None;
+      impl = Helpers_spin.spin_unlock };
+    (* ring buffer *)
+    { id = 131; name = "bpf_ringbuf_reserve";
+      proto = p ~effects:[ Acquires ] [ Arg_map_handle; Arg_scalar; Arg_scalar ]
+          (Ret_mem_or_null (Size_arg 1));
+      introduced = Kver.V5_10; callgraph_nodes = 167; disposition = None;
+      impl = Helpers_ringbuf.ringbuf_reserve };
+    { id = 132; name = "bpf_ringbuf_submit";
+      proto = p ~effects:[ Releases 0 ] [ Arg_ringbuf_mem; Arg_scalar ] Ret_void;
+      introduced = Kver.V5_10; callgraph_nodes = 98; disposition = None;
+      impl = Helpers_ringbuf.ringbuf_submit };
+    { id = 133; name = "bpf_ringbuf_discard";
+      proto = p ~effects:[ Releases 0 ] [ Arg_ringbuf_mem; Arg_scalar ] Ret_void;
+      introduced = Kver.V5_10; callgraph_nodes = 95; disposition = None;
+      impl = Helpers_ringbuf.ringbuf_discard };
+    { id = 130; name = "bpf_ringbuf_output";
+      proto = p [ Arg_map_handle; Arg_mem_readable (Size_arg 2); Arg_scalar; Arg_scalar ]
+          Ret_scalar;
+      introduced = Kver.V5_10; callgraph_nodes = 203; disposition = None;
+      impl = Helpers_ringbuf.ringbuf_output };
+    (* tasks *)
+    { id = 14; name = "bpf_get_current_pid_tgid";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 1; disposition = None;
+      impl = Helpers_task.get_current_pid_tgid };
+    { id = 15; name = "bpf_get_current_uid_gid";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 1; disposition = None;
+      impl = Helpers_task.get_current_uid_gid };
+    { id = 16; name = "bpf_get_current_comm";
+      proto = p [ Arg_mem_writable (Size_arg 1); Arg_scalar ] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 18; disposition = None;
+      impl = Helpers_task.get_current_comm };
+    { id = 35; name = "bpf_get_current_task";
+      proto = p [] Ret_task;
+      introduced = Kver.V4_9; callgraph_nodes = 1; disposition = None;
+      impl = Helpers_task.get_current_task };
+    { id = 156; name = "bpf_task_storage_get";
+      proto = p [ Arg_map_handle; Arg_task; Arg_anything; Arg_scalar ]
+          Ret_map_value_or_null;
+      introduced = Kver.V5_10; callgraph_nodes = 341;
+      disposition = Some Retirement.Wrap; impl = Helpers_task.task_storage_get };
+    { id = 157; name = "bpf_task_storage_delete";
+      proto = p [ Arg_map_handle; Arg_task ] Ret_scalar;
+      introduced = Kver.V5_10; callgraph_nodes = 297; disposition = None;
+      impl = Helpers_task.task_storage_delete };
+    { id = 141; name = "bpf_get_task_stack";
+      proto = p [ Arg_task; Arg_mem_writable (Size_arg 2); Arg_scalar; Arg_scalar ]
+          Ret_scalar;
+      introduced = Kver.V5_10; callgraph_nodes = 934;
+      disposition = Some Retirement.Simplify; impl = Helpers_task.get_task_stack };
+    { id = 109; name = "bpf_send_signal";
+      proto = p [ Arg_scalar ] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 542; disposition = None;
+      impl = Helpers_task.send_signal };
+    (* sockets *)
+    { id = 84; name = "bpf_sk_lookup_tcp";
+      proto = p ~effects:[ Acquires ] [ Arg_scalar ] Ret_sock_or_null;
+      introduced = Kver.V4_20; callgraph_nodes = 1522;
+      disposition = Some Retirement.Simplify; impl = Helpers_sock.sk_lookup_tcp };
+    { id = 85; name = "bpf_sk_lookup_udp";
+      proto = p ~effects:[ Acquires ] [ Arg_scalar ] Ret_sock_or_null;
+      introduced = Kver.V4_20; callgraph_nodes = 1437; disposition = None;
+      impl = Helpers_sock.sk_lookup_udp };
+    { id = 86; name = "bpf_sk_release";
+      proto = p ~effects:[ Releases 0 ] [ Arg_sock ] Ret_scalar;
+      introduced = Kver.V4_20; callgraph_nodes = 118; disposition = None;
+      impl = Helpers_sock.sk_release };
+    { id = 46; name = "bpf_get_socket_cookie";
+      proto = p [ Arg_ctx ] Ret_scalar;
+      introduced = Kver.V4_14; callgraph_nodes = 35; disposition = None;
+      impl = Helpers_sock.get_socket_cookie };
+    (* skb *)
+    { id = 26; name = "bpf_skb_load_bytes";
+      proto = p [ Arg_scalar; Arg_mem_writable (Size_arg 2); Arg_scalar ] Ret_scalar;
+      introduced = Kver.V4_9; callgraph_nodes = 44; disposition = None;
+      impl = Helpers_skb.skb_load_bytes };
+    { id = 9; name = "bpf_skb_store_bytes";
+      proto = p [ Arg_scalar; Arg_mem_readable (Size_arg 2); Arg_scalar; Arg_scalar ]
+          Ret_scalar;
+      introduced = Kver.V4_9; callgraph_nodes = 76; disposition = None;
+      impl = Helpers_skb.skb_store_bytes };
+    (* strings *)
+    { id = 105; name = "bpf_strtol";
+      proto = p [ Arg_mem_readable (Size_arg 1); Arg_scalar; Arg_scalar;
+                  Arg_mem_writable (Fixed 8) ] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 22;
+      disposition = Some Retirement.Retire; impl = Helpers_string.strtol };
+    { id = 106; name = "bpf_strtoul";
+      proto = p [ Arg_mem_readable (Size_arg 1); Arg_scalar; Arg_scalar;
+                  Arg_mem_writable (Fixed 8) ] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 21;
+      disposition = Some Retirement.Retire; impl = Helpers_string.strtoul };
+    { id = 182; name = "bpf_strncmp";
+      proto = p [ Arg_mem_readable (Size_arg 1); Arg_scalar; Arg_mem_readable (Fixed 1) ]
+          Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 8;
+      disposition = Some Retirement.Retire; impl = Helpers_string.strncmp };
+    { id = 165; name = "bpf_snprintf";
+      proto = p [ Arg_mem_writable (Size_arg 1); Arg_scalar; Arg_mem_readable (Fixed 1);
+                  Arg_mem_readable (Size_arg 4); Arg_scalar ] Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 46;
+      disposition = Some Retirement.Retire; impl = Helpers_string.snprintf };
+    (* probe reads *)
+    { id = 113; name = "bpf_probe_read_kernel";
+      proto = p [ Arg_mem_writable (Size_arg 1); Arg_scalar; Arg_anything ] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 92; disposition = None;
+      impl = Helpers_probe.probe_read_kernel };
+    { id = 112; name = "bpf_probe_read_user";
+      proto = p [ Arg_mem_writable (Size_arg 1); Arg_scalar; Arg_anything ] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 97; disposition = None;
+      impl = Helpers_probe.probe_read_user };
+    { id = 115; name = "bpf_probe_read_kernel_str";
+      proto = p [ Arg_mem_writable (Size_arg 1); Arg_scalar; Arg_anything ] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 104; disposition = None;
+      impl = Helpers_probe.probe_read_kernel_str };
+    (* control flow *)
+    { id = 181; name = "bpf_loop";
+      proto = p [ Arg_scalar; Arg_callback_pc; Arg_anything; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 15;
+      disposition = Some Retirement.Retire; impl = Helpers_loop.loop };
+    { id = 170; name = "bpf_timer_start";
+      proto = p [ Arg_scalar; Arg_callback_pc; Arg_scalar; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 88; disposition = None;
+      impl = Helpers_loop.timer_start };
+    { id = 171; name = "bpf_timer_cancel";
+      proto = p [ Arg_callback_pc ] Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 52; disposition = None;
+      impl = Helpers_loop.timer_cancel };
+    { id = 12; name = "bpf_tail_call";
+      proto = p [ Arg_ctx; Arg_anything; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 12; disposition = None;
+      impl = Helpers_loop.tail_call };
+    (* misc *)
+    { id = 5; name = "bpf_ktime_get_ns";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 6; disposition = None;
+      impl = Helpers_misc.ktime_get_ns };
+    { id = 125; name = "bpf_ktime_get_boot_ns";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V5_10; callgraph_nodes = 7; disposition = None;
+      impl = Helpers_misc.ktime_get_boot_ns };
+    { id = 118; name = "bpf_jiffies64";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V5_4; callgraph_nodes = 1; disposition = None;
+      impl = Helpers_misc.jiffies64 };
+    { id = 7; name = "bpf_get_prandom_u32";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 4; disposition = None;
+      impl = Helpers_misc.get_prandom_u32 };
+    { id = 8; name = "bpf_get_smp_processor_id";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 1; disposition = None;
+      impl = Helpers_misc.get_smp_processor_id };
+    { id = 42; name = "bpf_get_numa_node_id";
+      proto = p [] Ret_scalar;
+      introduced = Kver.V4_14; callgraph_nodes = 3; disposition = None;
+      impl = Helpers_misc.get_numa_node_id };
+    { id = 6; name = "bpf_trace_printk";
+      proto = p [ Arg_mem_readable (Size_arg 1); Arg_scalar; Arg_scalar; Arg_scalar;
+                  Arg_scalar ] Ret_scalar;
+      introduced = Kver.V4_3; callgraph_nodes = 61; disposition = None;
+      impl = Helpers_misc.trace_printk };
+    (* the big one *)
+    { id = 166; name = "bpf_sys_bpf";
+      proto = p [ Arg_scalar; Arg_mem_readable (Size_arg 2); Arg_scalar ] Ret_scalar;
+      introduced = Kver.V5_15; callgraph_nodes = 4845;
+      disposition = Some Retirement.Wrap; impl = Helpers_sys.sys_bpf };
+    { id = 58; name = "bpf_override_return";
+      proto = p [ Arg_ctx; Arg_scalar ] Ret_scalar;
+      introduced = Kver.V4_14; callgraph_nodes = 25; disposition = None;
+      impl = Helpers_sys.override_return };
+  ]
+
+let by_id = Hashtbl.create 64
+let by_name = Hashtbl.create 64
+
+let () =
+  List.iter
+    (fun d ->
+      assert (not (Hashtbl.mem by_id d.id));
+      Hashtbl.replace by_id d.id d;
+      Hashtbl.replace by_name d.name d)
+    defs
+
+let find id = Hashtbl.find_opt by_id id
+let find_by_name name = Hashtbl.find_opt by_name name
+
+let id_of_name name =
+  match find_by_name name with
+  | Some d -> d.id
+  | None -> invalid_arg ("unknown helper " ^ name)
+
+let count = List.length defs
+
+(* Helpers available on a given simulated kernel version. *)
+let available ~version = List.filter (fun d -> Kver.(d.introduced <= version)) defs
+
+let pinned_callgraph_nodes name =
+  Option.map (fun d -> d.callgraph_nodes) (find_by_name name)

@@ -1,0 +1,79 @@
+(* The runtime resource table: the paper's alternative to stack unwinding.
+
+   §3.1: "We can record allocated kernel resources and their destructors
+   on-the-fly during program execution.  When termination is needed, the
+   destructors of allocated resources are invoked to release the resources.
+   Since only the trusted kernel crate ... is responsible for implementing
+   the aforementioned destructors, all the cleanup code is trusted and
+   guaranteed not to fail."
+
+   Destructors here are exactly that: closures installed by trusted helper
+   wrappers (never by user code), run in LIFO order on termination. *)
+
+type resource = {
+  rid : int;
+  key : int64;          (* runtime value identifying the resource (addr/id) *)
+  desc : string;
+  destroy : unit -> unit;
+}
+
+type t = {
+  mutable items : resource list; (* newest first: LIFO cleanup order *)
+  mutable next_rid : int;
+  mutable acquired_total : int;
+  mutable released_by_program : int;
+  mutable destroyed_by_cleanup : int;
+}
+
+let create () =
+  { items = []; next_rid = 1; acquired_total = 0; released_by_program = 0;
+    destroyed_by_cleanup = 0 }
+
+let acquire t ~key ~desc ~destroy =
+  let r = { rid = t.next_rid; key; desc; destroy } in
+  t.next_rid <- t.next_rid + 1;
+  t.acquired_total <- t.acquired_total + 1;
+  t.items <- r :: t.items;
+  r.rid
+
+let find_by_key t key = List.find_opt (fun r -> Int64.equal r.key key) t.items
+
+(* The program released the resource itself (e.g. called sk_release): run
+   the destructor and drop the record. *)
+let release_by_key t key =
+  match find_by_key t key with
+  | None -> false
+  | Some r ->
+    t.items <- List.filter (fun x -> x.rid <> r.rid) t.items;
+    t.released_by_program <- t.released_by_program + 1;
+    r.destroy ();
+    true
+
+(* Forget a resource without running its destructor (the underlying object
+   was consumed by other means, e.g. a submitted ringbuf record). *)
+let forget_by_key t key =
+  match find_by_key t key with
+  | None -> false
+  | Some r ->
+    t.items <- List.filter (fun x -> x.rid <> r.rid) t.items;
+    t.released_by_program <- t.released_by_program + 1;
+    true
+
+let outstanding t = List.length t.items
+
+(* Safe termination: run every remaining destructor, LIFO.  Destructors are
+   trusted kernel-crate code; a raise here would be a kernel bug, so it is
+   deliberately not caught. *)
+let cleanup t =
+  let items = t.items in
+  t.items <- [];
+  List.iter
+    (fun r ->
+      t.destroyed_by_cleanup <- t.destroyed_by_cleanup + 1;
+      r.destroy ())
+    items;
+  List.length items
+
+let pp ppf t =
+  Format.fprintf ppf "resources: %d outstanding (%d acquired, %d released, %d cleaned)"
+    (outstanding t) t.acquired_total t.released_by_program t.destroyed_by_cleanup

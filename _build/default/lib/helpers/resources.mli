@@ -1,0 +1,46 @@
+(** The runtime resource table: §3.1's alternative to stack unwinding.
+
+    Trusted helper wrappers record every acquired kernel resource together
+    with a destructor closure; on termination for any reason (watchdog,
+    fuel, panic) {!cleanup} runs the remaining destructors in LIFO order.
+    Only trusted kernel-crate code installs destructors, so — unlike ABI
+    unwinding — the cleanup path cannot run user code, cannot allocate,
+    and cannot fail. *)
+
+type resource = {
+  rid : int;
+  key : int64;          (** the runtime value identifying the resource *)
+  desc : string;
+  destroy : unit -> unit;
+}
+
+type t = {
+  mutable items : resource list;       (** newest first: LIFO cleanup order *)
+  mutable next_rid : int;
+  mutable acquired_total : int;
+  mutable released_by_program : int;
+  mutable destroyed_by_cleanup : int;
+}
+
+val create : unit -> t
+
+val acquire : t -> key:int64 -> desc:string -> destroy:(unit -> unit) -> int
+(** Record an acquired resource; returns its id. *)
+
+val find_by_key : t -> int64 -> resource option
+
+val release_by_key : t -> int64 -> bool
+(** The program released the resource itself (e.g. bpf_sk_release): run the
+    destructor and drop the record.  False if the key is unknown. *)
+
+val forget_by_key : t -> int64 -> bool
+(** Drop the record without running the destructor (the resource was
+    consumed by other means, e.g. a submitted ringbuf record). *)
+
+val outstanding : t -> int
+
+val cleanup : t -> int
+(** Safe termination: run every remaining destructor, LIFO; returns how
+    many ran. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kerndata/bug_stats.ml: List

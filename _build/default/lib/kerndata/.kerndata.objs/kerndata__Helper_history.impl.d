@@ -1,0 +1,1 @@
+lib/kerndata/helper_history.ml: Kver List Option

@@ -1,0 +1,1 @@
+lib/kerndata/kver.ml: Int List String

@@ -1,0 +1,1 @@
+lib/kerndata/retirement.ml: List

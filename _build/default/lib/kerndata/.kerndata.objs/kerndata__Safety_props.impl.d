@@ -1,0 +1,1 @@
+lib/kerndata/safety_props.ml:

@@ -1,0 +1,1 @@
+lib/kerndata/verifier_loc.ml: Kver List Option

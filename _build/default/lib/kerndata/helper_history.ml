@@ -1,0 +1,44 @@
+(* Figure 4: the number of eBPF helper functions by kernel version and year.
+
+   Values transcribed from the figure, anchored by the facts the text states
+   exactly: the growth is "roughly 50 helper functions every two years", and
+   the Figure 3 census found 249 helpers in Linux 5.18 (counting every
+   program-type-specific variant reachable from the helper table; the Fig. 4
+   curve counts unique helper definitions, which is why v6.1 sits near 200
+   on the figure axis while the census is larger). *)
+
+type point = { version : Kver.t; count : int }
+
+let series =
+  [
+    { version = Kver.V3_18; count = 14 };
+    { version = Kver.V4_3; count = 27 };
+    { version = Kver.V4_9; count = 46 };
+    { version = Kver.V4_14; count = 66 };
+    { version = Kver.V4_20; count = 91 };
+    { version = Kver.V5_4; count = 121 };
+    { version = Kver.V5_10; count = 153 };
+    { version = Kver.V5_15; count = 180 };
+    { version = Kver.V6_1; count = 211 };
+  ]
+
+(* The §2.2/Fig. 3 census of Linux 5.18, counting per-program-type entries. *)
+let census_5_18 = 249
+
+let count_of version =
+  List.find_opt (fun p -> p.version = version) series |> Option.map (fun p -> p.count)
+
+(* Least-squares slope in helpers/year over the series; the paper claims
+   roughly 50 per two years, i.e. ~25/year. *)
+let slope_per_year =
+  let points =
+    List.map (fun p -> (float_of_int (Kver.year p.version), float_of_int p.count)) series
+  in
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. points in
+  ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let per_two_years = 2. *. slope_per_year

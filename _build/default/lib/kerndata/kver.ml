@@ -1,0 +1,30 @@
+(* The kernel versions the paper's Figures 2 and 4 are plotted over, plus
+   v5.18 (the version whose helper census and call graphs Figure 3 uses). *)
+
+type t = V3_18 | V4_3 | V4_9 | V4_14 | V4_20 | V5_4 | V5_10 | V5_15 | V5_18 | V6_1
+
+let all = [ V3_18; V4_3; V4_9; V4_14; V4_20; V5_4; V5_10; V5_15; V5_18; V6_1 ]
+
+(* Figure-axis versions (v5.18 is not a point on Fig. 2/4). *)
+let figure_axis = [ V3_18; V4_3; V4_9; V4_14; V4_20; V5_4; V5_10; V5_15; V6_1 ]
+
+let to_string = function
+  | V3_18 -> "v3.18" | V4_3 -> "v4.3" | V4_9 -> "v4.9" | V4_14 -> "v4.14"
+  | V4_20 -> "v4.20" | V5_4 -> "v5.4" | V5_10 -> "v5.10" | V5_15 -> "v5.15"
+  | V5_18 -> "v5.18" | V6_1 -> "v6.1"
+
+(* Release year, as used for the x axis of Figs. 2 and 4. *)
+let year = function
+  | V3_18 -> 2014 | V4_3 -> 2015 | V4_9 -> 2016 | V4_14 -> 2017 | V4_20 -> 2018
+  | V5_4 -> 2019 | V5_10 -> 2020 | V5_15 -> 2021 | V5_18 -> 2022 | V6_1 -> 2022
+
+let rank = function
+  | V3_18 -> 0 | V4_3 -> 1 | V4_9 -> 2 | V4_14 -> 3 | V4_20 -> 4 | V5_4 -> 5
+  | V5_10 -> 6 | V5_15 -> 7 | V5_18 -> 8 | V6_1 -> 9
+
+let compare a b = Int.compare (rank a) (rank b)
+let ( <= ) a b = compare a b <= 0
+let ( >= ) a b = compare a b >= 0
+
+let of_string s =
+  List.find_opt (fun v -> String.equal (to_string v) s) all

@@ -1,0 +1,32 @@
+(* Table 2: the safety properties the verifier enforces today and the
+   mechanism that enforces each one in the proposed framework.  The
+   executable counterpart lives in Framework.Safety_matrix, which runs a
+   witness-violation program per row and reports which mechanism caught it. *)
+
+type mechanism = Language_safety | Runtime_protection
+
+let mechanism_to_string = function
+  | Language_safety -> "Language safety"
+  | Runtime_protection -> "Runtime protection"
+
+type property = {
+  prop : string;
+  enforced_by : mechanism;
+  witness : string; (* id of the executable witness in Framework.Safety_matrix *)
+}
+
+let table =
+  [
+    { prop = "No arbitrary memory access"; enforced_by = Language_safety;
+      witness = "oob-array-index" };
+    { prop = "No arbitrary control-flow transfer"; enforced_by = Language_safety;
+      witness = "no-computed-goto" };
+    { prop = "Type safety"; enforced_by = Language_safety;
+      witness = "ill-typed-rejected" };
+    { prop = "Safe resource management"; enforced_by = Runtime_protection;
+      witness = "raii-cleanup-on-termination" };
+    { prop = "Termination"; enforced_by = Runtime_protection;
+      witness = "watchdog-fires-on-infinite-loop" };
+    { prop = "Stack protection"; enforced_by = Runtime_protection;
+      witness = "stack-guard-on-deep-recursion" };
+  ]

@@ -1,0 +1,1 @@
+lib/kernel_sim/kernel.ml: Format Hashtbl Kmem Kobject List Mempool Oops Option Rcu Refcount Spinlock Vclock

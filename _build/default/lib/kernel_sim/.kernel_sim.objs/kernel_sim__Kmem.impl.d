@@ -1,0 +1,1 @@
+lib/kernel_sim/kmem.ml: Buffer Bytes Char Format Int64 List Oops Vclock

@@ -1,0 +1,1 @@
+lib/kernel_sim/kobject.ml: Bytes Hashtbl Int64 Kmem Printf Refcount

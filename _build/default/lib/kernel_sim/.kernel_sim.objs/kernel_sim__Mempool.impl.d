@@ -1,0 +1,1 @@
+lib/kernel_sim/mempool.ml: Bytes Hashtbl Kmem List Oops Vclock

@@ -1,0 +1,1 @@
+lib/kernel_sim/mempool.mli: Hashtbl Kmem Vclock

@@ -1,0 +1,1 @@
+lib/kernel_sim/oops.ml: Format Vclock

@@ -1,0 +1,1 @@
+lib/kernel_sim/rcu.ml: Format Int64 List Oops Vclock

@@ -1,0 +1,1 @@
+lib/kernel_sim/rcu.mli: Format Vclock

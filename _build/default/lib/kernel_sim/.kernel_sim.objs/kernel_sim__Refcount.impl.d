@@ -1,0 +1,1 @@
+lib/kernel_sim/refcount.ml: Format List Oops Vclock

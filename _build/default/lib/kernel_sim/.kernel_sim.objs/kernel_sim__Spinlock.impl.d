@@ -1,0 +1,1 @@
+lib/kernel_sim/spinlock.ml: Oops Option Printf String Vclock

@@ -1,0 +1,1 @@
+lib/kernel_sim/vclock.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/kernel_sim/vclock.mli: Format

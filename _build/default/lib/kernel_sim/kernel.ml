@@ -1,0 +1,125 @@
+(* The simulated kernel world: clock, memory, RCU state, refcount registry,
+   locks, a memory pool, a task/socket population, and the oops latch.
+
+   Every experiment in the reproduction runs extensions against an instance
+   of this world and then inspects its health: did it oops, which RCU stalls
+   fired, which references or locks leaked?  A fresh world per experiment
+   keeps runs independent and deterministic. *)
+
+type health = {
+  oopsed : Oops.report option;
+  rcu_stalls : int;
+  leaked_refs : Refcount.t list;
+  held_locks : Spinlock.t list;
+  leaked_pool_chunks : int;
+}
+
+type t = {
+  clock : Vclock.t;
+  mem : Kmem.t;
+  rcu : Rcu.t;
+  refs : Refcount.registry;
+  pool : Mempool.t;
+  mutable locks : Spinlock.t list;
+  mutable next_lock_id : int;
+  mutable tasks : Kobject.task list;
+  mutable current : Kobject.task;
+  mutable socks : Kobject.sock list;
+  mutable next_sock_id : int;
+  mutable oops : Oops.report option;
+  mutable cpu : int; (* the simulated current CPU (per-CPU maps, smp id) *)
+  stats : (string, int) Hashtbl.t;
+  (* Baseline refcounts at the last snapshot, to attribute leaks to an
+     extension execution rather than to kernel setup. *)
+  mutable ref_baseline : (int * int) list; (* refcount id -> count *)
+}
+
+let default_pool_chunks = 64
+let default_pool_chunk_size = 256
+
+let create ?(pool_chunks = default_pool_chunks) () =
+  let clock = Vclock.create () in
+  let mem = Kmem.create clock in
+  let refs = Refcount.create_registry clock in
+  let pool = Mempool.create mem clock ~chunk_size:default_pool_chunk_size ~capacity:pool_chunks in
+  let init_task = Kobject.make_task mem refs ~pid:1 ~tgid:1 ~comm:"swapper" in
+  let t =
+    { clock; mem; rcu = Rcu.create clock; refs; pool; locks = []; next_lock_id = 1;
+      tasks = [ init_task ]; current = init_task; socks = []; next_sock_id = 1;
+      oops = None; cpu = 0; stats = Hashtbl.create 16; ref_baseline = [] }
+  in
+  t
+
+let bump ?(n = 1) t key =
+  Hashtbl.replace t.stats key (n + Option.value ~default:0 (Hashtbl.find_opt t.stats key))
+
+let stat t key = Option.value ~default:0 (Hashtbl.find_opt t.stats key)
+
+let is_dead t = Option.is_some t.oops
+
+let record_oops t report = if t.oops = None then t.oops <- Some report
+
+(* Run [f] against the kernel, converting an escaped oops exception into the
+   recorded-dead state.  Returns the oops if one occurred. *)
+let protect t f =
+  match f () with
+  | v -> Ok v
+  | exception Oops.Kernel_oops report ->
+    record_oops t report;
+    Error report
+
+let add_task t ~pid ~tgid ~comm =
+  let task = Kobject.make_task t.mem t.refs ~pid ~tgid ~comm in
+  t.tasks <- task :: t.tasks;
+  task
+
+let set_current t task = t.current <- task
+
+let add_sock t ~port ~state =
+  let sk = Kobject.make_sock t.mem t.refs ~id:t.next_sock_id ~port ~state in
+  t.next_sock_id <- t.next_sock_id + 1;
+  t.socks <- sk :: t.socks;
+  sk
+
+let find_sock t ~port = List.find_opt (fun s -> s.Kobject.port = port) t.socks
+
+let new_lock t ~name =
+  let lock = Spinlock.make ~id:t.next_lock_id ~name t.clock in
+  t.next_lock_id <- t.next_lock_id + 1;
+  t.locks <- lock :: t.locks;
+  lock
+
+(* Snapshot refcounts so that [health] can report only what an extension
+   leaked on top of the kernel's own references. *)
+let snapshot_refs t =
+  t.ref_baseline <-
+    List.map (fun r -> (r.Refcount.id, Refcount.count r)) (Refcount.live t.refs)
+
+let health t =
+  let baseline r =
+    match List.assoc_opt r.Refcount.id t.ref_baseline with
+    | Some c -> c
+    | None -> 0 (* created after the snapshot: any remaining count is a leak *)
+  in
+  {
+    oopsed = t.oops;
+    rcu_stalls = Rcu.stall_count t.rcu;
+    leaked_refs =
+      List.filter (fun r -> Refcount.count r > baseline r) (Refcount.live t.refs);
+    held_locks = List.filter Spinlock.is_held t.locks;
+    leaked_pool_chunks = List.length (Mempool.leaked t.pool);
+  }
+
+let healthy h =
+  h.oopsed = None && h.rcu_stalls = 0 && h.leaked_refs = [] && h.held_locks = []
+  && h.leaked_pool_chunks = 0
+
+let pp_health ppf h =
+  match h.oopsed with
+  | Some r -> Format.fprintf ppf "DEAD (%a)" Oops.pp_report r
+  | None ->
+    if healthy h then Format.fprintf ppf "healthy"
+    else
+      Format.fprintf ppf "degraded: %d rcu stalls, %d leaked refs, %d held locks, %d leaked chunks"
+        h.rcu_stalls (List.length h.leaked_refs) (List.length h.held_locks)
+        h.leaked_pool_chunks

@@ -1,0 +1,166 @@
+(* Guarded, byte-addressable simulated kernel memory.
+
+   Memory is a set of regions carved out of a fake kernel virtual address
+   space (starting at the x86-64 direct-map base).  Every access is checked
+   against region bounds, liveness and permissions, so the failure modes the
+   paper discusses — NULL dereference, wild pointers, out-of-bounds,
+   use-after-free, writes to read-only data — are all first-class, observable
+   events rather than undefined behaviour. *)
+
+type perm = { readable : bool; writable : bool }
+
+let rw = { readable = true; writable = true }
+let ro = { readable = true; writable = false }
+
+type region = {
+  id : int;
+  base : int64;
+  size : int;
+  bytes : Bytes.t;
+  mutable alive : bool;
+  mutable perm : perm;
+  kind : string; (* "stack" | "map_value" | "ctx" | "pool" | "object" | ... *)
+  name : string;
+  mutable pkey : int; (* MPK-style protection domain; 0 = default, always open *)
+}
+
+type t = {
+  mutable regions : region list; (* newest first; scale is tens of regions *)
+  mutable next_id : int;
+  mutable next_base : int64;
+  clock : Vclock.t;
+  (* §4 "protection from unsafe code": lightweight memory protection keys.
+     When [mpk_enforced], every access to a region with pkey <> 0 requires
+     that pkey's bit in [pkru_allowed] — the model of Intel PKU's PKRU
+     register (bit set = access allowed, inverted vs hardware for clarity). *)
+  mutable mpk_enforced : bool;
+  mutable pkru_allowed : int;
+}
+
+(* Base of the simulated kernel address space; matches the x86-64 direct map
+   so that leaked "kernel pointers" in the pointer-leak experiments look the
+   part. *)
+let address_space_base = 0xffff_8880_0000_0000L
+
+let create clock =
+  { regions = []; next_id = 1; next_base = address_space_base; clock;
+    mpk_enforced = false; pkru_allowed = 1 (* pkey 0 always open *) }
+
+let guard_gap = 4096L
+
+let alloc t ~size ~kind ~name ?(perm = rw) () =
+  let region =
+    { id = t.next_id; base = t.next_base; size; bytes = Bytes.make size '\000';
+      alive = true; perm; kind; name; pkey = 0 }
+  in
+  t.next_id <- t.next_id + 1;
+  t.next_base <- Int64.add t.next_base (Int64.add (Int64.of_int size) guard_gap);
+  t.regions <- region :: t.regions;
+  region
+
+let free t region ~context =
+  if not region.alive then
+    Oops.raise_oops ~kind:Oops.Double_free ~addr:region.base ~context
+      ~time_ns:(Vclock.now t.clock) ()
+  else region.alive <- false
+
+let region_addr region off = Int64.add region.base (Int64.of_int off)
+
+let find_region t addr =
+  let inside r =
+    Int64.unsigned_compare addr r.base >= 0
+    && Int64.unsigned_compare addr (Int64.add r.base (Int64.of_int r.size)) < 0
+  in
+  List.find_opt inside t.regions
+
+let null_page_limit = 0x1000L
+
+let fault t ~kind ~addr ~context =
+  Oops.raise_oops ~kind ~addr ~context ~time_ns:(Vclock.now t.clock) ()
+
+(* Resolve [addr, addr+len) to a live region and byte offset, or oops. *)
+let resolve t addr len ~write ~context =
+  if Int64.unsigned_compare addr null_page_limit < 0 then
+    fault t ~kind:Oops.Null_deref ~addr ~context;
+  match find_region t addr with
+  | None -> fault t ~kind:Oops.Invalid_access ~addr ~context
+  | Some r ->
+    if not r.alive then fault t ~kind:Oops.Use_after_free ~addr ~context;
+    let off = Int64.to_int (Int64.sub addr r.base) in
+    if off + len > r.size then fault t ~kind:Oops.Out_of_bounds ~addr ~context;
+    if write && not r.perm.writable then fault t ~kind:Oops.Permission ~addr ~context;
+    if (not write) && not r.perm.readable then
+      fault t ~kind:Oops.Permission ~addr ~context;
+    if t.mpk_enforced && r.pkey <> 0 && t.pkru_allowed land (1 lsl r.pkey) = 0 then
+      fault t ~kind:Oops.Protection_key ~addr ~context;
+    (r, off)
+
+let load t ~size ~addr ~context =
+  let r, off = resolve t addr size ~write:false ~context in
+  let b i = Int64.of_int (Char.code (Bytes.get r.bytes (off + i))) in
+  let rec go acc i =
+    if i < 0 then acc else go (Int64.logor (Int64.shift_left acc 8) (b i)) (i - 1)
+  in
+  (* little-endian: accumulate from the most significant byte down *)
+  go 0L (size - 1)
+
+let store t ~size ~addr ~value ~context =
+  let r, off = resolve t addr size ~write:true ~context in
+  for i = 0 to size - 1 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical value (8 * i)) 0xffL) in
+    Bytes.set r.bytes (off + i) (Char.chr byte)
+  done
+
+let load_bytes t ~addr ~len ~context =
+  let r, off = resolve t addr len ~write:false ~context in
+  Bytes.sub r.bytes off len
+
+let store_bytes t ~addr ~src ~context =
+  let len = Bytes.length src in
+  let r, off = resolve t addr len ~write:true ~context in
+  Bytes.blit src 0 r.bytes off len
+
+(* Read a NUL-terminated string of at most [max] bytes. *)
+let load_cstring t ~addr ~max ~context =
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= max then Buffer.contents buf
+    else
+      let c = load t ~size:1 ~addr:(Int64.add addr (Int64.of_int i)) ~context in
+      if Int64.equal c 0L then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr (Int64.to_int c));
+        go (i + 1)
+      end
+  in
+  go 0
+
+let live_regions t = List.filter (fun r -> r.alive) t.regions
+let region_count t = List.length (live_regions t)
+
+let pp_region ppf r =
+  Format.fprintf ppf "[%016Lx +%6d %-9s %s%s]" r.base r.size r.kind r.name
+    (if r.alive then "" else " (freed)")
+
+(* ---- MPK-style protection domains (§4) ---- *)
+
+let set_domain region ~pkey = region.pkey <- pkey
+
+let enable_mpk t = t.mpk_enforced <- true
+let disable_mpk t = t.mpk_enforced <- false
+
+let grant_pkey t ~pkey = t.pkru_allowed <- t.pkru_allowed lor (1 lsl pkey)
+let revoke_pkey t ~pkey = t.pkru_allowed <- t.pkru_allowed land lnot (1 lsl pkey)
+
+(* The trusted-gate pattern: the kernel crate opens the extension's domain
+   only around its own (trusted) accesses, like a wrpkru pair. *)
+let with_pkey t ~pkey f =
+  let before = t.pkru_allowed in
+  grant_pkey t ~pkey;
+  match f () with
+  | v ->
+    t.pkru_allowed <- before;
+    v
+  | exception e ->
+    t.pkru_allowed <- before;
+    raise e

@@ -1,0 +1,64 @@
+(* Simulated kernel objects that helper functions touch: tasks, sockets and
+   socket buffers.  Each refcounted object holds its payload in guarded
+   memory so that "kernel data structure" accesses from extensions go through
+   the same fault machinery as everything else. *)
+
+type task = {
+  pid : int;
+  tgid : int;
+  comm : string;
+  task_ref : Refcount.t;
+  kstack : Kmem.region;          (* for bpf_get_task_stack *)
+  tstruct : Kmem.region;         (* the task_struct payload itself *)
+  local_storage : (int, int64) Hashtbl.t; (* map_id -> storage addr *)
+}
+
+type sock_state = Listen | Established | Request (* mini TCP state for sk_lookup *)
+
+type sock = {
+  sk_id : int;
+  port : int;
+  state : sock_state;
+  sock_ref : Refcount.t;
+  sk_mem : Kmem.region;
+}
+
+type sk_buff = {
+  skb_mem : Kmem.region;  (* packet bytes *)
+  mutable len : int;
+  mutable mark : int64;
+}
+
+let task_struct_size = 256
+let kstack_size = 1024
+let sock_size = 128
+
+let make_task mem refs ~pid ~tgid ~comm =
+  let tstruct = Kmem.alloc mem ~size:task_struct_size ~kind:"object" ~name:("task:" ^ comm) () in
+  let kstack = Kmem.alloc mem ~size:kstack_size ~kind:"object" ~name:("kstack:" ^ comm) () in
+  (* store pid/tgid at fixed offsets so probe-read-style helpers can find them *)
+  Kmem.store mem ~size:4 ~addr:(Kmem.region_addr tstruct 0) ~value:(Int64.of_int pid)
+    ~context:"make_task";
+  Kmem.store mem ~size:4 ~addr:(Kmem.region_addr tstruct 4) ~value:(Int64.of_int tgid)
+    ~context:"make_task";
+  { pid; tgid; comm; task_ref = Refcount.make refs ~what:"task" (); kstack; tstruct;
+    local_storage = Hashtbl.create 4 }
+
+let task_addr task = task.tstruct.Kmem.base
+
+let make_sock mem refs ~id ~port ~state =
+  let sk_mem = Kmem.alloc mem ~size:sock_size ~kind:"object" ~name:(Printf.sprintf "sock:%d" port) () in
+  Kmem.store mem ~size:4 ~addr:(Kmem.region_addr sk_mem 0) ~value:(Int64.of_int port)
+    ~context:"make_sock";
+  let what = match state with Request -> "request_sock" | Listen | Established -> "sock" in
+  { sk_id = id; port; state; sock_ref = Refcount.make refs ~what (); sk_mem }
+
+let sock_addr sk = sk.sk_mem.Kmem.base
+
+let make_skb mem ~payload =
+  let len = Bytes.length payload in
+  let skb_mem = Kmem.alloc mem ~size:(max len 1) ~kind:"ctx" ~name:"sk_buff" () in
+  Kmem.store_bytes mem ~addr:skb_mem.Kmem.base ~src:payload ~context:"make_skb";
+  { skb_mem; len; mark = 0L }
+
+let skb_data skb = skb.skb_mem.Kmem.base

@@ -1,0 +1,56 @@
+(* Pre-allocated memory pool, after the BPF-specific allocator the paper
+   cites (LWN "A BPF-specific memory allocator") and the §3.1 proposal to
+   satisfy unwind-context/dynamic allocation from a pool because extensions
+   run in non-sleepable contexts where a general allocator is unavailable.
+
+   Chunks are fixed-size and carved from a single backing region, so chunk
+   addresses are real simulated kernel addresses and all the usual memory
+   guards apply to them. *)
+
+type t = {
+  chunk_size : int;
+  capacity : int;
+  backing : Kmem.region;
+  mem : Kmem.t;
+  clock : Vclock.t;
+  mutable free_chunks : int list; (* chunk indices *)
+  mutable allocated : (int64, int) Hashtbl.t; (* addr -> chunk idx *)
+  mutable high_water : int;
+}
+
+let create mem clock ~chunk_size ~capacity =
+  let backing =
+    Kmem.alloc mem ~size:(chunk_size * capacity) ~kind:"pool" ~name:"bpf_mem_alloc" ()
+  in
+  { chunk_size; capacity; backing; mem; clock;
+    free_chunks = List.init capacity (fun i -> i);
+    allocated = Hashtbl.create 16; high_water = 0 }
+
+let in_use t = Hashtbl.length t.allocated
+let available t = List.length t.free_chunks
+
+(* Allocation failure is not an oops: real kernel code must handle NULL from
+   a pool, and the helpers built on this return NULL to the program. *)
+let alloc t =
+  match t.free_chunks with
+  | [] -> None
+  | idx :: rest ->
+    t.free_chunks <- rest;
+    let addr = Kmem.region_addr t.backing (idx * t.chunk_size) in
+    Hashtbl.replace t.allocated addr idx;
+    t.high_water <- max t.high_water (in_use t);
+    (* scrub the chunk so stale data never leaks across allocations *)
+    Kmem.store_bytes t.mem ~addr ~src:(Bytes.make t.chunk_size '\000')
+      ~context:"mempool_alloc";
+    Some addr
+
+let free t addr ~context =
+  match Hashtbl.find_opt t.allocated addr with
+  | Some idx ->
+    Hashtbl.remove t.allocated addr;
+    t.free_chunks <- idx :: t.free_chunks
+  | None ->
+    Oops.raise_oops ~kind:Oops.Double_free ~addr ~context
+      ~time_ns:(Vclock.now t.clock) ()
+
+let leaked t = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.allocated []

@@ -1,0 +1,33 @@
+(** The pre-allocated, fixed-chunk memory pool — the BPF-specific allocator
+    the paper cites and the §4 "dynamic memory allocation" substrate
+    (usable from non-sleepable contexts because nothing ever sleeps).
+
+    Chunks live inside one guarded {!Kmem} region, so chunk addresses are
+    real simulated kernel addresses with all the usual fault checks. *)
+
+type t = {
+  chunk_size : int;
+  capacity : int;
+  backing : Kmem.region;
+  mem : Kmem.t;
+  clock : Vclock.t;
+  mutable free_chunks : int list;
+  mutable allocated : (int64, int) Hashtbl.t;
+  mutable high_water : int;
+}
+
+val create : Kmem.t -> Vclock.t -> chunk_size:int -> capacity:int -> t
+
+val in_use : t -> int
+val available : t -> int
+
+val alloc : t -> int64 option
+(** The chunk's address, or [None] on exhaustion (never a fault: callers
+    must handle allocation failure, as kernel code must).  Chunks are
+    zeroed so stale data cannot leak across allocations. *)
+
+val free : t -> int64 -> context:string -> unit
+(** Return a chunk; double free oopses. *)
+
+val leaked : t -> int64 list
+(** Chunks currently allocated (leak accounting for {!Kernel.health}). *)

@@ -1,0 +1,59 @@
+(* The kernel "oops" machine: every safety violation the paper talks about
+   (NULL dereference, use-after-free, out-of-bounds, refcount underflow,
+   deadlock, ...) surfaces as a structured oops report.  An oops is the
+   simulated analogue of a real kernel crash: once a kernel has oopsed it
+   is considered dead and all further use is refused. *)
+
+type kind =
+  | Null_deref
+  | Invalid_access      (* wild pointer: no backing region *)
+  | Use_after_free
+  | Out_of_bounds
+  | Permission          (* write to read-only memory *)
+  | Refcount_underflow
+  | Refcount_saturated
+  | Double_free
+  | Deadlock
+  | Stack_overflow
+  | Unwind_failure
+  | Protection_key      (* MPK-style domain violation (§4 hardware protection) *)
+  | Division_trap       (* only when the JIT guard is buggy *)
+  | Control_flow_hijack (* JIT miscompilation landed in the weeds *)
+  | Bug of string
+
+type report = {
+  kind : kind;
+  addr : int64 option;
+  context : string;   (* which subsystem / helper / insn faulted *)
+  time_ns : int64;
+}
+
+exception Kernel_oops of report
+
+let kind_to_string = function
+  | Null_deref -> "NULL pointer dereference"
+  | Invalid_access -> "unable to handle kernel paging request"
+  | Use_after_free -> "use-after-free"
+  | Out_of_bounds -> "out-of-bounds access"
+  | Permission -> "write to read-only memory"
+  | Protection_key -> "protection key violation (pkey fault)"
+  | Refcount_underflow -> "refcount underflow"
+  | Refcount_saturated -> "refcount saturated"
+  | Double_free -> "double free"
+  | Deadlock -> "deadlock"
+  | Stack_overflow -> "kernel stack overflow"
+  | Unwind_failure -> "failure during unwinding"
+  | Division_trap -> "divide error"
+  | Control_flow_hijack -> "control-flow hijack"
+  | Bug s -> "BUG: " ^ s
+
+let pp_report ppf r =
+  Format.fprintf ppf "kernel oops: %s%a (in %s, at t=%a)"
+    (kind_to_string r.kind)
+    (fun ppf -> function
+      | None -> ()
+      | Some a -> Format.fprintf ppf " at %016Lx" a)
+    r.addr r.context Vclock.pp_duration r.time_ns
+
+let raise_oops ?addr ~kind ~context ~time_ns () =
+  raise (Kernel_oops { kind; addr; context; time_ns })

@@ -1,0 +1,63 @@
+(* RCU read-side critical-section tracking with a stall detector.
+
+   The paper's §2.2 termination experiment holds the RCU read lock while a
+   verifier-approved program loops for 800+ seconds, triggering RCU stalls.
+   eBPF programs implicitly run under rcu_read_lock, so the runtime enters a
+   section around each program invocation; the stall detector mirrors the
+   kernel's 21-second default (RCU_CPU_STALL_TIMEOUT). *)
+
+type stall = {
+  at_ns : int64;          (* when the stall was reported *)
+  held_for_ns : int64;    (* how long the section had been open *)
+  context : string;
+}
+
+type t = {
+  clock : Vclock.t;
+  mutable nesting : int;
+  mutable entered_at : int64;
+  mutable stalls : stall list;
+  mutable stall_threshold_ns : int64;
+  mutable last_report_at : int64;
+}
+
+let default_stall_threshold_ns = 21_000_000_000L (* 21 s, as in Linux *)
+
+let create clock =
+  { clock; nesting = 0; entered_at = 0L; stalls = [];
+    stall_threshold_ns = default_stall_threshold_ns; last_report_at = 0L }
+
+let read_lock t =
+  if t.nesting = 0 then t.entered_at <- Vclock.now t.clock;
+  t.nesting <- t.nesting + 1
+
+let read_unlock t ~context =
+  if t.nesting = 0 then
+    Oops.raise_oops ~kind:(Oops.Bug "rcu_read_unlock imbalance") ~context
+      ~time_ns:(Vclock.now t.clock) ();
+  t.nesting <- t.nesting - 1
+
+let in_critical_section t = t.nesting > 0
+
+(* Called periodically by the runtime (the simulated tick).  Reports at most
+   one stall per threshold interval, like the kernel's rate-limited splat. *)
+let check_stall t ~context =
+  if t.nesting > 0 then begin
+    let now = Vclock.now t.clock in
+    let held = Int64.sub now t.entered_at in
+    if
+      Int64.compare held t.stall_threshold_ns >= 0
+      && Int64.compare (Int64.sub now t.last_report_at) t.stall_threshold_ns >= 0
+    then begin
+      t.last_report_at <- now;
+      t.stalls <- { at_ns = now; held_for_ns = held; context } :: t.stalls
+    end
+  end
+
+let stalls t = List.rev t.stalls
+let stall_count t = List.length t.stalls
+let held_for t = if t.nesting = 0 then 0L else Int64.sub (Vclock.now t.clock) t.entered_at
+
+let pp_stall ppf s =
+  Format.fprintf ppf "rcu: INFO: self-detected stall on CPU (t=%a, section open %a) in %s"
+    Vclock.pp_duration s.at_ns Vclock.pp_duration s.held_for_ns s.context

@@ -1,0 +1,46 @@
+(** RCU read-side critical-section tracking with a stall detector.
+
+    eBPF program invocations run under [read_lock]/[read_unlock]; the
+    runtime calls {!check_stall} periodically, mirroring the kernel's
+    21-second RCU_CPU_STALL_TIMEOUT.  The §2.2 termination experiment is
+    observed through {!stall_count}. *)
+
+type stall = {
+  at_ns : int64;        (** when the stall was reported *)
+  held_for_ns : int64;  (** how long the section had been open *)
+  context : string;
+}
+
+type t = {
+  clock : Vclock.t;
+  mutable nesting : int;
+  mutable entered_at : int64;
+  mutable stalls : stall list;
+  mutable stall_threshold_ns : int64;
+      (** report threshold; defaults to the kernel's 21 s *)
+  mutable last_report_at : int64;
+}
+
+val default_stall_threshold_ns : int64
+
+val create : Vclock.t -> t
+
+val read_lock : t -> unit
+(** Enter (or nest into) a read-side critical section. *)
+
+val read_unlock : t -> context:string -> unit
+(** Leave one nesting level; unbalanced unlock oopses. *)
+
+val in_critical_section : t -> bool
+
+val check_stall : t -> context:string -> unit
+(** The simulated tick: records (rate-limited) stall reports once the
+    current section has been open longer than the threshold. *)
+
+val stalls : t -> stall list
+val stall_count : t -> int
+
+val held_for : t -> int64
+(** How long the current section has been open (0 outside sections). *)
+
+val pp_stall : Format.formatter -> stall -> unit

@@ -1,0 +1,65 @@
+(* Kernel-style reference counters with leak accounting.
+
+   The paper's Table 1 lists reference-count leaks in bpf_get_task_stack and
+   the sk-lookup helpers as a recurring helper-bug class, and §3.1/§3.2 argue
+   RAII makes them structurally impossible.  The registry lets both the leak
+   (eBPF path with the buggy helper) and its absence (rustlite RAII path) be
+   measured rather than asserted. *)
+
+type t = {
+  id : int;
+  what : string;          (* "task", "sock", "request_sock", ... *)
+  mutable count : int;
+  mutable released : (unit -> unit) option; (* run when count drops to 0 *)
+}
+
+type registry = {
+  clock : Vclock.t;
+  mutable next_id : int;
+  mutable live : t list;
+  mutable total_gets : int;
+  mutable total_puts : int;
+}
+
+let create_registry clock = { clock; next_id = 1; live = []; total_gets = 0; total_puts = 0 }
+
+let saturation_limit = 1 lsl 20
+
+let make reg ~what ?released () =
+  let t = { id = reg.next_id; what; count = 1; released } in
+  reg.next_id <- reg.next_id + 1;
+  reg.live <- t :: reg.live;
+  reg.total_gets <- reg.total_gets + 1;
+  t
+
+let get reg t =
+  if t.count <= 0 then
+    Oops.raise_oops ~kind:Oops.Refcount_underflow ~context:("refcount_get " ^ t.what)
+      ~time_ns:(Vclock.now reg.clock) ();
+  if t.count >= saturation_limit then
+    Oops.raise_oops ~kind:Oops.Refcount_saturated ~context:("refcount_get " ^ t.what)
+      ~time_ns:(Vclock.now reg.clock) ();
+  t.count <- t.count + 1;
+  reg.total_gets <- reg.total_gets + 1
+
+let put reg t =
+  if t.count <= 0 then
+    Oops.raise_oops ~kind:Oops.Refcount_underflow ~context:("refcount_put " ^ t.what)
+      ~time_ns:(Vclock.now reg.clock) ();
+  t.count <- t.count - 1;
+  reg.total_puts <- reg.total_puts + 1;
+  if t.count = 0 then begin
+    reg.live <- List.filter (fun x -> x.id <> t.id) reg.live;
+    match t.released with None -> () | Some f -> f ()
+  end
+
+let count t = t.count
+
+(* Objects whose count exceeds the baseline the object's owner holds are
+   leaks from the extension's point of view. *)
+let leaked reg ~baseline =
+  List.filter (fun t -> t.count > (try baseline t with Not_found -> 1)) reg.live
+
+let live reg = reg.live
+
+let pp ppf t = Format.fprintf ppf "%s#%d(rc=%d)" t.what t.id t.count

@@ -1,0 +1,44 @@
+(** Kernel-style reference counters with leak accounting.
+
+    The registry records every live counter so that {!Kernel.health} can
+    attribute leaks to an extension run — the measurement behind the
+    Table 1 "Reference count leak" demos and the §3.1/§3.2 claim that RAII
+    makes that class structurally impossible. *)
+
+type t = {
+  id : int;
+  what : string;                           (** "task", "request_sock", ... *)
+  mutable count : int;
+  mutable released : (unit -> unit) option; (** runs when count drops to 0 *)
+}
+
+type registry = {
+  clock : Vclock.t;
+  mutable next_id : int;
+  mutable live : t list;
+  mutable total_gets : int;
+  mutable total_puts : int;
+}
+
+val create_registry : Vclock.t -> registry
+
+val saturation_limit : int
+
+val make : registry -> what:string -> ?released:(unit -> unit) -> unit -> t
+(** A fresh counter at 1, registered as live. *)
+
+val get : registry -> t -> unit
+(** Increment; oopses on use of a dead counter or on saturation. *)
+
+val put : registry -> t -> unit
+(** Decrement; at zero the counter is deregistered and [released] runs;
+    underflow oopses. *)
+
+val count : t -> int
+
+val leaked : registry -> baseline:(t -> int) -> t list
+(** Counters whose count exceeds what [baseline] says their owner holds. *)
+
+val live : registry -> t list
+
+val pp : Format.formatter -> t -> unit

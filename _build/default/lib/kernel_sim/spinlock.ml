@@ -1,0 +1,47 @@
+(* Simulated spinlocks with self-deadlock detection.
+
+   bpf_spin_lock is the paper's running example of verifier complexity: the
+   verifier "grew to check that an eBPF program only holds one lock at a
+   time and releases the lock before termination".  In the simulation the
+   lock itself detects what happens when those checks are bypassed: a
+   re-acquire on the single simulated CPU is an immediate deadlock oops, and
+   an exit with the lock held is reported by the leak accounting. *)
+
+type t = {
+  id : int;
+  name : string;
+  clock : Vclock.t;
+  mutable holder : string option; (* execution context currently holding it *)
+  mutable acquired_at : int64;
+  mutable acquisitions : int;
+}
+
+let make ~id ~name clock =
+  { id; name; clock; holder = None; acquired_at = 0L; acquisitions = 0 }
+
+let lock t ~owner =
+  (match t.holder with
+  | Some h ->
+    (* single simulated CPU: any contention is a guaranteed deadlock *)
+    let what = if String.equal h owner then "recursive spin_lock" else "spin_lock contention" in
+    Oops.raise_oops ~kind:Oops.Deadlock
+      ~context:(Printf.sprintf "%s on %s#%d (held by %s)" what t.name t.id h)
+      ~time_ns:(Vclock.now t.clock) ()
+  | None -> ());
+  t.holder <- Some owner;
+  t.acquired_at <- Vclock.now t.clock;
+  t.acquisitions <- t.acquisitions + 1
+
+let unlock t ~owner =
+  match t.holder with
+  | Some h when String.equal h owner -> t.holder <- None
+  | Some h ->
+    Oops.raise_oops ~kind:(Oops.Bug "spin_unlock by non-owner")
+      ~context:(Printf.sprintf "%s#%d held by %s, unlocked by %s" t.name t.id h owner)
+      ~time_ns:(Vclock.now t.clock) ()
+  | None ->
+    Oops.raise_oops ~kind:(Oops.Bug "spin_unlock of unlocked lock")
+      ~context:(Printf.sprintf "%s#%d" t.name t.id) ~time_ns:(Vclock.now t.clock) ()
+
+let is_held t = Option.is_some t.holder
+let holder t = t.holder

@@ -1,0 +1,26 @@
+(** Simulated spinlocks with self-deadlock detection.
+
+    On the single simulated CPU any contended acquire is a guaranteed
+    deadlock, so bypassing the verifier's one-lock-released-before-exit
+    checks (the §2.1 bpf_spin_lock example) turns into an immediate,
+    observable oops. *)
+
+type t = {
+  id : int;
+  name : string;
+  clock : Vclock.t;
+  mutable holder : string option; (** the execution context holding it *)
+  mutable acquired_at : int64;
+  mutable acquisitions : int;
+}
+
+val make : id:int -> name:string -> Vclock.t -> t
+
+val lock : t -> owner:string -> unit
+(** Acquire; oopses (deadlock) if already held by anyone. *)
+
+val unlock : t -> owner:string -> unit
+(** Release; oopses if not held or held by a different owner. *)
+
+val is_held : t -> bool
+val holder : t -> string option

@@ -1,0 +1,22 @@
+(* Virtual monotonic clock. Every simulated activity (instruction retire,
+   helper call, stall check) advances it explicitly, which makes the RCU
+   stall and watchdog experiments deterministic and lets the termination
+   experiment extrapolate to the paper's "millions of years" without
+   waiting for them. *)
+
+type t = { mutable now_ns : int64 }
+
+let create () = { now_ns = 0L }
+let now t = t.now_ns
+let advance t ns = t.now_ns <- Int64.add t.now_ns ns
+let reset t = t.now_ns <- 0L
+
+let ns_per_sec = 1_000_000_000L
+
+let pp_duration ppf ns =
+  if Int64.compare ns 1_000L < 0 then Format.fprintf ppf "%Ldns" ns
+  else if Int64.compare ns 1_000_000L < 0 then
+    Format.fprintf ppf "%.1fus" (Int64.to_float ns /. 1e3)
+  else if Int64.compare ns ns_per_sec < 0 then
+    Format.fprintf ppf "%.1fms" (Int64.to_float ns /. 1e6)
+  else Format.fprintf ppf "%.2fs" (Int64.to_float ns /. 1e9)

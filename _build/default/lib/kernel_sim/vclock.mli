@@ -1,0 +1,24 @@
+(** The virtual monotonic clock every simulated activity advances.
+
+    All stall detection, watchdogs and the paper's "runs for millions of
+    years" extrapolations are expressed in this clock's nanoseconds, which
+    keeps every experiment deterministic and lets termination behaviour be
+    measured without waiting for wall time. *)
+
+type t = { mutable now_ns : int64 }
+
+val create : unit -> t
+(** A clock at t = 0. *)
+
+val now : t -> int64
+(** Current simulated time in nanoseconds. *)
+
+val advance : t -> int64 -> unit
+(** [advance t ns] moves time forward; never backwards. *)
+
+val reset : t -> unit
+
+val ns_per_sec : int64
+
+val pp_duration : Format.formatter -> int64 -> unit
+(** Human-readable rendering (ns/us/ms/s). *)

@@ -1,0 +1,1 @@
+lib/maps/bpf_map.ml: Array Bytes Char Hashtbl Kernel_sim List Printf Ringbuf String

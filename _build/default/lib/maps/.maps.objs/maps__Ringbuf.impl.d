@@ -1,0 +1,1 @@
+lib/maps/ringbuf.ml: Hashtbl Kernel_sim List

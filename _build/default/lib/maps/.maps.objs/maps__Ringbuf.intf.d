@@ -1,0 +1,1 @@
+lib/maps/ringbuf.mli: Bytes Hashtbl Kernel_sim

@@ -1,0 +1,294 @@
+module Kmem = Kernel_sim.Kmem
+module Spinlock = Kernel_sim.Spinlock
+module Kernel = Kernel_sim.Kernel
+
+(* eBPF maps: the shared-state substrate between extensions and userspace.
+
+   Map values live in guarded simulated kernel memory, so a map-value
+   pointer handed to a program (or leaked past its bounds) behaves exactly
+   like the kernel case: the verifier reasons about [0, value_size) and the
+   memory system faults on anything else.
+
+   Array, hash, LRU-hash, per-CPU array, queue, stack and ring buffer map
+   kinds cover every map the paper's experiments touch (the §2.2
+   termination exploit does random reads/writes on an array map; the ring
+   buffer backs the tracing example; hash maps back the task-storage bug
+   model; queue/stack exist mainly so their push/pop/peek helper shims can
+   be demonstrated retired in §3.2). *)
+
+type kind = Array | Hash | Lru_hash | Percpu_array | Ringbuf | Queue | Stack
+
+let kind_to_string = function
+  | Array -> "array"
+  | Hash -> "hash"
+  | Lru_hash -> "lru_hash"
+  | Percpu_array -> "percpu_array"
+  | Ringbuf -> "ringbuf"
+  | Queue -> "queue"
+  | Stack -> "stack"
+
+type def = {
+  name : string;
+  kind : kind;
+  key_size : int;
+  value_size : int;
+  max_entries : int;
+  (* Offset of an embedded bpf_spin_lock in the value, if any.  The verifier
+     needs this to check bpf_spin_lock/unlock arguments. *)
+  lock_off : int option;
+}
+
+(* Hash-map slot bookkeeping: key bytes -> slot index; insertion order kept
+   for LRU eviction. *)
+type hash_state = {
+  slots : (string, int) Hashtbl.t;
+  mutable free : int list;
+  mutable order : string list; (* most recently used first *)
+}
+
+(* queue/stack maps: a deque of occupied slot indices over a slab *)
+type deque_state = {
+  mutable occupied : int list; (* front first *)
+  mutable free_slots : int list;
+}
+
+type storage =
+  | Array_storage of Kmem.region
+  | Hash_storage of Kmem.region * hash_state
+  | Percpu_storage of Kmem.region array (* one region per cpu *)
+  | Ringbuf_storage of Ringbuf.t
+  | Deque_storage of Kmem.region * deque_state
+
+type t = {
+  id : int;
+  def : def;
+  kernel : Kernel.t; (* per-CPU maps consult the current simulated CPU *)
+  storage : storage;
+  lock : Spinlock.t option; (* model: one lock per map with lock_off set *)
+  mutable lookups : int;
+  mutable updates : int;
+  mutable deletes : int;
+}
+
+type error = E2BIG | ENOENT | EINVAL | ENOTSUPP | ENOMEM
+
+let error_to_string = function
+  | E2BIG -> "E2BIG"
+  | ENOENT -> "ENOENT"
+  | EINVAL -> "EINVAL"
+  | ENOTSUPP -> "ENOTSUPP"
+  | ENOMEM -> "ENOMEM"
+
+let nr_cpus = 4
+
+let create (kernel : Kernel.t) ~id (def : def) =
+  let mem = kernel.Kernel.mem in
+  let storage =
+    match def.kind with
+    | Array ->
+      Array_storage
+        (Kmem.alloc mem ~size:(def.value_size * def.max_entries) ~kind:"map_value"
+           ~name:("map:" ^ def.name) ())
+    | Hash | Lru_hash ->
+      let region =
+        Kmem.alloc mem ~size:(def.value_size * def.max_entries) ~kind:"map_value"
+          ~name:("map:" ^ def.name) ()
+      in
+      Hash_storage
+        (region,
+         { slots = Hashtbl.create 16; free = List.init def.max_entries (fun i -> i);
+           order = [] })
+    | Percpu_array ->
+      Percpu_storage
+        (Array.init nr_cpus (fun cpu ->
+             Kmem.alloc mem ~size:(def.value_size * def.max_entries) ~kind:"map_value"
+               ~name:(Printf.sprintf "map:%s[cpu%d]" def.name cpu) ()))
+    | Ringbuf -> Ringbuf_storage (Ringbuf.create mem ~capacity:def.max_entries)
+    | Queue | Stack ->
+      let region =
+        Kmem.alloc mem ~size:(def.value_size * def.max_entries) ~kind:"map_value"
+          ~name:("map:" ^ def.name) ()
+      in
+      Deque_storage
+        (region, { occupied = []; free_slots = List.init def.max_entries (fun i -> i) })
+  in
+  let lock =
+    match def.lock_off with
+    | Some _ -> Some (Kernel.new_lock kernel ~name:("map_lock:" ^ def.name))
+    | None -> None
+  in
+  { id; def; kernel; storage; lock; lookups = 0; updates = 0; deletes = 0 }
+
+let key_to_index def (key : Bytes.t) =
+  (* array-style maps use a u32 key *)
+  let rec go acc i = if i < 0 then acc else go ((acc lsl 8) lor Char.code (Bytes.get key i)) (i - 1) in
+  ignore def;
+  go 0 (min 3 (Bytes.length key - 1))
+
+let touch_lru st key =
+  st.order <- key :: List.filter (fun k -> not (String.equal k key)) st.order
+
+(* Look up the address of the value for [key]; this is what the helper
+   returns to the program as PTR_TO_MAP_VALUE_OR_NULL. *)
+let lookup t ~(key : Bytes.t) : int64 option =
+  t.lookups <- t.lookups + 1;
+  match t.storage with
+  | Array_storage region ->
+    let idx = key_to_index t.def key in
+    if idx < 0 || idx >= t.def.max_entries then None
+    else Some (Kmem.region_addr region (idx * t.def.value_size))
+  | Percpu_storage regions ->
+    let idx = key_to_index t.def key in
+    if idx < 0 || idx >= t.def.max_entries then None
+    else
+      let cpu = t.kernel.Kernel.cpu mod Array.length regions in
+      Some (Kmem.region_addr regions.(cpu) (idx * t.def.value_size))
+  | Hash_storage (region, st) ->
+    let k = Bytes.to_string key in
+    (match Hashtbl.find_opt st.slots k with
+    | None -> None
+    | Some slot ->
+      if t.def.kind = Lru_hash then touch_lru st k;
+      Some (Kmem.region_addr region (slot * t.def.value_size)))
+  | Ringbuf_storage _ | Deque_storage _ -> None
+
+let update t mem ~(key : Bytes.t) ~(value : Bytes.t) : (unit, error) result =
+  t.updates <- t.updates + 1;
+  if Bytes.length value <> t.def.value_size then Error EINVAL
+  else
+    match t.storage with
+    | Array_storage region ->
+      let idx = key_to_index t.def key in
+      if idx < 0 || idx >= t.def.max_entries then Error E2BIG
+      else begin
+        Kmem.store_bytes mem ~addr:(Kmem.region_addr region (idx * t.def.value_size))
+          ~src:value ~context:"map_update";
+        Ok ()
+      end
+    | Percpu_storage regions ->
+      let idx = key_to_index t.def key in
+      if idx < 0 || idx >= t.def.max_entries then Error E2BIG
+      else begin
+        Array.iter
+          (fun region ->
+            Kmem.store_bytes mem ~addr:(Kmem.region_addr region (idx * t.def.value_size))
+              ~src:value ~context:"map_update")
+          regions;
+        Ok ()
+      end
+    | Hash_storage (region, st) ->
+      let k = Bytes.to_string key in
+      let write slot =
+        Kmem.store_bytes mem ~addr:(Kmem.region_addr region (slot * t.def.value_size))
+          ~src:value ~context:"map_update";
+        if t.def.kind = Lru_hash then touch_lru st k;
+        Ok ()
+      in
+      (match Hashtbl.find_opt st.slots k with
+      | Some slot -> write slot
+      | None -> (
+        match st.free with
+        | slot :: rest ->
+          st.free <- rest;
+          Hashtbl.replace st.slots k slot;
+          write slot
+        | [] ->
+          if t.def.kind = Lru_hash then
+            (* evict the least recently used entry and retry *)
+            match List.rev st.order with
+            | [] -> Error E2BIG
+            | victim :: _ ->
+              let slot = Hashtbl.find st.slots victim in
+              Hashtbl.remove st.slots victim;
+              st.order <- List.filter (fun x -> not (String.equal x victim)) st.order;
+              Hashtbl.replace st.slots k slot;
+              write slot
+          else Error E2BIG))
+    | Ringbuf_storage _ | Deque_storage _ -> Error ENOTSUPP
+
+let delete t ~(key : Bytes.t) : (unit, error) result =
+  t.deletes <- t.deletes + 1;
+  match t.storage with
+  | Array_storage _ | Percpu_storage _ -> Error EINVAL (* arrays cannot delete *)
+  | Hash_storage (_, st) ->
+    let k = Bytes.to_string key in
+    (match Hashtbl.find_opt st.slots k with
+    | None -> Error ENOENT
+    | Some slot ->
+      Hashtbl.remove st.slots k;
+      st.free <- slot :: st.free;
+      st.order <- List.filter (fun x -> not (String.equal x k)) st.order;
+      Ok ())
+  | Ringbuf_storage _ | Deque_storage _ -> Error ENOTSUPP
+
+(* queue/stack operations (bpf_map_push/pop/peek_elem) *)
+let push t mem ~(value : Bytes.t) : (unit, error) result =
+  t.updates <- t.updates + 1;
+  if Bytes.length value <> t.def.value_size then Error EINVAL
+  else
+    match t.storage with
+    | Deque_storage (region, st) -> (
+      match st.free_slots with
+      | [] -> Error E2BIG
+      | slot :: rest ->
+        st.free_slots <- rest;
+        Kmem.store_bytes mem ~addr:(Kmem.region_addr region (slot * t.def.value_size))
+          ~src:value ~context:"map_push";
+        (match t.def.kind with
+        | Stack -> st.occupied <- slot :: st.occupied          (* LIFO: front *)
+        | _ -> st.occupied <- st.occupied @ [ slot ]);         (* FIFO: back *)
+        Ok ())
+    | Array_storage _ | Hash_storage _ | Percpu_storage _ | Ringbuf_storage _ ->
+      Error ENOTSUPP
+
+let pop_or_peek t mem ~remove : (Bytes.t, error) result =
+  t.lookups <- t.lookups + 1;
+  match t.storage with
+  | Deque_storage (region, st) -> (
+    match st.occupied with
+    | [] -> Error ENOENT
+    | slot :: rest ->
+      let v =
+        Kmem.load_bytes mem ~addr:(Kmem.region_addr region (slot * t.def.value_size))
+          ~len:t.def.value_size ~context:"map_pop"
+      in
+      if remove then begin
+        st.occupied <- rest;
+        st.free_slots <- slot :: st.free_slots
+      end;
+      Ok v)
+  | Array_storage _ | Hash_storage _ | Percpu_storage _ | Ringbuf_storage _ ->
+    Error ENOTSUPP
+
+let pop t mem = pop_or_peek t mem ~remove:true
+let peek t mem = pop_or_peek t mem ~remove:false
+
+let ringbuf t = match t.storage with Ringbuf_storage rb -> Some rb | _ -> None
+
+let entries t =
+  match t.storage with
+  | Array_storage _ | Percpu_storage _ -> t.def.max_entries
+  | Hash_storage (_, st) -> Hashtbl.length st.slots
+  | Ringbuf_storage rb -> Ringbuf.pending_records rb
+  | Deque_storage (_, st) -> List.length st.occupied
+
+let create_map = create
+
+(* Registry: the simulated bpf(2) map-fd table. *)
+module Registry = struct
+  type map = t
+
+  type t = { mutable next_id : int; by_id : (int, map) Hashtbl.t }
+
+  let create () = { next_id = 1; by_id = Hashtbl.create 8 }
+
+  let register reg kernel def =
+    let id = reg.next_id in
+    reg.next_id <- reg.next_id + 1;
+    let map = create_map kernel ~id def in
+    Hashtbl.replace reg.by_id id map;
+    map
+
+  let find reg id = Hashtbl.find_opt reg.by_id id
+  let all reg = Hashtbl.fold (fun _ m acc -> m :: acc) reg.by_id []
+end

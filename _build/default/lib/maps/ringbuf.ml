@@ -1,0 +1,77 @@
+module Kmem = Kernel_sim.Kmem
+
+(* BPF ring buffer (the bpf_ringbuf_* helper family).
+
+   Reservations hand the program a chunk of real simulated kernel memory;
+   submit/discard completes them.  A reservation that is never completed is
+   a kernel memory leak — exactly the verifier-tracked resource the paper
+   says must instead be handled by RAII (rustlite wraps reservations in a
+   Resource whose destructor discards). *)
+
+type record = { offset : int; size : int; mutable committed : bool }
+
+type t = {
+  mem : Kmem.t;
+  backing : Kmem.region;
+  capacity : int;
+  mutable head : int; (* producer offset *)
+  mutable reservations : (int64, record) Hashtbl.t; (* data addr -> record *)
+  mutable completed : (int64, record) Hashtbl.t;     (* for double-free detection *)
+  mutable submitted : (int * int) list; (* (offset, size), oldest last *)
+}
+
+let header_size = 8
+
+let create mem ~capacity =
+  let backing = Kmem.alloc mem ~size:capacity ~kind:"ringbuf" ~name:"bpf_ringbuf" () in
+  { mem; backing; capacity; head = 0; reservations = Hashtbl.create 8;
+    completed = Hashtbl.create 8; submitted = [] }
+
+let bytes_in_flight t =
+  Hashtbl.fold (fun _ r acc -> acc + r.size + header_size) t.reservations 0
+  + List.fold_left (fun acc (_, sz) -> acc + sz + header_size) 0 t.submitted
+
+let reserve t ~size =
+  if size <= 0 || size + header_size + bytes_in_flight t > t.capacity
+     || t.head + header_size + size > t.capacity (* no wrap in the simulation *)
+  then None
+  else begin
+    let off = t.head in
+    t.head <- t.head + header_size + size;
+    let data_addr = Kmem.region_addr t.backing (off + header_size) in
+    Hashtbl.replace t.reservations data_addr { offset = off; size; committed = false };
+    Some data_addr
+  end
+
+type complete_error = Not_reserved | Already_completed
+
+let complete t addr ~submit =
+  match Hashtbl.find_opt t.reservations addr with
+  | None ->
+    if Hashtbl.mem t.completed addr then Error Already_completed else Error Not_reserved
+  | Some r ->
+    r.committed <- true;
+    Hashtbl.remove t.reservations addr;
+    Hashtbl.replace t.completed addr r;
+    if submit then t.submitted <- (r.offset, r.size) :: t.submitted;
+    Ok ()
+
+let submit t addr = complete t addr ~submit:true
+let discard t addr = complete t addr ~submit:false
+
+(* Consumer side: drain submitted records, oldest first. *)
+let consume t =
+  let records = List.rev t.submitted in
+  t.submitted <- [];
+  (* compact: if nothing is reserved, the buffer can be reused from 0 *)
+  if Hashtbl.length t.reservations = 0 then t.head <- 0;
+  List.map
+    (fun (off, size) ->
+      Kmem.load_bytes t.mem ~addr:(Kmem.region_addr t.backing (off + header_size)) ~len:size
+        ~context:"ringbuf_consume")
+    records
+
+let outstanding_reservations t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.reservations []
+
+let pending_records t = List.length t.submitted

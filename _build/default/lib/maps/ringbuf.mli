@@ -1,0 +1,36 @@
+(** The BPF ring buffer (bpf_ringbuf_* helper family).
+
+    Reservations hand the program real simulated kernel memory; they must
+    be completed by submit or discard.  Completed records are remembered so
+    a double completion is distinguishable ([Already_completed]) — the
+    hook for the Table 1 use-after-free demo. *)
+
+type record = { offset : int; size : int; mutable committed : bool }
+
+type t = {
+  mem : Kernel_sim.Kmem.t;
+  backing : Kernel_sim.Kmem.region;
+  capacity : int;
+  mutable head : int;
+  mutable reservations : (int64, record) Hashtbl.t;
+  mutable completed : (int64, record) Hashtbl.t;
+  mutable submitted : (int * int) list;
+}
+
+val create : Kernel_sim.Kmem.t -> capacity:int -> t
+
+val reserve : t -> size:int -> int64 option
+(** The reserved chunk's data address, or [None] when it does not fit. *)
+
+type complete_error = Not_reserved | Already_completed
+
+val submit : t -> int64 -> (unit, complete_error) result
+val discard : t -> int64 -> (unit, complete_error) result
+
+val consume : t -> Bytes.t list
+(** Drain submitted records, oldest first (the userspace consumer). *)
+
+val outstanding_reservations : t -> int64 list
+(** Reservations never completed — kernel memory leaks in waiting. *)
+
+val pending_records : t -> int

@@ -1,0 +1,1 @@
+lib/runtime/guard.ml: Format Helpers Kernel_sim

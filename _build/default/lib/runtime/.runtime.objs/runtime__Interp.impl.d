@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Ebpf Format Guard Helpers Insn Int64 Kernel_sim Printf Program

@@ -1,0 +1,1 @@
+lib/runtime/jit.ml: Array Ebpf Guard Helpers Insn Int64 Interp Kernel_sim Printf Program

@@ -1,0 +1,43 @@
+(* The lightweight runtime protection mechanisms of §3.1: watchdog/fuel
+   termination, stack protection, and — crucially — safe termination that
+   releases acquired kernel resources by running the *recorded* destructor
+   list instead of unwinding the stack (no user-defined Drop code runs, no
+   allocation is needed, and failures during unwinding cannot happen). *)
+
+module Vclock = Kernel_sim.Vclock
+module Rcu = Kernel_sim.Rcu
+
+type reason =
+  | Fuel_exhausted          (* instruction-count watchdog *)
+  | Watchdog_timeout        (* simulated wall-clock watchdog *)
+  | Stack_violation         (* stack guard tripped *)
+  | Language_panic of string (* rustlite panic (checked arithmetic, bounds) *)
+
+let reason_to_string = function
+  | Fuel_exhausted -> "fuel exhausted"
+  | Watchdog_timeout -> "watchdog timeout"
+  | Stack_violation -> "stack guard"
+  | Language_panic msg -> "panic: " ^ msg
+
+type termination = {
+  reason : reason;
+  cleaned_resources : int; (* destructors run by the trusted cleanup list *)
+  at_ns : int64;
+}
+
+exception Terminate of reason
+
+(* Safe termination: run the recorded destructors (LIFO), then leave any RCU
+   read-side sections the program was executing under.  This is the trusted,
+   cannot-fail path the paper contrasts with ABI unwinding. *)
+let terminate (hctx : Helpers.Hctx.t) reason =
+  let cleaned = Helpers.Resources.cleanup hctx.resources in
+  let rcu = hctx.kernel.rcu in
+  while Rcu.in_critical_section rcu do
+    Rcu.read_unlock rcu ~context:"guard/terminate"
+  done;
+  { reason; cleaned_resources = cleaned; at_ns = Vclock.now hctx.kernel.clock }
+
+let pp_termination ppf t =
+  Format.fprintf ppf "terminated (%s) at t=%a, %d resources cleaned"
+    (reason_to_string t.reason) Vclock.pp_duration t.at_ns t.cleaned_resources

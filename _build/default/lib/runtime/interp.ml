@@ -1,0 +1,271 @@
+(* The eBPF bytecode interpreter, running programs against the simulated
+   kernel for real: memory operations fault through Kmem, helper calls
+   execute their implementations, time advances on the virtual clock, and
+   every invocation runs inside an RCU read-side section (as eBPF programs
+   do), with periodic stall checks.
+
+   The optional fuel/watchdog guards are the runtime half of the paper's
+   proposal; with both disabled the interpreter faithfully reproduces the
+   "verified program runs forever under RCU" §2.2 behaviour. *)
+
+module Kmem = Kernel_sim.Kmem
+module Oops = Kernel_sim.Oops
+module Rcu = Kernel_sim.Rcu
+module Vclock = Kernel_sim.Vclock
+module Hctx = Helpers.Hctx
+open Ebpf
+
+type outcome =
+  | Ret of int64
+  | Oopsed of Oops.report
+  | Terminated of Guard.termination
+
+let pp_outcome ppf = function
+  | Ret v -> Format.fprintf ppf "ret=%Ld" v
+  | Oopsed r -> Oops.pp_report ppf r
+  | Terminated t -> Guard.pp_termination ppf t
+
+type t = {
+  hctx : Hctx.t;
+  mutable fuel : int64;            (* remaining instructions; -1 = unlimited *)
+  wall_deadline : int64;           (* absolute sim time; -1 = none *)
+  ns_per_insn : int64;
+  rcu_check_interval : int;
+  mutable insns_retired : int64;
+}
+
+let max_call_depth = 8
+let stack_size = 512
+
+let create ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_insn = 1L)
+    ?(rcu_check_interval = 4096) (hctx : Hctx.t) =
+  let wall_deadline =
+    if Int64.compare wall_ns 0L < 0 then -1L
+    else Int64.add (Vclock.now hctx.kernel.clock) wall_ns
+  in
+  { hctx; fuel; wall_deadline; ns_per_insn; rcu_check_interval; insns_retired = 0L }
+
+let frame t depth = Hctx.stack_frame t.hctx depth
+
+(* charge one instruction; raises Guard.Terminate on guard trip *)
+let tick t =
+  t.insns_retired <- Int64.add t.insns_retired 1L;
+  Vclock.advance t.hctx.kernel.clock t.ns_per_insn;
+  if Int64.compare t.fuel 0L > 0 then begin
+    t.fuel <- Int64.sub t.fuel 1L;
+    if Int64.equal t.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted)
+  end;
+  if Int64.rem t.insns_retired (Int64.of_int t.rcu_check_interval) = 0L then begin
+    Rcu.check_stall t.hctx.kernel.rcu ~context:"bpf_prog";
+    if Int64.compare t.wall_deadline 0L >= 0
+       && Int64.compare (Vclock.now t.hctx.kernel.clock) t.wall_deadline > 0
+    then raise (Guard.Terminate Guard.Watchdog_timeout)
+  end
+
+let u64 v = v
+
+(* Execute [insns] starting at [entry] with the given initial r1..r5;
+   returns r0 when that activation exits. *)
+let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 array) =
+  if depth > max_call_depth then raise (Guard.Terminate Guard.Stack_violation);
+  let regs = Array.make 11 0L in
+  Array.blit args 0 regs 1 (min 5 (Array.length args));
+  let stack = frame t depth in
+  regs.(10) <- Int64.add stack.Kmem.base (Int64.of_int stack.Kmem.size);
+  let mem = t.hctx.kernel.mem in
+  let pc = ref entry in
+  let running = ref true in
+  let retval = ref 0L in
+  while !running do
+    if !pc < 0 || !pc >= Array.length insns then
+      Oops.raise_oops ~kind:Oops.Control_flow_hijack
+        ~context:(Printf.sprintf "pc=%d out of program" !pc)
+        ~time_ns:(Vclock.now t.hctx.kernel.clock) ();
+    let insn = insns.(!pc) in
+    tick t;
+    (match insn with
+    | Insn.Alu { op; width; dst; src } ->
+      let s = match src with Insn.Reg r -> regs.(r) | Insn.Imm v -> Int64.of_int v in
+      let d = regs.(dst) in
+      let v64 =
+        match op with
+        | Insn.Add -> Int64.add d s
+        | Insn.Sub -> Int64.sub d s
+        | Insn.Mul -> Int64.mul d s
+        | Insn.Div -> if Int64.equal s 0L then 0L else Int64.unsigned_div d s
+        | Insn.Mod -> if Int64.equal s 0L then d else Int64.unsigned_rem d s
+        | Insn.Or -> Int64.logor d s
+        | Insn.And -> Int64.logand d s
+        | Insn.Xor -> Int64.logxor d s
+        | Insn.Mov -> s
+        | Insn.Neg -> Int64.neg d
+        | Insn.Lsh -> Int64.shift_left d (Int64.to_int (Int64.logand s 63L))
+        | Insn.Rsh -> Int64.shift_right_logical d (Int64.to_int (Int64.logand s 63L))
+        | Insn.Arsh -> Int64.shift_right d (Int64.to_int (Int64.logand s 63L))
+      in
+      let v =
+        match width with
+        | Insn.W64 -> v64
+        | Insn.W32 -> (
+          (* 32-bit ops compute on the low words and zero-extend *)
+          let d32 = Int64.logand d 0xffff_ffffL and s32 = Int64.logand s 0xffff_ffffL in
+          let r32 =
+            match op with
+            | Insn.Add -> Int64.add d32 s32
+            | Insn.Sub -> Int64.sub d32 s32
+            | Insn.Mul -> Int64.mul d32 s32
+            | Insn.Div -> if Int64.equal s32 0L then 0L else Int64.unsigned_div d32 s32
+            | Insn.Mod -> if Int64.equal s32 0L then d32 else Int64.unsigned_rem d32 s32
+            | Insn.Or -> Int64.logor d32 s32
+            | Insn.And -> Int64.logand d32 s32
+            | Insn.Xor -> Int64.logxor d32 s32
+            | Insn.Mov -> s32
+            | Insn.Neg -> Int64.neg d32
+            | Insn.Lsh -> Int64.shift_left d32 (Int64.to_int (Int64.logand s32 31L))
+            | Insn.Rsh ->
+              Int64.shift_right_logical (Int64.logand d32 0xffff_ffffL)
+                (Int64.to_int (Int64.logand s32 31L))
+            | Insn.Arsh ->
+              (* arithmetic shift of the sign-extended low word *)
+              Int64.shift_right
+                (Int64.shift_right (Int64.shift_left d32 32) 32)
+                (Int64.to_int (Int64.logand s32 31L))
+          in
+          Int64.logand r32 0xffff_ffffL)
+      in
+      regs.(dst) <- u64 v;
+      incr pc
+    | Insn.Ld_imm64 (dst, v) ->
+      regs.(dst) <- v;
+      incr pc
+    | Insn.Ld_map_fd (dst, fd) ->
+      regs.(dst) <- Int64.of_int fd;
+      incr pc
+    | Insn.Ldx { size; dst; src; off } ->
+      regs.(dst) <-
+        Kmem.load mem ~size:(Insn.size_bytes size)
+          ~addr:(Int64.add regs.(src) (Int64.of_int off))
+          ~context:(Printf.sprintf "bpf_prog+%d" !pc);
+      incr pc
+    | Insn.St { size; dst; off; imm } ->
+      Kmem.store mem ~size:(Insn.size_bytes size)
+        ~addr:(Int64.add regs.(dst) (Int64.of_int off))
+        ~value:(Int64.of_int imm) ~context:(Printf.sprintf "bpf_prog+%d" !pc);
+      incr pc
+    | Insn.Stx { size; dst; off; src } ->
+      Kmem.store mem ~size:(Insn.size_bytes size)
+        ~addr:(Int64.add regs.(dst) (Int64.of_int off))
+        ~value:regs.(src) ~context:(Printf.sprintf "bpf_prog+%d" !pc);
+      incr pc
+    | Insn.Atomic { aop; size; dst; src; off; fetch } ->
+      let sz = Insn.size_bytes size in
+      let addr = Int64.add regs.(dst) (Int64.of_int off) in
+      let ctx_str = Printf.sprintf "bpf_prog+%d (atomic)" !pc in
+      let old = Kmem.load mem ~size:sz ~addr ~context:ctx_str in
+      (match aop with
+      | Insn.A_add ->
+        Kmem.store mem ~size:sz ~addr ~value:(Int64.add old regs.(src)) ~context:ctx_str;
+        if fetch then regs.(src) <- old
+      | Insn.A_or ->
+        Kmem.store mem ~size:sz ~addr ~value:(Int64.logor old regs.(src)) ~context:ctx_str;
+        if fetch then regs.(src) <- old
+      | Insn.A_and ->
+        Kmem.store mem ~size:sz ~addr ~value:(Int64.logand old regs.(src)) ~context:ctx_str;
+        if fetch then regs.(src) <- old
+      | Insn.A_xor ->
+        Kmem.store mem ~size:sz ~addr ~value:(Int64.logxor old regs.(src)) ~context:ctx_str;
+        if fetch then regs.(src) <- old
+      | Insn.A_xchg ->
+        Kmem.store mem ~size:sz ~addr ~value:regs.(src) ~context:ctx_str;
+        regs.(src) <- old
+      | Insn.A_cmpxchg ->
+        (* compare with r0; on match write src; r0 always gets the old value *)
+        let expected =
+          if sz = 4 then Int64.logand regs.(0) 0xffff_ffffL else regs.(0)
+        in
+        if Int64.equal old expected then
+          Kmem.store mem ~size:sz ~addr ~value:regs.(src) ~context:ctx_str;
+        regs.(0) <- old);
+      incr pc
+    | Insn.Ja off -> pc := !pc + 1 + off
+    | Insn.Jmp { cond; width; dst; src; off } ->
+      let s = match src with Insn.Reg r -> regs.(r) | Insn.Imm v -> Int64.of_int v in
+      let d = regs.(dst) in
+      let d, s =
+        match width with
+        | Insn.W64 -> (d, s)
+        | Insn.W32 -> (Int64.logand d 0xffff_ffffL, Int64.logand s 0xffff_ffffL)
+      in
+      let sext32 x = Int64.shift_right (Int64.shift_left x 32) 32 in
+      let ds, ss =
+        match width with Insn.W64 -> (d, s) | Insn.W32 -> (sext32 d, sext32 s)
+      in
+      let taken =
+        match cond with
+        | Insn.Eq -> Int64.equal d s
+        | Insn.Ne -> not (Int64.equal d s)
+        | Insn.Gt -> Int64.unsigned_compare d s > 0
+        | Insn.Ge -> Int64.unsigned_compare d s >= 0
+        | Insn.Lt -> Int64.unsigned_compare d s < 0
+        | Insn.Le -> Int64.unsigned_compare d s <= 0
+        | Insn.Set -> not (Int64.equal (Int64.logand d s) 0L)
+        | Insn.Sgt -> Int64.compare ds ss > 0
+        | Insn.Sge -> Int64.compare ds ss >= 0
+        | Insn.Slt -> Int64.compare ds ss < 0
+        | Insn.Sle -> Int64.compare ds ss <= 0
+      in
+      pc := if taken then !pc + 1 + off else !pc + 1
+    | Insn.Call helper_id -> (
+      match Helpers.Registry.find helper_id with
+      | None ->
+        Oops.raise_oops ~kind:(Oops.Bug (Printf.sprintf "unknown helper %d" helper_id))
+          ~context:(Printf.sprintf "bpf_prog+%d" !pc)
+          ~time_ns:(Vclock.now t.hctx.kernel.clock) ()
+      | Some def ->
+        t.hctx.helper_calls <- t.hctx.helper_calls + 1;
+        let args = [| regs.(1); regs.(2); regs.(3); regs.(4); regs.(5) |] in
+        (* helpers that take callbacks re-enter the interpreter *)
+        t.hctx.call_subprog <-
+          Some (fun cb_pc cb_args ->
+              exec_insns t insns ~entry:cb_pc ~depth:(depth + 1) ~args:cb_args);
+        regs.(0) <- def.Helpers.Registry.impl t.hctx args;
+        incr pc)
+    | Insn.Call_sub off ->
+      (* BPF-to-BPF call: fresh frame, args in r1..r5, result in r0;
+         the caller's r6..r9 are callee-saved by construction *)
+      let target = !pc + 1 + off in
+      regs.(0) <-
+        exec_insns t insns ~entry:target ~depth:(depth + 1)
+          ~args:[| regs.(1); regs.(2); regs.(3); regs.(4); regs.(5) |];
+      incr pc
+    | Insn.Exit ->
+      retval := regs.(0);
+      running := false)
+  done;
+  !retval
+
+(* Run a program whose context struct lives at [ctx_addr]. *)
+let run_counted ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~(hctx : Hctx.t)
+    ~(prog : Program.t) ~ctx_addr () : outcome * int64 =
+  let t = create ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval hctx in
+  (* charge clock via the helpers' charge hook too *)
+  hctx.charge <- (fun ns -> Vclock.advance hctx.kernel.clock ns);
+  let rcu = hctx.kernel.rcu in
+  Rcu.read_lock rcu;
+  let outcome =
+    match
+      exec_insns t prog.Program.insns ~entry:0 ~depth:0
+        ~args:[| ctx_addr; 0L; 0L; 0L; 0L |]
+    with
+    | ret ->
+      Rcu.read_unlock rcu ~context:"bpf_prog exit";
+      Ret ret
+    | exception Guard.Terminate reason -> Terminated (Guard.terminate hctx reason)
+    | exception Oops.Kernel_oops report ->
+      Kernel_sim.Kernel.record_oops hctx.kernel report;
+      Oopsed report
+  in
+  (outcome, t.insns_retired)
+
+let run ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~hctx ~prog ~ctx_addr () =
+  fst (run_counted ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~hctx ~prog ~ctx_addr ())

@@ -1,0 +1,238 @@
+(* A closure-compiling "JIT": each instruction is translated once into an
+   OCaml closure, removing the decode/dispatch cost from the hot loop.  This
+   is the downstream component §2.1 warns about: "even a perfectly coded
+   verifier cannot prevent malicious eBPF programs from exploiting bugs in
+   downstream components ... such as the JIT compiler".
+
+   [bug_branch_off_by_one] models CVE-2021-29154 (BPF JIT branch-offset
+   miscomputation): with the bug enabled, *backward* branches are compiled
+   one instruction short, so a verified program's control flow lands on an
+   unintended instruction — a control-flow hijack certified safe by the
+   verifier. *)
+
+module Kmem = Kernel_sim.Kmem
+module Oops = Kernel_sim.Oops
+module Rcu = Kernel_sim.Rcu
+module Vclock = Kernel_sim.Vclock
+module Hctx = Helpers.Hctx
+open Ebpf
+
+type jstate = {
+  regs : int64 array;
+  mutable jpc : int;
+  mutable done_ : bool;
+}
+
+type compiled = {
+  prog : Program.t;
+  ops : (jstate -> unit) array;
+  bug_branch_off_by_one : bool;
+}
+
+let compile ?(bug_branch_off_by_one = false) (hctx : Hctx.t) (prog : Program.t) :
+    compiled =
+  let mem = hctx.kernel.mem in
+  let branch_target pc off =
+    let t = pc + 1 + off in
+    (* the bug: backward targets computed without the +1 *)
+    if bug_branch_off_by_one && off < 0 then pc + off else t
+  in
+  let compile_one pc insn : jstate -> unit =
+    let ctx_str = Printf.sprintf "bpf_jit+%d" pc in
+    match insn with
+    | Insn.Alu { op; width; dst; src } ->
+      let get_s =
+        match src with
+        | Insn.Reg r -> fun (st : jstate) -> st.regs.(r)
+        | Insn.Imm v ->
+          let c = Int64.of_int v in
+          fun _ -> c
+      in
+      let apply d s =
+        match op with
+        | Insn.Add -> Int64.add d s
+        | Insn.Sub -> Int64.sub d s
+        | Insn.Mul -> Int64.mul d s
+        | Insn.Div -> if Int64.equal s 0L then 0L else Int64.unsigned_div d s
+        | Insn.Mod -> if Int64.equal s 0L then d else Int64.unsigned_rem d s
+        | Insn.Or -> Int64.logor d s
+        | Insn.And -> Int64.logand d s
+        | Insn.Xor -> Int64.logxor d s
+        | Insn.Mov -> s
+        | Insn.Neg -> Int64.neg d
+        | Insn.Lsh -> Int64.shift_left d (Int64.to_int (Int64.logand s 63L))
+        | Insn.Rsh -> Int64.shift_right_logical d (Int64.to_int (Int64.logand s 63L))
+        | Insn.Arsh -> Int64.shift_right d (Int64.to_int (Int64.logand s 63L))
+      in
+      (match width with
+      | Insn.W64 ->
+        fun st ->
+          st.regs.(dst) <- apply st.regs.(dst) (get_s st);
+          st.jpc <- pc + 1
+      | Insn.W32 ->
+        fun st ->
+          let d32 = Int64.logand st.regs.(dst) 0xffff_ffffL in
+          let s32 = Int64.logand (get_s st) 0xffff_ffffL in
+          st.regs.(dst) <- Int64.logand (apply d32 s32) 0xffff_ffffL;
+          st.jpc <- pc + 1)
+    | Insn.Ld_imm64 (dst, v) ->
+      fun st ->
+        st.regs.(dst) <- v;
+        st.jpc <- pc + 1
+    | Insn.Ld_map_fd (dst, fd) ->
+      let v = Int64.of_int fd in
+      fun st ->
+        st.regs.(dst) <- v;
+        st.jpc <- pc + 1
+    | Insn.Ldx { size; dst; src; off } ->
+      let sz = Insn.size_bytes size in
+      fun st ->
+        st.regs.(dst) <-
+          Kmem.load mem ~size:sz ~addr:(Int64.add st.regs.(src) (Int64.of_int off))
+            ~context:ctx_str;
+        st.jpc <- pc + 1
+    | Insn.St { size; dst; off; imm } ->
+      let sz = Insn.size_bytes size in
+      let v = Int64.of_int imm in
+      fun st ->
+        Kmem.store mem ~size:sz ~addr:(Int64.add st.regs.(dst) (Int64.of_int off))
+          ~value:v ~context:ctx_str;
+        st.jpc <- pc + 1
+    | Insn.Stx { size; dst; off; src } ->
+      let sz = Insn.size_bytes size in
+      fun st ->
+        Kmem.store mem ~size:sz ~addr:(Int64.add st.regs.(dst) (Int64.of_int off))
+          ~value:st.regs.(src) ~context:ctx_str;
+        st.jpc <- pc + 1
+    | Insn.Atomic { aop; size; dst; src; off; fetch } ->
+      let sz = Insn.size_bytes size in
+      fun st ->
+        let addr = Int64.add st.regs.(dst) (Int64.of_int off) in
+        let old = Kmem.load mem ~size:sz ~addr ~context:ctx_str in
+        (match aop with
+        | Insn.A_add ->
+          Kmem.store mem ~size:sz ~addr ~value:(Int64.add old st.regs.(src)) ~context:ctx_str;
+          if fetch then st.regs.(src) <- old
+        | Insn.A_or ->
+          Kmem.store mem ~size:sz ~addr ~value:(Int64.logor old st.regs.(src)) ~context:ctx_str;
+          if fetch then st.regs.(src) <- old
+        | Insn.A_and ->
+          Kmem.store mem ~size:sz ~addr ~value:(Int64.logand old st.regs.(src)) ~context:ctx_str;
+          if fetch then st.regs.(src) <- old
+        | Insn.A_xor ->
+          Kmem.store mem ~size:sz ~addr ~value:(Int64.logxor old st.regs.(src)) ~context:ctx_str;
+          if fetch then st.regs.(src) <- old
+        | Insn.A_xchg ->
+          Kmem.store mem ~size:sz ~addr ~value:st.regs.(src) ~context:ctx_str;
+          st.regs.(src) <- old
+        | Insn.A_cmpxchg ->
+          let expected =
+            if sz = 4 then Int64.logand st.regs.(0) 0xffff_ffffL else st.regs.(0)
+          in
+          if Int64.equal old expected then
+            Kmem.store mem ~size:sz ~addr ~value:st.regs.(src) ~context:ctx_str;
+          st.regs.(0) <- old);
+        st.jpc <- pc + 1
+    | Insn.Ja off ->
+      let t = branch_target pc off in
+      fun st -> st.jpc <- t
+    | Insn.Jmp { cond; width; dst; src; off } ->
+      let t = branch_target pc off in
+      let get_s =
+        match src with
+        | Insn.Reg r -> fun (st : jstate) -> st.regs.(r)
+        | Insn.Imm v ->
+          let c = Int64.of_int v in
+          fun _ -> c
+      in
+      let sext32 x = Int64.shift_right (Int64.shift_left x 32) 32 in
+      fun st ->
+        let d = st.regs.(dst) and s = get_s st in
+        let d, s =
+          match width with
+          | Insn.W64 -> (d, s)
+          | Insn.W32 -> (Int64.logand d 0xffff_ffffL, Int64.logand s 0xffff_ffffL)
+        in
+        let ds, ss =
+          match width with Insn.W64 -> (d, s) | Insn.W32 -> (sext32 d, sext32 s)
+        in
+        let taken =
+          match cond with
+          | Insn.Eq -> Int64.equal d s
+          | Insn.Ne -> not (Int64.equal d s)
+          | Insn.Gt -> Int64.unsigned_compare d s > 0
+          | Insn.Ge -> Int64.unsigned_compare d s >= 0
+          | Insn.Lt -> Int64.unsigned_compare d s < 0
+          | Insn.Le -> Int64.unsigned_compare d s <= 0
+          | Insn.Set -> not (Int64.equal (Int64.logand d s) 0L)
+          | Insn.Sgt -> Int64.compare ds ss > 0
+          | Insn.Sge -> Int64.compare ds ss >= 0
+          | Insn.Slt -> Int64.compare ds ss < 0
+          | Insn.Sle -> Int64.compare ds ss <= 0
+        in
+        st.jpc <- (if taken then t else pc + 1)
+    | Insn.Call helper_id -> (
+      match Helpers.Registry.find helper_id with
+      | None ->
+        fun _ ->
+          Oops.raise_oops ~kind:(Oops.Bug (Printf.sprintf "unknown helper %d" helper_id))
+            ~context:ctx_str ~time_ns:(Vclock.now hctx.kernel.clock) ()
+      | Some def ->
+        let impl = def.Helpers.Registry.impl in
+        fun st ->
+          hctx.helper_calls <- hctx.helper_calls + 1;
+          st.regs.(0) <-
+            impl hctx [| st.regs.(1); st.regs.(2); st.regs.(3); st.regs.(4); st.regs.(5) |];
+          st.jpc <- pc + 1)
+    | Insn.Call_sub off ->
+      (* the JIT delegates subprogram frames to the interpreter (as real
+         JITs call the image of the other function) *)
+      let target = pc + 1 + off in
+      fun st ->
+        let interp = Interp.create hctx in
+        st.regs.(0) <-
+          Interp.exec_insns interp prog.Program.insns ~entry:target ~depth:1
+            ~args:[| st.regs.(1); st.regs.(2); st.regs.(3); st.regs.(4); st.regs.(5) |];
+        st.jpc <- pc + 1
+    | Insn.Exit -> fun st -> st.done_ <- true
+  in
+  { prog; ops = Array.mapi compile_one prog.Program.insns;
+    bug_branch_off_by_one }
+
+(* Run compiled code.  The same guards as the interpreter apply. *)
+let run ?(fuel = -1L) ?(ns_per_insn = 1L) (hctx : Hctx.t) (c : compiled) ~ctx_addr :
+    Interp.outcome =
+  let stack = Hctx.stack_frame hctx 0 in
+  let st =
+    { regs = Array.make 11 0L; jpc = 0; done_ = false }
+  in
+  st.regs.(1) <- ctx_addr;
+  st.regs.(10) <- Int64.add stack.Kmem.base 512L;
+  let rcu = hctx.kernel.rcu in
+  Rcu.read_lock rcu;
+  let fuel_left = ref fuel in
+  let result =
+    match
+      while not st.done_ do
+        if st.jpc < 0 || st.jpc >= Array.length c.ops then
+          Oops.raise_oops ~kind:Oops.Control_flow_hijack
+            ~context:(Printf.sprintf "jit pc=%d out of program" st.jpc)
+            ~time_ns:(Vclock.now hctx.kernel.clock) ();
+        Vclock.advance hctx.kernel.clock ns_per_insn;
+        if Int64.compare !fuel_left 0L > 0 then begin
+          fuel_left := Int64.sub !fuel_left 1L;
+          if Int64.equal !fuel_left 0L then raise (Guard.Terminate Guard.Fuel_exhausted)
+        end;
+        c.ops.(st.jpc) st
+      done
+    with
+    | () ->
+      Rcu.read_unlock rcu ~context:"bpf_jit exit";
+      Interp.Ret st.regs.(0)
+    | exception Guard.Terminate reason -> Interp.Terminated (Guard.terminate hctx reason)
+    | exception Oops.Kernel_oops report ->
+      Kernel_sim.Kernel.record_oops hctx.kernel report;
+      Interp.Oopsed report
+  in
+  ignore stack;
+  result

@@ -1,0 +1,1 @@
+lib/rustlite/ast.ml: List Printf String

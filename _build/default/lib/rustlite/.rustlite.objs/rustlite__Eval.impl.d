@@ -1,0 +1,1 @@
+lib/rustlite/eval.ml: Array Ast Format Helpers Int64 Kcrate Kernel_sim List Printf Runtime String Value

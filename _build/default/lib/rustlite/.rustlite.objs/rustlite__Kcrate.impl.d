@@ -1,0 +1,1 @@
+lib/rustlite/kcrate.ml: Ast Bytes Helpers Int64 Kernel_sim List Maps Printf Value

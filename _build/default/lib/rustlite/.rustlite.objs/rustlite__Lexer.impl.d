@@ -1,0 +1,1 @@
+lib/rustlite/lexer.ml: Buffer Int64 List Printf String

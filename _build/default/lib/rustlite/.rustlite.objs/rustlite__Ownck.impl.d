@@ -1,0 +1,1 @@
+lib/rustlite/ownck.ml: Ast Format List Typeck

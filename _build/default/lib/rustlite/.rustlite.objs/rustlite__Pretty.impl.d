@@ -1,0 +1,1 @@
+lib/rustlite/pretty.ml: Ast Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/rustlite/sign.mli:

@@ -1,0 +1,1 @@
+lib/rustlite/toolchain.ml: Ast Format List Maps Ownck Printf Sign String Typeck

@@ -1,0 +1,1 @@
+lib/rustlite/toolchain.mli: Ast Format Maps Ownck Sign Typeck

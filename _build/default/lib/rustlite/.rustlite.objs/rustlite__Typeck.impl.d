@@ -1,0 +1,1 @@
+lib/rustlite/typeck.ml: Ast Format Kcrate List

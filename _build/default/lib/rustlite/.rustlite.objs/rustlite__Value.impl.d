@@ -1,0 +1,1 @@
+lib/rustlite/value.ml: Array Ast Format

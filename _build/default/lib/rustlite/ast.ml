@@ -1,0 +1,136 @@
+(* The abstract syntax of rustlite: the safe-Rust-analogue extension
+   language of §3.1.  It is deliberately *more* expressive than eBPF —
+   unbounded loops, strings, arrays, Option, first-class kernel resources —
+   because the whole point of the paper's proposal is that language safety
+   plus runtime guards make that expressiveness admissible.
+
+   There is no unsafe escape: the only way to touch the kernel is through
+   the trusted kernel-crate builtins (Kcrate), mirroring the paper's
+   "trusted kernel crate that provides the interface between the safe Rust
+   of the extension program and the kernel". *)
+
+type rkind =
+  | R_task            (* a referenced task_struct (RAII: puts the refcount) *)
+  | R_sock            (* a referenced socket (RAII: bpf_sk_release) *)
+  | R_reservation     (* a ringbuf reservation (RAII: discard) *)
+  | R_lock_guard      (* a held spinlock (RAII: unlock) *)
+  | R_chunk           (* a pool-allocated chunk (§4 dynamic allocation;
+                         RAII: returns the chunk to the pool) *)
+
+let rkind_to_string = function
+  | R_task -> "Task"
+  | R_sock -> "Sock"
+  | R_reservation -> "RbReservation"
+  | R_lock_guard -> "LockGuard"
+  | R_chunk -> "PoolChunk"
+
+type ty =
+  | T_unit
+  | T_bool
+  | T_i64
+  | T_str
+  | T_option of ty
+  | T_array of ty * int
+  | T_ref of ty        (* &T: shared borrow, only as a call argument *)
+  | T_resource of rkind
+
+let rec ty_to_string = function
+  | T_unit -> "()"
+  | T_bool -> "bool"
+  | T_i64 -> "i64"
+  | T_str -> "&str"
+  | T_option t -> "Option<" ^ ty_to_string t ^ ">"
+  | T_array (t, n) -> Printf.sprintf "[%s; %d]" (ty_to_string t) n
+  | T_ref t -> "&" ^ ty_to_string t
+  | T_resource k -> rkind_to_string k
+
+(* Copy vs move semantics, as in Rust: resources and arrays move; scalars,
+   strings and borrows copy.  Option is Copy iff its payload is. *)
+let rec is_copy = function
+  | T_unit | T_bool | T_i64 | T_str | T_ref _ -> true
+  | T_option t -> is_copy t
+  | T_array _ -> false
+  | T_resource _ -> false
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+
+type expr =
+  | Lit_unit
+  | Lit_bool of bool
+  | Lit_int of int64
+  | Lit_str of string
+  | Var of string
+  | Let of { name : string; mut : bool; value : expr; body : expr }
+  | Assign of string * expr
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | If of expr * expr * expr
+  | While of expr * expr               (* value (); unbounded — allowed! *)
+  | For of string * expr * expr * expr (* for i in lo..hi { body } *)
+  | Seq of expr list                   (* value of the last expression *)
+  | Some_ of expr
+  | None_ of ty
+  | Match_option of { scrutinee : expr; bind : string; some_branch : expr;
+                      none_branch : expr }
+  | Array_lit of expr list
+  | Index of expr * expr               (* bounds-checked; OOB panics *)
+  | Index_assign of string * expr * expr
+  | Borrow of string                   (* &x, only valid as a call argument *)
+  | Call of string * expr list         (* kernel-crate / builtin call *)
+  | Panic of string
+  | Str_len of expr
+  | Str_parse of expr                  (* core::str::parse::<i64> -> Option *)
+  | Str_cmp of expr * expr             (* -1 / 0 / 1 *)
+  | Drop_ of string                    (* explicit early drop *)
+
+(* Canonical serialization: what the trusted toolchain signs.  Any
+   post-signing mutation of the AST changes this string and invalidates the
+   signature. *)
+let rec serialize (e : expr) : string =
+  let list es = String.concat " " (List.map serialize es) in
+  match e with
+  | Lit_unit -> "(unit)"
+  | Lit_bool b -> Printf.sprintf "(bool %b)" b
+  | Lit_int v -> Printf.sprintf "(int %Ld)" v
+  | Lit_str s -> Printf.sprintf "(str %S)" s
+  | Var x -> Printf.sprintf "(var %s)" x
+  | Let { name; mut; value; body } ->
+    Printf.sprintf "(let %s %b %s %s)" name mut (serialize value) (serialize body)
+  | Assign (x, e) -> Printf.sprintf "(assign %s %s)" x (serialize e)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(binop %s %s %s)" (binop_to_string op) (serialize a) (serialize b)
+  | Not e -> Printf.sprintf "(not %s)" (serialize e)
+  | Neg e -> Printf.sprintf "(neg %s)" (serialize e)
+  | If (c, t, f) ->
+    Printf.sprintf "(if %s %s %s)" (serialize c) (serialize t) (serialize f)
+  | While (c, b) -> Printf.sprintf "(while %s %s)" (serialize c) (serialize b)
+  | For (x, lo, hi, b) ->
+    Printf.sprintf "(for %s %s %s %s)" x (serialize lo) (serialize hi) (serialize b)
+  | Seq es -> Printf.sprintf "(seq %s)" (list es)
+  | Some_ e -> Printf.sprintf "(some %s)" (serialize e)
+  | None_ t -> Printf.sprintf "(none %s)" (ty_to_string t)
+  | Match_option { scrutinee; bind; some_branch; none_branch } ->
+    Printf.sprintf "(match %s %s %s %s)" (serialize scrutinee) bind
+      (serialize some_branch) (serialize none_branch)
+  | Array_lit es -> Printf.sprintf "(array %s)" (list es)
+  | Index (a, i) -> Printf.sprintf "(index %s %s)" (serialize a) (serialize i)
+  | Index_assign (x, i, v) ->
+    Printf.sprintf "(index= %s %s %s)" x (serialize i) (serialize v)
+  | Borrow x -> Printf.sprintf "(borrow %s)" x
+  | Call (f, args) -> Printf.sprintf "(call %s %s)" f (list args)
+  | Panic msg -> Printf.sprintf "(panic %S)" msg
+  | Str_len e -> Printf.sprintf "(strlen %s)" (serialize e)
+  | Str_parse e -> Printf.sprintf "(parse %s)" (serialize e)
+  | Str_cmp (a, b) -> Printf.sprintf "(strcmp %s %s)" (serialize a) (serialize b)
+  | Drop_ x -> Printf.sprintf "(drop %s)" x

@@ -1,0 +1,263 @@
+(* The rustlite evaluator: safe-language semantics over the simulated
+   kernel.
+
+   Language safety at work (Table 2, rows enforced by "Language safety"):
+   arithmetic is checked (overflow, division by zero and out-of-range
+   shifts panic instead of wrapping into undefined behaviour), array
+   indexing is bounds-checked, there is no way to fabricate a pointer, and
+   control flow is structured (no computed gotos).
+
+   Runtime protection at work (rows enforced by "Runtime protection"):
+   every evaluation step burns fuel and advances the virtual clock; the
+   fuel/watchdog guards terminate the program, and termination — like a
+   panic — runs the recorded RAII destructors (Guard.terminate), so kernel
+   resources cannot leak no matter where execution stops. *)
+
+module Oops = Kernel_sim.Oops
+module Rcu = Kernel_sim.Rcu
+module Vclock = Kernel_sim.Vclock
+module Guard = Runtime.Guard
+open Ast
+open Value
+
+type outcome =
+  | Ret of Value.t
+  | Terminated of Guard.termination
+  | Oopsed of Oops.report
+
+let pp_outcome ppf = function
+  | Ret v -> Format.fprintf ppf "ret=%a" Value.pp v
+  | Terminated t -> Guard.pp_termination ppf t
+  | Oopsed r -> Oops.pp_report ppf r
+
+type run_ctx = {
+  kctx : Kcrate.ctx;
+  mutable fuel : int64;   (* -1 = unlimited *)
+  wall_deadline : int64;  (* absolute, -1 = none *)
+  ns_per_step : int64;
+  mutable steps : int64;
+}
+
+let panic msg = raise (Guard.Terminate (Guard.Language_panic msg))
+
+let tick rc =
+  rc.steps <- Int64.add rc.steps 1L;
+  Vclock.advance rc.kctx.Kcrate.hctx.kernel.clock rc.ns_per_step;
+  if Int64.compare rc.fuel 0L > 0 then begin
+    rc.fuel <- Int64.sub rc.fuel 1L;
+    if Int64.equal rc.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted)
+  end;
+  if Int64.rem rc.steps 1024L = 0L then begin
+    Rcu.check_stall rc.kctx.Kcrate.hctx.kernel.rcu ~context:"rustlite_ext";
+    if Int64.compare rc.wall_deadline 0L >= 0
+       && Int64.compare (Vclock.now rc.kctx.Kcrate.hctx.kernel.clock) rc.wall_deadline > 0
+    then raise (Guard.Terminate Guard.Watchdog_timeout)
+  end
+
+(* checked i64 arithmetic: Rust debug-profile semantics *)
+let checked_add a b =
+  let r = Int64.add a b in
+  if (Int64.compare a 0L > 0 && Int64.compare b 0L > 0 && Int64.compare r 0L < 0)
+     || (Int64.compare a 0L < 0 && Int64.compare b 0L < 0 && Int64.compare r 0L >= 0)
+  then panic "attempt to add with overflow"
+  else r
+
+let checked_sub a b =
+  if Int64.equal b Int64.min_int then
+    if Int64.compare a 0L >= 0 then panic "attempt to subtract with overflow"
+    else Int64.sub a b
+  else checked_add a (Int64.neg b)
+
+let checked_mul a b =
+  if Int64.equal a 0L || Int64.equal b 0L then 0L
+  else
+    let r = Int64.mul a b in
+    if not (Int64.equal (Int64.div r a) b) then panic "attempt to multiply with overflow"
+    else r
+
+let checked_div a b =
+  if Int64.equal b 0L then panic "attempt to divide by zero"
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then
+    panic "attempt to divide with overflow"
+  else Int64.div a b
+
+let checked_rem a b =
+  if Int64.equal b 0L then panic "attempt to calculate the remainder with a divisor of zero"
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then 0L
+  else Int64.rem a b
+
+let checked_shift what f a b =
+  if Int64.compare b 0L < 0 || Int64.compare b 63L > 0 then
+    panic ("attempt to " ^ what ^ " with overflow")
+  else f a (Int64.to_int b)
+
+type binding = { mutable v : Value.t }
+
+(* Drop a value: run RAII destructors of live resources inside it. *)
+let rec drop_value (rc : run_ctx) (v : Value.t) =
+  match v with
+  | V_resource h when h.alive ->
+    h.alive <- false;
+    ignore (Helpers.Resources.release_by_key rc.kctx.Kcrate.hctx.resources h.key)
+  | V_resource _ -> ()
+  | V_option (Some inner) -> drop_value rc inner
+  | V_array a -> Array.iter (drop_value rc) a
+  | V_unit | V_bool _ | V_int _ | V_str _ | V_option None | V_ref _ -> ()
+
+let rec eval (rc : run_ctx) (env : (string * binding) list) (e : expr) : Value.t =
+  tick rc;
+  match e with
+  | Lit_unit -> V_unit
+  | Lit_bool b -> V_bool b
+  | Lit_int v -> V_int v
+  | Lit_str s -> V_str s
+  | Var x -> (List.assoc x env).v
+  | Let { name; mut = _; value; body } ->
+    let v = eval rc env value in
+    let b = { v } in
+    let result = eval rc ((name, b) :: env) body in
+    (* scope exit: RAII drop of whatever the binding still owns *)
+    drop_value rc b.v;
+    result
+  | Assign (x, e) ->
+    let b = List.assoc x env in
+    let v = eval rc env e in
+    drop_value rc b.v;
+    b.v <- v;
+    V_unit
+  | Binop (op, a, b) -> (
+    match op with
+    | LAnd -> if as_bool (eval rc env a) then eval rc env b else V_bool false
+    | LOr -> if as_bool (eval rc env a) then V_bool true else eval rc env b
+    | _ -> (
+      let va = eval rc env a and vb = eval rc env b in
+      match op with
+      | Add -> V_int (checked_add (as_int va) (as_int vb))
+      | Sub -> V_int (checked_sub (as_int va) (as_int vb))
+      | Mul -> V_int (checked_mul (as_int va) (as_int vb))
+      | Div -> V_int (checked_div (as_int va) (as_int vb))
+      | Rem -> V_int (checked_rem (as_int va) (as_int vb))
+      | BAnd -> V_int (Int64.logand (as_int va) (as_int vb))
+      | BOr -> V_int (Int64.logor (as_int va) (as_int vb))
+      | BXor -> V_int (Int64.logxor (as_int va) (as_int vb))
+      | Shl -> V_int (checked_shift "shift left" Int64.shift_left (as_int va) (as_int vb))
+      | Shr ->
+        V_int (checked_shift "shift right" Int64.shift_right (as_int va) (as_int vb))
+      | Eq -> V_bool (va = vb)
+      | Ne -> V_bool (va <> vb)
+      | Lt -> V_bool (Int64.compare (as_int va) (as_int vb) < 0)
+      | Le -> V_bool (Int64.compare (as_int va) (as_int vb) <= 0)
+      | Gt -> V_bool (Int64.compare (as_int va) (as_int vb) > 0)
+      | Ge -> V_bool (Int64.compare (as_int va) (as_int vb) >= 0)
+      | LAnd | LOr -> assert false))
+  | Not e -> V_bool (not (as_bool (eval rc env e)))
+  | Neg e ->
+    let v = as_int (eval rc env e) in
+    if Int64.equal v Int64.min_int then panic "attempt to negate with overflow"
+    else V_int (Int64.neg v)
+  | If (c, t, f) -> if as_bool (eval rc env c) then eval rc env t else eval rc env f
+  | While (c, body) ->
+    while as_bool (eval rc env c) do
+      ignore (eval rc env body)
+    done;
+    V_unit
+  | For (x, lo, hi, body) ->
+    let lo = as_int (eval rc env lo) and hi = as_int (eval rc env hi) in
+    let i = ref lo in
+    while Int64.compare !i hi < 0 do
+      ignore (eval rc ((x, { v = V_int !i }) :: env) body);
+      i := Int64.add !i 1L
+    done;
+    V_unit
+  | Seq es ->
+    let rec go = function
+      | [] -> V_unit
+      | [ last ] -> eval rc env last
+      | e :: rest ->
+        let v = eval rc env e in
+        (* a discarded temporary is dropped immediately *)
+        drop_value rc v;
+        go rest
+    in
+    go es
+  | Some_ e -> V_option (Some (eval rc env e))
+  | None_ _ -> V_option None
+  | Match_option { scrutinee; bind; some_branch; none_branch } -> (
+    match eval rc env scrutinee with
+    | V_option (Some payload) ->
+      let b = { v = payload } in
+      let result = eval rc ((bind, b) :: env) some_branch in
+      drop_value rc b.v;
+      result
+    | V_option None -> eval rc env none_branch
+    | _ -> panic "match on non-Option")
+  | Array_lit es -> V_array (Array.of_list (List.map (eval rc env) es))
+  | Index (a, i) -> (
+    let arr = eval rc env a and idx = as_int (eval rc env i) in
+    match arr with
+    | V_array a ->
+      let n = Array.length a in
+      if Int64.compare idx 0L < 0 || Int64.compare idx (Int64.of_int n) >= 0 then
+        panic
+          (Printf.sprintf "index out of bounds: the len is %d but the index is %Ld" n idx)
+      else a.(Int64.to_int idx)
+    | _ -> panic "index on non-array")
+  | Index_assign (x, i, v) -> (
+    let b = List.assoc x env in
+    let idx = as_int (eval rc env i) in
+    let value = eval rc env v in
+    match b.v with
+    | V_array a ->
+      let n = Array.length a in
+      if Int64.compare idx 0L < 0 || Int64.compare idx (Int64.of_int n) >= 0 then
+        panic
+          (Printf.sprintf "index out of bounds: the len is %d but the index is %Ld" n idx)
+      else begin
+        a.(Int64.to_int idx) <- value;
+        V_unit
+      end
+    | _ -> panic "index-assign on non-array")
+  | Borrow x -> V_ref (List.assoc x env).v
+  | Call (f, args) -> (
+    let vargs = List.map (eval rc env) args in
+    match Kcrate.call rc.kctx f vargs with
+    | v -> v
+    | exception Kcrate.Panic msg -> panic msg)
+  | Panic msg -> panic msg
+  | Str_len e -> V_int (Int64.of_int (String.length (as_str (eval rc env e))))
+  | Str_parse e -> (
+    (* core::str::parse::<i64>() *)
+    let s = String.trim (as_str (eval rc env e)) in
+    match Int64.of_string_opt s with
+    | Some v -> V_option (Some (V_int v))
+    | None -> V_option None)
+  | Str_cmp (a, b) ->
+    V_int (Int64.of_int (compare (as_str (eval rc env a)) (as_str (eval rc env b))))
+  | Drop_ x ->
+    let b = List.assoc x env in
+    drop_value rc b.v;
+    V_unit
+
+let run ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_step = 2L) ~(kctx : Kcrate.ctx)
+    (e : expr) : outcome =
+  let hctx = kctx.Kcrate.hctx in
+  let wall_deadline =
+    if Int64.compare wall_ns 0L < 0 then -1L
+    else Int64.add (Vclock.now hctx.kernel.clock) wall_ns
+  in
+  let rc = { kctx; fuel; wall_deadline; ns_per_step; steps = 0L } in
+  let rcu = hctx.kernel.rcu in
+  Rcu.read_lock rcu;
+  match eval rc [] e with
+  | v ->
+    Rcu.read_unlock rcu ~context:"rustlite exit";
+    (* the program's own result may carry resources; top-level return drops
+       them (ownership returns to the kernel crate) *)
+    drop_value rc v;
+    Ret v
+  | exception Guard.Terminate reason -> Terminated (Guard.terminate hctx reason)
+  | exception Oops.Kernel_oops report ->
+    Kernel_sim.Kernel.record_oops hctx.kernel report;
+    Oopsed report
+
+let steps rc = rc.steps

@@ -1,0 +1,328 @@
+(* The trusted kernel crate (§3.1): the only boundary between safe rustlite
+   code and the kernel.  Every function here is a safe wrapper in the §3.2
+   taxonomy's sense:
+
+   - resource-returning wrappers (task_current, sk_lookup, ringbuf_reserve,
+     lock) register an RAII destructor in the execution's resource table at
+     acquisition time — the "record destructors on-the-fly" mechanism;
+   - reference-taking wrappers (task_pid, task_storage_get, ...) accept
+     &Task / &Sock, which the type system only lets a program produce by
+     borrowing a live owned handle — the NULL-pointer class is
+     unrepresentable (the bpf_task_storage_get wrap case);
+   - sys_bpf_map_lookup exposes bpf_sys_bpf behind a *typed* command, so no
+     raw union with a smuggled NULL ever reaches kernel code (the
+     CVE-2022-2785 wrap case);
+   - rb_submit takes its reservation *by value* (a move), so double submit
+     is a compile-time use-after-move error, not a runtime UAF.
+
+   Wrappers call the very same helper implementations the eBPF path uses —
+   the comparison between the two frameworks is therefore about the
+   *interface*, not about different kernels. *)
+
+module Kmem = Kernel_sim.Kmem
+module Kobject = Kernel_sim.Kobject
+module Refcount = Kernel_sim.Refcount
+module Oops = Kernel_sim.Oops
+module Bpf_map = Maps.Bpf_map
+module Ringbuf = Maps.Ringbuf
+module Hctx = Helpers.Hctx
+module Resources = Helpers.Resources
+open Ast
+
+type ctx = {
+  hctx : Hctx.t;
+  map_ids : (string * int) list; (* extension-declared map name -> map id *)
+}
+
+exception Panic of string
+
+(* name -> (argument types, return type) *)
+let signatures : (string * (ty list * ty)) list =
+  [
+    ("map_get", ([ T_str; T_i64 ], T_option T_i64));
+    ("map_set", ([ T_str; T_i64; T_i64 ], T_unit));
+    ("map_delete", ([ T_str; T_i64 ], T_bool));
+    ("task_current", ([], T_option (T_resource R_task)));
+    ("task_pid", ([ T_ref (T_resource R_task) ], T_i64));
+    ("task_comm", ([ T_ref (T_resource R_task) ], T_str));
+    ("task_storage_get", ([ T_str; T_ref (T_resource R_task); T_i64 ], T_option T_i64));
+    ("task_storage_set", ([ T_str; T_ref (T_resource R_task); T_i64 ], T_unit));
+    ("task_stack_sum", ([ T_ref (T_resource R_task) ], T_i64));
+    ("sk_lookup", ([ T_i64 ], T_option (T_resource R_sock)));
+    ("sk_port", ([ T_ref (T_resource R_sock) ], T_i64));
+    ("ringbuf_reserve", ([ T_str; T_i64 ], T_option (T_resource R_reservation)));
+    ("rb_write_i64", ([ T_ref (T_resource R_reservation); T_i64; T_i64 ], T_unit));
+    ("rb_submit", ([ T_resource R_reservation ], T_unit)); (* consumes! *)
+    ("lock", ([ T_str ], T_option (T_resource R_lock_guard)));
+    ("probe_read", ([ T_i64 ], T_option T_i64));
+    ("sys_bpf_map_lookup", ([ T_str; T_i64 ], T_option T_i64));
+    ("trace", ([ T_str ], T_unit));
+    ("trace_i64", ([ T_str; T_i64 ], T_unit));
+    ("ktime", ([], T_i64));
+    ("prandom", ([], T_i64));
+    ("pid_tgid", ([], T_i64));
+    ("smp_processor_id", ([], T_i64));
+    ("skb_len", ([], T_i64));
+    ("skb_byte", ([ T_i64 ], T_option T_i64));
+    ("skb_set_mark", ([ T_i64 ], T_unit));
+    ("signal_send", ([ T_i64 ], T_unit));
+    (* §4 "dynamic memory allocation": a pre-allocated pool (usable from
+       non-sleepable contexts) behind a safe RAII interface.  Allocation
+       failure is an Option, never a fault; the chunk returns to the pool
+       when its handle drops, so termination cannot leak pool memory. *)
+    ("pool_alloc", ([], T_option (T_resource R_chunk)));
+    ("chunk_write", ([ T_ref (T_resource R_chunk); T_i64; T_i64 ], T_unit));
+    ("chunk_read", ([ T_ref (T_resource R_chunk); T_i64 ], T_i64));
+    ("pool_available", ([], T_i64));
+  ]
+
+let signature name = List.assoc_opt name signatures
+
+let find_map ctx name =
+  match List.assoc_opt name ctx.map_ids with
+  | None -> raise (Panic (Printf.sprintf "unknown map %S" name))
+  | Some id -> (
+    match Bpf_map.Registry.find ctx.hctx.maps id with
+    | None -> raise (Panic (Printf.sprintf "map %S vanished" name))
+    | Some m -> m)
+
+let key_bytes (map : Bpf_map.t) k =
+  let b = Bytes.make map.def.key_size '\000' in
+  (* key_size may be 4; write the low bytes *)
+  let tmp = Bytes.create 8 in
+  Bytes.set_int64_le tmp 0 k;
+  Bytes.blit tmp 0 b 0 (min 8 map.def.key_size);
+  b
+
+let read_i64_at ctx addr = Kmem.load ctx.hctx.kernel.mem ~size:8 ~addr ~context:"kcrate"
+let write_i64_at ctx addr v =
+  Kmem.store ctx.hctx.kernel.mem ~size:8 ~addr ~value:v ~context:"kcrate"
+
+open Value
+
+let v_opt = function None -> V_option None | Some v -> V_option (Some v)
+
+(* checked multiply for offset computations: the §3.2 "integer arithmetic
+   moves into safe code" case.  Overflow panics instead of wrapping. *)
+let checked_mul a b =
+  if Int64.equal a 0L || Int64.equal b 0L then 0L
+  else
+    let r = Int64.mul a b in
+    if not (Int64.equal (Int64.div r a) b) then raise (Panic "integer overflow")
+    else r
+
+let call (ctx : ctx) (name : string) (args : Value.t list) : Value.t =
+  let hctx = ctx.hctx in
+  let kernel = hctx.kernel in
+  match (name, args) with
+  | "map_get", [ m; k ] -> (
+    let map = find_map ctx (as_str m) in
+    let key = key_bytes map (as_int k) in
+    (* safe index computation with checked arithmetic (contrast with the
+       buggy 32-bit truncation in the raw helper) *)
+    ignore (checked_mul (as_int k) (Int64.of_int map.def.value_size));
+    match Bpf_map.lookup map ~key with
+    | None -> V_option None
+    | Some addr -> v_opt (Some (V_int (read_i64_at ctx addr))))
+  | "map_set", [ m; k; v ] -> (
+    let map = find_map ctx (as_str m) in
+    let key = key_bytes map (as_int k) in
+    let value = Bytes.make map.def.value_size '\000' in
+    let tmp = Bytes.create 8 in
+    Bytes.set_int64_le tmp 0 (as_int v);
+    Bytes.blit tmp 0 value 0 (min 8 map.def.value_size);
+    match Bpf_map.update map kernel.mem ~key ~value with
+    | Ok () -> V_unit
+    | Error e -> raise (Panic ("map_set: " ^ Bpf_map.error_to_string e)))
+  | "map_delete", [ m; k ] -> (
+    let map = find_map ctx (as_str m) in
+    match Bpf_map.delete map ~key:(key_bytes map (as_int k)) with
+    | Ok () -> V_bool true
+    | Error _ -> V_bool false)
+  | "task_current", [] ->
+    let task = kernel.current in
+    Refcount.get kernel.refs task.Kobject.task_ref;
+    let addr = Kobject.task_addr task in
+    let _rid =
+      Resources.acquire hctx.resources ~key:addr ~desc:"task ref (kcrate)"
+        ~destroy:(fun () -> Refcount.put kernel.refs task.Kobject.task_ref)
+    in
+    v_opt (Some (V_resource { key = addr; kind = R_task; alive = true; obj_addr = addr }))
+  | "task_pid", [ t ] ->
+    let h = as_resource t in
+    V_int (Kmem.load kernel.mem ~size:4 ~addr:h.obj_addr ~context:"kcrate:task_pid")
+  | "task_comm", [ t ] ->
+    let h = as_resource t in
+    let task =
+      List.find_opt (fun x -> Int64.equal (Kobject.task_addr x) h.obj_addr) kernel.tasks
+    in
+    V_str (match task with Some t -> t.Kobject.comm | None -> "?")
+  | "task_storage_get", [ m; t; flags ] -> (
+    let map = find_map ctx (as_str m) in
+    let h = as_resource t in
+    (* the wrapped helper runs with a guaranteed non-NULL task pointer *)
+    let ret =
+      Helpers.Helpers_task.task_storage_get hctx
+        [| Int64.of_int map.Bpf_map.id; h.obj_addr; 0L; as_int flags |]
+    in
+    if Int64.equal ret 0L then V_option None
+    else v_opt (Some (V_int (read_i64_at ctx ret))))
+  | "task_storage_set", [ m; t; v ] -> (
+    let map = find_map ctx (as_str m) in
+    let h = as_resource t in
+    let addr =
+      Helpers.Helpers_task.task_storage_get hctx
+        [| Int64.of_int map.Bpf_map.id; h.obj_addr; 0L; 1L (* create *) |]
+    in
+    if Int64.equal addr 0L then raise (Panic "task_storage_set: no storage")
+    else begin
+      write_i64_at ctx addr (as_int v);
+      V_unit
+    end)
+  | "task_stack_sum", [ t ] ->
+    (* the *simplified* bpf_get_task_stack: reference is held by the RAII
+       handle the borrow came from; no get/put in the hot path to forget *)
+    let h = as_resource t in
+    let task =
+      List.find_opt (fun x -> Int64.equal (Kobject.task_addr x) h.obj_addr) kernel.tasks
+    in
+    (match task with
+    | None -> V_int 0L
+    | Some task ->
+      let sum = ref 0L in
+      for i = 0 to (Kobject.kstack_size / 8) - 1 do
+        sum :=
+          Int64.add !sum
+            (Kmem.load kernel.mem ~size:8
+               ~addr:(Kmem.region_addr task.Kobject.kstack (i * 8))
+               ~context:"kcrate:task_stack_sum")
+      done;
+      V_int !sum)
+  | "sk_lookup", [ port ] -> (
+    (* reuses the eBPF helper implementation, then wraps the acquired
+       reference as an RAII resource *)
+    let addr = Helpers.Helpers_sock.sk_lookup_tcp hctx [| as_int port |] in
+    if Int64.equal addr 0L then V_option None
+    else
+      v_opt (Some (V_resource { key = addr; kind = R_sock; alive = true; obj_addr = addr })))
+  | "sk_port", [ s ] ->
+    let h = as_resource s in
+    V_int (Kmem.load kernel.mem ~size:4 ~addr:h.obj_addr ~context:"kcrate:sk_port")
+  | "ringbuf_reserve", [ m; size ] -> (
+    let map = find_map ctx (as_str m) in
+    let addr =
+      Helpers.Helpers_ringbuf.ringbuf_reserve hctx
+        [| Int64.of_int map.Bpf_map.id; as_int size; 0L |]
+    in
+    if Int64.equal addr 0L then V_option None
+    else
+      v_opt
+        (Some (V_resource { key = addr; kind = R_reservation; alive = true; obj_addr = addr })))
+  | "rb_write_i64", [ r; off; v ] ->
+    let h = as_resource r in
+    if not h.alive then raise (Panic "write to consumed reservation");
+    Kmem.store kernel.mem ~size:8 ~addr:(Int64.add h.obj_addr (as_int off))
+      ~value:(as_int v) ~context:"kcrate:rb_write";
+    V_unit
+  | "rb_submit", [ r ] ->
+    (* consumes the reservation: ownership moved into the kernel *)
+    let h = as_resource r in
+    if not h.alive then raise (Panic "double submit (should be unreachable)");
+    h.alive <- false;
+    let rbs = Bpf_map.Registry.all hctx.maps |> List.filter_map Bpf_map.ringbuf in
+    let ok =
+      List.exists (fun rb -> match Ringbuf.submit rb h.key with Ok () -> true | Error _ -> false) rbs
+    in
+    if not ok then raise (Panic "rb_submit: not a reservation");
+    ignore (Resources.forget_by_key hctx.resources h.key);
+    V_unit
+  | "lock", [ m ] -> (
+    let map = find_map ctx (as_str m) in
+    match map.Bpf_map.lock with
+    | None -> V_option None
+    | Some lock ->
+      Kernel_sim.Spinlock.lock lock ~owner:hctx.owner;
+      let key = Int64.of_int (0x10000 + map.Bpf_map.id) in
+      let _rid =
+        Resources.acquire hctx.resources ~key ~desc:"lock guard (kcrate)"
+          ~destroy:(fun () -> Kernel_sim.Spinlock.unlock lock ~owner:hctx.owner)
+      in
+      v_opt (Some (V_resource { key; kind = R_lock_guard; alive = true; obj_addr = key })))
+  | "probe_read", [ addr ] -> (
+    match Kmem.load kernel.mem ~size:8 ~addr:(as_int addr) ~context:"kcrate:probe_read" with
+    | v -> v_opt (Some (V_int v))
+    | exception Oops.Kernel_oops _ -> V_option None)
+  | "sys_bpf_map_lookup", [ m; k ] -> (
+    (* the typed bpf_sys_bpf wrapper: the command is a struct, not a raw
+       union, so there is no pointer field to smuggle NULL through *)
+    let map = find_map ctx (as_str m) in
+    match Bpf_map.lookup map ~key:(key_bytes map (as_int k)) with
+    | None -> V_option None
+    | Some addr -> v_opt (Some (V_int (read_i64_at ctx addr))))
+  | "trace", [ s ] ->
+    hctx.trace <- as_str s :: hctx.trace;
+    V_unit
+  | "trace_i64", [ s; v ] ->
+    hctx.trace <- Printf.sprintf "%s%Ld" (as_str s) (as_int v) :: hctx.trace;
+    V_unit
+  | "ktime", [] -> V_int (Kernel_sim.Vclock.now kernel.clock)
+  | "prandom", [] -> V_int (Int64.logand (Hctx.next_random hctx) 0xffff_ffffL)
+  | "pid_tgid", [] -> V_int (Helpers.Helpers_task.get_current_pid_tgid hctx [||])
+  | "smp_processor_id", [] -> V_int (Int64.of_int kernel.cpu)
+  | "skb_len", [] ->
+    V_int (match hctx.skb with None -> 0L | Some skb -> Int64.of_int skb.Kobject.len)
+  | "skb_byte", [ off ] -> (
+    match hctx.skb with
+    | None -> V_option None
+    | Some skb ->
+      let o = Int64.to_int (as_int off) in
+      if o < 0 || o >= skb.Kobject.len then V_option None
+      else
+        v_opt
+          (Some
+             (V_int
+                (Kmem.load kernel.mem ~size:1
+                   ~addr:(Int64.add (Kobject.skb_data skb) (as_int off))
+                   ~context:"kcrate:skb_byte"))))
+  | "skb_set_mark", [ v ] ->
+    (match hctx.skb with
+    | None -> ()
+    | Some skb -> skb.Kobject.mark <- as_int v);
+    V_unit
+  | "signal_send", [ sig_ ] ->
+    ignore (Helpers.Helpers_task.send_signal hctx [| as_int sig_ |]);
+    V_unit
+  | "pool_alloc", [] -> (
+    match Kernel_sim.Mempool.alloc kernel.pool with
+    | None -> V_option None
+    | Some addr ->
+      let _rid =
+        Resources.acquire hctx.resources ~key:addr ~desc:"pool chunk (kcrate)"
+          ~destroy:(fun () ->
+            Kernel_sim.Mempool.free kernel.pool addr ~context:"kcrate chunk drop")
+      in
+      v_opt (Some (V_resource { key = addr; kind = R_chunk; alive = true; obj_addr = addr })))
+  | "chunk_write", [ c; off; v ] ->
+    let h = as_resource c in
+    let o = as_int off in
+    if Int64.compare o 0L < 0
+       || Int64.compare (Int64.add o 8L)
+            (Int64.of_int kernel.pool.Kernel_sim.Mempool.chunk_size) > 0
+    then raise (Panic "chunk write out of bounds")
+    else begin
+      Kmem.store kernel.mem ~size:8 ~addr:(Int64.add h.obj_addr o) ~value:(as_int v)
+        ~context:"kcrate:chunk_write";
+      V_unit
+    end
+  | "chunk_read", [ c; off ] ->
+    let h = as_resource c in
+    let o = as_int off in
+    if Int64.compare o 0L < 0
+       || Int64.compare (Int64.add o 8L)
+            (Int64.of_int kernel.pool.Kernel_sim.Mempool.chunk_size) > 0
+    then raise (Panic "chunk read out of bounds")
+    else V_int (Kmem.load kernel.mem ~size:8 ~addr:(Int64.add h.obj_addr o) ~context:"kcrate:chunk_read")
+  | "pool_available", [] ->
+    V_int (Int64.of_int (Kernel_sim.Mempool.available kernel.pool))
+  | _ ->
+    raise (Panic (Printf.sprintf "kcrate: bad call %s/%d" name (List.length args)))

@@ -1,0 +1,179 @@
+(* The rustlite lexer: a hand-written scanner for the Rust-like surface
+   syntax.  Tracks line/column for error reporting; supports line and block
+   comments, decimal and hex integer literals, and escaped strings. *)
+
+type token =
+  | INT of int64
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_LET | KW_MUT | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_IN | KW_MATCH
+  | KW_SOME | KW_NONE | KW_TRUE | KW_FALSE | KW_PANIC | KW_DROP
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | ARROW (* => *) | DOTDOT
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | EQ (* = *) | EQEQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+let token_to_string = function
+  | INT v -> Printf.sprintf "%Ld" v
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_LET -> "let" | KW_MUT -> "mut" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_FOR -> "for" | KW_IN -> "in" | KW_MATCH -> "match"
+  | KW_SOME -> "Some" | KW_NONE -> "None" | KW_TRUE -> "true" | KW_FALSE -> "false"
+  | KW_PANIC -> "panic" | KW_DROP -> "drop"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":" | ARROW -> "=>" | DOTDOT -> ".."
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | SHL -> "<<" | SHR -> ">>"
+  | EQ -> "=" | EQEQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">"
+  | GE -> ">=" | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [ ("let", KW_LET); ("mut", KW_MUT); ("if", KW_IF); ("else", KW_ELSE);
+    ("while", KW_WHILE); ("for", KW_FOR); ("in", KW_IN); ("match", KW_MATCH);
+    ("Some", KW_SOME); ("None", KW_NONE); ("true", KW_TRUE); ("false", KW_FALSE);
+    ("panic", KW_PANIC); ("drop", KW_DROP) ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize (src : string) : located list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let emit tok l c = out := { tok; line = l; col = c } :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do advance () done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance (); advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance (); advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", l0, c0))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance (); advance ();
+        while !i < n && is_hex src.[!i] do advance () done;
+        let text = String.sub src start (!i - start) in
+        match Int64.of_string_opt text with
+        | Some v -> emit (INT v) l0 c0
+        | None -> raise (Lex_error ("bad hex literal " ^ text, l0, c0))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do advance () done;
+        let text = String.sub src start (!i - start) in
+        match Int64.of_string_opt text with
+        | Some v -> emit (INT v) l0 c0
+        | None -> raise (Lex_error ("bad integer literal " ^ text, l0, c0))
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do advance () done;
+      let text = String.sub src start (!i - start) in
+      match List.assoc_opt text keywords with
+      | Some kw -> emit kw l0 c0
+      | None -> emit (IDENT text) l0 c0
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        match src.[!i] with
+        | '"' ->
+          advance ();
+          closed := true
+        | '\\' -> (
+          advance ();
+          if !i >= n then raise (Lex_error ("unterminated string", l0, c0));
+          (match src.[!i] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | '0' -> Buffer.add_char buf '\000'
+          | e -> raise (Lex_error (Printf.sprintf "bad escape \\%c" e, !line, !col)));
+          advance ())
+        | ch ->
+          Buffer.add_char buf ch;
+          advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", l0, c0));
+      emit (STRING (Buffer.contents buf)) l0 c0
+    end
+    else begin
+      let two t = advance (); advance (); emit t l0 c0 in
+      let one t = advance (); emit t l0 c0 in
+      match (c, peek 1) with
+      | '=', Some '>' -> two ARROW
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '.', Some '.' -> two DOTDOT
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, l0, c0))
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !out

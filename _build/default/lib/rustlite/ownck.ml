@@ -1,0 +1,147 @@
+(* The ownership checker: the affine-move half of "the Rust compiler takes
+   the role of the verifier".
+
+   Non-Copy values (kernel resources, arrays, Options of them) are *moved*
+   when used as a value; any later use of the moved-out variable is a
+   compile-time error.  This is what makes Kcrate.rb_submit's by-value
+   argument a double-submit proof, and what guarantees that every acquired
+   resource has exactly one owner for the RAII destructor to run against.
+
+   Simplifications vs real Rust (documented in DESIGN.md): borrows are
+   call-argument-scoped (they end when the call returns), so there is no
+   lifetime inference; moving an outer variable inside a loop body is
+   rejected outright (the loop may run more than once). *)
+
+open Ast
+
+type error = { what : string; where_ : string }
+
+exception Own_error of error
+
+let fail ~where_ fmt =
+  Format.kasprintf (fun what -> raise (Own_error { what; where_ })) fmt
+
+type state = Owned | Moved
+
+type entry = { ty : ty; mut : bool; mutable st : state }
+
+type env = (string * entry) list
+
+let typeck_env (env : env) = List.map (fun (n, e) -> (n, (e.ty, e.mut))) env
+
+let entry env x =
+  match List.assoc_opt x env with
+  | Some e -> e
+  | None -> fail ~where_:x "unbound variable %s" x
+
+(* Walk an expression, updating move states.  The result value itself is
+   owned by the context. *)
+let rec walk (env : env) (e : expr) : unit =
+  match e with
+  | Lit_unit | Lit_bool _ | Lit_int _ | Lit_str _ | None_ _ | Panic _ -> ()
+  | Var x ->
+    let en = entry env x in
+    if not (is_copy en.ty) then begin
+      if en.st = Moved then fail ~where_:x "use of moved value: %s" x;
+      en.st <- Moved
+    end
+  | Let { name; mut; value; body } ->
+    walk env value;
+    let ty = Typeck.infer (typeck_env env) value in
+    walk ((name, { ty; mut; st = Owned }) :: env) body
+  | Assign (x, e) ->
+    walk env e;
+    let en = entry env x in
+    (* re-initialization: the old value (if any) is dropped, x owns anew *)
+    en.st <- Owned
+  | Binop (_, a, b) ->
+    walk env a;
+    walk env b
+  | Not e | Neg e | Some_ e | Str_len e | Str_parse e -> walk env e
+  | Str_cmp (a, b) ->
+    walk env a;
+    walk env b
+  | If (c, t, f) ->
+    walk env c;
+    branch_merge env [ t; f ]
+  | While (c, body) ->
+    walk env c;
+    loop_body env body
+  | For (x, lo, hi, body) ->
+    walk env lo;
+    walk env hi;
+    loop_body ((x, { ty = T_i64; mut = false; st = Owned }) :: env) body
+  | Seq es -> List.iter (walk env) es
+  | Match_option { scrutinee; bind; some_branch; none_branch } ->
+    walk env scrutinee;
+    let payload =
+      match Typeck.infer (typeck_env env) scrutinee with
+      | T_option t -> t
+      | _ -> T_unit (* typeck already validated; unreachable *)
+    in
+    (* the Some branch owns the payload; run both branches over the same
+       starting states and merge *)
+    let snapshot = List.map (fun (n, e) -> (n, e.st)) env in
+    let env_some = (bind, { ty = payload; mut = false; st = Owned }) :: env in
+    walk env_some some_branch;
+    let after_some = List.map (fun (n, e) -> (n, e.st)) env in
+    List.iter2 (fun (_, e) (_, st) -> e.st <- st) env snapshot;
+    walk env none_branch;
+    (* merge: moved anywhere -> moved *)
+    List.iter2
+      (fun (_, e) (_, st_some) -> if st_some = Moved then e.st <- Moved)
+      env after_some
+  | Array_lit es -> List.iter (walk env) es
+  | Index (a, i) ->
+    (* indexing borrows the array (elements are Copy); it must not move it *)
+    (match a with
+    | Var x ->
+      let en = entry env x in
+      if en.st = Moved then fail ~where_:x "use of moved value: %s" x
+    | _ -> walk env a);
+    walk env i
+  | Index_assign (x, i, v) ->
+    let _ = entry env x in
+    walk env i;
+    walk env v
+  | Borrow x ->
+    let en = entry env x in
+    if en.st = Moved then fail ~where_:x "borrow of moved value: %s" x
+  | Call (_, args) -> List.iter (walk env) args
+  | Drop_ x ->
+    let en = entry env x in
+    if en.st = Moved then fail ~where_:x "drop of moved value: %s" x;
+    en.st <- Moved
+
+and branch_merge env branches =
+  let snapshot = List.map (fun (_, e) -> e.st) env in
+  let outcomes =
+    List.map
+      (fun b ->
+        List.iter2 (fun (_, e) st -> e.st <- st) env snapshot;
+        walk env b;
+        List.map (fun (_, e) -> e.st) env)
+      branches
+  in
+  List.iteri
+    (fun i (_, e) ->
+      if List.exists (fun states -> List.nth states i = Moved) outcomes then
+        e.st <- Moved
+      else e.st <- List.nth snapshot i)
+    env
+
+(* A loop body must not move variables owned outside it. *)
+and loop_body env body =
+  let snapshot = List.map (fun (_, e) -> e.st) env in
+  walk env body;
+  List.iteri
+    (fun i (n, e) ->
+      if List.nth snapshot i = Owned && e.st = Moved then
+        fail ~where_:n "value %s moved inside a loop (may run more than once)" n)
+    env
+
+let check (e : expr) : (unit, error) result =
+  match walk [] e with
+  | () -> Ok ()
+  | exception Own_error err -> Error err
+  | exception Typeck.Type_error { what; where_ } -> Error { what; where_ }

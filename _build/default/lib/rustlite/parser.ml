@@ -1,0 +1,397 @@
+(* The rustlite parser: recursive descent with precedence climbing, from
+   the Lexer token stream to Ast.expr.
+
+   Surface syntax (examples):
+
+     let mut count = 0;
+     while count < 10 { count = count + 1; }
+     if let Some(task) = task_current() {
+       trace(task_comm(&task));
+     }
+     match map_get("stats", 0) { Some(v) => v + 1, None => -1 }
+     for i in 0..64 { total = total + i; }
+     let xs = [1, 2, 3]; xs[2]
+     panic("boom"); drop(sk);
+     len("abc"), parse("42"), strcmp(a, b)     // built-ins
+     None:i64                                  // None needs its payload type
+
+   Blocks are expression sequences: `{ s1; s2; e }` evaluates to `e`; a
+   trailing `;` makes the block unit-valued.  `let` scopes to the rest of
+   its block. *)
+
+open Ast
+open Lexer
+
+type error = { msg : string; line : int; col : int }
+
+exception Parse_error of error
+
+let fail (t : located) fmt =
+  Format.kasprintf
+    (fun msg -> raise (Parse_error { msg; line = t.line; col = t.col }))
+    fmt
+
+type stream = { mutable toks : located list }
+
+let peek s = match s.toks with [] -> assert false | t :: _ -> t
+let peek2 s = match s.toks with _ :: t :: _ -> Some t.tok | _ -> None
+
+let next s =
+  let t = peek s in
+  (match s.toks with [] -> () | _ :: rest -> s.toks <- rest);
+  t
+
+let expect s tok what =
+  let t = next s in
+  if t.tok <> tok then fail t "expected %s, found %s" what (token_to_string t.tok)
+
+let accept s tok = if (peek s).tok = tok then (ignore (next s); true) else false
+
+(* type names, for None:ty *)
+let rec parse_ty s =
+  let t = next s in
+  match t.tok with
+  | IDENT "i64" -> T_i64
+  | IDENT "bool" -> T_bool
+  | IDENT "str" -> T_str
+  | IDENT "Task" -> T_resource R_task
+  | IDENT "Sock" -> T_resource R_sock
+  | IDENT "RbReservation" -> T_resource R_reservation
+  | IDENT "LockGuard" -> T_resource R_lock_guard
+  | IDENT "PoolChunk" -> T_resource R_chunk
+  | IDENT "Option" ->
+    expect s LT "'<'";
+    let inner = parse_ty s in
+    expect s GT "'>'";
+    T_option inner
+  | LPAREN ->
+    expect s RPAREN "')'";
+    T_unit
+  | other -> fail t "expected a type, found %s" (token_to_string other)
+
+(* binary operator precedence (higher binds tighter) *)
+let binop_of_token = function
+  | OROR -> Some (LOr, 1)
+  | ANDAND -> Some (LAnd, 2)
+  | EQEQ -> Some (Eq, 3)
+  | NE -> Some (Ne, 3)
+  | LT -> Some (Lt, 3)
+  | LE -> Some (Le, 3)
+  | GT -> Some (Gt, 3)
+  | GE -> Some (Ge, 3)
+  | PIPE -> Some (BOr, 4)
+  | CARET -> Some (BXor, 5)
+  | AMP -> Some (BAnd, 6)
+  | SHL -> Some (Shl, 7)
+  | SHR -> Some (Shr, 7)
+  | PLUS -> Some (Add, 8)
+  | MINUS -> Some (Sub, 8)
+  | STAR -> Some (Mul, 9)
+  | SLASH -> Some (Div, 9)
+  | PERCENT -> Some (Rem, 9)
+  | _ -> None
+
+let rec parse_expr s = parse_binary s 0
+
+and parse_binary s min_prec =
+  let lhs = ref (parse_unary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek s).tok with
+    | Some (op, prec) when prec >= min_prec ->
+      ignore (next s);
+      let rhs = parse_binary s (prec + 1) in
+      lhs := Binop (op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary s =
+  let t = peek s in
+  match t.tok with
+  | BANG ->
+    ignore (next s);
+    Not (parse_unary s)
+  | MINUS ->
+    ignore (next s);
+    (* fold negative literals *)
+    (match parse_unary s with
+    | Lit_int v -> Lit_int (Int64.neg v)
+    | e -> Neg e)
+  | AMP -> (
+    ignore (next s);
+    let t2 = next s in
+    match t2.tok with
+    | IDENT x -> Borrow x
+    | other -> fail t2 "expected a variable after '&', found %s" (token_to_string other))
+  | _ -> parse_postfix s
+
+and parse_postfix s =
+  let e = ref (parse_primary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek s).tok with
+    | LBRACKET ->
+      ignore (next s);
+      let idx = parse_expr s in
+      expect s RBRACKET "']'";
+      e := Index (!e, idx)
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_call_args s =
+  expect s LPAREN "'('";
+  if accept s RPAREN then []
+  else begin
+    let rec go acc =
+      let arg = parse_expr s in
+      if accept s COMMA then go (arg :: acc)
+      else begin
+        expect s RPAREN "')'";
+        List.rev (arg :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary s =
+  let t = next s in
+  match t.tok with
+  | INT v -> Lit_int v
+  | STRING str -> Lit_str str
+  | KW_TRUE -> Lit_bool true
+  | KW_FALSE -> Lit_bool false
+  | KW_SOME ->
+    expect s LPAREN "'('";
+    let e = parse_expr s in
+    expect s RPAREN "')'";
+    Some_ e
+  | KW_NONE ->
+    (* None:ty gives the payload type; bare None defaults to i64 *)
+    if accept s COLON then None_ (parse_ty s) else None_ T_i64
+  | KW_PANIC -> (
+    match parse_call_args s with
+    | [ Lit_str msg ] -> Panic msg
+    | _ -> fail t "panic takes one string literal")
+  | KW_DROP -> (
+    match parse_call_args s with
+    | [ Var x ] -> Drop_ x
+    | _ -> fail t "drop takes one variable")
+  | KW_IF -> parse_if s t
+  | KW_WHILE ->
+    let cond = parse_expr s in
+    let body = parse_block s in
+    While (cond, body)
+  | KW_FOR -> (
+    let tv = next s in
+    match tv.tok with
+    | IDENT x ->
+      expect s KW_IN "'in'";
+      let lo = parse_expr s in
+      expect s DOTDOT "'..'";
+      let hi = parse_expr s in
+      let body = parse_block s in
+      For (x, lo, hi, body)
+    | other -> fail tv "expected a loop variable, found %s" (token_to_string other))
+  | KW_MATCH -> (
+    let scrutinee = parse_expr s in
+    expect s LBRACE "'{'";
+    (* two arms, Some(x) and None, in either order *)
+    let parse_arm () =
+      let ta = next s in
+      match ta.tok with
+      | KW_SOME ->
+        expect s LPAREN "'('";
+        let tb = next s in
+        let bind =
+          match tb.tok with
+          | IDENT x -> x
+          | other -> fail tb "expected a binder, found %s" (token_to_string other)
+        in
+        expect s RPAREN "')'";
+        expect s ARROW "'=>'";
+        `Some_arm (bind, parse_expr s)
+      | KW_NONE ->
+        expect s ARROW "'=>'";
+        `None_arm (parse_expr s)
+      | other -> fail ta "expected Some(..) or None, found %s" (token_to_string other)
+    in
+    let a1 = parse_arm () in
+    expect s COMMA "','";
+    let a2 = parse_arm () in
+    ignore (accept s COMMA);
+    expect s RBRACE "'}'";
+    match (a1, a2) with
+    | `Some_arm (bind, some_branch), `None_arm none_branch
+    | `None_arm none_branch, `Some_arm (bind, some_branch) ->
+      Match_option { scrutinee; bind; some_branch; none_branch }
+    | _ -> fail t "match needs one Some arm and one None arm")
+  | LBRACKET ->
+    (* array literal *)
+    if accept s RBRACKET then fail t "empty array literal has no type"
+    else begin
+      let rec go acc =
+        let e = parse_expr s in
+        if accept s COMMA then go (e :: acc)
+        else begin
+          expect s RBRACKET "']'";
+          List.rev (e :: acc)
+        end
+      in
+      Array_lit (go [])
+    end
+  | LPAREN ->
+    if accept s RPAREN then Lit_unit
+    else begin
+      let e = parse_expr s in
+      expect s RPAREN "')'";
+      e
+    end
+  | LBRACE ->
+    s.toks <- { t with tok = LBRACE } :: s.toks;
+    parse_block s
+  | IDENT name -> (
+    match (peek s).tok with
+    | LPAREN -> (
+      let args = parse_call_args s in
+      (* built-ins with dedicated AST forms *)
+      match (name, args) with
+      | "len", [ e ] -> Str_len e
+      | "parse", [ e ] -> Str_parse e
+      | "strcmp", [ a; b ] -> Str_cmp (a, b)
+      | _ -> Call (name, args))
+    | _ -> Var name)
+  | other -> fail t "unexpected %s" (token_to_string other)
+
+and parse_if s t0 =
+  (* `if let Some(x) = e { .. } [else { .. }]` or plain `if c { .. } else .. ` *)
+  if (peek s).tok = KW_LET then begin
+    ignore (next s);
+    expect s KW_SOME "'Some'";
+    expect s LPAREN "'('";
+    let tb = next s in
+    let bind =
+      match tb.tok with
+      | IDENT x -> x
+      | other -> fail tb "expected a binder, found %s" (token_to_string other)
+    in
+    expect s RPAREN "')'";
+    expect s EQ "'='";
+    let scrutinee = parse_expr s in
+    let some_branch = parse_block s in
+    let none_branch = if accept s KW_ELSE then parse_else s else Lit_unit in
+    Match_option { scrutinee; bind; some_branch; none_branch }
+  end
+  else begin
+    let cond = parse_expr s in
+    let then_ = parse_block s in
+    let else_ = if accept s KW_ELSE then parse_else s else Lit_unit in
+    ignore t0;
+    If (cond, then_, else_)
+  end
+
+and parse_else s =
+  if (peek s).tok = KW_IF then begin
+    let t = next s in
+    parse_if s t
+  end
+  else parse_block s
+
+(* a block: `{ stmt* [expr] }`; `let` scopes over the remainder *)
+and parse_block s =
+  expect s LBRACE "'{'";
+  parse_block_body s
+
+and parse_block_body s =
+  (* returns at the matching RBRACE *)
+  let rec stmts () =
+    if accept s RBRACE then Lit_unit
+    else if (peek s).tok = KW_LET && peek2 s <> Some KW_SOME then begin
+      ignore (next s);
+      let mut = accept s KW_MUT in
+      let tn = next s in
+      let name =
+        match tn.tok with
+        | IDENT x -> x
+        | other -> fail tn "expected a name, found %s" (token_to_string other)
+      in
+      expect s EQ "'='";
+      let value = parse_expr s in
+      expect s SEMI "';'";
+      let body = stmts () in
+      Let { name; mut; value; body }
+    end
+    else begin
+      (* assignment / index-assignment lookahead *)
+      let stmt =
+        match ((peek s).tok, peek2 s) with
+        | IDENT x, Some EQ ->
+          ignore (next s);
+          ignore (next s);
+          let v = parse_expr s in
+          Assign (x, v)
+        | IDENT x, Some LBRACKET -> (
+          (* could be `x[i] = v;` or the expression `x[i]` *)
+          let save = s.toks in
+          ignore (next s);
+          ignore (next s);
+          let idx = parse_expr s in
+          expect s RBRACKET "']'";
+          if accept s EQ then Index_assign (x, idx, parse_expr s)
+          else begin
+            s.toks <- save;
+            parse_expr s
+          end)
+        | _ -> parse_expr s
+      in
+      let block_shaped =
+        match stmt with
+        | If _ | While _ | For _ | Match_option _ -> true
+        | _ -> false
+      in
+      let continue_stmts () =
+        let rest = stmts () in
+        match rest with
+        | Lit_unit -> Seq [ stmt; Lit_unit ]
+        | Seq es -> Seq (stmt :: es)
+        | e -> Seq [ stmt; e ]
+      in
+      if accept s SEMI then continue_stmts ()
+      else if block_shaped && (peek s).tok <> RBRACE then
+        (* block-ended statements need no ';' before the next statement *)
+        continue_stmts ()
+      else begin
+        expect s RBRACE "'}' or ';'";
+        stmt
+      end
+    end
+  in
+  stmts ()
+
+let parse (src : string) : (expr, error) result =
+  match
+    (* a program is a block body: wrap the token stream in braces *)
+    let raw = Lexer.tokenize src in
+    let eof = List.nth raw (List.length raw - 1) in
+    let body = List.filteri (fun i _ -> i < List.length raw - 1) raw in
+    let s =
+      { toks =
+          ({ tok = LBRACE; line = 1; col = 1 } :: body)
+          @ [ { eof with tok = RBRACE }; eof ] }
+    in
+    let e = parse_block s in
+    (match (peek s).tok with
+    | EOF -> ()
+    | other -> fail (peek s) "trailing %s after program" (token_to_string other));
+    e
+  with
+  | e -> Ok e
+  | exception Parse_error err -> Error err
+  | exception Lexer.Lex_error (msg, line, col) -> Error { msg; line; col }
+
+let parse_exn src =
+  match parse src with
+  | Ok e -> e
+  | Error { msg; line; col } ->
+    invalid_arg (Printf.sprintf "parse error at %d:%d: %s" line col msg)

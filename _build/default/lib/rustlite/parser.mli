@@ -1,0 +1,25 @@
+(** The rustlite surface-syntax parser (recursive descent over {!Lexer}).
+
+    {[
+      let mut count = 0;
+      while count < 10 { count = count + 1; }
+      if let Some(task) = task_current() { trace(task_comm(&task)); }
+      match map_get("stats", 0) { Some(v) => v + 1, None => -1 }
+      for i in 0..64 { total = total + i; }
+    ]}
+
+    A program is a block body; [let] scopes to the rest of its block; a
+    trailing [;] makes a block unit-valued; block-ended statements (if /
+    while / for / match) need no [;].  [None] defaults its payload type to
+    [i64]; write [None:ty] to choose.  [len]/[parse]/[strcmp]/[panic]/[drop]
+    are built-ins; any other [ident(...)] is a kernel-crate call. *)
+
+type error = { msg : string; line : int; col : int }
+
+exception Parse_error of error
+
+val parse : string -> (Ast.expr, error) result
+(** Total: never raises on any input. *)
+
+val parse_exn : string -> Ast.expr
+(** @raise Invalid_argument on parse errors (for tests and examples). *)

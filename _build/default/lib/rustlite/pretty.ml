@@ -1,0 +1,181 @@
+(* Pretty-printer from the AST back to the surface syntax the parser reads.
+   [Parser.parse (Pretty.to_string e)] returns an AST equal to [e] (up to
+   the block-sequencing normalisation) — a property the test suite checks. *)
+
+open Ast
+
+let prec_of = function
+  | LOr -> 1 | LAnd -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | BOr -> 4 | BXor -> 5 | BAnd -> 6
+  | Shl | Shr -> 7
+  | Add | Sub -> 8
+  | Mul | Div | Rem -> 9
+
+let rec ty_name = function
+  | T_i64 -> "i64"
+  | T_bool -> "bool"
+  | T_str -> "str"
+  | T_unit -> "()"
+  | T_option t -> "Option<" ^ ty_name t ^ ">"
+  | T_resource k -> rkind_to_string k
+  | T_ref t -> "&" ^ ty_name t
+  | T_array (t, n) -> Printf.sprintf "[%s; %d]" (ty_name t) n
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* [ctx] is the ambient precedence: parenthesise when the node binds
+   looser.  Statement positions use ctx = 0. *)
+let rec emit buf ctx (e : expr) =
+  let atom s = Buffer.add_string buf s in
+  let paren_if cond body =
+    if cond then begin
+      atom "(";
+      body ();
+      atom ")"
+    end
+    else body ()
+  in
+  match e with
+  | Lit_unit -> atom "()"
+  | Lit_bool b -> atom (string_of_bool b)
+  | Lit_int v -> if Int64.compare v 0L < 0 then atom (Printf.sprintf "(%Ld)" v) else atom (Int64.to_string v)
+  | Lit_str s -> atom ("\"" ^ escape s ^ "\"")
+  | Var x -> atom x
+  | Binop (op, a, b) ->
+    let p = prec_of op in
+    paren_if (p < ctx) (fun () ->
+        emit buf p a;
+        atom (" " ^ binop_to_string op ^ " ");
+        emit buf (p + 1) b)
+  | Not e ->
+    atom "!";
+    emit buf 10 e
+  | Neg e ->
+    atom "-";
+    emit buf 10 e
+  | Borrow x -> atom ("&" ^ x)
+  | Some_ e ->
+    atom "Some(";
+    emit buf 0 e;
+    atom ")"
+  | None_ t -> atom ("None:" ^ ty_name t)
+  | Panic msg -> atom (Printf.sprintf "panic(\"%s\")" (escape msg))
+  | Drop_ x -> atom (Printf.sprintf "drop(%s)" x)
+  | Str_len e ->
+    atom "len(";
+    emit buf 0 e;
+    atom ")"
+  | Str_parse e ->
+    atom "parse(";
+    emit buf 0 e;
+    atom ")"
+  | Str_cmp (a, b) ->
+    atom "strcmp(";
+    emit buf 0 a;
+    atom ", ";
+    emit buf 0 b;
+    atom ")"
+  | Call (f, args) ->
+    atom f;
+    atom "(";
+    List.iteri
+      (fun i a ->
+        if i > 0 then atom ", ";
+        emit buf 0 a)
+      args;
+    atom ")"
+  | Array_lit es ->
+    atom "[";
+    List.iteri
+      (fun i a ->
+        if i > 0 then atom ", ";
+        emit buf 0 a)
+      es;
+    atom "]"
+  | Index (a, i) ->
+    emit buf 10 a;
+    atom "[";
+    emit buf 0 i;
+    atom "]"
+  | If (c, t, f) ->
+    atom "if ";
+    emit buf 0 c;
+    atom " ";
+    emit_block buf t;
+    atom " else ";
+    emit_block buf f
+  | While (c, body) ->
+    atom "while ";
+    emit buf 0 c;
+    atom " ";
+    emit_block buf body
+  | For (x, lo, hi, body) ->
+    atom ("for " ^ x ^ " in ");
+    emit buf 4 lo;
+    atom "..";
+    emit buf 4 hi;
+    atom " ";
+    emit_block buf body
+  | Match_option { scrutinee; bind; some_branch; none_branch } ->
+    atom "match ";
+    emit buf 0 scrutinee;
+    atom (" { Some(" ^ bind ^ ") => ");
+    emit buf 0 some_branch;
+    atom ", None => ";
+    emit buf 0 none_branch;
+    atom " }"
+  | Let _ | Seq _ | Assign _ | Index_assign _ -> emit_block buf e
+
+(* statement-shaped nodes render as blocks *)
+and emit_block buf (e : expr) =
+  let atom s = Buffer.add_string buf s in
+  atom "{ ";
+  emit_stmts buf e;
+  atom " }"
+
+and emit_stmts buf (e : expr) =
+  let atom s = Buffer.add_string buf s in
+  match e with
+  | Let { name; mut; value; body } ->
+    atom (Printf.sprintf "let %s%s = " (if mut then "mut " else "") name);
+    emit buf 0 value;
+    atom "; ";
+    emit_stmts buf body
+  | Seq [] -> atom "()"
+  | Seq [ e ] -> emit_stmts buf e
+  | Seq (e :: rest) ->
+    emit_stmt_pos buf e;
+    atom "; ";
+    emit_stmts buf (Seq rest)
+  | Assign (x, v) ->
+    atom (x ^ " = ");
+    emit buf 0 v
+  | Index_assign (x, i, v) ->
+    atom (x ^ "[");
+    emit buf 0 i;
+    atom "] = ";
+    emit buf 0 v
+  | other -> emit buf 0 other
+
+and emit_stmt_pos buf e =
+  match e with
+  | Assign _ | Index_assign _ -> emit_stmts buf e
+  | other -> emit buf 0 other
+
+let to_string (e : expr) =
+  let buf = Buffer.create 256 in
+  emit_stmts buf e;
+  Buffer.contents buf

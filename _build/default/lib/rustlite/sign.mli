@@ -1,0 +1,21 @@
+(** Extension signing: the "decoupling static code analysis" half of §3.1.
+
+    Self-contained SHA-256 and HMAC-SHA256 (no external dependencies); the
+    shared-MAC trust model stands in for the asymmetric signatures and
+    secure key bootstrap (IMA integration) the paper points at, without
+    changing the load-time protocol. *)
+
+val sha256 : string -> string
+(** Raw 32-byte digest. *)
+
+val to_hex : string -> string
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256, raw 32-byte MAC. *)
+
+type signature = { digest_hex : string; mac_hex : string }
+
+val sign : key:string -> string -> signature
+
+val validate : key:string -> string -> signature -> bool
+(** Recompute and compare; any payload or key change fails. *)

@@ -1,0 +1,164 @@
+(* The type checker: the first half of the trusted userspace toolchain.
+   Standard bidirectional-ish checking over Ast.ty; rejects ill-typed
+   programs, which is Table 2's "Type safety / Language safety" row. *)
+
+open Ast
+
+type error = { what : string; where_ : string }
+
+exception Type_error of error
+
+let fail ~where_ fmt =
+  Format.kasprintf (fun what -> raise (Type_error { what; where_ })) fmt
+
+type env = (string * (ty * bool (* mut *))) list
+
+let rec infer (env : env) (e : expr) : ty =
+  match e with
+  | Lit_unit -> T_unit
+  | Lit_bool _ -> T_bool
+  | Lit_int _ -> T_i64
+  | Lit_str _ -> T_str
+  | Var x -> (
+    match List.assoc_opt x env with
+    | Some (t, _) -> t
+    | None -> fail ~where_:x "unbound variable %s" x)
+  | Let { name; mut; value; body } ->
+    let tv = infer env value in
+    infer ((name, (tv, mut)) :: env) body
+  | Assign (x, e) -> (
+    match List.assoc_opt x env with
+    | None -> fail ~where_:x "unbound variable %s" x
+    | Some (t, mut) ->
+      if not mut then fail ~where_:x "cannot assign to immutable %s" x;
+      let te = infer env e in
+      if te <> t then
+        fail ~where_:x "assignment type mismatch: %s vs %s" (ty_to_string t)
+          (ty_to_string te);
+      T_unit)
+  | Binop (op, a, b) -> (
+    let ta = infer env a and tb = infer env b in
+    match op with
+    | Add | Sub | Mul | Div | Rem | BAnd | BOr | BXor | Shl | Shr ->
+      if ta <> T_i64 || tb <> T_i64 then
+        fail ~where_:(binop_to_string op) "arithmetic needs i64 operands";
+      T_i64
+    | Lt | Le | Gt | Ge ->
+      if ta <> T_i64 || tb <> T_i64 then
+        fail ~where_:(binop_to_string op) "comparison needs i64 operands";
+      T_bool
+    | Eq | Ne ->
+      if ta <> tb then
+        fail ~where_:(binop_to_string op) "equality on different types: %s vs %s"
+          (ty_to_string ta) (ty_to_string tb);
+      (match ta with
+      | T_i64 | T_bool | T_str | T_unit -> ()
+      | _ -> fail ~where_:(binop_to_string op) "equality only on scalars/strings");
+      T_bool
+    | LAnd | LOr ->
+      if ta <> T_bool || tb <> T_bool then
+        fail ~where_:(binop_to_string op) "logic needs bool operands";
+      T_bool)
+  | Not e ->
+    if infer env e <> T_bool then fail ~where_:"!" "not needs bool";
+    T_bool
+  | Neg e ->
+    if infer env e <> T_i64 then fail ~where_:"-" "neg needs i64";
+    T_i64
+  | If (c, t, f) ->
+    if infer env c <> T_bool then fail ~where_:"if" "condition must be bool";
+    let tt = infer env t and tf = infer env f in
+    if tt <> tf then
+      fail ~where_:"if" "branches disagree: %s vs %s" (ty_to_string tt) (ty_to_string tf);
+    tt
+  | While (c, body) ->
+    if infer env c <> T_bool then fail ~where_:"while" "condition must be bool";
+    ignore (infer env body);
+    T_unit
+  | For (x, lo, hi, body) ->
+    if infer env lo <> T_i64 || infer env hi <> T_i64 then
+      fail ~where_:"for" "range bounds must be i64";
+    ignore (infer ((x, (T_i64, false)) :: env) body);
+    T_unit
+  | Seq [] -> T_unit
+  | Seq es ->
+    let rec go = function
+      | [ last ] -> infer env last
+      | e :: rest ->
+        ignore (infer env e);
+        go rest
+      | [] -> T_unit
+    in
+    go es
+  | Some_ e -> T_option (infer env e)
+  | None_ t -> T_option t
+  | Match_option { scrutinee; bind; some_branch; none_branch } -> (
+    match infer env scrutinee with
+    | T_option payload ->
+      let ts = infer ((bind, (payload, false)) :: env) some_branch in
+      let tn = infer env none_branch in
+      if ts <> tn then
+        fail ~where_:"match" "branches disagree: %s vs %s" (ty_to_string ts)
+          (ty_to_string tn);
+      ts
+    | t -> fail ~where_:"match" "scrutinee must be Option, got %s" (ty_to_string t))
+  | Array_lit [] -> fail ~where_:"array" "empty array literal has no type"
+  | Array_lit (e0 :: rest) ->
+    let t0 = infer env e0 in
+    if not (is_copy t0) then fail ~where_:"array" "array elements must be Copy";
+    List.iter
+      (fun e ->
+        if infer env e <> t0 then fail ~where_:"array" "heterogeneous array literal")
+      rest;
+    T_array (t0, List.length rest + 1)
+  | Index (a, i) -> (
+    if infer env i <> T_i64 then fail ~where_:"index" "index must be i64";
+    match infer env a with
+    | T_array (t, _) -> t
+    | t -> fail ~where_:"index" "indexing a non-array %s" (ty_to_string t))
+  | Index_assign (x, i, v) -> (
+    if infer env i <> T_i64 then fail ~where_:"index" "index must be i64";
+    match List.assoc_opt x env with
+    | None -> fail ~where_:x "unbound variable %s" x
+    | Some (T_array (t, _), mut) ->
+      if not mut then fail ~where_:x "cannot assign into immutable array %s" x;
+      if infer env v <> t then fail ~where_:x "array element type mismatch";
+      T_unit
+    | Some (t, _) -> fail ~where_:x "index-assign on non-array %s" (ty_to_string t))
+  | Borrow x -> (
+    match List.assoc_opt x env with
+    | Some (t, _) -> T_ref t
+    | None -> fail ~where_:x "unbound variable %s" x)
+  | Call (f, args) -> (
+    match Kcrate.signature f with
+    | None -> fail ~where_:f "unknown kernel-crate function %s" f
+    | Some (params, ret) ->
+      if List.length params <> List.length args then
+        fail ~where_:f "%s expects %d args, got %d" f (List.length params)
+          (List.length args);
+      List.iteri
+        (fun i (param, arg) ->
+          let ta = infer env arg in
+          if ta <> param then
+            fail ~where_:f "%s arg %d: expected %s, got %s" f (i + 1)
+              (ty_to_string param) (ty_to_string ta))
+        (List.combine params args);
+      ret)
+  | Panic _ -> T_unit (* diverges; unit is a sound enough approximation *)
+  | Str_len e ->
+    if infer env e <> T_str then fail ~where_:"len" "len needs &str";
+    T_i64
+  | Str_parse e ->
+    if infer env e <> T_str then fail ~where_:"parse" "parse needs &str";
+    T_option T_i64
+  | Str_cmp (a, b) ->
+    if infer env a <> T_str || infer env b <> T_str then
+      fail ~where_:"strcmp" "strcmp needs &str";
+    T_i64
+  | Drop_ x -> (
+    match List.assoc_opt x env with
+    | Some _ -> T_unit
+    | None -> fail ~where_:x "unbound variable %s" x)
+
+let check (e : expr) : (ty, error) result =
+  match infer [] e with t -> Ok t | exception Type_error err -> Error err

@@ -1,0 +1,45 @@
+(* Runtime values for rustlite evaluation. *)
+
+type resource_handle = {
+  key : int64;          (* the key in the Hctx resource table (addr/id) *)
+  kind : Ast.rkind;
+  mutable alive : bool; (* false once dropped or consumed *)
+  obj_addr : int64;     (* underlying kernel object address, for accessors *)
+}
+
+type t =
+  | V_unit
+  | V_bool of bool
+  | V_int of int64
+  | V_str of string
+  | V_option of t option
+  | V_array of t array
+  | V_ref of t          (* shared borrow: aliases the underlying value *)
+  | V_resource of resource_handle
+
+let rec pp ppf = function
+  | V_unit -> Format.fprintf ppf "()"
+  | V_bool b -> Format.fprintf ppf "%b" b
+  | V_int v -> Format.fprintf ppf "%Ld" v
+  | V_str s -> Format.fprintf ppf "%S" s
+  | V_option None -> Format.fprintf ppf "None"
+  | V_option (Some v) -> Format.fprintf ppf "Some(%a)" pp v
+  | V_array a ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      (Array.to_list a)
+  | V_ref v -> Format.fprintf ppf "&%a" pp v
+  | V_resource h ->
+    Format.fprintf ppf "%s#%Lx%s" (Ast.rkind_to_string h.kind) h.key
+      (if h.alive then "" else " (dead)")
+
+let as_int = function V_int v -> v | _ -> invalid_arg "expected int"
+let as_bool = function V_bool b -> b | _ -> invalid_arg "expected bool"
+let as_str = function V_str s -> s | _ -> invalid_arg "expected str"
+
+let rec strip_ref = function V_ref v -> strip_ref v | v -> v
+
+let as_resource v =
+  match strip_ref v with
+  | V_resource h -> h
+  | _ -> invalid_arg "expected resource"

@@ -1,0 +1,149 @@
+(* Port of Linux kernel/bpf/tnum.c (tristate numbers).
+   All arithmetic is on int64 treated as unsigned 64-bit words; OCaml's
+   Int64 wrap-around semantics match the kernel's u64 arithmetic. *)
+
+type t = { value : int64; mask : int64 }
+
+let ( &: ) = Int64.logand
+let ( |: ) = Int64.logor
+let ( ^: ) = Int64.logxor
+let ( +: ) = Int64.add
+let ( -: ) = Int64.sub
+let lnot64 = Int64.lognot
+
+let make ~value ~mask = { value = value &: lnot64 mask; mask }
+let const v = { value = v; mask = 0L }
+let unknown = { value = 0L; mask = -1L }
+let zero = const 0L
+
+let is_const t = Int64.equal t.mask 0L
+let is_unknown t = Int64.equal t.mask (-1L)
+let to_const t = if is_const t then Some t.value else None
+let equal a b = Int64.equal a.value b.value && Int64.equal a.mask b.mask
+
+(* fls64: index (1-based) of the most significant set bit, 0 if none. *)
+let fls64 x =
+  let rec go i = if i < 0 then 0 else if Int64.equal (Int64.shift_right_logical x i &: 1L) 1L then i + 1 else go (i - 1) in
+  go 63
+
+let range ~min ~max =
+  let chi = min ^: max in
+  let bits = fls64 chi in
+  if bits > 63 then unknown
+  else
+    let delta = Int64.shift_left 1L bits -: 1L in
+    make ~value:(min &: lnot64 delta) ~mask:delta
+
+let contains t w = Int64.equal (w &: lnot64 t.mask) t.value
+
+(* Linux tnum_in(a, b): b is a subset of a. We expose subset a b = tnum_in b a. *)
+let subset a b =
+  if not (Int64.equal (a.mask &: lnot64 b.mask) 0L) then false
+  else Int64.equal (a.value &: lnot64 b.mask) b.value
+
+let lshift a n = { value = Int64.shift_left a.value n; mask = Int64.shift_left a.mask n }
+let rshift a n =
+  { value = Int64.shift_right_logical a.value n; mask = Int64.shift_right_logical a.mask n }
+
+let cast a ~size =
+  if size >= 8 then a
+  else
+    let keep = Int64.shift_left 1L (size * 8) -: 1L in
+    { value = a.value &: keep; mask = a.mask &: keep }
+
+let arshift a n ~bits =
+  if bits = 32 then
+    let sub = cast a ~size:4 in
+    (* sign-extend the 32-bit view, then shift arithmetically *)
+    let sext x = Int64.shift_right (Int64.shift_left x 32) 32 in
+    let v = Int64.shift_right (sext sub.value) n in
+    let m = Int64.shift_right (sext sub.mask) n in
+    cast (make ~value:(v &: lnot64 m) ~mask:m) ~size:4
+  else
+    let v = Int64.shift_right a.value n and m = Int64.shift_right a.mask n in
+    make ~value:(v &: lnot64 m) ~mask:m
+
+let add a b =
+  let sm = a.mask +: b.mask in
+  let sv = a.value +: b.value in
+  let sigma = sm +: sv in
+  let chi = sigma ^: sv in
+  let mu = chi |: a.mask |: b.mask in
+  make ~value:(sv &: lnot64 mu) ~mask:mu
+
+let sub a b =
+  let dv = a.value -: b.value in
+  let alpha = dv +: a.mask in
+  let beta = dv -: b.mask in
+  let chi = alpha ^: beta in
+  let mu = chi |: a.mask |: b.mask in
+  make ~value:(dv &: lnot64 mu) ~mask:mu
+
+let neg a = sub (const 0L) a
+
+let logand a b =
+  let alpha = a.value |: a.mask in
+  let beta = b.value |: b.mask in
+  let v = a.value &: b.value in
+  { value = v; mask = alpha &: beta &: lnot64 v }
+
+let logor a b =
+  let v = a.value |: b.value in
+  let mu = a.mask |: b.mask in
+  { value = v; mask = mu &: lnot64 v }
+
+let logxor a b =
+  let v = a.value ^: b.value in
+  let mu = a.mask |: b.mask in
+  { value = v &: lnot64 mu; mask = mu }
+
+(* Sound multiplication (Vishwanathan et al., adopted by Linux):
+   decompose [a] bit by bit, accumulating partial products. *)
+let mul a b =
+  let acc_v = Int64.mul a.value b.value in
+  let rec go a b acc_m =
+    if Int64.equal a.value 0L && Int64.equal a.mask 0L then acc_m
+    else
+      let acc_m =
+        if Int64.equal (a.value &: 1L) 1L then add acc_m { value = 0L; mask = b.mask }
+        else if Int64.equal (a.mask &: 1L) 1L then
+          add acc_m { value = 0L; mask = b.value |: b.mask }
+        else acc_m
+      in
+      go (rshift a 1) (lshift b 1) acc_m
+  in
+  let acc_m = go a b (const 0L) in
+  add (const acc_v) acc_m
+
+let intersect a b =
+  let v = a.value |: b.value in
+  let mu = a.mask &: b.mask in
+  make ~value:(v &: lnot64 mu) ~mask:mu
+
+let union a b =
+  (* bits known in both and agreeing stay known *)
+  let known = lnot64 (a.mask |: b.mask) &: lnot64 (a.value ^: b.value) in
+  make ~value:(a.value &: known) ~mask:(lnot64 known)
+
+let is_aligned a size =
+  if Int64.equal size 0L then true
+  else Int64.equal ((a.value |: a.mask) &: (size -: 1L)) 0L
+
+let subreg a = cast a ~size:4
+let clear_subreg a = lshift (rshift a 32) 32
+let with_subreg a subr = logor (clear_subreg a) (subreg subr)
+let const_subreg a v = with_subreg a (const v)
+
+let umin t = t.value
+let umax t = t.value |: t.mask
+
+let pp ppf t = Format.fprintf ppf "(%Lx; %Lx)" t.value t.mask
+
+let pp_bin ppf t =
+  for i = 63 downto 0 do
+    let bit x = Int64.equal (Int64.shift_right_logical x i &: 1L) 1L in
+    let c = if bit t.mask then 'x' else if bit t.value then '1' else '0' in
+    Format.pp_print_char ppf c
+  done
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,95 @@
+(** Tristate numbers ("tnums"): the abstract domain the Linux eBPF verifier
+    uses to track partially-known 64-bit register values.
+
+    A tnum [(value, mask)] represents the set of concrete 64-bit words [w]
+    such that [w land (lnot mask) = value]: every bit is either known
+    ([mask] bit = 0, taking the bit of [value]) or unknown ([mask] bit = 1).
+    The representation invariant is [value land mask = 0].
+
+    This module is a port of Linux [kernel/bpf/tnum.c], including the sound
+    multiplication of Vishwanathan et al. (CGO'22), which the paper cites as
+    one of the verification-hardening efforts that still cannot rescue the
+    helper-function escape hatch. *)
+
+type t = private { value : int64; mask : int64 }
+
+val make : value:int64 -> mask:int64 -> t
+(** [make ~value ~mask] builds a tnum, normalising so that unknown bits of
+    [value] are cleared (enforces [value land mask = 0]). *)
+
+val const : int64 -> t
+(** Fully-known constant. *)
+
+val unknown : t
+(** The top element: nothing known. *)
+
+val zero : t
+(** [const 0L]. *)
+
+val range : min:int64 -> max:int64 -> t
+(** [range ~min ~max] is the best tnum containing the unsigned interval
+    [[min, max]] (Linux [tnum_range]). *)
+
+val is_const : t -> bool
+val is_unknown : t -> bool
+val to_const : t -> int64 option
+
+val equal : t -> t -> bool
+val contains : t -> int64 -> bool
+(** [contains t w]: is the concrete word [w] a member of [t]? *)
+
+val subset : t -> t -> bool
+(** [subset a b]: is every member of [a] a member of [b]?
+    (Linux [tnum_in b a].) *)
+
+(** {1 Arithmetic and bitwise transfer functions} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lshift : t -> int -> t
+val rshift : t -> int -> t
+(** Logical right shift. *)
+
+val arshift : t -> int -> bits:int -> t
+(** Arithmetic right shift at the given operand width (32 or 64). *)
+
+val intersect : t -> t -> t
+(** Meet: keep information from both (callers must know the operands are
+    consistent, as in Linux). *)
+
+val union : t -> t -> t
+(** Join: keep only the information the operands agree on. *)
+
+val cast : t -> size:int -> t
+(** Truncate to the low [size] bytes (1, 2, 4 or 8), zeroing the rest. *)
+
+val is_aligned : t -> int64 -> bool
+(** [is_aligned t size]: is every member of [t] a multiple of [size]
+    (for power-of-two sizes)? *)
+
+(** {1 32-bit subregister views (Linux tnum_subreg etc.)} *)
+
+val subreg : t -> t
+val clear_subreg : t -> t
+val with_subreg : t -> t -> t
+val const_subreg : t -> int64 -> t
+
+(** {1 Unsigned bounds implied by the tnum} *)
+
+val umin : t -> int64
+val umax : t -> int64
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering [value/mask]. *)
+
+val pp_bin : Format.formatter -> t -> unit
+(** 64-character tribit string (0, 1 or x per bit), most significant first. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/verifier/prevail.ml: Array Cfg Ebpf Hashtbl Helpers Insn List Maps Option Program Queue Verifier Vstate

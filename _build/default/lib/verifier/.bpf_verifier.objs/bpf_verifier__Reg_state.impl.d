@@ -1,0 +1,1 @@
+lib/verifier/reg_state.ml: Format Int64 Option Printf Tnum

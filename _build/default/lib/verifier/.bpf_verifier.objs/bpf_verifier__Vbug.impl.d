@@ -1,0 +1,1 @@
+lib/verifier/vbug.ml: List

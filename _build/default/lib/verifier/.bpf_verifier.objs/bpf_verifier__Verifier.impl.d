@@ -1,0 +1,1 @@
+lib/verifier/verifier.ml: Array Buffer Cfg Ebpf Format Hashtbl Helpers Insn Int64 Kerndata List Maps Option Program Proto Reg_state Registry String Tnum Vbug Vstate

@@ -1,0 +1,1 @@
+lib/verifier/vstate.ml: Array Bool Format Int64 List Reg_state Tnum

@@ -1,0 +1,136 @@
+(* A PREVAIL-style userspace verifier: abstract interpretation with joins
+   at control-flow merge points and widening on loops, instead of the
+   in-kernel verifier's path enumeration (Gershuni et al., PLDI'19 — the
+   §2.3 "userspace verifier" the paper cites).
+
+   It reuses the exact same transfer functions as the in-kernel engine
+   (Verifier.process_insn over Vstate), so the two differ only in
+   exploration strategy:
+
+   - the in-kernel engine walks every path (exponential in the worst case,
+     hence the complexity budget) but is *path-sensitive*: it can prove
+     facts that hold on each path separately;
+   - this engine computes one invariant per basic block by joining incoming
+     states (polynomial, no budget needed) but loses cross-path
+     correlations, so it rejects some programs the in-kernel engine
+     accepts — the classic precision/scalability trade, measured in
+     bench exp-vcost.
+
+   Feature scope, as in early PREVAIL: reference-acquiring, locking and
+   callback-taking helpers are rejected up front ("unsupported"); bounded
+   loops are handled natively by widening (no bpf_loop needed). *)
+
+module Bpf_map = Maps.Bpf_map
+open Ebpf
+
+type stats = {
+  blocks : int;
+  fixpoint_iterations : int;
+  insns_processed : int;
+}
+
+type verdict = (stats, Verifier.reject) result
+
+let unsupported_helper (def : Helpers.Registry.def) =
+  let proto = def.Helpers.Registry.proto in
+  Helpers.Proto.acquires proto
+  || Helpers.Proto.releases proto <> None
+  || Helpers.Proto.locks proto || Helpers.Proto.unlocks proto
+  || List.exists
+       (fun a -> a = Helpers.Proto.Arg_callback_pc)
+       proto.Helpers.Proto.args
+
+(* How many times a block may be revisited before widening kicks in. *)
+let widen_after = 6
+(* Hard cap on fixpoint iterations (defence in depth; widening should
+   terminate the chain long before). *)
+let max_iterations = 10_000
+
+let verify ?(config = Verifier.default_config ()) ~map_def (prog : Program.t) :
+    verdict =
+  let env = Verifier.make_env ~config ~map_def prog in
+  let iterations = ref 0 in
+  let insns = ref 0 in
+  let n_blocks = ref 0 in
+  match
+    Verifier.check_registers env;
+    Verifier.check_cfg env;
+    (* feature gate *)
+    Array.iteri
+      (fun pc insn ->
+        match insn with
+        | Insn.Call id -> (
+          match Helpers.Registry.find id with
+          | Some def when unsupported_helper def ->
+            Verifier.reject pc "helper %s is not supported by this verifier"
+              def.Helpers.Registry.name
+          | Some _ -> ()
+          | None -> Verifier.reject pc "invalid func unknown#%d" id)
+        | Insn.Call_sub _ ->
+          Verifier.reject pc "BPF-to-BPF calls are not supported by this verifier"
+        | _ -> ())
+      prog.Program.insns;
+    let cfg = Cfg.build prog.Program.insns in
+    n_blocks := Cfg.block_count cfg;
+    (* per-block input states and visit counts *)
+    let block_in : (int, Vstate.t) Hashtbl.t = Hashtbl.create 16 in
+    let visits : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let worklist = Queue.create () in
+    Hashtbl.replace block_in 0 (Vstate.init ());
+    Queue.add 0 worklist;
+    let block_of pc =
+      match Hashtbl.find_opt cfg.Cfg.blocks pc with
+      | Some b -> b
+      | None -> Verifier.reject pc "internal: no block at %d" pc
+    in
+    (* propagate [st] into the block at [succ_pc]; enqueue on change *)
+    let flow_into succ_pc (st : Vstate.t) =
+      match Hashtbl.find_opt block_in succ_pc with
+      | None ->
+        Hashtbl.replace block_in succ_pc (Vstate.copy st);
+        Queue.add succ_pc worklist
+      | Some old_ ->
+        if Vstate.subsumes ~old_ st then () (* no new information *)
+        else begin
+          let joined = Vstate.join old_ st in
+          let n = Option.value ~default:0 (Hashtbl.find_opt visits succ_pc) in
+          Hashtbl.replace visits succ_pc (n + 1);
+          let joined =
+            if n >= widen_after then Vstate.widen ~prev:old_ joined else joined
+          in
+          Hashtbl.replace block_in succ_pc joined;
+          Queue.add succ_pc worklist
+        end
+    in
+    while not (Queue.is_empty worklist) do
+      incr iterations;
+      if !iterations > max_iterations then
+        Verifier.reject 0 "abstract interpretation did not converge";
+      let start_pc = Queue.pop worklist in
+      let block = block_of start_pc in
+      let st = Vstate.copy (Hashtbl.find block_in start_pc) in
+      (* run the block's instructions on the abstract state *)
+      let rec step pc =
+        if pc > block.Cfg.end_pc then flow_into pc st
+        else begin
+          incr insns;
+          match Verifier.process_insn env st ~pc with
+          | `Continue next -> if next = pc + 1 then step next else flow_into next st
+          | `Done -> ()
+          | `Branch succs ->
+            List.iter (fun (succ_pc, succ_st) -> flow_into succ_pc succ_st) succs
+        end
+      in
+      step start_pc
+    done
+  with
+  | () ->
+    Ok { blocks = !n_blocks; fixpoint_iterations = !iterations;
+         insns_processed = !insns }
+  | exception Verifier.Reject (at_pc, reason) -> Error { Verifier.at_pc; reason }
+
+let verify_with_registry ?config ~registry prog =
+  let map_def id =
+    Option.map (fun m -> m.Bpf_map.def) (Bpf_map.Registry.find registry id)
+  in
+  verify ?config ~map_def prog

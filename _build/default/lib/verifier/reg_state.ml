@@ -1,0 +1,296 @@
+(* Per-register abstract state, after Linux's [struct bpf_reg_state]:
+   a register type, a fixed offset (for pointers), a tnum for the variable
+   part, and signed/unsigned 64-bit bounds kept mutually consistent by
+   [bounds_sync].  The ALU transfer functions are simplified ports of
+   [adjust_scalar_min_max_vals]. *)
+
+type rtype =
+  | Not_init
+  | Scalar
+  | Ptr_ctx
+  | Ptr_stack
+  | Ptr_map_value of { map_id : int }
+  | Ptr_map_value_or_null of { map_id : int }
+  | Ptr_mem of { mem_size : int }
+  | Ptr_mem_or_null of { mem_size : int }
+  | Ptr_sock
+  | Ptr_sock_or_null
+  | Ptr_task
+  | Ptr_task_or_null
+  | Map_handle of { map_id : int }
+
+type t = {
+  rtype : rtype;
+  off : int;           (* fixed offset component for pointers *)
+  var_off : Tnum.t;    (* scalar value / variable offset *)
+  smin : int64;
+  smax : int64;
+  umin : int64;
+  umax : int64;
+  id : int;            (* non-zero: null-check propagation group *)
+  ref_obj_id : int;    (* non-zero: carries a reference obligation *)
+}
+
+let u_le a b = Int64.unsigned_compare a b <= 0
+let u_lt a b = Int64.unsigned_compare a b < 0
+let u_min a b = if u_le a b then a else b
+let u_max a b = if u_le a b then b else a
+let s_min a b = if Int64.compare a b <= 0 then a else b
+let s_max a b = if Int64.compare a b <= 0 then b else a
+
+let not_init =
+  { rtype = Not_init; off = 0; var_off = Tnum.unknown; smin = Int64.min_int;
+    smax = Int64.max_int; umin = 0L; umax = -1L; id = 0; ref_obj_id = 0 }
+
+let unknown_scalar =
+  { not_init with rtype = Scalar }
+
+let const_scalar v =
+  { rtype = Scalar; off = 0; var_off = Tnum.const v; smin = v; smax = v; umin = v;
+    umax = v; id = 0; ref_obj_id = 0 }
+
+let pointer ?(off = 0) ?(id = 0) ?(ref_obj_id = 0) rtype =
+  { rtype; off; var_off = Tnum.zero; smin = 0L; smax = 0L; umin = 0L; umax = 0L;
+    id; ref_obj_id }
+
+let is_pointer t =
+  match t.rtype with
+  | Not_init | Scalar | Map_handle _ -> false
+  | Ptr_ctx | Ptr_stack | Ptr_map_value _ | Ptr_map_value_or_null _ | Ptr_mem _
+  | Ptr_mem_or_null _ | Ptr_sock | Ptr_sock_or_null | Ptr_task | Ptr_task_or_null ->
+    true
+
+let is_maybe_null t =
+  match t.rtype with
+  | Ptr_map_value_or_null _ | Ptr_mem_or_null _ | Ptr_sock_or_null | Ptr_task_or_null ->
+    true
+  | _ -> false
+
+let is_scalar t = t.rtype = Scalar
+let is_init t = t.rtype <> Not_init
+
+let is_const t = is_scalar t && Tnum.is_const t.var_off
+let const_value t = if is_const t then Tnum.to_const t.var_off else None
+
+(* Keep tnum and the four bounds mutually consistent (the kernel's
+   __update_reg_bounds / __reg_deduce_bounds / __reg_bound_offset trio). *)
+let bounds_sync t =
+  if t.rtype <> Scalar then t
+  else begin
+    (* learn unsigned bounds from the tnum *)
+    let umin = u_max t.umin (Tnum.umin t.var_off) in
+    let umax = u_min t.umax (Tnum.umax t.var_off) in
+    (* deduce signed from unsigned when sign is fixed *)
+    let smin, smax =
+      if Int64.compare umax 0L >= 0 then
+        (* umax fits in the non-negative signed range *)
+        (s_max t.smin umin, s_min t.smax umax)
+      else if Int64.compare umin 0L < 0 then
+        (* whole range is in the "negative as signed" zone *)
+        (s_max t.smin umin, s_min t.smax umax)
+      else (t.smin, t.smax)
+    in
+    (* deduce unsigned from signed when the signed range has one sign *)
+    let umin, umax =
+      if Int64.compare smin 0L >= 0 then (u_max umin smin, u_min umax smax)
+      else if Int64.compare smax 0L < 0 then (u_max umin smin, u_min umax smax)
+      else (umin, umax)
+    in
+    (* feed the bounds back into the tnum *)
+    let var_off = Tnum.intersect t.var_off (Tnum.range ~min:umin ~max:umax) in
+    { t with var_off; smin; smax; umin; umax }
+  end
+
+let mark_unknown t = { unknown_scalar with id = 0; ref_obj_id = t.ref_obj_id }
+
+(* 32-bit destination: zero-extend (the eBPF ALU32 semantics). *)
+let zext32 t =
+  if t.rtype <> Scalar then t
+  else
+    let var_off = Tnum.cast t.var_off ~size:4 in
+    bounds_sync
+      { t with var_off; umin = Tnum.umin var_off; umax = Tnum.umax var_off;
+        smin = Tnum.umin var_off; smax = Tnum.umax var_off }
+
+let signed_add_overflows a b =
+  let r = Int64.add a b in
+  if Int64.compare b 0L >= 0 then Int64.compare r a < 0 else Int64.compare r a > 0
+
+let signed_sub_overflows a b =
+  let r = Int64.sub a b in
+  if Int64.compare b 0L <= 0 then Int64.compare r a < 0 else Int64.compare r a > 0
+
+let unsigned_add_overflows a b = u_lt (Int64.add a b) a
+
+(* --- scalar transfer functions (64-bit) --- *)
+
+let scalar_add dst src =
+  let smin, smax =
+    if signed_add_overflows dst.smin src.smin || signed_add_overflows dst.smax src.smax
+    then (Int64.min_int, Int64.max_int)
+    else (Int64.add dst.smin src.smin, Int64.add dst.smax src.smax)
+  in
+  let umin, umax =
+    if unsigned_add_overflows dst.umin src.umin || unsigned_add_overflows dst.umax src.umax
+    then (0L, -1L)
+    else (Int64.add dst.umin src.umin, Int64.add dst.umax src.umax)
+  in
+  bounds_sync
+    { dst with var_off = Tnum.add dst.var_off src.var_off; smin; smax; umin; umax }
+
+let scalar_sub dst src =
+  let smin, smax =
+    if signed_sub_overflows dst.smin src.smax || signed_sub_overflows dst.smax src.smin
+    then (Int64.min_int, Int64.max_int)
+    else (Int64.sub dst.smin src.smax, Int64.sub dst.smax src.smin)
+  in
+  let umin, umax =
+    if u_lt dst.umin src.umax then (0L, -1L)
+    else (Int64.sub dst.umin src.umax, Int64.sub dst.umax src.umin)
+  in
+  bounds_sync
+    { dst with var_off = Tnum.sub dst.var_off src.var_off; smin; smax; umin; umax }
+
+let scalar_mul dst src =
+  let var_off = Tnum.mul dst.var_off src.var_off in
+  (* only track bounds for small non-negative products, as the kernel does *)
+  let fits =
+    Int64.compare dst.umax 0x7fff_ffffL <= 0 && Int64.compare src.umax 0x7fff_ffffL <= 0
+    && Int64.compare dst.smin 0L >= 0 && Int64.compare src.smin 0L >= 0
+  in
+  if fits then
+    bounds_sync
+      { dst with var_off; umin = Int64.mul dst.umin src.umin;
+        umax = Int64.mul dst.umax src.umax; smin = Int64.mul dst.smin src.smin;
+        smax = Int64.mul dst.smax src.smax }
+  else bounds_sync { (mark_unknown dst) with var_off }
+
+let scalar_and dst src =
+  let var_off = Tnum.logand dst.var_off src.var_off in
+  let umax = u_min (Tnum.umax var_off) (u_min dst.umax src.umax) in
+  bounds_sync
+    { dst with var_off; umin = Tnum.umin var_off; umax;
+      smin = (if Int64.compare umax 0L >= 0 then 0L else Int64.min_int);
+      smax = (if Int64.compare umax 0L >= 0 then umax else Int64.max_int) }
+
+let scalar_or dst src =
+  let var_off = Tnum.logor dst.var_off src.var_off in
+  let umin = u_max (Tnum.umin var_off) (u_max dst.umin src.umin) in
+  let umax = Tnum.umax var_off in
+  bounds_sync
+    { dst with var_off; umin; umax;
+      smin = (if Int64.compare umax 0L >= 0 then 0L else Int64.min_int);
+      smax = (if Int64.compare umax 0L >= 0 then umax else Int64.max_int) }
+
+let scalar_xor dst src =
+  let var_off = Tnum.logxor dst.var_off src.var_off in
+  bounds_sync
+    { dst with var_off; umin = Tnum.umin var_off; umax = Tnum.umax var_off;
+      smin = Int64.min_int; smax = Int64.max_int }
+
+let scalar_shift_const op dst shift =
+  if shift < 0 || shift > 63 then mark_unknown dst
+  else if shift = 0 then bounds_sync dst (* identity: keeps the sign bit *)
+  else
+    match op with
+    | `Lsh ->
+      let var_off = Tnum.lshift dst.var_off shift in
+      let overflow = shift > 0 && u_lt (Int64.shift_right_logical (-1L) shift) dst.umax in
+      if overflow then bounds_sync { (mark_unknown dst) with var_off }
+      else
+        bounds_sync
+          { dst with var_off; umin = Int64.shift_left dst.umin shift;
+            umax = Int64.shift_left dst.umax shift; smin = Int64.min_int;
+            smax = Int64.max_int }
+    | `Rsh ->
+      let var_off = Tnum.rshift dst.var_off shift in
+      bounds_sync
+        { dst with var_off; umin = Int64.shift_right_logical dst.umin shift;
+          umax = Int64.shift_right_logical dst.umax shift;
+          smin = 0L; smax = Int64.max_int }
+    | `Arsh ->
+      let var_off = Tnum.arshift dst.var_off shift ~bits:64 in
+      bounds_sync
+        { dst with var_off; smin = Int64.shift_right dst.smin shift;
+          smax = Int64.shift_right dst.smax shift; umin = 0L; umax = -1L }
+
+let scalar_div_const dst c =
+  if Int64.equal c 0L then const_scalar 0L (* eBPF runtime: div by zero yields 0 *)
+  else
+    bounds_sync
+      { (mark_unknown dst) with
+        umin = 0L;
+        umax = (if Int64.compare c 0L > 0 then Int64.unsigned_div dst.umax c else -1L);
+        smin = Int64.min_int; smax = Int64.max_int; var_off = Tnum.unknown }
+
+let scalar_neg dst = bounds_sync { (mark_unknown dst) with var_off = Tnum.neg dst.var_off }
+
+let pp_rtype ppf = function
+  | Not_init -> Format.fprintf ppf "?"
+  | Scalar -> Format.fprintf ppf "scalar"
+  | Ptr_ctx -> Format.fprintf ppf "ctx"
+  | Ptr_stack -> Format.fprintf ppf "fp"
+  | Ptr_map_value { map_id } -> Format.fprintf ppf "map_value(map=%d)" map_id
+  | Ptr_map_value_or_null { map_id } -> Format.fprintf ppf "map_value_or_null(map=%d)" map_id
+  | Ptr_mem { mem_size } -> Format.fprintf ppf "mem(sz=%d)" mem_size
+  | Ptr_mem_or_null { mem_size } -> Format.fprintf ppf "mem_or_null(sz=%d)" mem_size
+  | Ptr_sock -> Format.fprintf ppf "sock"
+  | Ptr_sock_or_null -> Format.fprintf ppf "sock_or_null"
+  | Ptr_task -> Format.fprintf ppf "task"
+  | Ptr_task_or_null -> Format.fprintf ppf "task_or_null"
+  | Map_handle { map_id } -> Format.fprintf ppf "map_ptr(map=%d)" map_id
+
+let pp ppf t =
+  match t.rtype with
+  | Not_init -> Format.fprintf ppf "?"
+  | Scalar ->
+    if is_const t then Format.fprintf ppf "%Ld" (Option.get (const_value t))
+    else
+      Format.fprintf ppf "scalar(umin=%Lu,umax=%Lu,smin=%Ld,smax=%Ld,var=%a)" t.umin
+        t.umax t.smin t.smax Tnum.pp t.var_off
+  | _ ->
+    Format.fprintf ppf "%a%s%a" pp_rtype t.rtype
+      (if t.off <> 0 then Printf.sprintf "%+d" t.off else "")
+      (fun ppf v -> if not (Tnum.is_const v) then Format.fprintf ppf "+%a" Tnum.pp v)
+      t.var_off
+
+(* ---- join / widening (for the abstract-interpretation engine) ---- *)
+
+(* Least upper bound of two register states.  Where the types disagree the
+   result is Not_init — unusable, so any later use rejects (sound
+   over-approximation). *)
+let join (a : t) (b : t) : t =
+  match (a.rtype, b.rtype) with
+  | Scalar, Scalar ->
+    bounds_sync
+      { rtype = Scalar; off = 0; var_off = Tnum.union a.var_off b.var_off;
+        smin = s_min a.smin b.smin; smax = s_max a.smax b.smax;
+        umin = u_min a.umin b.umin; umax = u_max a.umax b.umax; id = 0;
+        ref_obj_id = 0 }
+  | ra, rb when ra = rb && a.off = b.off && Tnum.equal a.var_off b.var_off ->
+    if is_pointer a then
+      { a with umin = u_min a.umin b.umin; umax = u_max a.umax b.umax; id = 0 }
+    else a
+  | Ptr_map_value { map_id = ma }, Ptr_map_value { map_id = mb }
+    when ma = mb && a.off = b.off ->
+    (* same base, possibly different variable parts: join the bounds *)
+    { a with var_off = Tnum.union a.var_off b.var_off;
+      umin = u_min a.umin b.umin; umax = u_max a.umax b.umax; id = 0 }
+  | _, _ -> not_init
+
+(* Standard widening: any bound that moved since the previous iterate jumps
+   to its extreme, guaranteeing termination of the fixpoint. *)
+let widen ~(prev : t) (next : t) : t =
+  if prev.rtype <> Scalar || next.rtype <> Scalar then next
+  else
+    let umin = if u_lt next.umin prev.umin then 0L else next.umin in
+    let umax = if u_lt prev.umax next.umax then -1L else next.umax in
+    let smin = if Int64.compare next.smin prev.smin < 0 then Int64.min_int else next.smin in
+    let smax = if Int64.compare prev.smax next.smax < 0 then Int64.max_int else next.smax in
+    let widened_bounds =
+      not (Int64.equal umin next.umin) || not (Int64.equal umax next.umax)
+      || not (Int64.equal smin next.smin) || not (Int64.equal smax next.smax)
+    in
+    if widened_bounds then
+      { unknown_scalar with umin; umax; smin; smax; var_off = Tnum.unknown }
+    else next

@@ -1,0 +1,52 @@
+(* Injectable verifier bugs: the executable counterparts of Table 1's
+   "Verifier" column.  Each toggle reproduces the *class* of a documented
+   verifier bug; the exploit corpus (Framework.Exploits) contains a program
+   per toggle that passes verification with the bug on, is rejected with it
+   off, and does real damage to the simulated kernel when run. *)
+
+type t = {
+  mutable ptr_arith_or_null : bool;
+  (* CVE-2022-23222: ALU arithmetic permitted on *_OR_NULL pointers, so a
+     NULL pointer can be biased past the null check.  Class: arbitrary
+     read/write. *)
+  mutable bounds_32bit_broken : bool;
+  (* Insufficient bounds propagation in 32-bit ALU ops (cf. fix 3844d153:
+     "insufficient bounds propagation from adjust_scalar_min_max_vals").
+     Class: out-of-bounds access. *)
+  mutable spill_ptr_leak : bool;
+  (* Spilled pointer read back as an unknown scalar and storable to a map
+     (cf. fixes a82fe085/7d3baf0a: "kernel address leakage in atomic ops").
+     Class: kernel pointer leak. *)
+  mutable prune_too_eager : bool;
+  (* State pruning that ignores scalar bounds when judging equivalence
+     (the recurring mark_precise bug family).  Class: out-of-bounds. *)
+  mutable task_or_null_as_task : bool;
+  (* A maybe-NULL object pointer accepted where a non-NULL one is required
+     (the helper-side fix 1a9c72ad added the missing defence).  Class:
+     null-pointer dereference. *)
+  mutable spin_lock_path_miss : bool;
+  (* Lock state dropped when comparing states at a join point, so a path
+     that re-acquires the lock is accepted.  Class: deadlock/hang. *)
+  mutable loop_inline_uaf : bool;
+  (* fb4e3b33: use-after-free in the verifier's own bpf_loop inlining —
+     the verifier itself is the crash victim.  Class: use-after-free. *)
+}
+
+let none () =
+  { ptr_arith_or_null = false; bounds_32bit_broken = false; spill_ptr_leak = false;
+    prune_too_eager = false; task_or_null_as_task = false; spin_lock_path_miss = false;
+    loop_inline_uaf = false }
+
+(* The verifier's own crash (simulated kernel bug inside the verifier). *)
+exception Verifier_crash of string
+
+let keys t =
+  List.filter_map
+    (fun (name, on) -> if on then Some name else None)
+    [ ("vbug:cve-2022-23222-ptr-arith", t.ptr_arith_or_null);
+      ("vbug:bounds-propagation-32bit", t.bounds_32bit_broken);
+      ("vbug:atomic-ptr-leak", t.spill_ptr_leak);
+      ("vbug:prune-too-eager", t.prune_too_eager);
+      ("vbug:task-or-null-as-task", t.task_or_null_as_task);
+      ("vbug:spin-lock-path-miss", t.spin_lock_path_miss);
+      ("vbug:loop-inline-uaf", t.loop_inline_uaf) ]

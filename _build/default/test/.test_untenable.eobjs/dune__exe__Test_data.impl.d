@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Callgraph Float Helpers Kerndata Lazy List Printf Untenable

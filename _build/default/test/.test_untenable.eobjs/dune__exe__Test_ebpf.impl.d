@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Array Asm Bytes Cfg Disasm Ebpf Encode Format Insn Int64 List Printf Program QCheck QCheck_alcotest String Untenable

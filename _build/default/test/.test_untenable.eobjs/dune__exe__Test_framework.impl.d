@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Bytes Ebpf Format Framework Helpers Kerndata Kernel_sim List Maps Printf Result Rustlite String Untenable

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest Array Bytes Format Framework Hashtbl Helpers Int64 Kerndata Kernel_sim List Maps String Untenable

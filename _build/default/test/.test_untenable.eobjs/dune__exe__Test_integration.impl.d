@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bpf_verifier Bytes Ebpf Format Framework Helpers Int64 Kernel_sim List Maps Option Result Rustlite Untenable

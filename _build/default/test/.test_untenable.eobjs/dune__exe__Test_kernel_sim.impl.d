@@ -1,0 +1,1 @@
+test/test_kernel_sim.ml: Alcotest Bytes Format Int64 Kernel_sim List Option Printf Untenable

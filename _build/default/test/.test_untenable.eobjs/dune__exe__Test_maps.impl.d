@@ -1,0 +1,1 @@
+test/test_maps.ml: Alcotest Bytes Format Hashtbl Int32 Int64 Kernel_sim List Maps Option Printf QCheck QCheck_alcotest String Untenable

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Format Framework Int64 Kernel_sim List QCheck QCheck_alcotest Result Rustlite String Untenable

@@ -1,0 +1,1 @@
+test/test_prevail.ml: Alcotest Bpf_verifier Ebpf Format Helpers List Maps Printf QCheck QCheck_alcotest String Untenable

@@ -1,0 +1,1 @@
+test/test_regstate.ml: Bpf_verifier Ebpf Format Insn Int64 List QCheck QCheck_alcotest Tnum Untenable

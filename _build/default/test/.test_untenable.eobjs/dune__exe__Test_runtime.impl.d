@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bpf_verifier Ebpf Format Framework Helpers Int64 Kernel_sim List QCheck QCheck_alcotest Runtime Untenable

@@ -1,0 +1,1 @@
+test/test_rustlite.ml: Alcotest Bytes Format Framework Int64 Kernel_sim List Maps Option QCheck QCheck_alcotest Runtime Rustlite String Untenable

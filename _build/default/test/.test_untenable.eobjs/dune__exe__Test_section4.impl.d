@@ -1,0 +1,1 @@
+test/test_section4.ml: Alcotest Format Framework Int64 Kernel_sim List Runtime Rustlite Untenable

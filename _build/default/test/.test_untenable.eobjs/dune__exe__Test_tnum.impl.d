@@ -1,0 +1,1 @@
+test/test_tnum.ml: Alcotest Format Int64 List Option Printf QCheck QCheck_alcotest String Tnum Untenable

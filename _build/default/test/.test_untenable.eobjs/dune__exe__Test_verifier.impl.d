@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Bpf_verifier Ebpf Format Framework Helpers Kerndata Kernel_sim List Maps Printf QCheck QCheck_alcotest String Untenable

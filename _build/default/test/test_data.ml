@@ -1,0 +1,161 @@
+(* Tests for the paper datasets (kerndata) and the calibrated call graph
+   (callgraph): the numbers the figures are regenerated from must match
+   what the paper states. *)
+
+open Untenable
+module Kver = Kerndata.Kver
+module Analysis = Callgraph.Analysis
+module Kernel_graph = Callgraph.Kernel_graph
+
+(* ---------------- kerndata ---------------- *)
+
+let test_kver_ordering () =
+  Alcotest.(check bool) "3.18 < 6.1" true (Kver.compare Kver.V3_18 Kver.V6_1 < 0);
+  Alcotest.(check int) "10 versions" 10 (List.length Kver.all);
+  Alcotest.(check int) "9 figure points" 9 (List.length Kver.figure_axis);
+  Alcotest.(check bool) "roundtrip" true (Kver.of_string "v5.15" = Some Kver.V5_15);
+  Alcotest.(check bool) "bad version" true (Kver.of_string "v9.99" = None)
+
+let test_fig2_dataset () =
+  Alcotest.(check bool) "monotone growth" true Kerndata.Verifier_loc.monotone;
+  Alcotest.(check bool) "starts ~2k" true
+    (abs (Kerndata.Verifier_loc.first_loc - 2000) < 300);
+  Alcotest.(check bool) "ends ~12k" true
+    (abs (Kerndata.Verifier_loc.last_loc - 12000) < 700);
+  Alcotest.(check bool) "growth ~6x" true
+    (Kerndata.Verifier_loc.growth_factor > 5. && Kerndata.Verifier_loc.growth_factor < 7.);
+  Alcotest.(check int) "9 points" 9 (List.length Kerndata.Verifier_loc.series)
+
+let test_fig4_dataset () =
+  Alcotest.(check bool) "~50 helpers per two years" true
+    (Kerndata.Helper_history.per_two_years > 45.
+    && Kerndata.Helper_history.per_two_years < 55.);
+  Alcotest.(check int) "census" 249 Kerndata.Helper_history.census_5_18;
+  let counts = List.map (fun p -> p.Kerndata.Helper_history.count)
+      Kerndata.Helper_history.series in
+  let rec mono = function a :: (b :: _ as r) -> a < b && mono r | _ -> true in
+  Alcotest.(check bool) "strictly growing" true (mono counts)
+
+let test_table1_totals () =
+  let t, h, v = Kerndata.Bug_stats.paper_totals in
+  Alcotest.(check int) "total 40" t Kerndata.Bug_stats.total;
+  Alcotest.(check int) "helper 18" h Kerndata.Bug_stats.total_helpers;
+  Alcotest.(check int) "verifier 22" v Kerndata.Bug_stats.total_verifier;
+  Alcotest.(check int) "10 classes" 10 (List.length Kerndata.Bug_stats.classes);
+  List.iter
+    (fun (c : Kerndata.Bug_stats.clazz) ->
+      Alcotest.(check int) (c.name ^ " rows sum") c.total (c.in_helpers + c.in_verifier))
+    Kerndata.Bug_stats.classes
+
+let test_retirement_taxonomy () =
+  Alcotest.(check int) "16 retirable (the paper's count)" 16
+    Kerndata.Retirement.retire_count;
+  Alcotest.(check bool) "bpf_loop retired" true
+    (List.exists
+       (fun (e : Kerndata.Retirement.entry) ->
+         e.helper = "bpf_loop" && e.disposition = Kerndata.Retirement.Retire)
+       Kerndata.Retirement.entries);
+  Alcotest.(check bool) "bpf_sys_bpf wrapped" true
+    (List.exists
+       (fun (e : Kerndata.Retirement.entry) ->
+         e.helper = "bpf_sys_bpf" && e.disposition = Kerndata.Retirement.Wrap)
+       Kerndata.Retirement.entries)
+
+let test_table2_shape () =
+  Alcotest.(check int) "6 properties" 6 (List.length Kerndata.Safety_props.table);
+  let by_mech m =
+    List.length
+      (List.filter
+         (fun (p : Kerndata.Safety_props.property) -> p.enforced_by = m)
+         Kerndata.Safety_props.table)
+  in
+  Alcotest.(check int) "3 language rows" 3 (by_mech Kerndata.Safety_props.Language_safety);
+  Alcotest.(check int) "3 runtime rows" 3
+    (by_mech Kerndata.Safety_props.Runtime_protection)
+
+(* ---------------- callgraph ---------------- *)
+
+let test_graph_reachability () =
+  let g = Callgraph.Graph.create () in
+  let a = Callgraph.Graph.add_node g ~name:"a" in
+  let b = Callgraph.Graph.add_node g ~name:"b" in
+  let c = Callgraph.Graph.add_node g ~name:"c" in
+  let d = Callgraph.Graph.add_node g ~name:"d" in
+  Callgraph.Graph.add_edge g ~src:a ~dst:b;
+  Callgraph.Graph.add_edge g ~src:b ~dst:c;
+  Callgraph.Graph.add_edge g ~src:a ~dst:c;
+  Alcotest.(check int) "a reaches 3" 3 (Callgraph.Graph.reachable_count g a);
+  Alcotest.(check int) "c reaches itself" 1 (Callgraph.Graph.reachable_count g c);
+  Alcotest.(check int) "d isolated" 1 (Callgraph.Graph.reachable_count g d);
+  (* duplicate edges are not double-counted *)
+  Callgraph.Graph.add_edge g ~src:a ~dst:b;
+  Alcotest.(check int) "dedup edges" 3 (Callgraph.Graph.edge_count g)
+
+let dist = lazy (Analysis.measure (Kernel_graph.build ()))
+
+let test_calibration_census () =
+  let d = Lazy.force dist in
+  Alcotest.(check int) "249 helpers" 249 d.Analysis.n
+
+let test_calibration_shares () =
+  let d = Lazy.force dist in
+  Alcotest.(check bool)
+    (Printf.sprintf "52.2%% >= 30 nodes (got %.3f)" d.Analysis.share_ge30)
+    true
+    (Float.abs (d.Analysis.share_ge30 -. 0.522) < 0.005);
+  Alcotest.(check bool)
+    (Printf.sprintf "34.5%% >= 500 nodes (got %.3f)" d.Analysis.share_ge500)
+    true
+    (Float.abs (d.Analysis.share_ge500 -. 0.345) < 0.005)
+
+let test_calibration_pins () =
+  let d = Lazy.force dist in
+  let nodes name =
+    match Analysis.find d name with Some m -> m.Analysis.nodes | None -> -1
+  in
+  Alcotest.(check int) "pid_tgid = 1 (calls nothing)" 1 (nodes "bpf_get_current_pid_tgid");
+  Alcotest.(check int) "sys_bpf = 4845" 4845 (nodes "bpf_sys_bpf");
+  Alcotest.(check int) "min is 1" 1 d.Analysis.min_nodes;
+  Alcotest.(check int) "max is sys_bpf" 4845 d.Analysis.max_nodes
+
+let test_calibration_implemented_pins () =
+  let d = Lazy.force dist in
+  (* every implemented helper's BFS measurement equals its pinned value *)
+  List.iter
+    (fun (def : Helpers.Registry.def) ->
+      match Analysis.find d def.Helpers.Registry.name with
+      | Some m ->
+        Alcotest.(check int) def.Helpers.Registry.name
+          def.Helpers.Registry.callgraph_nodes m.Analysis.nodes
+      | None -> Alcotest.failf "%s missing from graph" def.Helpers.Registry.name)
+    Helpers.Registry.defs
+
+let test_deterministic_generation () =
+  let d1 = Analysis.measure (Kernel_graph.build ()) in
+  let d2 = Analysis.measure (Kernel_graph.build ()) in
+  Alcotest.(check bool) "same distribution every build" true
+    (List.map (fun m -> (m.Analysis.helper, m.Analysis.nodes)) d1.Analysis.measurements
+    = List.map (fun m -> (m.Analysis.helper, m.Analysis.nodes)) d2.Analysis.measurements)
+
+let test_log_histogram_sums () =
+  let d = Lazy.force dist in
+  let buckets = Analysis.log_histogram d in
+  Alcotest.(check int) "histogram covers everyone" 249
+    (Array.fold_left ( + ) 0 buckets)
+
+let suite =
+  [
+    Alcotest.test_case "kver ordering" `Quick test_kver_ordering;
+    Alcotest.test_case "fig2 dataset" `Quick test_fig2_dataset;
+    Alcotest.test_case "fig4 dataset" `Quick test_fig4_dataset;
+    Alcotest.test_case "table1 totals" `Quick test_table1_totals;
+    Alcotest.test_case "retirement taxonomy" `Quick test_retirement_taxonomy;
+    Alcotest.test_case "table2 shape" `Quick test_table2_shape;
+    Alcotest.test_case "graph reachability" `Quick test_graph_reachability;
+    Alcotest.test_case "calibration: census" `Quick test_calibration_census;
+    Alcotest.test_case "calibration: shares" `Quick test_calibration_shares;
+    Alcotest.test_case "calibration: pins" `Quick test_calibration_pins;
+    Alcotest.test_case "calibration: implemented pins" `Quick test_calibration_implemented_pins;
+    Alcotest.test_case "deterministic generation" `Quick test_deterministic_generation;
+    Alcotest.test_case "log histogram" `Quick test_log_histogram_sums;
+  ]

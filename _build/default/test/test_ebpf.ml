@@ -1,0 +1,246 @@
+(* ISA tests: assembler label resolution, wire-format encode/decode
+   round-trips (unit + property), disassembly, and CFG analysis. *)
+
+open Untenable
+open Ebpf
+
+let insn_eq (a : Insn.insn) (b : Insn.insn) = a = b
+let t_insns =
+  Alcotest.testable
+    (fun ppf arr ->
+      Array.iter (fun i -> Format.fprintf ppf "%a; " Insn.pp i) arr)
+    (fun a b -> Array.length a = Array.length b && Array.for_all2 insn_eq a b)
+
+(* ---------------- assembler ---------------- *)
+
+let test_asm_forward_jump () =
+  let open Asm in
+  let prog = assemble_exn [ jeq_i r1 0 "out"; mov_i r0 1; label "out"; exit_ ] in
+  match prog.(0) with
+  | Insn.Jmp { off; _ } -> Alcotest.(check int) "skips one insn" 1 off
+  | _ -> Alcotest.fail "expected jmp"
+
+let test_asm_backward_jump () =
+  let open Asm in
+  let prog =
+    assemble_exn [ mov_i r0 3; label "loop"; sub_i r0 1; jne_i r0 0 "loop"; exit_ ]
+  in
+  match prog.(2) with
+  | Insn.Jmp { off; _ } -> Alcotest.(check int) "back to sub" (-2) off
+  | _ -> Alcotest.fail "expected jmp"
+
+let test_asm_duplicate_label () =
+  let open Asm in
+  match assemble [ label "a"; mov_i r0 0; label "a"; exit_ ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate label accepted"
+
+let test_asm_undefined_label () =
+  let open Asm in
+  match assemble [ ja "nowhere"; exit_ ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undefined label accepted"
+
+let test_asm_mov_label () =
+  let open Asm in
+  let prog = assemble_exn [ mov_label r2 "cb"; exit_; label "cb"; exit_ ] in
+  match prog.(0) with
+  | Insn.Alu { op = Insn.Mov; src = Insn.Imm pc; _ } ->
+    Alcotest.(check int) "absolute pc of label" 2 pc
+  | _ -> Alcotest.fail "expected mov"
+
+(* ---------------- encode/decode ---------------- *)
+
+let roundtrip insns =
+  match Encode.of_bytes (Encode.to_bytes insns) with
+  | Ok decoded -> decoded
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_encode_roundtrip_basics () =
+  let open Asm in
+  let prog =
+    assemble_exn
+      [ mov_i r0 (-7); lddw r3 0xdead_beef_cafe_f00dL; map_fd r2 12;
+        atomic_add r10 (-8) r4; atomic_cmpxchg r10 (-16) r5;
+        atomic_xor ~fetch:true r10 (-24) r6;
+        ldxw r4 r1 16; stxdw r10 (-8) r4; stw r1 4 0x7f; add_r r0 r4;
+        insn (Insn.Alu { op = Insn.Arsh; width = Insn.W32; dst = 4; src = Insn.Imm 3 });
+        jne_i r0 0 "back"; label "back";
+        insn (Insn.Jmp { cond = Insn.Sle; width = Insn.W32; dst = 0;
+                         src = Insn.Reg 4; off = 0 });
+        call 181; exit_ ]
+  in
+  Alcotest.check t_insns "roundtrip" prog (roundtrip prog)
+
+let test_encode_slot_count () =
+  let bytes = Encode.to_bytes [| Insn.Ld_imm64 (1, 5L); Insn.Exit |] in
+  Alcotest.(check int) "lddw takes two slots" 24 (Bytes.length bytes)
+
+let test_encode_negative_imm64 () =
+  let prog = [| Insn.Ld_imm64 (2, -1L); Insn.Ld_imm64 (3, Int64.min_int); Insn.Exit |] in
+  Alcotest.check t_insns "negative imm64" prog (roundtrip prog)
+
+let test_decode_garbage () =
+  match Encode.of_bytes (Bytes.make 8 '\xff') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded"
+
+let test_decode_truncated () =
+  match Encode.of_bytes (Bytes.make 12 '\x00') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated decoded"
+
+(* property: random well-formed instruction arrays round-trip *)
+let gen_insn =
+  QCheck.Gen.(
+    let reg = int_bound 10 in
+    let imm = map (fun v -> v - 0x4000_0000) (int_bound 0x7fff_ffff) in
+    let off = map (fun v -> v - 1000) (int_bound 2000) in
+    let size = oneofl [ Insn.B; Insn.H; Insn.W; Insn.DW ] in
+    let width = oneofl [ Insn.W64; Insn.W32 ] in
+    let alu_op =
+      oneofl
+        [ Insn.Add; Insn.Sub; Insn.Mul; Insn.Div; Insn.Or; Insn.And; Insn.Lsh;
+          Insn.Rsh; Insn.Neg; Insn.Mod; Insn.Xor; Insn.Mov; Insn.Arsh ]
+    in
+    let cond =
+      oneofl
+        [ Insn.Eq; Insn.Gt; Insn.Ge; Insn.Set; Insn.Ne; Insn.Sgt; Insn.Sge;
+          Insn.Lt; Insn.Le; Insn.Slt; Insn.Sle ]
+    in
+    let operand =
+      oneof [ map (fun r -> Insn.Reg r) reg; map (fun v -> Insn.Imm v) imm ]
+    in
+    oneof
+      [ (let* op = alu_op and* width = width and* dst = reg and* src = operand in
+         return (Insn.Alu { op; width; dst; src }));
+        (let* dst = reg and* v = ui64 in
+         return (Insn.Ld_imm64 (dst, v)));
+        (let* dst = reg and* fd = int_bound 1000 in
+         return (Insn.Ld_map_fd (dst, fd)));
+        (let* size = size and* dst = reg and* src = reg and* off = off in
+         return (Insn.Ldx { size; dst; src; off }));
+        (let* size = size and* dst = reg and* off = off and* imm = imm in
+         return (Insn.St { size; dst; off; imm }));
+        (let* size = size and* dst = reg and* off = off and* src = reg in
+         return (Insn.Stx { size; dst; off; src }));
+        (let* cond = cond and* width = width and* dst = reg and* src = operand
+         and* off = off in
+         return (Insn.Jmp { cond; width; dst; src; off }));
+        (let* aop = oneofl [ Insn.A_add; Insn.A_or; Insn.A_and; Insn.A_xor;
+                             Insn.A_xchg; Insn.A_cmpxchg ]
+         and* size = oneofl [ Insn.W; Insn.DW ]
+         and* dst = reg and* src = reg and* off = off and* fetch = bool in
+         let fetch = fetch || aop = Insn.A_xchg || aop = Insn.A_cmpxchg in
+         return (Insn.Atomic { aop; size; dst; src; off; fetch }));
+        map (fun off -> Insn.Ja off) off;
+        map (fun id -> Insn.Call id) (int_bound 300);
+        map (fun off -> Insn.Call_sub off) off;
+        return Insn.Exit ])
+
+let roundtrip_property =
+  QCheck.Test.make ~count:300 ~name:"encode/decode round-trip"
+    (QCheck.make
+       ~print:(fun insns ->
+         String.concat "; " (List.map Insn.to_string (Array.to_list insns)))
+       QCheck.Gen.(map Array.of_list (list_size (int_range 1 40) gen_insn)))
+    (fun insns ->
+      match Encode.of_bytes (Encode.to_bytes insns) with
+      | Ok decoded -> decoded = insns
+      | Error _ -> false)
+
+(* ---------------- disasm ---------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_disasm_labels () =
+  let open Asm in
+  let prog = assemble_exn [ jeq_i r1 0 "out"; mov_i r0 1; label "out"; exit_ ] in
+  let text = Disasm.to_string prog in
+  Alcotest.(check bool) "has L0 label" true (contains text "L0:");
+  Alcotest.(check bool) "has arrow" true (contains text "-> L0")
+
+(* ---------------- cfg ---------------- *)
+
+let test_cfg_linear () =
+  let open Asm in
+  let prog = assemble_exn [ mov_i r0 0; add_i r0 1; exit_ ] in
+  let cfg = Cfg.build prog in
+  Alcotest.(check int) "one block" 1 (Cfg.block_count cfg);
+  Alcotest.(check bool) "no loop" false (Cfg.has_loop cfg);
+  Alcotest.(check int) "one path" 1 (Cfg.path_count cfg)
+
+let test_cfg_diamond () =
+  let open Asm in
+  let prog =
+    assemble_exn
+      [ jeq_i r1 0 "else"; mov_i r0 1; ja "end"; label "else"; mov_i r0 2;
+        label "end"; exit_ ]
+  in
+  let cfg = Cfg.build prog in
+  Alcotest.(check bool) "no loop" false (Cfg.has_loop cfg);
+  Alcotest.(check int) "two paths" 2 (Cfg.path_count cfg)
+
+let test_cfg_loop () =
+  let open Asm in
+  let prog =
+    assemble_exn [ mov_i r0 4; label "l"; sub_i r0 1; jne_i r0 0 "l"; exit_ ]
+  in
+  let cfg = Cfg.build prog in
+  Alcotest.(check bool) "loop detected" true (Cfg.has_loop cfg);
+  Alcotest.(check bool) "back edge reported" true (Cfg.back_edges cfg <> [])
+
+let test_cfg_path_explosion () =
+  let open Asm in
+  let items =
+    List.concat_map
+      (fun i -> [ jeq_i r1 i (Printf.sprintf "t%d" i); label (Printf.sprintf "t%d" i) ])
+      (List.init 10 (fun i -> i))
+    @ [ exit_ ]
+  in
+  let cfg = Cfg.build (assemble_exn items) in
+  Alcotest.(check int) "2^10 paths" 1024 (Cfg.path_count cfg)
+
+let test_program_referenced_maps () =
+  let open Asm in
+  let prog =
+    Program.of_items_exn ~name:"m" ~prog_type:Program.Kprobe
+      [ map_fd r1 3; map_fd r2 7; map_fd r3 3; mov_i r0 0; exit_ ]
+  in
+  Alcotest.(check (list int)) "dedup + sorted" [ 3; 7 ] (Program.referenced_maps prog)
+
+let test_ctx_descriptors () =
+  let skb = Program.ctx_of_prog_type Program.Socket_filter in
+  Alcotest.(check bool) "len field" true
+    (Program.find_ctx_field skb ~off:0 ~size:4 <> None);
+  Alcotest.(check bool) "mark writable" true
+    (match Program.find_ctx_field skb ~off:8 ~size:4 with
+    | Some f -> f.Program.writable
+    | None -> false);
+  Alcotest.(check bool) "misaligned access refused" true
+    (Program.find_ctx_field skb ~off:2 ~size:4 = None)
+
+let suite =
+  [
+    Alcotest.test_case "asm forward jump" `Quick test_asm_forward_jump;
+    Alcotest.test_case "asm backward jump" `Quick test_asm_backward_jump;
+    Alcotest.test_case "asm duplicate label" `Quick test_asm_duplicate_label;
+    Alcotest.test_case "asm undefined label" `Quick test_asm_undefined_label;
+    Alcotest.test_case "asm mov_label" `Quick test_asm_mov_label;
+    Alcotest.test_case "encode roundtrip basics" `Quick test_encode_roundtrip_basics;
+    Alcotest.test_case "lddw is two slots" `Quick test_encode_slot_count;
+    Alcotest.test_case "negative imm64" `Quick test_encode_negative_imm64;
+    Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+    Alcotest.test_case "decode truncated" `Quick test_decode_truncated;
+    Alcotest.test_case "disasm labels" `Quick test_disasm_labels;
+    Alcotest.test_case "cfg linear" `Quick test_cfg_linear;
+    Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "cfg loop" `Quick test_cfg_loop;
+    Alcotest.test_case "cfg path explosion" `Quick test_cfg_path_explosion;
+    Alcotest.test_case "referenced maps" `Quick test_program_referenced_maps;
+    Alcotest.test_case "ctx descriptors" `Quick test_ctx_descriptors;
+    QCheck_alcotest.to_alcotest roundtrip_property;
+  ]

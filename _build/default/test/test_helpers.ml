@@ -1,0 +1,415 @@
+(* Helper-function tests: the implemented table, the bug database windows,
+   and the behaviour of each helper group through the execution context. *)
+
+open Untenable
+module Hctx = Helpers.Hctx
+module Bugdb = Helpers.Bugdb
+module Registry = Helpers.Registry
+module Resources = Helpers.Resources
+module Bpf_map = Maps.Bpf_map
+module Ringbuf = Maps.Ringbuf
+module Kernel = Kernel_sim.Kernel
+module Kmem = Kernel_sim.Kmem
+module Kobject = Kernel_sim.Kobject
+module Oops = Kernel_sim.Oops
+module Kver = Kerndata.Kver
+module World = Framework.World
+
+let t64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Ld" v) Int64.equal
+
+let fresh () =
+  let world = World.create_populated () in
+  (world, World.new_hctx world)
+
+let with_map ?(kind = Bpf_map.Array) ?(value_size = 8) ?(max_entries = 8) world name =
+  World.register_map world
+    { Bpf_map.name; kind; key_size = 4; value_size; max_entries; lock_off = None }
+
+let stack_buf world size =
+  (Kmem.alloc world.World.kernel.Kernel.mem ~size ~kind:"stack" ~name:"buf" ()).Kmem.base
+
+let put_key world addr k =
+  Kmem.store world.World.kernel.Kernel.mem ~size:4 ~addr ~value:(Int64.of_int k)
+    ~context:"test"
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_integrity () =
+  Alcotest.(check bool) "40+ helpers implemented" true (Registry.count >= 40);
+  Alcotest.(check int) "ids unique" Registry.count (Hashtbl.length Registry.by_id);
+  Alcotest.(check bool) "pid_tgid pinned to 1" true
+    (Registry.pinned_callgraph_nodes "bpf_get_current_pid_tgid" = Some 1);
+  Alcotest.(check bool) "sys_bpf pinned to 4845" true
+    (Registry.pinned_callgraph_nodes "bpf_sys_bpf" = Some 4845)
+
+let test_registry_versions_monotone () =
+  let counts =
+    List.map (fun v -> List.length (Registry.available ~version:v)) Kver.all
+  in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "availability grows with version" true (mono counts)
+
+(* ---------------- bugdb ---------------- *)
+
+let test_bugdb_window () =
+  let at v = Bugdb.create ~version:v () in
+  (* task-storage bug: introduced 5.10, fixed 5.15 *)
+  Alcotest.(check bool) "inactive before introduction" false
+    (Bugdb.active (at Kver.V5_4) "hbug:task-storage-null-owner");
+  Alcotest.(check bool) "active in window" true
+    (Bugdb.active (at Kver.V5_10) "hbug:task-storage-null-owner");
+  Alcotest.(check bool) "inactive after fix" false
+    (Bugdb.active (at Kver.V5_15) "hbug:task-storage-null-owner");
+  (* unfixed bug stays active *)
+  Alcotest.(check bool) "unfixed stays active" true
+    (Bugdb.active (at Kver.V6_1) "hbug:cve-2022-2785-sys-bpf")
+
+let test_bugdb_force () =
+  let db = Bugdb.create ~version:Kver.V5_18 () in
+  Bugdb.force_off db "hbug:cve-2022-2785-sys-bpf";
+  Alcotest.(check bool) "force off wins" false
+    (Bugdb.active db "hbug:cve-2022-2785-sys-bpf");
+  Bugdb.force_on db "hbug:task-storage-null-owner";
+  Alcotest.(check bool) "force on wins" true
+    (Bugdb.active db "hbug:task-storage-null-owner")
+
+(* ---------------- map helpers ---------------- *)
+
+let test_map_helpers_roundtrip () =
+  let world, hctx = fresh () in
+  let m = with_map world "m" in
+  let kbuf = stack_buf world 8 and vbuf = stack_buf world 8 in
+  put_key world kbuf 3;
+  Kmem.store world.World.kernel.Kernel.mem ~size:8 ~addr:vbuf ~value:77L ~context:"t";
+  Alcotest.check t64 "update ok" 0L
+    (Helpers.Helpers_map.update_elem hctx
+       [| Int64.of_int m.Bpf_map.id; kbuf; vbuf; 0L; 0L |]);
+  let addr =
+    Helpers.Helpers_map.lookup_elem hctx [| Int64.of_int m.Bpf_map.id; kbuf; 0L; 0L; 0L |]
+  in
+  Alcotest.check t64 "lookup returns value" 77L
+    (Kmem.load world.World.kernel.Kernel.mem ~size:8 ~addr ~context:"t")
+
+let test_map_helper_miss () =
+  let world, hctx = fresh () in
+  let m = with_map ~kind:Bpf_map.Hash world "h" in
+  let kbuf = stack_buf world 8 in
+  put_key world kbuf 5;
+  Alcotest.check t64 "miss returns NULL" 0L
+    (Helpers.Helpers_map.lookup_elem hctx
+       [| Int64.of_int m.Bpf_map.id; kbuf; 0L; 0L; 0L |])
+
+let test_for_each_map_elem () =
+  let world, hctx = fresh () in
+  let m = with_map world "m" ~max_entries:4 in
+  let counter = ref 0 in
+  hctx.Hctx.call_subprog <- Some (fun _pc _args -> incr counter; 0L);
+  let ret =
+    Helpers.Helpers_map.for_each_map_elem hctx
+      [| Int64.of_int m.Bpf_map.id; 0L; 0L; 0L; 0L |]
+  in
+  Alcotest.check t64 "visits every element" 4L ret;
+  Alcotest.(check int) "callback ran per element" 4 !counter
+
+(* ---------------- task helpers ---------------- *)
+
+let test_pid_tgid () =
+  let _, hctx = fresh () in
+  let v = Helpers.Helpers_task.get_current_pid_tgid hctx [||] in
+  Alcotest.check t64 "pid in low bits" 1234L (Int64.logand v 0xffff_ffffL);
+  Alcotest.check t64 "tgid in high bits" 1234L (Int64.shift_right_logical v 32)
+
+let test_current_comm () =
+  let world, hctx = fresh () in
+  let buf = stack_buf world 16 in
+  ignore (Helpers.Helpers_task.get_current_comm hctx [| buf; 16L; 0L; 0L; 0L |]);
+  Alcotest.(check string) "comm copied" "nginx"
+    (Kmem.load_cstring world.World.kernel.Kernel.mem ~addr:buf ~max:16 ~context:"t")
+
+let test_task_storage_roundtrip () =
+  let world, hctx = fresh () in
+  let m = with_map ~kind:Bpf_map.Hash world "tls" in
+  let task_addr = Kobject.task_addr world.World.kernel.Kernel.current in
+  let addr =
+    Helpers.Helpers_task.task_storage_get hctx
+      [| Int64.of_int m.Bpf_map.id; task_addr; 0L; 1L (* create *); 0L |]
+  in
+  Alcotest.(check bool) "storage created" true (not (Int64.equal addr 0L));
+  Kmem.store world.World.kernel.Kernel.mem ~size:8 ~addr ~value:5L ~context:"t";
+  let again =
+    Helpers.Helpers_task.task_storage_get hctx
+      [| Int64.of_int m.Bpf_map.id; task_addr; 0L; 0L; 0L |]
+  in
+  Alcotest.check t64 "same slot" addr again;
+  Alcotest.check t64 "delete" 0L
+    (Helpers.Helpers_task.task_storage_delete hctx
+       [| Int64.of_int m.Bpf_map.id; task_addr; 0L; 0L; 0L |])
+
+let test_get_task_stack_fixed_no_leak () =
+  let world, hctx = fresh () in
+  Bugdb.force_off world.World.bugs "hbug:get-task-stack-no-ref";
+  Kernel.snapshot_refs world.World.kernel;
+  let buf = stack_buf world 64 in
+  let task_addr = Kobject.task_addr world.World.kernel.Kernel.current in
+  let n =
+    Helpers.Helpers_task.get_task_stack hctx [| task_addr; buf; 64L; 0L; 0L |]
+  in
+  Alcotest.check t64 "copied 64 bytes" 64L n;
+  Alcotest.(check int) "no ref leaked" 0
+    (List.length (Kernel.health world.World.kernel).Kernel.leaked_refs)
+
+let test_get_task_stack_buggy_leaks () =
+  let world, hctx = fresh () in
+  Bugdb.force_on world.World.bugs "hbug:get-task-stack-no-ref";
+  Kernel.snapshot_refs world.World.kernel;
+  let buf = stack_buf world 64 in
+  let task_addr = Kobject.task_addr world.World.kernel.Kernel.current in
+  ignore (Helpers.Helpers_task.get_task_stack hctx [| task_addr; buf; 64L; 0L; 0L |]);
+  Alcotest.(check int) "ref leaked" 1
+    (List.length (Kernel.health world.World.kernel).Kernel.leaked_refs)
+
+(* ---------------- sock helpers ---------------- *)
+
+let test_sk_lookup_release () =
+  let world, hctx = fresh () in
+  Kernel.snapshot_refs world.World.kernel;
+  let addr = Helpers.Helpers_sock.sk_lookup_tcp hctx [| 8080L; 0L; 0L; 0L; 0L |] in
+  Alcotest.(check bool) "found" true (not (Int64.equal addr 0L));
+  Alcotest.(check int) "resource recorded" 1 (Resources.outstanding hctx.Hctx.resources);
+  Alcotest.check t64 "release ok" 0L
+    (Helpers.Helpers_sock.sk_release hctx [| addr; 0L; 0L; 0L; 0L |]);
+  Alcotest.(check int) "no leak" 0
+    (List.length (Kernel.health world.World.kernel).Kernel.leaked_refs)
+
+let test_sk_lookup_miss () =
+  let _, hctx = fresh () in
+  Alcotest.check t64 "no sock on port" 0L
+    (Helpers.Helpers_sock.sk_lookup_tcp hctx [| 9999L; 0L; 0L; 0L; 0L |])
+
+(* ---------------- string helpers ---------------- *)
+
+let strtol_on world hctx s =
+  let buf = stack_buf world 32 and res = stack_buf world 8 in
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:buf
+    ~src:(Bytes.of_string (s ^ "\000")) ~context:"t";
+  let ret =
+    Helpers.Helpers_string.strtol hctx
+      [| buf; Int64.of_int (String.length s); 0L; res; 0L |]
+  in
+  (ret, Kmem.load world.World.kernel.Kernel.mem ~size:8 ~addr:res ~context:"t")
+
+let test_strtol () =
+  let world, hctx = fresh () in
+  let consumed, v = strtol_on world hctx "-4711" in
+  Alcotest.check t64 "value" (-4711L) v;
+  Alcotest.check t64 "consumed" 5L consumed;
+  let consumed2, v2 = strtol_on world hctx "123abc" in
+  Alcotest.check t64 "stops at non-digit" 123L v2;
+  Alcotest.check t64 "consumed2" 3L consumed2;
+  let err, _ = strtol_on world hctx "nope" in
+  Alcotest.(check bool) "invalid input errors" true (Int64.compare err 0L < 0)
+
+let test_strtoul_rejects_negative () =
+  let world, hctx = fresh () in
+  let buf = stack_buf world 32 and res = stack_buf world 8 in
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:buf
+    ~src:(Bytes.of_string "-5\000") ~context:"t";
+  let ret = Helpers.Helpers_string.strtoul hctx [| buf; 2L; 0L; res; 0L |] in
+  Alcotest.(check bool) "negative rejected" true (Int64.compare ret 0L < 0)
+
+let test_strncmp () =
+  let world, hctx = fresh () in
+  let b1 = stack_buf world 16 and b2 = stack_buf world 16 in
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:b1
+    ~src:(Bytes.of_string "alpha\000") ~context:"t";
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:b2
+    ~src:(Bytes.of_string "beta\000") ~context:"t";
+  let r = Helpers.Helpers_string.strncmp hctx [| b1; 8L; b2; 0L; 0L |] in
+  Alcotest.(check bool) "alpha < beta" true (Int64.compare r 0L < 0);
+  let r2 = Helpers.Helpers_string.strncmp hctx [| b1; 8L; b1; 0L; 0L |] in
+  Alcotest.check t64 "equal strings" 0L r2
+
+let test_snprintf () =
+  let world, hctx = fresh () in
+  let out = stack_buf world 64 and fmt = stack_buf world 32 and data = stack_buf world 16 in
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:fmt
+    ~src:(Bytes.of_string "n=%d x=%x\000") ~context:"t";
+  Kmem.store world.World.kernel.Kernel.mem ~size:8 ~addr:data ~value:42L ~context:"t";
+  Kmem.store world.World.kernel.Kernel.mem ~size:8 ~addr:(Int64.add data 8L)
+    ~value:255L ~context:"t";
+  ignore (Helpers.Helpers_string.snprintf hctx [| out; 64L; fmt; data; 16L |]);
+  Alcotest.(check string) "formatted" "n=42 x=ff"
+    (Kmem.load_cstring world.World.kernel.Kernel.mem ~addr:out ~max:64 ~context:"t")
+
+(* ---------------- probe read ---------------- *)
+
+let test_probe_read_efault () =
+  let world, hctx = fresh () in
+  let dst = stack_buf world 16 in
+  Alcotest.check t64 "bad source -> -EFAULT" (-14L)
+    (Helpers.Helpers_probe.probe_read_kernel hctx [| dst; 8L; 0x10L; 0L; 0L |]);
+  Alcotest.(check bool) "kernel survives" false (Kernel.is_dead world.World.kernel)
+
+let test_probe_read_ok () =
+  let world, hctx = fresh () in
+  let dst = stack_buf world 16 and src = stack_buf world 16 in
+  Kmem.store world.World.kernel.Kernel.mem ~size:8 ~addr:src ~value:99L ~context:"t";
+  Alcotest.check t64 "read ok" 0L
+    (Helpers.Helpers_probe.probe_read_kernel hctx [| dst; 8L; src; 0L; 0L |]);
+  Alcotest.check t64 "copied" 99L
+    (Kmem.load world.World.kernel.Kernel.mem ~size:8 ~addr:dst ~context:"t")
+
+let test_probe_read_str () =
+  let world, hctx = fresh () in
+  let dst = stack_buf world 16 and src = stack_buf world 16 in
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:src
+    ~src:(Bytes.of_string "hi\000") ~context:"t";
+  Alcotest.check t64 "len incl NUL" 3L
+    (Helpers.Helpers_probe.probe_read_kernel_str hctx [| dst; 16L; src; 0L; 0L |])
+
+(* ---------------- loop/tail call ---------------- *)
+
+let test_bpf_loop_iterations () =
+  let _, hctx = fresh () in
+  let seen = ref [] in
+  hctx.Hctx.call_subprog <-
+    Some (fun _pc args ->
+        seen := args.(0) :: !seen;
+        0L);
+  let ret = Helpers.Helpers_loop.loop hctx [| 5L; 0L; 7L; 0L; 0L |] in
+  Alcotest.check t64 "five iterations" 5L ret;
+  Alcotest.(check int) "callback saw indices" 5 (List.length !seen)
+
+let test_bpf_loop_early_stop () =
+  let _, hctx = fresh () in
+  hctx.Hctx.call_subprog <-
+    Some (fun _pc args -> if Int64.equal args.(0) 2L then 1L else 0L);
+  let ret = Helpers.Helpers_loop.loop hctx [| 100L; 0L; 0L; 0L; 0L |] in
+  Alcotest.check t64 "stopped at 3rd iteration" 3L ret
+
+let test_bpf_loop_cap () =
+  let _, hctx = fresh () in
+  hctx.Hctx.call_subprog <- Some (fun _ _ -> 0L);
+  let ret = Helpers.Helpers_loop.loop hctx [| Int64.of_int ((1 lsl 23) + 1); 0L; 0L; 0L; 0L |] in
+  Alcotest.(check bool) "over-cap rejected" true (Int64.compare ret 0L < 0)
+
+let test_tail_call () =
+  let _, hctx = fresh () in
+  Hashtbl.replace hctx.Hctx.prog_array 3 42;
+  (match Helpers.Helpers_loop.tail_call hctx [| 0L; 0L; 3L; 0L; 0L |] with
+  | exception Hctx.Tail_call 42 -> ()
+  | _ -> Alcotest.fail "expected tail call");
+  Alcotest.check t64 "missing index = -ENOENT" (-2L)
+    (Helpers.Helpers_loop.tail_call hctx [| 0L; 0L; 9L; 0L; 0L |])
+
+(* ---------------- sys_bpf ---------------- *)
+
+let test_sys_bpf_map_create () =
+  let world, hctx = fresh () in
+  let attr = stack_buf world 24 in
+  let mem = world.World.kernel.Kernel.mem in
+  Kmem.store mem ~size:4 ~addr:(Int64.add attr 4L) ~value:4L ~context:"t";
+  Kmem.store mem ~size:4 ~addr:(Int64.add attr 8L) ~value:8L ~context:"t";
+  Kmem.store mem ~size:4 ~addr:(Int64.add attr 12L) ~value:16L ~context:"t";
+  let fd = Helpers.Helpers_sys.sys_bpf hctx [| 0L; attr; 16L; 0L; 0L |] in
+  Alcotest.(check bool) "map created" true (Int64.compare fd 0L > 0);
+  Alcotest.(check bool) "registered" true
+    (Bpf_map.Registry.find world.World.maps (Int64.to_int fd) <> None)
+
+let test_sys_bpf_prog_load_denied () =
+  let world, hctx = fresh () in
+  let attr = stack_buf world 24 in
+  Alcotest.check t64 "prog_load -EPERM" (-1L)
+    (Helpers.Helpers_sys.sys_bpf hctx [| 5L; attr; 24L; 0L; 0L |]);
+  ignore world
+
+(* ---------------- misc ---------------- *)
+
+let test_ktime_advances () =
+  let world, hctx = fresh () in
+  let a = Helpers.Helpers_misc.ktime_get_ns hctx [||] in
+  Kernel_sim.Vclock.advance world.World.kernel.Kernel.clock 100L;
+  let b = Helpers.Helpers_misc.ktime_get_ns hctx [||] in
+  Alcotest.(check bool) "time moved" true (Int64.compare b a > 0)
+
+let test_prandom_deterministic () =
+  let _, h1 = fresh () in
+  let _, h2 = fresh () in
+  let seq h = List.init 5 (fun _ -> Helpers.Helpers_misc.get_prandom_u32 h [||]) in
+  Alcotest.(check bool) "same seed, same sequence" true (seq h1 = seq h2)
+
+let test_trace_printk () =
+  let world, hctx = fresh () in
+  let fmt = stack_buf world 32 in
+  Kmem.store_bytes world.World.kernel.Kernel.mem ~addr:fmt
+    ~src:(Bytes.of_string "pid=%d\000") ~context:"t";
+  ignore (Helpers.Helpers_misc.trace_printk hctx [| fmt; 8L; 55L; 0L; 0L |]);
+  Alcotest.(check (list string)) "trace recorded" [ "pid=55" ] (Hctx.trace_output hctx)
+
+(* ---------------- resources ---------------- *)
+
+let test_resources_lifo_cleanup () =
+  let order = ref [] in
+  let r = Resources.create () in
+  let _ = Resources.acquire r ~key:1L ~desc:"a" ~destroy:(fun () -> order := "a" :: !order) in
+  let _ = Resources.acquire r ~key:2L ~desc:"b" ~destroy:(fun () -> order := "b" :: !order) in
+  let cleaned = Resources.cleanup r in
+  Alcotest.(check int) "two cleaned" 2 cleaned;
+  (* LIFO: b (newest) runs first, so "a" ends up at the list head *)
+  Alcotest.(check (list string)) "LIFO order" [ "a"; "b" ] !order
+
+let test_resources_release_by_key () =
+  let r = Resources.create () in
+  let ran = ref false in
+  let _ = Resources.acquire r ~key:7L ~desc:"x" ~destroy:(fun () -> ran := true) in
+  Alcotest.(check bool) "release runs destructor" true (Resources.release_by_key r 7L);
+  Alcotest.(check bool) "destructor ran" true !ran;
+  Alcotest.(check bool) "gone" false (Resources.release_by_key r 7L);
+  Alcotest.(check int) "nothing left" 0 (Resources.cleanup r)
+
+let test_resources_forget () =
+  let r = Resources.create () in
+  let ran = ref false in
+  let _ = Resources.acquire r ~key:7L ~desc:"x" ~destroy:(fun () -> ran := true) in
+  Alcotest.(check bool) "forget" true (Resources.forget_by_key r 7L);
+  Alcotest.(check bool) "destructor did not run" false !ran
+
+let suite =
+  [
+    Alcotest.test_case "registry integrity" `Quick test_registry_integrity;
+    Alcotest.test_case "registry versions monotone" `Quick test_registry_versions_monotone;
+    Alcotest.test_case "bugdb windows" `Quick test_bugdb_window;
+    Alcotest.test_case "bugdb force" `Quick test_bugdb_force;
+    Alcotest.test_case "map helpers roundtrip" `Quick test_map_helpers_roundtrip;
+    Alcotest.test_case "map helper miss" `Quick test_map_helper_miss;
+    Alcotest.test_case "for_each_map_elem" `Quick test_for_each_map_elem;
+    Alcotest.test_case "pid_tgid" `Quick test_pid_tgid;
+    Alcotest.test_case "current comm" `Quick test_current_comm;
+    Alcotest.test_case "task storage roundtrip" `Quick test_task_storage_roundtrip;
+    Alcotest.test_case "get_task_stack fixed" `Quick test_get_task_stack_fixed_no_leak;
+    Alcotest.test_case "get_task_stack buggy leaks" `Quick test_get_task_stack_buggy_leaks;
+    Alcotest.test_case "sk lookup/release" `Quick test_sk_lookup_release;
+    Alcotest.test_case "sk lookup miss" `Quick test_sk_lookup_miss;
+    Alcotest.test_case "strtol" `Quick test_strtol;
+    Alcotest.test_case "strtoul rejects negative" `Quick test_strtoul_rejects_negative;
+    Alcotest.test_case "strncmp" `Quick test_strncmp;
+    Alcotest.test_case "snprintf" `Quick test_snprintf;
+    Alcotest.test_case "probe_read efault" `Quick test_probe_read_efault;
+    Alcotest.test_case "probe_read ok" `Quick test_probe_read_ok;
+    Alcotest.test_case "probe_read_str" `Quick test_probe_read_str;
+    Alcotest.test_case "bpf_loop iterations" `Quick test_bpf_loop_iterations;
+    Alcotest.test_case "bpf_loop early stop" `Quick test_bpf_loop_early_stop;
+    Alcotest.test_case "bpf_loop cap" `Quick test_bpf_loop_cap;
+    Alcotest.test_case "tail call" `Quick test_tail_call;
+    Alcotest.test_case "sys_bpf map create" `Quick test_sys_bpf_map_create;
+    Alcotest.test_case "sys_bpf prog_load denied" `Quick test_sys_bpf_prog_load_denied;
+    Alcotest.test_case "ktime advances" `Quick test_ktime_advances;
+    Alcotest.test_case "prandom deterministic" `Quick test_prandom_deterministic;
+    Alcotest.test_case "trace_printk" `Quick test_trace_printk;
+    Alcotest.test_case "resources LIFO cleanup" `Quick test_resources_lifo_cleanup;
+    Alcotest.test_case "resources release by key" `Quick test_resources_release_by_key;
+    Alcotest.test_case "resources forget" `Quick test_resources_forget;
+  ]

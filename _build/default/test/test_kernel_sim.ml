@@ -1,0 +1,302 @@
+(* Tests for the simulated kernel substrate: guarded memory, refcounts,
+   RCU stall detection, spinlocks, the memory pool, and kernel health. *)
+
+open Untenable
+module Kmem = Kernel_sim.Kmem
+module Oops = Kernel_sim.Oops
+module Rcu = Kernel_sim.Rcu
+module Vclock = Kernel_sim.Vclock
+module Refcount = Kernel_sim.Refcount
+module Spinlock = Kernel_sim.Spinlock
+module Mempool = Kernel_sim.Mempool
+module Kobject = Kernel_sim.Kobject
+module Kernel = Kernel_sim.Kernel
+
+let t64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Ld" v) Int64.equal
+
+let expect_oops kind f =
+  match f () with
+  | _ -> Alcotest.failf "expected %s oops" (Oops.kind_to_string kind)
+  | exception Oops.Kernel_oops r ->
+    Alcotest.(check string) "oops kind" (Oops.kind_to_string kind)
+      (Oops.kind_to_string r.Oops.kind)
+
+let fresh_mem () =
+  let clock = Vclock.create () in
+  (clock, Kmem.create clock)
+
+(* ---------------- memory ---------------- *)
+
+let test_load_store_roundtrip () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:64 ~kind:"test" ~name:"buf" () in
+  List.iter
+    (fun (size, value) ->
+      Kmem.store mem ~size ~addr:r.Kmem.base ~value ~context:"t";
+      Alcotest.check t64
+        (Printf.sprintf "size %d" size)
+        value
+        (Kmem.load mem ~size ~addr:r.Kmem.base ~context:"t"))
+    [ (1, 0xabL); (2, 0xbeefL); (4, 0xdeadbeefL); (8, 0x0123_4567_89ab_cdefL) ]
+
+let test_little_endian () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:8 ~kind:"test" ~name:"le" () in
+  Kmem.store mem ~size:8 ~addr:r.Kmem.base ~value:0x0102_0304_0506_0708L ~context:"t";
+  Alcotest.check t64 "lowest byte first" 0x08L
+    (Kmem.load mem ~size:1 ~addr:r.Kmem.base ~context:"t");
+  Alcotest.check t64 "second byte" 0x07L
+    (Kmem.load mem ~size:1 ~addr:(Int64.add r.Kmem.base 1L) ~context:"t")
+
+let test_null_deref () =
+  let _, mem = fresh_mem () in
+  expect_oops Oops.Null_deref (fun () -> Kmem.load mem ~size:8 ~addr:0L ~context:"t");
+  expect_oops Oops.Null_deref (fun () -> Kmem.load mem ~size:8 ~addr:0x800L ~context:"t")
+
+let test_wild_pointer () =
+  let _, mem = fresh_mem () in
+  expect_oops Oops.Invalid_access (fun () ->
+      Kmem.load mem ~size:8 ~addr:0xffff_9999_0000_0000L ~context:"t")
+
+let test_out_of_bounds () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:16 ~kind:"test" ~name:"small" () in
+  expect_oops Oops.Out_of_bounds (fun () ->
+      Kmem.load mem ~size:8 ~addr:(Kmem.region_addr r 12) ~context:"t")
+
+let test_use_after_free () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:16 ~kind:"test" ~name:"freed" () in
+  Kmem.free mem r ~context:"t";
+  expect_oops Oops.Use_after_free (fun () ->
+      Kmem.load mem ~size:4 ~addr:r.Kmem.base ~context:"t")
+
+let test_double_free () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:16 ~kind:"test" ~name:"df" () in
+  Kmem.free mem r ~context:"t";
+  expect_oops Oops.Double_free (fun () -> Kmem.free mem r ~context:"t")
+
+let test_readonly () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:16 ~kind:"test" ~name:"ro" ~perm:Kmem.ro () in
+  Alcotest.check t64 "read ok" 0L (Kmem.load mem ~size:8 ~addr:r.Kmem.base ~context:"t");
+  expect_oops Oops.Permission (fun () ->
+      Kmem.store mem ~size:8 ~addr:r.Kmem.base ~value:1L ~context:"t")
+
+let test_cstring () =
+  let _, mem = fresh_mem () in
+  let r = Kmem.alloc mem ~size:32 ~kind:"test" ~name:"str" () in
+  Kmem.store_bytes mem ~addr:r.Kmem.base ~src:(Bytes.of_string "hello\000junk")
+    ~context:"t";
+  Alcotest.(check string) "cstring stops at NUL" "hello"
+    (Kmem.load_cstring mem ~addr:r.Kmem.base ~max:32 ~context:"t");
+  Alcotest.(check string) "cstring respects max" "he"
+    (Kmem.load_cstring mem ~addr:r.Kmem.base ~max:2 ~context:"t")
+
+let test_guard_gap () =
+  (* regions are separated by guard gaps: running off one region never
+     silently lands in the next *)
+  let _, mem = fresh_mem () in
+  let a = Kmem.alloc mem ~size:16 ~kind:"test" ~name:"a" () in
+  let _b = Kmem.alloc mem ~size:16 ~kind:"test" ~name:"b" () in
+  expect_oops Oops.Invalid_access (fun () ->
+      Kmem.load mem ~size:8 ~addr:(Int64.add a.Kmem.base 24L) ~context:"t")
+
+(* ---------------- refcounts ---------------- *)
+
+let test_refcount_lifecycle () =
+  let clock = Vclock.create () in
+  let reg = Refcount.create_registry clock in
+  let released = ref false in
+  let rc = Refcount.make reg ~what:"obj" ~released:(fun () -> released := true) () in
+  Refcount.get reg rc;
+  Alcotest.(check int) "count 2" 2 (Refcount.count rc);
+  Refcount.put reg rc;
+  Refcount.put reg rc;
+  Alcotest.(check bool) "released at zero" true !released;
+  Alcotest.(check int) "no live refs" 0 (List.length (Refcount.live reg))
+
+let test_refcount_underflow () =
+  let clock = Vclock.create () in
+  let reg = Refcount.create_registry clock in
+  let rc = Refcount.make reg ~what:"obj" () in
+  Refcount.put reg rc;
+  expect_oops Oops.Refcount_underflow (fun () -> Refcount.put reg rc)
+
+(* ---------------- rcu ---------------- *)
+
+let test_rcu_nesting () =
+  let clock = Vclock.create () in
+  let rcu = Rcu.create clock in
+  Rcu.read_lock rcu;
+  Rcu.read_lock rcu;
+  Alcotest.(check bool) "in section" true (Rcu.in_critical_section rcu);
+  Rcu.read_unlock rcu ~context:"t";
+  Alcotest.(check bool) "still in section" true (Rcu.in_critical_section rcu);
+  Rcu.read_unlock rcu ~context:"t";
+  Alcotest.(check bool) "out" false (Rcu.in_critical_section rcu)
+
+let test_rcu_imbalance () =
+  let clock = Vclock.create () in
+  let rcu = Rcu.create clock in
+  match Rcu.read_unlock rcu ~context:"t" with
+  | () -> Alcotest.fail "expected imbalance oops"
+  | exception Oops.Kernel_oops _ -> ()
+
+let test_rcu_stall () =
+  let clock = Vclock.create () in
+  let rcu = Rcu.create clock in
+  rcu.Rcu.stall_threshold_ns <- 1000L;
+  Rcu.read_lock rcu;
+  Vclock.advance clock 500L;
+  Rcu.check_stall rcu ~context:"t";
+  Alcotest.(check int) "below threshold: no stall" 0 (Rcu.stall_count rcu);
+  Vclock.advance clock 600L;
+  Rcu.check_stall rcu ~context:"t";
+  Alcotest.(check int) "stall detected" 1 (Rcu.stall_count rcu);
+  (* rate limited: an immediate re-check does not double-report *)
+  Rcu.check_stall rcu ~context:"t";
+  Alcotest.(check int) "rate limited" 1 (Rcu.stall_count rcu);
+  Vclock.advance clock 1100L;
+  Rcu.check_stall rcu ~context:"t";
+  Alcotest.(check int) "next interval reports again" 2 (Rcu.stall_count rcu)
+
+let test_rcu_no_stall_outside_section () =
+  let clock = Vclock.create () in
+  let rcu = Rcu.create clock in
+  rcu.Rcu.stall_threshold_ns <- 1L;
+  Vclock.advance clock 1000L;
+  Rcu.check_stall rcu ~context:"t";
+  Alcotest.(check int) "no section, no stall" 0 (Rcu.stall_count rcu)
+
+(* ---------------- spinlocks ---------------- *)
+
+let test_spinlock () =
+  let clock = Vclock.create () in
+  let lock = Spinlock.make ~id:1 ~name:"l" clock in
+  Spinlock.lock lock ~owner:"a";
+  Alcotest.(check bool) "held" true (Spinlock.is_held lock);
+  Spinlock.unlock lock ~owner:"a";
+  Alcotest.(check bool) "free" false (Spinlock.is_held lock)
+
+let test_spinlock_deadlock () =
+  let clock = Vclock.create () in
+  let lock = Spinlock.make ~id:1 ~name:"l" clock in
+  Spinlock.lock lock ~owner:"a";
+  expect_oops Oops.Deadlock (fun () -> Spinlock.lock lock ~owner:"a")
+
+let test_spinlock_wrong_owner () =
+  let clock = Vclock.create () in
+  let lock = Spinlock.make ~id:1 ~name:"l" clock in
+  Spinlock.lock lock ~owner:"a";
+  match Spinlock.unlock lock ~owner:"b" with
+  | () -> Alcotest.fail "expected oops"
+  | exception Oops.Kernel_oops _ -> ()
+
+(* ---------------- mempool ---------------- *)
+
+let test_mempool () =
+  let clock, mem = fresh_mem () in
+  let pool = Mempool.create mem clock ~chunk_size:32 ~capacity:2 in
+  let a = Option.get (Mempool.alloc pool) in
+  let b = Option.get (Mempool.alloc pool) in
+  Alcotest.(check bool) "exhausted" true (Mempool.alloc pool = None);
+  Mempool.free pool a ~context:"t";
+  Alcotest.(check bool) "chunk comes back" true (Mempool.alloc pool <> None);
+  Alcotest.(check int) "leak detection" 2 (List.length (Mempool.leaked pool));
+  ignore b
+
+let test_mempool_double_free () =
+  let clock, mem = fresh_mem () in
+  let pool = Mempool.create mem clock ~chunk_size:32 ~capacity:2 in
+  let a = Option.get (Mempool.alloc pool) in
+  Mempool.free pool a ~context:"t";
+  expect_oops Oops.Double_free (fun () -> Mempool.free pool a ~context:"t")
+
+let test_mempool_scrubbed () =
+  let clock, mem = fresh_mem () in
+  let pool = Mempool.create mem clock ~chunk_size:16 ~capacity:1 in
+  let a = Option.get (Mempool.alloc pool) in
+  Kmem.store mem ~size:8 ~addr:a ~value:0x4141414141414141L ~context:"t";
+  Mempool.free pool a ~context:"t";
+  let b = Option.get (Mempool.alloc pool) in
+  Alcotest.check t64 "no stale data" 0L (Kmem.load mem ~size:8 ~addr:b ~context:"t")
+
+(* ---------------- kobjects & kernel ---------------- *)
+
+let test_task_fields () =
+  let kernel = Kernel.create () in
+  let task = Kernel.add_task kernel ~pid:77 ~tgid:78 ~comm:"bash" in
+  Alcotest.check t64 "pid at offset 0" 77L
+    (Kmem.load kernel.Kernel.mem ~size:4 ~addr:(Kobject.task_addr task) ~context:"t");
+  Alcotest.check t64 "tgid at offset 4" 78L
+    (Kmem.load kernel.Kernel.mem ~size:4
+       ~addr:(Int64.add (Kobject.task_addr task) 4L)
+       ~context:"t")
+
+let test_sock_lookup () =
+  let kernel = Kernel.create () in
+  let _ = Kernel.add_sock kernel ~port:80 ~state:Kobject.Listen in
+  Alcotest.(check bool) "found" true (Kernel.find_sock kernel ~port:80 <> None);
+  Alcotest.(check bool) "missing" true (Kernel.find_sock kernel ~port:81 = None)
+
+let test_kernel_health () =
+  let kernel = Kernel.create () in
+  Kernel.snapshot_refs kernel;
+  Alcotest.(check bool) "fresh kernel healthy" true
+    (Kernel.healthy (Kernel.health kernel));
+  let task = Kernel.add_task kernel ~pid:1_000 ~tgid:1_000 ~comm:"leaky" in
+  Kernel.snapshot_refs kernel;
+  Refcount.get kernel.Kernel.refs task.Kobject.task_ref;
+  let h = Kernel.health kernel in
+  Alcotest.(check int) "leak visible" 1 (List.length h.Kernel.leaked_refs)
+
+let test_kernel_protect () =
+  let kernel = Kernel.create () in
+  (match
+     Kernel.protect kernel (fun () ->
+         Kmem.load kernel.Kernel.mem ~size:8 ~addr:0L ~context:"t")
+   with
+  | Ok _ -> Alcotest.fail "should have oopsed"
+  | Error _ -> ());
+  Alcotest.(check bool) "kernel recorded the oops" true (Kernel.is_dead kernel)
+
+let test_vclock () =
+  let clock = Vclock.create () in
+  Vclock.advance clock 5L;
+  Vclock.advance clock 7L;
+  Alcotest.check t64 "monotone sum" 12L (Vclock.now clock);
+  Alcotest.(check string) "duration pp" "1.50s"
+    (Format.asprintf "%a" Vclock.pp_duration 1_500_000_000L)
+
+let suite =
+  [
+    Alcotest.test_case "load/store roundtrip" `Quick test_load_store_roundtrip;
+    Alcotest.test_case "little endian" `Quick test_little_endian;
+    Alcotest.test_case "NULL dereference oops" `Quick test_null_deref;
+    Alcotest.test_case "wild pointer oops" `Quick test_wild_pointer;
+    Alcotest.test_case "out of bounds oops" `Quick test_out_of_bounds;
+    Alcotest.test_case "use after free oops" `Quick test_use_after_free;
+    Alcotest.test_case "double free oops" `Quick test_double_free;
+    Alcotest.test_case "read-only permission" `Quick test_readonly;
+    Alcotest.test_case "cstring load" `Quick test_cstring;
+    Alcotest.test_case "guard gap between regions" `Quick test_guard_gap;
+    Alcotest.test_case "refcount lifecycle" `Quick test_refcount_lifecycle;
+    Alcotest.test_case "refcount underflow" `Quick test_refcount_underflow;
+    Alcotest.test_case "rcu nesting" `Quick test_rcu_nesting;
+    Alcotest.test_case "rcu imbalance" `Quick test_rcu_imbalance;
+    Alcotest.test_case "rcu stall detection" `Quick test_rcu_stall;
+    Alcotest.test_case "rcu no stall outside section" `Quick test_rcu_no_stall_outside_section;
+    Alcotest.test_case "spinlock" `Quick test_spinlock;
+    Alcotest.test_case "spinlock deadlock" `Quick test_spinlock_deadlock;
+    Alcotest.test_case "spinlock wrong owner" `Quick test_spinlock_wrong_owner;
+    Alcotest.test_case "mempool" `Quick test_mempool;
+    Alcotest.test_case "mempool double free" `Quick test_mempool_double_free;
+    Alcotest.test_case "mempool scrubs chunks" `Quick test_mempool_scrubbed;
+    Alcotest.test_case "task fields" `Quick test_task_fields;
+    Alcotest.test_case "sock lookup" `Quick test_sock_lookup;
+    Alcotest.test_case "kernel health/leaks" `Quick test_kernel_health;
+    Alcotest.test_case "kernel protect records oops" `Quick test_kernel_protect;
+    Alcotest.test_case "vclock" `Quick test_vclock;
+  ]

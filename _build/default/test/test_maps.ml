@@ -1,0 +1,299 @@
+(* Map substrate tests, including a model-based qcheck suite comparing the
+   hash map against a reference association list. *)
+
+open Untenable
+module Bpf_map = Maps.Bpf_map
+module Ringbuf = Maps.Ringbuf
+module Kernel = Kernel_sim.Kernel
+module Kmem = Kernel_sim.Kmem
+
+let t64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Ld" v) Int64.equal
+
+let world_map ?(kind = Bpf_map.Array) ?(key_size = 4) ?(value_size = 8)
+    ?(max_entries = 8) ?lock_off () =
+  let kernel = Kernel.create () in
+  let map =
+    Bpf_map.create_map kernel ~id:1
+      { Bpf_map.name = "t"; kind; key_size; value_size; max_entries; lock_off }
+  in
+  (kernel, map)
+
+let key i =
+  let b = Bytes.make 4 '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int i);
+  b
+
+let value v =
+  let b = Bytes.make 8 '\000' in
+  Bytes.set_int64_le b 0 v;
+  b
+
+let read_value kernel addr =
+  Kmem.load kernel.Kernel.mem ~size:8 ~addr ~context:"test"
+
+(* ---------------- array maps ---------------- *)
+
+let test_array_lookup_bounds () =
+  let _, map = world_map () in
+  Alcotest.(check bool) "idx 0 hits" true (Bpf_map.lookup map ~key:(key 0) <> None);
+  Alcotest.(check bool) "idx 7 hits" true (Bpf_map.lookup map ~key:(key 7) <> None);
+  Alcotest.(check bool) "idx 8 misses" true (Bpf_map.lookup map ~key:(key 8) = None)
+
+let test_array_update_read () =
+  let kernel, map = world_map () in
+  (match Bpf_map.update map kernel.Kernel.mem ~key:(key 3) ~value:(value 99L) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let addr = Option.get (Bpf_map.lookup map ~key:(key 3)) in
+  Alcotest.check t64 "read back" 99L (read_value kernel addr)
+
+let test_array_no_delete () =
+  let _, map = world_map () in
+  Alcotest.(check bool) "arrays cannot delete" true
+    (Bpf_map.delete map ~key:(key 0) = Error Bpf_map.EINVAL)
+
+let test_array_update_oob () =
+  let kernel, map = world_map () in
+  Alcotest.(check bool) "oob update E2BIG" true
+    (Bpf_map.update map kernel.Kernel.mem ~key:(key 99) ~value:(value 1L)
+     = Error Bpf_map.E2BIG)
+
+let test_bad_value_size () =
+  let kernel, map = world_map () in
+  Alcotest.(check bool) "wrong value size" true
+    (Bpf_map.update map kernel.Kernel.mem ~key:(key 0) ~value:(Bytes.make 3 'x')
+     = Error Bpf_map.EINVAL)
+
+(* ---------------- hash maps ---------------- *)
+
+let test_hash_basic () =
+  let kernel, map = world_map ~kind:Bpf_map.Hash () in
+  Alcotest.(check bool) "miss before insert" true (Bpf_map.lookup map ~key:(key 5) = None);
+  (match Bpf_map.update map kernel.Kernel.mem ~key:(key 5) ~value:(value 55L) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert failed");
+  let addr = Option.get (Bpf_map.lookup map ~key:(key 5)) in
+  Alcotest.check t64 "hit after insert" 55L (read_value kernel addr);
+  Alcotest.(check bool) "delete" true (Bpf_map.delete map ~key:(key 5) = Ok ());
+  Alcotest.(check bool) "miss after delete" true (Bpf_map.lookup map ~key:(key 5) = None);
+  Alcotest.(check bool) "delete missing = ENOENT" true
+    (Bpf_map.delete map ~key:(key 5) = Error Bpf_map.ENOENT)
+
+let test_hash_full () =
+  let kernel, map = world_map ~kind:Bpf_map.Hash ~max_entries:2 () in
+  ignore (Bpf_map.update map kernel.Kernel.mem ~key:(key 1) ~value:(value 1L));
+  ignore (Bpf_map.update map kernel.Kernel.mem ~key:(key 2) ~value:(value 2L));
+  Alcotest.(check bool) "full = E2BIG" true
+    (Bpf_map.update map kernel.Kernel.mem ~key:(key 3) ~value:(value 3L)
+     = Error Bpf_map.E2BIG);
+  (* overwriting an existing key is fine when full *)
+  Alcotest.(check bool) "overwrite ok" true
+    (Bpf_map.update map kernel.Kernel.mem ~key:(key 1) ~value:(value 11L) = Ok ())
+
+let test_lru_eviction () =
+  let kernel, map = world_map ~kind:Bpf_map.Lru_hash ~max_entries:2 () in
+  ignore (Bpf_map.update map kernel.Kernel.mem ~key:(key 1) ~value:(value 1L));
+  ignore (Bpf_map.update map kernel.Kernel.mem ~key:(key 2) ~value:(value 2L));
+  (* touch key 1 so key 2 is the LRU victim *)
+  ignore (Bpf_map.lookup map ~key:(key 1));
+  ignore (Bpf_map.update map kernel.Kernel.mem ~key:(key 3) ~value:(value 3L));
+  Alcotest.(check bool) "key 1 survives (recently used)" true
+    (Bpf_map.lookup map ~key:(key 1) <> None);
+  Alcotest.(check bool) "key 2 evicted" true (Bpf_map.lookup map ~key:(key 2) = None);
+  Alcotest.(check bool) "key 3 present" true (Bpf_map.lookup map ~key:(key 3) <> None)
+
+let test_percpu_isolation () =
+  let kernel, map = world_map ~kind:Bpf_map.Percpu_array ~max_entries:2 () in
+  (* write on cpu 0, then observe cpu 1's copy is independent *)
+  kernel.Kernel.cpu <- 0;
+  let a0 = Option.get (Bpf_map.lookup map ~key:(key 0)) in
+  Kmem.store kernel.Kernel.mem ~size:8 ~addr:a0 ~value:11L ~context:"t";
+  kernel.Kernel.cpu <- 1;
+  let a1 = Option.get (Bpf_map.lookup map ~key:(key 0)) in
+  Alcotest.(check bool) "different backing" false (Int64.equal a0 a1);
+  Alcotest.check t64 "cpu1 copy untouched by direct store" 0L (read_value kernel a1);
+  kernel.Kernel.cpu <- 0;
+  Alcotest.check t64 "cpu0 copy kept" 11L (read_value kernel a0)
+
+(* ---------------- queue / stack maps ---------------- *)
+
+let test_queue_fifo () =
+  let kernel, map = world_map ~kind:Bpf_map.Queue ~max_entries:4 () in
+  let mem = kernel.Kernel.mem in
+  List.iter (fun v -> ignore (Bpf_map.push map mem ~value:(value v))) [ 1L; 2L; 3L ];
+  let pop () = match Bpf_map.pop map mem with
+    | Ok b -> Bytes.get_int64_le b 0
+    | Error _ -> -1L
+  in
+  Alcotest.check t64 "fifo 1" 1L (pop ());
+  Alcotest.check t64 "fifo 2" 2L (pop ());
+  Alcotest.check t64 "fifo 3" 3L (pop ());
+  Alcotest.(check bool) "empty" true (Bpf_map.pop map mem = Error Bpf_map.ENOENT)
+
+let test_stack_lifo () =
+  let kernel, map = world_map ~kind:Bpf_map.Stack ~max_entries:4 () in
+  let mem = kernel.Kernel.mem in
+  List.iter (fun v -> ignore (Bpf_map.push map mem ~value:(value v))) [ 1L; 2L; 3L ];
+  let pop () = match Bpf_map.pop map mem with
+    | Ok b -> Bytes.get_int64_le b 0
+    | Error _ -> -1L
+  in
+  Alcotest.check t64 "lifo 3" 3L (pop ());
+  Alcotest.check t64 "lifo 2" 2L (pop ());
+  Alcotest.check t64 "lifo 1" 1L (pop ())
+
+let test_queue_peek_and_full () =
+  let kernel, map = world_map ~kind:Bpf_map.Queue ~max_entries:2 () in
+  let mem = kernel.Kernel.mem in
+  ignore (Bpf_map.push map mem ~value:(value 7L));
+  (match Bpf_map.peek map mem with
+  | Ok b -> Alcotest.check t64 "peek sees front" 7L (Bytes.get_int64_le b 0)
+  | Error _ -> Alcotest.fail "peek failed");
+  Alcotest.(check int) "peek does not consume" 1 (Bpf_map.entries map);
+  ignore (Bpf_map.push map mem ~value:(value 8L));
+  Alcotest.(check bool) "full" true
+    (Bpf_map.push map mem ~value:(value 9L) = Error Bpf_map.E2BIG);
+  (* slots recycle after pop *)
+  ignore (Bpf_map.pop map mem);
+  Alcotest.(check bool) "slot recycled" true
+    (Bpf_map.push map mem ~value:(value 9L) = Ok ())
+
+(* ---------------- ringbuf ---------------- *)
+
+let fresh_rb ?(capacity = 256) () =
+  let kernel = Kernel.create () in
+  (kernel, Ringbuf.create kernel.Kernel.mem ~capacity)
+
+let test_ringbuf_submit_consume () =
+  let kernel, rb = fresh_rb () in
+  let a = Option.get (Ringbuf.reserve rb ~size:8) in
+  Kmem.store kernel.Kernel.mem ~size:8 ~addr:a ~value:42L ~context:"t";
+  Alcotest.(check bool) "submit ok" true (Ringbuf.submit rb a = Ok ());
+  (match Ringbuf.consume rb with
+  | [ record ] -> Alcotest.check t64 "payload" 42L (Bytes.get_int64_le record 0)
+  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l));
+  Alcotest.(check int) "drained" 0 (List.length (Ringbuf.consume rb))
+
+let test_ringbuf_discard () =
+  let _, rb = fresh_rb () in
+  let a = Option.get (Ringbuf.reserve rb ~size:8) in
+  Alcotest.(check bool) "discard ok" true (Ringbuf.discard rb a = Ok ());
+  Alcotest.(check int) "nothing submitted" 0 (List.length (Ringbuf.consume rb))
+
+let test_ringbuf_double_complete () =
+  let _, rb = fresh_rb () in
+  let a = Option.get (Ringbuf.reserve rb ~size:8) in
+  ignore (Ringbuf.submit rb a);
+  Alcotest.(check bool) "double submit detected" true
+    (Ringbuf.submit rb a = Error Ringbuf.Already_completed);
+  Alcotest.(check bool) "bogus addr" true
+    (Ringbuf.submit rb 0x1234L = Error Ringbuf.Not_reserved)
+
+let test_ringbuf_capacity () =
+  let _, rb = fresh_rb ~capacity:64 () in
+  Alcotest.(check bool) "first fits" true (Ringbuf.reserve rb ~size:24 <> None);
+  Alcotest.(check bool) "second fits" true (Ringbuf.reserve rb ~size:16 <> None);
+  Alcotest.(check bool) "third does not" true (Ringbuf.reserve rb ~size:24 = None);
+  Alcotest.(check int) "outstanding tracked" 2
+    (List.length (Ringbuf.outstanding_reservations rb))
+
+let test_ringbuf_reuse_after_drain () =
+  let _, rb = fresh_rb ~capacity:64 () in
+  let a = Option.get (Ringbuf.reserve rb ~size:40) in
+  ignore (Ringbuf.submit rb a);
+  ignore (Ringbuf.consume rb);
+  Alcotest.(check bool) "space reclaimed after consume" true
+    (Ringbuf.reserve rb ~size:40 <> None)
+
+(* ---------------- registry ---------------- *)
+
+let test_registry () =
+  let kernel = Kernel.create () in
+  let reg = Bpf_map.Registry.create () in
+  let m1 =
+    Bpf_map.Registry.register reg kernel
+      { Bpf_map.name = "a"; kind = Bpf_map.Array; key_size = 4; value_size = 8;
+        max_entries = 4; lock_off = None }
+  in
+  let m2 =
+    Bpf_map.Registry.register reg kernel
+      { Bpf_map.name = "b"; kind = Bpf_map.Hash; key_size = 4; value_size = 8;
+        max_entries = 4; lock_off = None }
+  in
+  Alcotest.(check bool) "ids distinct" true (m1.Bpf_map.id <> m2.Bpf_map.id);
+  Alcotest.(check bool) "find by id" true
+    (Bpf_map.Registry.find reg m1.Bpf_map.id <> None);
+  Alcotest.(check int) "all" 2 (List.length (Bpf_map.Registry.all reg))
+
+(* ---------------- model-based property ---------------- *)
+
+type op = Insert of int * int64 | Delete of int | Lookup of int
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun k v -> Insert (k, Int64.of_int v)) (int_bound 15) nat;
+        map (fun k -> Delete k) (int_bound 15);
+        map (fun k -> Lookup k) (int_bound 15) ])
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Insert (k, v) -> Printf.sprintf "I(%d,%Ld)" k v
+             | Delete k -> Printf.sprintf "D(%d)" k
+             | Lookup k -> Printf.sprintf "L(%d)" k)
+           ops))
+    QCheck.Gen.(list_size (int_bound 60) gen_op)
+
+let hash_model_test =
+  QCheck.Test.make ~count:200 ~name:"hash map behaves like an association list"
+    arb_ops
+    (fun ops ->
+      let kernel, map = world_map ~kind:Bpf_map.Hash ~max_entries:16 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert (k, v) -> (
+            match Bpf_map.update map kernel.Kernel.mem ~key:(key k) ~value:(value v) with
+            | Ok () ->
+              Hashtbl.replace model k v;
+              true
+            | Error Bpf_map.E2BIG -> not (Hashtbl.mem model k) && Hashtbl.length model >= 16
+            | Error _ -> false)
+          | Delete k ->
+            let expected = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            (Bpf_map.delete map ~key:(key k) = Ok ()) = expected
+          | Lookup k -> (
+            match (Bpf_map.lookup map ~key:(key k), Hashtbl.find_opt model k) with
+            | None, None -> true
+            | Some addr, Some v -> Int64.equal (read_value kernel addr) v
+            | _ -> false))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "array lookup bounds" `Quick test_array_lookup_bounds;
+    Alcotest.test_case "array update/read" `Quick test_array_update_read;
+    Alcotest.test_case "array cannot delete" `Quick test_array_no_delete;
+    Alcotest.test_case "array oob update" `Quick test_array_update_oob;
+    Alcotest.test_case "bad value size" `Quick test_bad_value_size;
+    Alcotest.test_case "hash basic ops" `Quick test_hash_basic;
+    Alcotest.test_case "hash full" `Quick test_hash_full;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "percpu isolation" `Quick test_percpu_isolation;
+    Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+    Alcotest.test_case "stack lifo" `Quick test_stack_lifo;
+    Alcotest.test_case "queue peek/full/recycle" `Quick test_queue_peek_and_full;
+    Alcotest.test_case "ringbuf submit/consume" `Quick test_ringbuf_submit_consume;
+    Alcotest.test_case "ringbuf discard" `Quick test_ringbuf_discard;
+    Alcotest.test_case "ringbuf double complete" `Quick test_ringbuf_double_complete;
+    Alcotest.test_case "ringbuf capacity" `Quick test_ringbuf_capacity;
+    Alcotest.test_case "ringbuf reuse after drain" `Quick test_ringbuf_reuse_after_drain;
+    Alcotest.test_case "registry" `Quick test_registry;
+    QCheck_alcotest.to_alcotest hash_model_test;
+  ]

@@ -1,0 +1,197 @@
+(* Tests for the PREVAIL-style abstract-interpretation verifier: same
+   rejections as the in-kernel engine on straight-line unsafety, native
+   bounded-loop handling via widening, the documented precision losses
+   (path correlation), and the scalability win on join-heavy programs. *)
+
+open Untenable
+open Ebpf.Asm
+module V = Bpf_verifier.Verifier
+module P = Bpf_verifier.Prevail
+module Program = Ebpf.Program
+module Bpf_map = Maps.Bpf_map
+
+let test_map_def : Bpf_map.def =
+  { Bpf_map.name = "t"; kind = Bpf_map.Array; key_size = 4; value_size = 16;
+    max_entries = 4; lock_off = None }
+
+let map_def = function 1 -> Some test_map_def | _ -> None
+
+let pverify ?config items =
+  let prog = Program.of_items_exn ~name:"t" ~prog_type:Program.Kprobe items in
+  P.verify ?config ~map_def prog
+
+let dverify items =
+  let prog = Program.of_items_exn ~name:"t" ~prog_type:Program.Kprobe items in
+  V.verify ~map_def prog
+
+let expect_ok items =
+  match pverify items with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "prevail rejected: %s" (Format.asprintf "%a" V.pp_reject r)
+
+let expect_reject ~substring items =
+  match pverify items with
+  | Ok _ -> Alcotest.failf "prevail accepted; expected rejection about %S" substring
+  | Error r ->
+    let msg = Format.asprintf "%a" V.pp_reject r in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains msg substring) then
+      Alcotest.failf "rejection %S does not mention %S" msg substring
+
+let h = Helpers.Registry.id_of_name
+
+let test_minimal () = expect_ok [ mov_i r0 0; exit_ ]
+
+let test_basic_rejections () =
+  expect_reject ~substring:"!read_ok" [ mov_r r0 r3; exit_ ];
+  expect_reject ~substring:"invalid read from stack" [ ldxdw r0 r10 (-8); exit_ ];
+  expect_reject ~substring:"invalid mem access" [ mov_i r2 7; ldxdw r0 r2 0; exit_ ];
+  expect_reject ~substring:"leaks addr" [ mov_r r0 r10; exit_ ]
+
+let test_map_pattern () =
+  expect_ok
+    [ stdw r10 (-8) 0; map_fd r1 1; mov_r r2 r10; add_i r2 (-8);
+      call (h "bpf_map_lookup_elem"); jeq_i r0 0 "out";
+      ldxdw r3 r0 0 [@warning "-26"]; label "out"; mov_i r0 0; exit_ ];
+  expect_reject ~substring:"invalid access"
+    [ stdw r10 (-8) 0; map_fd r1 1; mov_r r2 r10; add_i r2 (-8);
+      call (h "bpf_map_lookup_elem"); jeq_i r0 0 "out";
+      ldxdw r3 r0 9 [@warning "-26"]; label "out"; mov_i r0 0; exit_ ]
+
+let test_native_bounded_loop () =
+  (* no bpf_loop needed: the back edge converges via join/widening *)
+  expect_ok
+    [ mov_i r0 0; mov_i r6 10; label "l"; add_i r0 1; sub_i r6 1; jne_i r6 0 "l";
+      mov_i r0 0; exit_ ]
+
+let test_loop_indexed_access_imprecise () =
+  (* the widened counter loses its bounds, so indexing a map value by it is
+     rejected — the documented precision cost of the approach *)
+  expect_reject ~substring:"map_value"
+    ([ stdw r10 (-8) 0; map_fd r1 1; mov_r r2 r10; add_i r2 (-8);
+       call (h "bpf_map_lookup_elem"); jeq_i r0 0 "out"; mov_i r6 0;
+       label "l"; mov_r r3 r0; add_r r3 r6; ldxb r4 r3 0 [@warning "-26"];
+       add_i r6 1; jne_i r6 8 "l"; label "out"; mov_i r0 0; exit_ ])
+
+let test_unsupported_helpers_gated () =
+  expect_reject ~substring:"not supported"
+    [ mov_i r1 8080; call (h "bpf_sk_lookup_tcp"); mov_i r0 0; exit_ ];
+  expect_reject ~substring:"not supported"
+    [ mov_i r1 4; mov_label r2 "cb"; mov_i r3 0; mov_i r4 0; call (h "bpf_loop");
+      mov_i r0 0; exit_; label "cb"; mov_i r0 0; exit_ ];
+  expect_reject ~substring:"not supported"
+    [ mov_i r1 0; call_sub "sub"; exit_; label "sub"; mov_i r0 0; exit_ ]
+
+let correlated_paths =
+  (* r7 encodes which path bounded r6; the fallthrough of the second branch
+     only happens when r6 <= 8.  Path-sensitive DFS proves it; the join
+     erases the correlation. *)
+  [ ldxdw r6 r1 0; stdw r10 (-8) 0; map_fd r1 1; mov_r r2 r10; add_i r2 (-8);
+    call (h "bpf_map_lookup_elem"); jeq_i r0 0 "out";
+    jgt_i r6 8 "big"; mov_i r7 0; ja "join"; label "big"; mov_i r7 1;
+    label "join"; jeq_i r7 1 "out";
+    add_r r0 r6; ldxb r3 r0 0 [@warning "-26"];
+    label "out"; mov_i r0 0; exit_ ]
+
+let test_precision_vs_dfs () =
+  (match dverify correlated_paths with
+  | Ok _ -> ()
+  | Error r ->
+    Alcotest.failf "path-sensitive DFS should accept: %s"
+      (Format.asprintf "%a" V.pp_reject r));
+  match pverify correlated_paths with
+  | Error _ -> () (* the join erased the r6/r7 correlation: rejected *)
+  | Ok _ -> Alcotest.fail "join-based AI should lose the correlation"
+
+let test_scalability_vs_dfs () =
+  (* the path-unique-bitmask family that defeats DFS pruning converges in
+     linearly many AI iterations *)
+  let unprunable n =
+    List.concat
+      [ [ mov_i r0 0; mov_i r7 0 ];
+        List.concat_map
+          (fun i ->
+            [ ldxdw r6 r1 (8 * (i mod 8));
+              jle_i r6 1000 (Printf.sprintf "t%d" i);
+              or_i r7 (1 lsl i);
+              label (Printf.sprintf "t%d" i) ])
+          (List.init n (fun i -> i));
+        [ mov_i r0 0; exit_ ] ]
+  in
+  let config = { (V.default_config ()) with V.insn_budget = 50_000 } in
+  (* DFS blows its budget at n=16... *)
+  (match
+     V.verify ~config ~map_def
+       (Program.of_items_exn ~name:"u" ~prog_type:Program.Kprobe (unprunable 16))
+   with
+  | Error r ->
+    let msg = Format.asprintf "%a" V.pp_reject r in
+    Alcotest.(check bool) ("budget hit: " ^ msg) true true
+  | Ok _ -> Alcotest.fail "expected DFS to exceed its budget");
+  (* ...while AI converges comfortably *)
+  match pverify ~config (unprunable 16) with
+  | Ok s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "linear work (%d insns over %d iterations)" s.P.insns_processed
+         s.P.fixpoint_iterations)
+      true
+      (s.P.insns_processed < 2_000)
+  | Error r -> Alcotest.failf "AI rejected: %s" (Format.asprintf "%a" V.pp_reject r)
+
+(* agreement property: on the loop-free helper-light fragment, anything the
+   AI accepts the DFS accepts too (the AI is strictly more conservative
+   there), and AI-accepted programs never oops at runtime *)
+let conservativeness =
+  QCheck.Test.make ~count:200
+    ~name:"prevail-accepted implies dfs-accepted (loop-free fragment)"
+    (QCheck.make
+       ~print:(fun items ->
+         match Ebpf.Asm.assemble items with
+         | Ok insns -> Ebpf.Disasm.to_string insns
+         | Error e -> e)
+       QCheck.Gen.(
+         let reg = int_range 0 7 in
+         let small = int_range (-64) 64 in
+         let chunk =
+           oneof
+             [ map2 (fun d v -> mov_i d v) reg small;
+               map2 (fun d s -> add_r d s) reg reg;
+               map2 (fun d v -> and_i d v) reg small;
+               map2 (fun d v -> xor_i d v) reg small;
+               (let* slot = int_range 1 8 in
+                return (stdw r10 (-8 * slot) 5));
+               (let* d = reg and* fld = int_bound 7 in
+                return (ldxdw d r1 (fld * 8))) ]
+         in
+         let* body = list_size (int_range 2 20) chunk in
+         let* guard_v = small in
+         return (body @ [ jeq_i r0 guard_v "end"; xor_i r0 1; label "end";
+                          mov_i r0 0; exit_ ])))
+    (fun items ->
+      match Ebpf.Asm.assemble items with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok insns -> (
+        let prog = Program.make ~name:"c" ~prog_type:Program.Kprobe insns in
+        match P.verify ~map_def prog with
+        | Error _ -> QCheck.assume_fail ()
+        | Ok _ -> (
+          match V.verify ~map_def prog with
+          | Ok _ -> true
+          | Error _ -> false)))
+
+let suite =
+  [
+    Alcotest.test_case "minimal" `Quick test_minimal;
+    Alcotest.test_case "basic rejections" `Quick test_basic_rejections;
+    Alcotest.test_case "map pattern" `Quick test_map_pattern;
+    Alcotest.test_case "native bounded loop" `Quick test_native_bounded_loop;
+    Alcotest.test_case "loop-indexed access imprecise" `Quick test_loop_indexed_access_imprecise;
+    Alcotest.test_case "unsupported helpers gated" `Quick test_unsupported_helpers_gated;
+    Alcotest.test_case "precision: path correlation" `Quick test_precision_vs_dfs;
+    Alcotest.test_case "scalability vs DFS" `Quick test_scalability_vs_dfs;
+    QCheck_alcotest.to_alcotest conservativeness;
+  ]

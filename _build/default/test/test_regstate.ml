@@ -1,0 +1,130 @@
+(* Property tests for the verifier's register abstraction — the code the
+   historical CVEs lived in.  Every scalar transfer function, the branch
+   refinement, and the AI join/widen must *contain* the concrete semantics:
+   if a concrete value is a member of the input state, the concrete result
+   must be a member of the output state. *)
+
+open Untenable
+module R = Bpf_verifier.Reg_state
+module V = Bpf_verifier.Verifier
+open Ebpf
+
+(* membership: the concrete word is allowed by tnum AND all four bounds *)
+let mem (r : R.t) (v : int64) =
+  R.is_scalar r
+  && Tnum.contains r.R.var_off v
+  && Int64.unsigned_compare r.R.umin v <= 0
+  && Int64.unsigned_compare v r.R.umax <= 0
+  && Int64.compare r.R.smin v <= 0
+  && Int64.compare v r.R.smax <= 0
+
+(* a random scalar reg together with a member of it: bounds are the loosest
+   consistent with a random tnum, then tightened through bounds_sync *)
+let gen_reg_with_member =
+  QCheck.Gen.(
+    let* value = ui64 in
+    let* mask = ui64 in
+    let value = Int64.logand value (Int64.lognot mask) in
+    let* noise = ui64 in
+    let member = Int64.logor value (Int64.logand noise mask) in
+    let t = Tnum.make ~value ~mask in
+    let reg =
+      R.bounds_sync
+        { R.unknown_scalar with R.var_off = t; umin = Tnum.umin t; umax = Tnum.umax t }
+    in
+    return (reg, member))
+
+let arb_reg_member =
+  QCheck.make
+    ~print:(fun (r, m) -> Format.asprintf "%a ∋ %Lx" R.pp r m)
+    gen_reg_with_member
+
+let sound2 name abstract concrete =
+  QCheck.Test.make ~count:1000 ~name:("transfer soundness: " ^ name)
+    (QCheck.pair arb_reg_member arb_reg_member)
+    (fun ((ra, a), (rb, b)) -> mem (abstract ra rb) (concrete a b))
+
+let transfer_properties =
+  [
+    sound2 "add" R.scalar_add Int64.add;
+    sound2 "sub" R.scalar_sub Int64.sub;
+    sound2 "mul" R.scalar_mul Int64.mul;
+    sound2 "and" R.scalar_and Int64.logand;
+    sound2 "or" R.scalar_or Int64.logor;
+    sound2 "xor" R.scalar_xor Int64.logxor;
+    QCheck.Test.make ~count:1000 ~name:"transfer soundness: shifts"
+      (QCheck.pair arb_reg_member (QCheck.int_bound 63))
+      (fun ((ra, a), sh) ->
+        mem (R.scalar_shift_const `Lsh ra sh) (Int64.shift_left a sh)
+        && mem (R.scalar_shift_const `Rsh ra sh) (Int64.shift_right_logical a sh)
+        && mem (R.scalar_shift_const `Arsh ra sh) (Int64.shift_right a sh));
+    QCheck.Test.make ~count:1000 ~name:"transfer soundness: div by const"
+      (QCheck.pair arb_reg_member QCheck.(map Int64.of_int (int_range 1 1000)))
+      (fun ((ra, a), c) -> mem (R.scalar_div_const ra c) (Int64.unsigned_div a c));
+    QCheck.Test.make ~count:1000 ~name:"transfer soundness: zext32"
+      arb_reg_member
+      (fun (ra, a) -> mem (R.zext32 ra) (Int64.logand a 0xffff_ffffL));
+  ]
+
+(* branch refinement: if the branch outcome for the concrete member is
+   [taken], the member survives the [taken]-side refinement *)
+let concrete_taken (cond : Insn.cond) d c =
+  match cond with
+  | Insn.Eq -> Int64.equal d c
+  | Insn.Ne -> not (Int64.equal d c)
+  | Insn.Gt -> Int64.unsigned_compare d c > 0
+  | Insn.Ge -> Int64.unsigned_compare d c >= 0
+  | Insn.Lt -> Int64.unsigned_compare d c < 0
+  | Insn.Le -> Int64.unsigned_compare d c <= 0
+  | Insn.Set -> not (Int64.equal (Int64.logand d c) 0L)
+  | Insn.Sgt -> Int64.compare d c > 0
+  | Insn.Sge -> Int64.compare d c >= 0
+  | Insn.Slt -> Int64.compare d c < 0
+  | Insn.Sle -> Int64.compare d c <= 0
+
+let all_conds =
+  [ Insn.Eq; Insn.Ne; Insn.Gt; Insn.Ge; Insn.Lt; Insn.Le; Insn.Set; Insn.Sgt;
+    Insn.Sge; Insn.Slt; Insn.Sle ]
+
+let refinement_sound =
+  QCheck.Test.make ~count:2000 ~name:"branch refinement soundness"
+    (QCheck.triple arb_reg_member (QCheck.oneofl all_conds)
+       QCheck.(map Int64.of_int (int_range (-2000) 2000)))
+    (fun ((r, v), cond, c) ->
+      let taken = concrete_taken cond v c in
+      mem (V.refine_against_const cond r c ~taken) v)
+
+let branch_decidability_sound =
+  QCheck.Test.make ~count:2000 ~name:"is_branch_taken never lies"
+    (QCheck.triple arb_reg_member (QCheck.oneofl all_conds)
+       QCheck.(map Int64.of_int (int_range (-2000) 2000)))
+    (fun ((r, v), cond, c) ->
+      match V.branch_taken cond r c with
+      | None -> true
+      | Some decided -> decided = concrete_taken cond v c)
+
+(* join/widen: members of either side are members of the join; members of
+   the next iterate are members of the widened state *)
+let join_sound =
+  QCheck.Test.make ~count:1000 ~name:"join soundness"
+    (QCheck.pair arb_reg_member arb_reg_member)
+    (fun ((ra, a), (rb, b)) ->
+      let j = R.join ra rb in
+      mem j a && mem j b)
+
+let widen_sound =
+  QCheck.Test.make ~count:1000 ~name:"widen soundness"
+    (QCheck.pair arb_reg_member arb_reg_member)
+    (fun ((prev, _), (next, b)) -> mem (R.widen ~prev next) b)
+
+(* bounds_sync must never *remove* members, only tighten around them *)
+let bounds_sync_sound =
+  QCheck.Test.make ~count:1000 ~name:"bounds_sync keeps members"
+    arb_reg_member
+    (fun (r, v) -> mem (R.bounds_sync r) v)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    (transfer_properties
+    @ [ refinement_sound; branch_decidability_sound; join_sound; widen_sound;
+        bounds_sync_sound ])

@@ -1,0 +1,199 @@
+(* Unit and property tests for the tristate-number domain.  The soundness
+   property (every abstract operation's result contains every concrete
+   result) is the whole point of the domain; qcheck drives it per operator. *)
+
+open Untenable
+
+let t64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Lx" v) Int64.equal
+let tn = Alcotest.testable Tnum.pp Tnum.equal
+
+let check_bool = Alcotest.(check bool)
+
+let test_const () =
+  let t = Tnum.const 42L in
+  check_bool "const is const" true (Tnum.is_const t);
+  Alcotest.check t64 "const value" 42L (Option.get (Tnum.to_const t));
+  check_bool "contains own value" true (Tnum.contains t 42L);
+  check_bool "not contains other" false (Tnum.contains t 43L)
+
+let test_unknown () =
+  check_bool "unknown is unknown" true (Tnum.is_unknown Tnum.unknown);
+  check_bool "unknown contains anything" true (Tnum.contains Tnum.unknown 0xdeadbeefL);
+  check_bool "unknown not const" false (Tnum.is_const Tnum.unknown)
+
+let test_range () =
+  let t = Tnum.range ~min:16L ~max:31L in
+  check_bool "contains min" true (Tnum.contains t 16L);
+  check_bool "contains max" true (Tnum.contains t 31L);
+  check_bool "contains middle" true (Tnum.contains t 20L);
+  (* tnum ranges over-approximate to a power-of-two window *)
+  Alcotest.check t64 "umin" 16L (Tnum.umin t);
+  Alcotest.check t64 "umax" 31L (Tnum.umax t)
+
+let test_range_cross_pow2 () =
+  (* a range crossing a power of two loses precision but stays sound *)
+  let t = Tnum.range ~min:30L ~max:33L in
+  List.iter (fun v -> check_bool "sound" true (Tnum.contains t v)) [ 30L; 31L; 32L; 33L ]
+
+let test_add_consts () =
+  Alcotest.check tn "2+3=5" (Tnum.const 5L) (Tnum.add (Tnum.const 2L) (Tnum.const 3L))
+
+let test_sub_consts () =
+  Alcotest.check tn "5-3=2" (Tnum.const 2L) (Tnum.sub (Tnum.const 5L) (Tnum.const 3L))
+
+let test_mul_consts () =
+  Alcotest.check tn "6*7=42" (Tnum.const 42L) (Tnum.mul (Tnum.const 6L) (Tnum.const 7L))
+
+let test_neg_const () =
+  Alcotest.check tn "-(5)" (Tnum.const (-5L)) (Tnum.neg (Tnum.const 5L))
+
+let test_bitwise_consts () =
+  Alcotest.check tn "and" (Tnum.const 0b1000L)
+    (Tnum.logand (Tnum.const 0b1100L) (Tnum.const 0b1010L));
+  Alcotest.check tn "or" (Tnum.const 0b1110L)
+    (Tnum.logor (Tnum.const 0b1100L) (Tnum.const 0b1010L));
+  Alcotest.check tn "xor" (Tnum.const 0b0110L)
+    (Tnum.logxor (Tnum.const 0b1100L) (Tnum.const 0b1010L))
+
+let test_shifts () =
+  Alcotest.check tn "lshift" (Tnum.const 40L) (Tnum.lshift (Tnum.const 5L) 3);
+  Alcotest.check tn "rshift" (Tnum.const 5L) (Tnum.rshift (Tnum.const 40L) 3);
+  Alcotest.check tn "arshift keeps sign" (Tnum.const (-2L))
+    (Tnum.arshift (Tnum.const (-8L)) 2 ~bits:64)
+
+let test_cast () =
+  let t = Tnum.cast (Tnum.const 0x1234_5678_9abcL) ~size:2 in
+  Alcotest.check tn "cast to 2 bytes" (Tnum.const 0x9abcL) t
+
+let test_subreg () =
+  let t = Tnum.const 0xaaaa_bbbb_cccc_ddddL in
+  Alcotest.check tn "subreg" (Tnum.const 0xcccc_ddddL) (Tnum.subreg t);
+  Alcotest.check tn "clear_subreg" (Tnum.const 0xaaaa_bbbb_0000_0000L)
+    (Tnum.clear_subreg t);
+  Alcotest.check tn "const_subreg" (Tnum.const 0xaaaa_bbbb_0000_002aL)
+    (Tnum.const_subreg t 42L)
+
+let test_is_aligned () =
+  check_bool "8-aligned const" true (Tnum.is_aligned (Tnum.const 64L) 8L);
+  check_bool "not 8-aligned" false (Tnum.is_aligned (Tnum.const 63L) 8L);
+  check_bool "unknown unaligned" false (Tnum.is_aligned Tnum.unknown 8L);
+  (* a value known to have low bits zero is aligned even if the rest is
+     unknown: the lshift trick *)
+  check_bool "shifted unknown is aligned" true
+    (Tnum.is_aligned (Tnum.lshift Tnum.unknown 3) 8L)
+
+let test_subset () =
+  let small = Tnum.const 5L in
+  check_bool "const subset of unknown" true (Tnum.subset small Tnum.unknown);
+  check_bool "unknown not subset of const" false (Tnum.subset Tnum.unknown small);
+  check_bool "reflexive" true (Tnum.subset small small)
+
+let test_intersect () =
+  let a = Tnum.range ~min:0L ~max:255L in
+  let b = Tnum.const 66L in
+  let i = Tnum.intersect a b in
+  check_bool "intersect keeps the common member" true (Tnum.contains i 66L)
+
+let test_union () =
+  let u = Tnum.union (Tnum.const 4L) (Tnum.const 6L) in
+  check_bool "union contains both" true (Tnum.contains u 4L && Tnum.contains u 6L)
+
+let test_umin_umax () =
+  let t = Tnum.make ~value:0x10L ~mask:0x0fL in
+  Alcotest.check t64 "umin is value" 0x10L (Tnum.umin t);
+  Alcotest.check t64 "umax is value|mask" 0x1fL (Tnum.umax t)
+
+let test_pp_bin () =
+  let s = Format.asprintf "%a" Tnum.pp_bin (Tnum.make ~value:0b10L ~mask:0b100L) in
+  Alcotest.(check int) "64 chars" 64 (String.length s);
+  Alcotest.(check string) "tail" "x10" (String.sub s 61 3)
+
+(* ------------------------- properties ------------------------- *)
+
+(* Arbitrary tnum: a random mask and a random value confined to known bits,
+   plus a concrete member of it. *)
+let gen_tnum_with_member =
+  QCheck.Gen.(
+    let* value = ui64 in
+    let* mask = ui64 in
+    let value = Int64.logand value (Int64.lognot mask) in
+    let* noise = ui64 in
+    let member = Int64.logor value (Int64.logand noise mask) in
+    return (Tnum.make ~value ~mask, member))
+
+let arb_tnum_member =
+  QCheck.make ~print:(fun (t, m) -> Printf.sprintf "%s ∋ %Lx" (Tnum.to_string t) m)
+    gen_tnum_with_member
+
+let binop_sound name abstract concrete =
+  QCheck.Test.make ~count:500 ~name:(name ^ " soundness")
+    (QCheck.pair arb_tnum_member arb_tnum_member)
+    (fun ((ta, a), (tb, b)) -> Tnum.contains (abstract ta tb) (concrete a b))
+
+let shift_sound name abstract concrete =
+  QCheck.Test.make ~count:500 ~name:(name ^ " soundness")
+    (QCheck.pair arb_tnum_member QCheck.(int_bound 63))
+    (fun ((ta, a), n) -> Tnum.contains (abstract ta n) (concrete a n))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      binop_sound "add" Tnum.add Int64.add;
+      binop_sound "sub" Tnum.sub Int64.sub;
+      binop_sound "mul" Tnum.mul Int64.mul;
+      binop_sound "and" Tnum.logand Int64.logand;
+      binop_sound "or" Tnum.logor Int64.logor;
+      binop_sound "xor" Tnum.logxor Int64.logxor;
+      shift_sound "lshift" Tnum.lshift (fun a n -> Int64.shift_left a n);
+      shift_sound "rshift" Tnum.rshift (fun a n -> Int64.shift_right_logical a n);
+      shift_sound "arshift"
+        (fun t n -> Tnum.arshift t n ~bits:64)
+        (fun a n -> Int64.shift_right a n);
+      QCheck.Test.make ~count:500 ~name:"cast soundness"
+        (QCheck.pair arb_tnum_member (QCheck.oneofl [ 1; 2; 4; 8 ]))
+        (fun ((t, a), size) ->
+          let mask =
+            if size >= 8 then -1L else Int64.sub (Int64.shift_left 1L (8 * size)) 1L
+          in
+          Tnum.contains (Tnum.cast t ~size) (Int64.logand a mask));
+      QCheck.Test.make ~count:500 ~name:"range soundness"
+        (QCheck.pair QCheck.int64 QCheck.int64)
+        (fun (a, b) ->
+          let lo = if Int64.unsigned_compare a b <= 0 then a else b in
+          let hi = if Int64.unsigned_compare a b <= 0 then b else a in
+          let t = Tnum.range ~min:lo ~max:hi in
+          Tnum.contains t lo && Tnum.contains t hi);
+      QCheck.Test.make ~count:500 ~name:"union soundness" (QCheck.pair arb_tnum_member arb_tnum_member)
+        (fun ((ta, a), (tb, b)) ->
+          let u = Tnum.union ta tb in
+          Tnum.contains u a && Tnum.contains u b);
+      QCheck.Test.make ~count:500 ~name:"subset agrees with membership"
+        (QCheck.pair arb_tnum_member arb_tnum_member)
+        (fun ((ta, a), (tb, _)) ->
+          (* if ta ⊆ tb then every member of ta is a member of tb *)
+          QCheck.assume (Tnum.subset ta tb);
+          Tnum.contains tb a);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "const" `Quick test_const;
+    Alcotest.test_case "unknown" `Quick test_unknown;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "range crossing pow2" `Quick test_range_cross_pow2;
+    Alcotest.test_case "add consts" `Quick test_add_consts;
+    Alcotest.test_case "sub consts" `Quick test_sub_consts;
+    Alcotest.test_case "mul consts" `Quick test_mul_consts;
+    Alcotest.test_case "neg const" `Quick test_neg_const;
+    Alcotest.test_case "bitwise consts" `Quick test_bitwise_consts;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "cast" `Quick test_cast;
+    Alcotest.test_case "subreg family" `Quick test_subreg;
+    Alcotest.test_case "is_aligned" `Quick test_is_aligned;
+    Alcotest.test_case "subset" `Quick test_subset;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "umin/umax" `Quick test_umin_umax;
+    Alcotest.test_case "pp_bin" `Quick test_pp_bin;
+  ]
+  @ properties

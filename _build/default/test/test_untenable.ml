@@ -1,0 +1,22 @@
+(* The aggregated test runner: one alcotest suite per library, plus the
+   integration scenarios.  `dune runtest` runs everything. *)
+
+let () =
+  Alcotest.run "untenable"
+    [
+      ("tnum", Test_tnum.suite);
+      ("kernel_sim", Test_kernel_sim.suite);
+      ("maps", Test_maps.suite);
+      ("ebpf", Test_ebpf.suite);
+      ("verifier", Test_verifier.suite);
+      ("runtime", Test_runtime.suite);
+      ("helpers", Test_helpers.suite);
+      ("rustlite", Test_rustlite.suite);
+      ("framework", Test_framework.suite);
+      ("data", Test_data.suite);
+      ("integration", Test_integration.suite);
+      ("section4", Test_section4.suite);
+      ("parser", Test_parser.suite);
+      ("prevail", Test_prevail.suite);
+      ("regstate", Test_regstate.suite);
+    ]
