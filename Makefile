@@ -1,0 +1,28 @@
+# Convenience wrapper over dune.  `make check` is the tier-1 gate plus a
+# smoke run of the telemetry overhead bench (3 reps — fast, catches wiring
+# regressions, not a precision measurement; use `make bench-telemetry` for
+# the real numbers).
+
+.PHONY: all build test check bench bench-telemetry clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- telemetry-smoke
+
+bench:
+	dune exec bench/main.exe
+
+bench-telemetry:
+	dune exec bench/main.exe -- telemetry
+
+clean:
+	dune clean

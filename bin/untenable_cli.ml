@@ -6,6 +6,8 @@
      untenable-cli demo ID [--fixed]         run one exploit demo
      untenable-cli matrix                    executable Table 2
      untenable-cli datasets                  the paper's static datasets
+     untenable-cli stats [ID] [--format F]   telemetry snapshot (last demo or ID)
+     untenable-cli trace ID [--fixed]        run a demo, print its trace timeline
 *)
 
 open Untenable
@@ -72,24 +74,95 @@ let demos_cmd =
   Cmd.v (Cmd.info "demos" ~doc:"List the exploit corpus")
     Term.(const run $ const ())
 
+(* Where `demo` leaves its telemetry snapshot for a later `stats` invocation
+   (separate process, so the registry itself does not survive). *)
+let snapshot_file = ".untenable-telemetry"
+
+let run_demo_exn id fixed =
+  match Framework.Exploits.find id with
+  | None ->
+    Printf.eprintf "unknown demo %S (see `untenable-cli demos`)\n" id;
+    exit 1
+  | Some d -> (d, d.Framework.Exploits.run ~vulnerable:(not fixed))
+
+let save_snapshot () =
+  try Telemetry.Export.save_file (Telemetry.Registry.snapshot ()) snapshot_file
+  with Sys_error _ -> ()
+
 let demo_cmd =
   let run id fixed =
-    match Framework.Exploits.find id with
-    | None ->
-      Printf.eprintf "unknown demo %S (see `untenable-cli demos`)\n" id;
-      exit 1
-    | Some d ->
-      let r = d.Framework.Exploits.run ~vulnerable:(not fixed) in
-      Printf.printf "%s\n  load: %s\n  run:  %s\n  kernel dead: %b\n  attack: %s\n"
-        d.Framework.Exploits.title r.Framework.Exploits.gate
-        r.Framework.Exploits.runtime r.Framework.Exploits.kernel_dead
-        (if r.Framework.Exploits.attack_succeeded then "SUCCEEDED" else "defeated")
+    let d, r = run_demo_exn id fixed in
+    Printf.printf "%s\n  load: %s\n  run:  %s\n  kernel dead: %b\n  attack: %s\n"
+      d.Framework.Exploits.title r.Framework.Exploits.gate
+      r.Framework.Exploits.runtime r.Framework.Exploits.kernel_dead
+      (if r.Framework.Exploits.attack_succeeded then "SUCCEEDED" else "defeated");
+    save_snapshot ();
+    Printf.printf "  (telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
   in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let fixed =
     Arg.(value & flag & info [ "fixed" ] ~doc:"Run against the fixed/guarded kernel.")
   in
   Cmd.v (Cmd.info "demo" ~doc:"Run one exploit demo") Term.(const run $ id $ fixed)
+
+(* ---- stats / trace ---- *)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json); ("prometheus", `Prometheus) ]) `Table
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: table, json or prometheus.")
+
+let render_snapshot fmt (s : Telemetry.Registry.snapshot) =
+  match fmt with
+  | `Table -> Format.printf "%a" (Telemetry.Export.pp_table ~all:false) s
+  | `Json -> print_string (Telemetry.Export.to_json s)
+  | `Prometheus -> print_string (Telemetry.Export.to_prometheus s)
+
+let stats_cmd =
+  let run id fixed fmt =
+    match id with
+    | Some id ->
+      (* run the demo in-process and dump the registry *)
+      Telemetry.Registry.reset ();
+      let _d, _r = run_demo_exn id fixed in
+      render_snapshot fmt (Telemetry.Registry.snapshot ())
+    | None -> (
+      (* no demo given: show the snapshot the last `demo` run left behind *)
+      match Telemetry.Export.load_file snapshot_file with
+      | s -> render_snapshot fmt s
+      | exception Sys_error _ ->
+        Printf.eprintf
+          "no telemetry snapshot found (run `untenable-cli demo ID` first, or pass a \
+           demo ID to `stats`)\n";
+        exit 1
+      | exception Failure msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1)
+  in
+  let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID") in
+  let fixed =
+    Arg.(value & flag & info [ "fixed" ] ~doc:"Run against the fixed/guarded kernel.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Dump the telemetry snapshot (of the last demo, or of demo ID run in-process)")
+    Term.(const run $ id $ fixed $ format_arg)
+
+let trace_cmd =
+  let run id fixed =
+    Telemetry.Registry.reset ();
+    let d, _r = run_demo_exn id fixed in
+    let s = Telemetry.Registry.snapshot () in
+    Printf.printf "trace timeline for %s:\n" d.Framework.Exploits.id;
+    Format.printf "%a" Telemetry.Export.pp_timeline s
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let fixed =
+    Arg.(value & flag & info [ "fixed" ] ~doc:"Run against the fixed/guarded kernel.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Run an exploit demo and print its trace-event timeline")
+    Term.(const run $ id $ fixed)
 
 (* ---- matrix ---- *)
 
@@ -210,6 +283,6 @@ let main =
     (Cmd.info "untenable-cli" ~version:Untenable.version
        ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
     [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; matrix_cmd; datasets_cmd;
-      rl_check_cmd; rl_run_cmd ]
+      rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

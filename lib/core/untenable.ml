@@ -4,6 +4,8 @@
     The umbrella module re-exports every subsystem:
 
     - {!Tnum} — tristate numbers, the verifier's abstract value domain;
+    - {!Telemetry} — counters, histograms, trace spans, and the ring-buffer
+      trace sink every other subsystem reports into;
     - {!Kernel_sim} — the simulated kernel (guarded memory, RCU, refcounts,
       spinlocks, memory pool, virtual clock, oops machine);
     - {!Maps} — eBPF maps (array/hash/LRU/per-CPU/ringbuf);
@@ -33,6 +35,7 @@
     ]} *)
 
 module Tnum = Tnum
+module Telemetry = Telemetry
 module Kernel_sim = Kernel_sim
 module Maps = Maps
 module Ebpf = Ebpf

@@ -62,9 +62,24 @@ let fixup (prog : Program.t) : (Program.t, load_error) result =
     | Some name -> Error (Fixup_failed name)
     | None -> Ok { prog with Program.insns; relocs = [] })
 
+(* ---- telemetry ---- *)
+
+let tele_ebpf_loads = Telemetry.Registry.counter "loader.ebpf_loads"
+let tele_rustlite_loads = Telemetry.Registry.counter "loader.rustlite_loads"
+let tele_load_errors = Telemetry.Registry.counter "loader.load_errors"
+let tele_runs = Telemetry.Registry.counter "loader.runs"
+let tele_load_ns = Telemetry.Registry.histogram "loader.load_ns"
+let tele_validate_ns = Telemetry.Registry.histogram "loader.validate_ns"
+let tele_run_ns = Telemetry.Registry.histogram "loader.run.ns"
+
+(* Loading happens before the simulated clock moves; host CPU time is the
+   meaningful measure (it is dominated by verification on path A and by
+   signature validation on path B). *)
+let host_ns () = Int64.of_float (Sys.time () *. 1e9)
+
 (* ---- path A ---- *)
 
-let load_ebpf (w : World.t) (prog : Program.t) : (loaded, load_error) result =
+let load_ebpf_unmetered (w : World.t) (prog : Program.t) : (loaded, load_error) result =
   match fixup prog with
   | Error e -> Error e
   | Ok prog ->
@@ -84,11 +99,28 @@ let load_ebpf (w : World.t) (prog : Program.t) : (loaded, load_error) result =
         time_ns = Kernel_sim.Vclock.now w.World.kernel.Kernel.clock };
     Error (Verifier_crashed msg)
 
+let load_ebpf w prog =
+  Telemetry.Registry.bump tele_ebpf_loads;
+  let started = host_ns () in
+  let result = load_ebpf_unmetered w prog in
+  Telemetry.Registry.observe tele_load_ns (Int64.sub (host_ns ()) started);
+  (match result with
+  | Error _ -> Telemetry.Registry.bump tele_load_errors
+  | Ok _ -> ());
+  result
+
 (* ---- path B ---- *)
 
 let load_rustlite (w : World.t) (ext : Rustlite.Toolchain.signed_extension) :
     (loaded, load_error) result =
-  if not (Rustlite.Toolchain.validate ext) then Error Bad_signature
+  Telemetry.Registry.bump tele_rustlite_loads;
+  let started = host_ns () in
+  let valid = Rustlite.Toolchain.validate ext in
+  Telemetry.Registry.observe tele_validate_ns (Int64.sub (host_ns ()) started);
+  if not valid then begin
+    Telemetry.Registry.bump tele_load_errors;
+    Error Bad_signature
+  end
   else begin
     (* load-time fixup: register the declared maps, nothing else *)
     let map_ids =
@@ -147,7 +179,11 @@ let run ?skb_payload ?fuel ?wall_ns ?(ns_per_insn = 1L) ?use_jit
   in
   hctx.Hctx.skb <- skb;
   Kernel.snapshot_refs w.World.kernel;
+  Telemetry.Registry.bump tele_runs;
   let outcome =
+    Telemetry.Registry.with_span "loader.run" ~hist:tele_run_ns
+      ~clock:(fun () -> Kernel_sim.Vclock.now w.World.kernel.Kernel.clock)
+      (fun () ->
     match loaded with
     | Ebpf_prog { prog; _ } -> (
       let ctx = make_ctx_region w prog skb in
@@ -219,7 +255,7 @@ let run ?skb_payload ?fuel ?wall_ns ?(ns_per_insn = 1L) ?use_jit
       | Rustlite.Eval.Ret v ->
         Finished (match v with Rustlite.Value.V_int x -> x | _ -> 0L)
       | Rustlite.Eval.Oopsed r -> Crashed r
-      | Rustlite.Eval.Terminated t -> Stopped t)
+      | Rustlite.Eval.Terminated t -> Stopped t))
   in
   {
     outcome;

@@ -9,6 +9,17 @@ let eperm = -1L
 let enotsupp = -524L
 let ebusy = -16L
 
+let name v =
+  if Int64.equal v eperm then "EPERM"
+  else if Int64.equal v enoent then "ENOENT"
+  else if Int64.equal v e2big then "E2BIG"
+  else if Int64.equal v enomem then "ENOMEM"
+  else if Int64.equal v efault then "EFAULT"
+  else if Int64.equal v ebusy then "EBUSY"
+  else if Int64.equal v einval then "EINVAL"
+  else if Int64.equal v enotsupp then "ENOTSUPP"
+  else "E" ^ Int64.to_string (Int64.neg v)
+
 let of_map_error : Maps.Bpf_map.error -> int64 = function
   | Maps.Bpf_map.E2BIG -> e2big
   | ENOENT -> enoent

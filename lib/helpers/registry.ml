@@ -264,6 +264,62 @@ let id_of_name name =
 
 let count = List.length defs
 
+(* ---- telemetry ----
+
+   Per-helper call counts and Vclock latency histograms: the executable
+   version of Figure 3's "helpers are where the cost hides".  Interned once
+   per helper so the call path does one hashtable lookup, not three. *)
+
+type tele = {
+  t_calls : Telemetry.Counter.t;
+  t_latency : Telemetry.Histogram.t;
+  t_event : string;
+}
+
+let tele_calls = Telemetry.Registry.counter "helper.calls"
+let tele_errors = Telemetry.Registry.counter "helper.errors"
+
+let tele_by_id : (int, tele) Hashtbl.t = Hashtbl.create 64
+
+let tele_of def =
+  match Hashtbl.find_opt tele_by_id def.id with
+  | Some t -> t
+  | None ->
+    let t =
+      {
+        t_calls = Telemetry.Registry.counter ("helper.calls." ^ def.name);
+        t_latency = Telemetry.Registry.histogram ("helper.ns." ^ def.name);
+        t_event = "helper." ^ def.name;
+      }
+    in
+    Hashtbl.replace tele_by_id def.id t;
+    t
+
+(* Kernel convention (IS_ERR_VALUE): returns in [-4095, -1] are errnos. *)
+let max_errno = -4095L
+
+(* The one helper entry point the interpreter and JIT share.  Latency is
+   measured on the simulated clock and recorded only for normal returns;
+   a helper that oopses or terminates the program is accounted by the oops
+   latch and guard counters instead. *)
+let invoke def (hctx : Hctx.t) args =
+  if not (Telemetry.Registry.enabled ()) then def.impl hctx args
+  else begin
+    let tele = tele_of def in
+    Telemetry.Registry.bump tele_calls;
+    Telemetry.Registry.bump tele.t_calls;
+    let clock = hctx.kernel.Kernel_sim.Kernel.clock in
+    let t0 = Kernel_sim.Vclock.now clock in
+    let ret = def.impl hctx args in
+    Telemetry.Registry.observe tele.t_latency (Int64.sub (Kernel_sim.Vclock.now clock) t0);
+    Telemetry.Registry.point tele.t_event ~value:ret;
+    if Int64.compare ret 0L < 0 && Int64.compare ret max_errno >= 0 then begin
+      Telemetry.Registry.bump tele_errors;
+      Telemetry.Registry.incr_name ("helper.errno." ^ Errno.name ret)
+    end;
+    ret
+  end
+
 (* Helpers available on a given simulated kernel version. *)
 let available ~version = List.filter (fun d -> Kver.(d.introduced <= version)) defs
 

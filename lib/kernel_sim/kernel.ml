@@ -37,8 +37,14 @@ type t = {
 let default_pool_chunks = 64
 let default_pool_chunk_size = 256
 
+let tele_oops = Telemetry.Registry.counter "ksim.oops"
+
 let create ?(pool_chunks = default_pool_chunks) () =
   let clock = Vclock.create () in
+  (* Spans and trace events across the whole stack are timed on this world's
+     virtual clock.  Worlds are created per experiment, so the registry
+     follows the most recently created kernel. *)
+  Telemetry.Registry.set_clock (fun () -> Vclock.now clock);
   let mem = Kmem.create clock in
   let refs = Refcount.create_registry clock in
   let pool = Mempool.create mem clock ~chunk_size:default_pool_chunk_size ~capacity:pool_chunks in
@@ -57,7 +63,12 @@ let stat t key = Option.value ~default:0 (Hashtbl.find_opt t.stats key)
 
 let is_dead t = Option.is_some t.oops
 
-let record_oops t report = if t.oops = None then t.oops <- Some report
+let record_oops t report =
+  if t.oops = None then begin
+    t.oops <- Some report;
+    Telemetry.Registry.bump tele_oops;
+    Telemetry.Registry.point "ksim.oops" ~value:(Option.value report.Oops.addr ~default:0L)
+  end
 
 (* Run [f] against the kernel, converting an escaped oops exception into the
    recorded-dead state.  Returns the oops if one occurred. *)

@@ -75,7 +75,12 @@ let find_region t addr =
 
 let null_page_limit = 0x1000L
 
+let tele_loads = Telemetry.Registry.counter "ksim.mem_loads"
+let tele_stores = Telemetry.Registry.counter "ksim.mem_stores"
+let tele_faults = Telemetry.Registry.counter "ksim.mem_faults"
+
 let fault t ~kind ~addr ~context =
+  Telemetry.Registry.bump tele_faults;
   Oops.raise_oops ~kind ~addr ~context ~time_ns:(Vclock.now t.clock) ()
 
 (* Resolve [addr, addr+len) to a live region and byte offset, or oops. *)
@@ -96,6 +101,7 @@ let resolve t addr len ~write ~context =
     (r, off)
 
 let load t ~size ~addr ~context =
+  Telemetry.Registry.bump tele_loads;
   let r, off = resolve t addr size ~write:false ~context in
   let b i = Int64.of_int (Char.code (Bytes.get r.bytes (off + i))) in
   let rec go acc i =
@@ -105,6 +111,7 @@ let load t ~size ~addr ~context =
   go 0L (size - 1)
 
 let store t ~size ~addr ~value ~context =
+  Telemetry.Registry.bump tele_stores;
   let r, off = resolve t addr size ~write:true ~context in
   for i = 0 to size - 1 do
     let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical value (8 * i)) 0xffL) in
@@ -112,10 +119,12 @@ let store t ~size ~addr ~value ~context =
   done
 
 let load_bytes t ~addr ~len ~context =
+  Telemetry.Registry.bump tele_loads;
   let r, off = resolve t addr len ~write:false ~context in
   Bytes.sub r.bytes off len
 
 let store_bytes t ~addr ~src ~context =
+  Telemetry.Registry.bump tele_stores;
   let len = Bytes.length src in
   let r, off = resolve t addr len ~write:true ~context in
   Bytes.blit src 0 r.bytes off len

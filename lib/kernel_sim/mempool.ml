@@ -29,11 +29,18 @@ let create mem clock ~chunk_size ~capacity =
 let in_use t = Hashtbl.length t.allocated
 let available t = List.length t.free_chunks
 
+let tele_allocs = Telemetry.Registry.counter "ksim.pool_allocs"
+let tele_frees = Telemetry.Registry.counter "ksim.pool_frees"
+let tele_exhaustions = Telemetry.Registry.counter "ksim.pool_exhaustions"
+
 (* Allocation failure is not an oops: real kernel code must handle NULL from
    a pool, and the helpers built on this return NULL to the program. *)
 let alloc t =
   match t.free_chunks with
-  | [] -> None
+  | [] ->
+    Telemetry.Registry.bump tele_exhaustions;
+    Telemetry.Registry.point "ksim.pool_exhausted" ~value:(Int64.of_int t.capacity);
+    None
   | idx :: rest ->
     t.free_chunks <- rest;
     let addr = Kmem.region_addr t.backing (idx * t.chunk_size) in
@@ -42,13 +49,15 @@ let alloc t =
     (* scrub the chunk so stale data never leaks across allocations *)
     Kmem.store_bytes t.mem ~addr ~src:(Bytes.make t.chunk_size '\000')
       ~context:"mempool_alloc";
+    Telemetry.Registry.bump tele_allocs;
     Some addr
 
 let free t addr ~context =
   match Hashtbl.find_opt t.allocated addr with
   | Some idx ->
     Hashtbl.remove t.allocated addr;
-    t.free_chunks <- idx :: t.free_chunks
+    t.free_chunks <- idx :: t.free_chunks;
+    Telemetry.Registry.bump tele_frees
   | None ->
     Oops.raise_oops ~kind:Oops.Double_free ~addr ~context
       ~time_ns:(Vclock.now t.clock) ()

@@ -23,11 +23,16 @@ type t = {
 
 let default_stall_threshold_ns = 21_000_000_000L (* 21 s, as in Linux *)
 
+let tele_read_locks = Telemetry.Registry.counter "ksim.rcu_read_locks"
+let tele_stall_checks = Telemetry.Registry.counter "ksim.rcu_stall_checks"
+let tele_stalls = Telemetry.Registry.counter "ksim.rcu_stalls"
+
 let create clock =
   { clock; nesting = 0; entered_at = 0L; stalls = [];
     stall_threshold_ns = default_stall_threshold_ns; last_report_at = 0L }
 
 let read_lock t =
+  Telemetry.Registry.bump tele_read_locks;
   if t.nesting = 0 then t.entered_at <- Vclock.now t.clock;
   t.nesting <- t.nesting + 1
 
@@ -42,6 +47,7 @@ let in_critical_section t = t.nesting > 0
 (* Called periodically by the runtime (the simulated tick).  Reports at most
    one stall per threshold interval, like the kernel's rate-limited splat. *)
 let check_stall t ~context =
+  Telemetry.Registry.bump tele_stall_checks;
   if t.nesting > 0 then begin
     let now = Vclock.now t.clock in
     let held = Int64.sub now t.entered_at in
@@ -50,7 +56,9 @@ let check_stall t ~context =
       && Int64.compare (Int64.sub now t.last_report_at) t.stall_threshold_ns >= 0
     then begin
       t.last_report_at <- now;
-      t.stalls <- { at_ns = now; held_for_ns = held; context } :: t.stalls
+      t.stalls <- { at_ns = now; held_for_ns = held; context } :: t.stalls;
+      Telemetry.Registry.bump tele_stalls;
+      Telemetry.Registry.point "ksim.rcu_stall" ~value:held
     end
   end
 

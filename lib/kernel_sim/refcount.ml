@@ -23,6 +23,9 @@ type registry = {
 
 let create_registry clock = { clock; next_id = 1; live = []; total_gets = 0; total_puts = 0 }
 
+let tele_incs = Telemetry.Registry.counter "ksim.refcount_incs"
+let tele_decs = Telemetry.Registry.counter "ksim.refcount_decs"
+
 let saturation_limit = 1 lsl 20
 
 let make reg ~what ?released () =
@@ -40,7 +43,8 @@ let get reg t =
     Oops.raise_oops ~kind:Oops.Refcount_saturated ~context:("refcount_get " ^ t.what)
       ~time_ns:(Vclock.now reg.clock) ();
   t.count <- t.count + 1;
-  reg.total_gets <- reg.total_gets + 1
+  reg.total_gets <- reg.total_gets + 1;
+  Telemetry.Registry.bump tele_incs
 
 let put reg t =
   if t.count <= 0 then
@@ -48,6 +52,7 @@ let put reg t =
       ~time_ns:(Vclock.now reg.clock) ();
   t.count <- t.count - 1;
   reg.total_puts <- reg.total_puts + 1;
+  Telemetry.Registry.bump tele_decs;
   if t.count = 0 then begin
     reg.live <- List.filter (fun x -> x.id <> t.id) reg.live;
     match t.released with None -> () | Some f -> f ()

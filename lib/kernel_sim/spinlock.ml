@@ -19,6 +19,8 @@ type t = {
 let make ~id ~name clock =
   { id; name; clock; holder = None; acquired_at = 0L; acquisitions = 0 }
 
+let tele_acquisitions = Telemetry.Registry.counter "ksim.spinlock_acquisitions"
+
 let lock t ~owner =
   (match t.holder with
   | Some h ->
@@ -30,7 +32,8 @@ let lock t ~owner =
   | None -> ());
   t.holder <- Some owner;
   t.acquired_at <- Vclock.now t.clock;
-  t.acquisitions <- t.acquisitions + 1
+  t.acquisitions <- t.acquisitions + 1;
+  Telemetry.Registry.bump tele_acquisitions
 
 let unlock t ~owner =
   match t.holder with

@@ -19,6 +19,25 @@ let reason_to_string = function
   | Stack_violation -> "stack guard"
   | Language_panic msg -> "panic: " ^ msg
 
+let tele_terminations = Telemetry.Registry.counter "guard.terminations"
+let tele_fuel_trips = Telemetry.Registry.counter "guard.fuel_trips"
+let tele_watchdog_trips = Telemetry.Registry.counter "guard.watchdog_trips"
+let tele_stack_trips = Telemetry.Registry.counter "guard.stack_trips"
+let tele_panic_trips = Telemetry.Registry.counter "guard.panic_trips"
+let tele_resources_cleaned = Telemetry.Registry.counter "guard.resources_cleaned"
+
+let tele_trip_counter = function
+  | Fuel_exhausted -> tele_fuel_trips
+  | Watchdog_timeout -> tele_watchdog_trips
+  | Stack_violation -> tele_stack_trips
+  | Language_panic _ -> tele_panic_trips
+
+let reason_slug = function
+  | Fuel_exhausted -> "fuel"
+  | Watchdog_timeout -> "watchdog"
+  | Stack_violation -> "stack"
+  | Language_panic _ -> "panic"
+
 type termination = {
   reason : reason;
   cleaned_resources : int; (* destructors run by the trusted cleanup list *)
@@ -36,6 +55,10 @@ let terminate (hctx : Helpers.Hctx.t) reason =
   while Rcu.in_critical_section rcu do
     Rcu.read_unlock rcu ~context:"guard/terminate"
   done;
+  Telemetry.Registry.bump tele_terminations;
+  Telemetry.Registry.incr (tele_trip_counter reason);
+  Telemetry.Registry.incr tele_resources_cleaned ~n:cleaned;
+  Telemetry.Registry.point ("guard.trip." ^ reason_slug reason) ~value:(Int64.of_int cleaned);
   { reason; cleaned_resources = cleaned; at_ns = Vclock.now hctx.kernel.clock }
 
 let pp_termination ppf t =

@@ -27,11 +27,13 @@ let pp_outcome ppf = function
 
 type t = {
   hctx : Hctx.t;
-  mutable fuel : int64;            (* remaining instructions; -1 = unlimited *)
+  mutable fuel : int64;            (* remaining instructions; negative = unlimited *)
   wall_deadline : int64;           (* absolute sim time; -1 = none *)
   ns_per_insn : int64;
   rcu_check_interval : int;
   mutable insns_retired : int64;
+  tele_on : bool;                  (* telemetry state, sampled once per run *)
+  mutable pc_tally : int array;    (* per-run block-profile diff array, flushed at exit *)
 }
 
 let max_call_depth = 8
@@ -43,18 +45,92 @@ let create ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_insn = 1L)
     if Int64.compare wall_ns 0L < 0 then -1L
     else Int64.add (Vclock.now hctx.kernel.clock) wall_ns
   in
-  { hctx; fuel; wall_deadline; ns_per_insn; rcu_check_interval; insns_retired = 0L }
+  { hctx; fuel; wall_deadline; ns_per_insn; rcu_check_interval; insns_retired = 0L;
+    tele_on = Telemetry.Registry.enabled (); pc_tally = [||] }
 
 let frame t depth = Hctx.stack_frame t.hctx depth
 
-(* charge one instruction; raises Guard.Terminate on guard trip *)
+let tele_runs = Telemetry.Registry.counter "interp.runs"
+let tele_insns = Telemetry.Registry.counter "interp.insns"
+let tele_op_alu = Telemetry.Registry.counter "interp.op.alu"
+let tele_op_ld = Telemetry.Registry.counter "interp.op.ld"
+let tele_op_st = Telemetry.Registry.counter "interp.op.st"
+let tele_op_atomic = Telemetry.Registry.counter "interp.op.atomic"
+let tele_op_jmp = Telemetry.Registry.counter "interp.op.jmp"
+let tele_op_call = Telemetry.Registry.counter "interp.op.call"
+let tele_op_exit = Telemetry.Registry.counter "interp.op.exit"
+
+(* Per-instruction accounting is a basic-block execution profile: straight-
+   line instructions cost nothing, and each control transfer closes the open
+   block [block_start, pc] with two writes into a difference array
+   (diff.(start) += 1, diff.(end+1) -= 1).  A prefix sum at flush time
+   recovers the per-pc execution count, which is then classified per opcode.
+   Anything per-instruction — even one guarded array add — costs ~1 ns
+   against a ~20 ns dispatch, which alone approaches the <5% overhead
+   budget.
+
+   The profile counts *completed* instructions: one that faults mid-way
+   (oops) or never starts (fuel/watchdog trip) is not tallied, so
+   [interp.insns] can lag [insns_retired] by one on a faulting run. *)
+let op_class = function
+  | Insn.Alu _ -> 0
+  | Insn.Ld_imm64 _ | Insn.Ld_map_fd _ | Insn.Ldx _ -> 1
+  | Insn.St _ | Insn.Stx _ -> 2
+  | Insn.Atomic _ -> 3
+  | Insn.Ja _ | Insn.Jmp _ -> 4
+  | Insn.Call _ | Insn.Call_sub _ -> 5
+  | Insn.Exit -> 6
+
+let op_counters =
+  [| tele_op_alu; tele_op_ld; tele_op_st; tele_op_atomic; tele_op_jmp;
+     tele_op_call; tele_op_exit |]
+
+let tele_run_ns = Telemetry.Registry.histogram "interp.run.ns"
+
+(* One-slot pool for the diff array: the common case is the same program run
+   back to back, and recycling avoids an alloc + zeroing per run.  Single
+   simulated CPU, so no contention; flush zeroes before returning. *)
+let tally_pool : int array ref = ref [||]
+
+let per_class_scratch = Array.make 7 0
+
+let flush_tallies t (insns : Insn.insn array) =
+  if t.tele_on && Array.length t.pc_tally > 0 then begin
+    let diff = t.pc_tally in
+    let per_class = per_class_scratch in
+    Array.fill per_class 0 (Array.length per_class) 0;
+    let running = ref 0 in
+    let total = ref 0 in
+    for pc = 0 to Array.length insns - 1 do
+      running := !running + diff.(pc);
+      if !running > 0 then begin
+        let c = op_class insns.(pc) in
+        per_class.(c) <- per_class.(c) + !running;
+        total := !total + !running
+      end
+    done;
+    if !total > 0 then Telemetry.Registry.add tele_insns !total;
+    Array.iteri
+      (fun i n -> if n > 0 then Telemetry.Registry.add op_counters.(i) n)
+      per_class;
+    Array.fill diff 0 (Array.length diff) 0;
+    tally_pool := diff;
+    t.pc_tally <- [||]
+  end
+
+(* charge one instruction; raises Guard.Terminate on guard trip.
+
+   Fuel is checked *before* the instruction's effects: [~fuel:N] executes
+   exactly N instructions, and the instruction that finds the tank empty
+   never runs (and never retires).  [~fuel:0L] therefore trips immediately;
+   unlimited is any negative value. *)
 let tick t =
+  if Int64.compare t.fuel 0L >= 0 then begin
+    if Int64.equal t.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted);
+    t.fuel <- Int64.sub t.fuel 1L
+  end;
   t.insns_retired <- Int64.add t.insns_retired 1L;
   Vclock.advance t.hctx.kernel.clock t.ns_per_insn;
-  if Int64.compare t.fuel 0L > 0 then begin
-    t.fuel <- Int64.sub t.fuel 1L;
-    if Int64.equal t.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted)
-  end;
   if Int64.rem t.insns_retired (Int64.of_int t.rcu_check_interval) = 0L then begin
     Rcu.check_stall t.hctx.kernel.rcu ~context:"bpf_prog";
     if Int64.compare t.wall_deadline 0L >= 0
@@ -73,9 +149,32 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
   let stack = frame t depth in
   regs.(10) <- Int64.add stack.Kmem.base (Int64.of_int stack.Kmem.size);
   let mem = t.hctx.kernel.mem in
+  if t.tele_on && Array.length t.pc_tally <> Array.length insns + 1 then begin
+    if Array.length !tally_pool = Array.length insns + 1 then begin
+      t.pc_tally <- !tally_pool;
+      tally_pool := [||]
+    end
+    else t.pc_tally <- Array.make (Array.length insns + 1) 0
+  end;
+  let tele_on = t.tele_on in
+  let tally = t.pc_tally in
+  (* Open straight-line block starts at [bs]; at the top of the loop every
+     instruction in [bs, pc - 1] has completed but is not yet tallied.
+     Taken branches and Exit commit the block inline ([bs <= pc] holds at
+     any executed instruction, so the unsafe accesses are in bounds);
+     [close_cold] is the guarded version for the exception path, where pc
+     may be wild. *)
+  let bs = ref entry in
+  let close_cold e =
+    if !bs >= 0 && !bs <= e && e < Array.length insns then begin
+      tally.(!bs) <- tally.(!bs) + 1;
+      tally.(e + 1) <- tally.(e + 1) - 1
+    end
+  in
   let pc = ref entry in
   let running = ref true in
   let retval = ref 0L in
+  (try
   while !running do
     if !pc < 0 || !pc >= Array.length insns then
       Oops.raise_oops ~kind:Oops.Control_flow_hijack
@@ -187,7 +286,13 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
           Kmem.store mem ~size:sz ~addr ~value:regs.(src) ~context:ctx_str;
         regs.(0) <- old);
       incr pc
-    | Insn.Ja off -> pc := !pc + 1 + off
+    | Insn.Ja off ->
+      if tele_on && off <> 0 then begin
+        Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
+        Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1);
+        bs := !pc + 1 + off
+      end;
+      pc := !pc + 1 + off
     | Insn.Jmp { cond; width; dst; src; off } ->
       let s = match src with Insn.Reg r -> regs.(r) | Insn.Imm v -> Int64.of_int v in
       let d = regs.(dst) in
@@ -214,7 +319,13 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
         | Insn.Slt -> Int64.compare ds ss < 0
         | Insn.Sle -> Int64.compare ds ss <= 0
       in
-      pc := if taken then !pc + 1 + off else !pc + 1
+      let next = if taken then !pc + 1 + off else !pc + 1 in
+      if tele_on && next <> !pc + 1 then begin
+        Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
+        Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1);
+        bs := next
+      end;
+      pc := next
     | Insn.Call helper_id -> (
       match Helpers.Registry.find helper_id with
       | None ->
@@ -222,13 +333,16 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
           ~context:(Printf.sprintf "bpf_prog+%d" !pc)
           ~time_ns:(Vclock.now t.hctx.kernel.clock) ()
       | Some def ->
+        (* no block close: callback re-entry shares the diff array (adds
+           commute), and if the helper oopses the Call goes untallied like
+           any other instruction that failed to complete *)
         t.hctx.helper_calls <- t.hctx.helper_calls + 1;
         let args = [| regs.(1); regs.(2); regs.(3); regs.(4); regs.(5) |] in
         (* helpers that take callbacks re-enter the interpreter *)
         t.hctx.call_subprog <-
           Some (fun cb_pc cb_args ->
               exec_insns t insns ~entry:cb_pc ~depth:(depth + 1) ~args:cb_args);
-        regs.(0) <- def.Helpers.Registry.impl t.hctx args;
+        regs.(0) <- Helpers.Registry.invoke def t.hctx args;
         incr pc)
     | Insn.Call_sub off ->
       (* BPF-to-BPF call: fresh frame, args in r1..r5, result in r0;
@@ -239,9 +353,17 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
           ~args:[| regs.(1); regs.(2); regs.(3); regs.(4); regs.(5) |];
       incr pc
     | Insn.Exit ->
+      if tele_on then begin
+        Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
+        Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1)
+      end;
       retval := regs.(0);
       running := false)
-  done;
+  done
+  with e ->
+    (* an instruction that raised never completed: commit [bs, pc - 1] *)
+    if tele_on then close_cold (!pc - 1);
+    raise e);
   !retval
 
 (* Run a program whose context struct lives at [ctx_addr]. *)
@@ -250,21 +372,26 @@ let run_counted ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~(hctx : Hctx.t)
   let t = create ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval hctx in
   (* charge clock via the helpers' charge hook too *)
   hctx.charge <- (fun ns -> Vclock.advance hctx.kernel.clock ns);
-  let rcu = hctx.kernel.rcu in
-  Rcu.read_lock rcu;
+  Telemetry.Registry.bump tele_runs;
   let outcome =
-    match
-      exec_insns t prog.Program.insns ~entry:0 ~depth:0
-        ~args:[| ctx_addr; 0L; 0L; 0L; 0L |]
-    with
-    | ret ->
-      Rcu.read_unlock rcu ~context:"bpf_prog exit";
-      Ret ret
-    | exception Guard.Terminate reason -> Terminated (Guard.terminate hctx reason)
-    | exception Oops.Kernel_oops report ->
-      Kernel_sim.Kernel.record_oops hctx.kernel report;
-      Oopsed report
+    Telemetry.Registry.with_span "interp.run" ~hist:tele_run_ns
+      ~clock:(fun () -> Vclock.now hctx.kernel.clock)
+      (fun () ->
+        let rcu = hctx.kernel.rcu in
+        Rcu.read_lock rcu;
+        match
+          exec_insns t prog.Program.insns ~entry:0 ~depth:0
+            ~args:[| ctx_addr; 0L; 0L; 0L; 0L |]
+        with
+        | ret ->
+          Rcu.read_unlock rcu ~context:"bpf_prog exit";
+          Ret ret
+        | exception Guard.Terminate reason -> Terminated (Guard.terminate hctx reason)
+        | exception Oops.Kernel_oops report ->
+          Kernel_sim.Kernel.record_oops hctx.kernel report;
+          Oopsed report)
   in
+  flush_tallies t prog.Program.insns;
   (outcome, t.insns_retired)
 
 let run ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~hctx ~prog ~ctx_addr () =

@@ -32,7 +32,7 @@ let pp_outcome ppf = function
 
 type run_ctx = {
   kctx : Kcrate.ctx;
-  mutable fuel : int64;   (* -1 = unlimited *)
+  mutable fuel : int64;   (* remaining steps; negative = unlimited *)
   wall_deadline : int64;  (* absolute, -1 = none *)
   ns_per_step : int64;
   mutable steps : int64;
@@ -41,12 +41,13 @@ type run_ctx = {
 let panic msg = raise (Guard.Terminate (Guard.Language_panic msg))
 
 let tick rc =
+  (* fuel precedes the step, as in Interp.tick: fuel:N runs exactly N steps *)
+  if Int64.compare rc.fuel 0L >= 0 then begin
+    if Int64.equal rc.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted);
+    rc.fuel <- Int64.sub rc.fuel 1L
+  end;
   rc.steps <- Int64.add rc.steps 1L;
   Vclock.advance rc.kctx.Kcrate.hctx.kernel.clock rc.ns_per_step;
-  if Int64.compare rc.fuel 0L > 0 then begin
-    rc.fuel <- Int64.sub rc.fuel 1L;
-    if Int64.equal rc.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted)
-  end;
   if Int64.rem rc.steps 1024L = 0L then begin
     Rcu.check_stall rc.kctx.Kcrate.hctx.kernel.rcu ~context:"rustlite_ext";
     if Int64.compare rc.wall_deadline 0L >= 0

@@ -1,0 +1,18 @@
+(* Monotonic event counters.
+
+   Values are plain [int]s, not [Int64.t]: a counter increment sits on the
+   interpreter's per-instruction hot path, and a mutable boxed int64 field
+   would allocate on every bump.  At 63 bits an int cannot realistically
+   wrap in a simulation. *)
+
+type t = { name : string; mutable value : int }
+
+let make name = { name; value = 0 }
+let incr ?(n = 1) t = t.value <- t.value + n
+
+(* Fast paths for hot loops: no optional-argument plumbing. *)
+let[@inline] bump t = t.value <- t.value + 1
+let[@inline] add t n = t.value <- t.value + n
+let value t = t.value
+let name t = t.name
+let reset t = t.value <- 0

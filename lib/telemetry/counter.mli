@@ -1,0 +1,16 @@
+(* A named monotonic counter. *)
+
+type t
+
+val make : string -> t
+val incr : ?n:int -> t -> unit
+
+(** [bump t] is [incr t] without optional-argument overhead — use on hot
+    paths (it is what the interpreter charges per instruction). *)
+val bump : t -> unit
+
+(** [add t n] is [incr ~n t] without optional-argument overhead. *)
+val add : t -> int -> unit
+val value : t -> int
+val name : t -> string
+val reset : t -> unit

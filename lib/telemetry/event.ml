@@ -1,0 +1,29 @@
+(* A single trace event.  Spans emit an [Enter]/[Exit] pair ([Exit] carries
+   the span duration in [value]); instant events are [Point]s (the value is
+   event-specific, e.g. a helper's return). *)
+
+type kind = Enter | Exit | Point
+
+type t = {
+  seq : int;          (* global attempt sequence; gaps reveal drops *)
+  time_ns : int64;    (* simulated (Vclock) time when recorded *)
+  depth : int;        (* span nesting depth at emission *)
+  kind : kind;
+  name : string;
+  value : int64;
+}
+
+let kind_to_string = function Enter -> "enter" | Exit -> "exit" | Point -> "point"
+
+let kind_of_string = function
+  | "enter" -> Some Enter
+  | "exit" -> Some Exit
+  | "point" -> Some Point
+  | _ -> None
+
+let pp ppf e =
+  let indent = String.make (2 * e.depth) ' ' in
+  match e.kind with
+  | Enter -> Format.fprintf ppf "%12Ldns %s> %s" e.time_ns indent e.name
+  | Exit -> Format.fprintf ppf "%12Ldns %s< %s (%Ldns)" e.time_ns indent e.name e.value
+  | Point -> Format.fprintf ppf "%12Ldns %s* %s = %Ld" e.time_ns indent e.name e.value

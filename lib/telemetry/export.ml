@@ -1,0 +1,230 @@
+(* Renderers and persistence for registry snapshots.
+
+   Three output formats:
+     - JSON, for machine consumption;
+     - Prometheus text exposition, so a scrape endpoint can be bolted on
+       later without touching instrumentation sites;
+     - a human table (the CLI's `stats` default).
+
+   Snapshots also round-trip through a line-based text file so separate CLI
+   invocations can share state (`demo` writes, `stats` reads) without this
+   library growing a JSON parser. *)
+
+type snapshot = Registry.snapshot = {
+  counters : (string * int) list;
+  histograms : (string * Histogram.t) list;
+  events : Event.t list;
+  dropped_events : int;
+}
+
+(* ---- JSON ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) -> add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape name) v)
+    s.counters;
+  add "\n  },\n  \"histograms\": {";
+  List.iteri
+    (fun i (name, h) ->
+      add "%s\n    \"%s\": { \"count\": %d, \"sum\": %Ld, \"max\": %Ld, \"buckets\": ["
+        (if i = 0 then "" else ",")
+        (json_escape name) (Histogram.count h) (Histogram.sum h) (Histogram.max_value h);
+      List.iteri
+        (fun j (idx, n) ->
+          add "%s{ \"le\": %Ld, \"count\": %d }" (if j = 0 then "" else ", ")
+            (Histogram.bucket_bound idx) n)
+        (Histogram.nonzero_buckets h);
+      add "] }")
+    s.histograms;
+  add "\n  },\n  \"trace\": { \"retained\": %d, \"dropped\": %d, \"events\": ["
+    (List.length s.events) s.dropped_events;
+  List.iteri
+    (fun i (e : Event.t) ->
+      add "%s\n    { \"seq\": %d, \"t\": %Ld, \"depth\": %d, \"kind\": \"%s\", \"name\": \"%s\", \"value\": %Ld }"
+        (if i = 0 then "" else ",")
+        e.seq e.time_ns e.depth (Event.kind_to_string e.kind) (json_escape e.name) e.value)
+    s.events;
+  add "\n  ] }\n}\n";
+  Buffer.contents buf
+
+(* ---- Prometheus text exposition ---- *)
+
+let prom_name name =
+  "untenable_"
+  ^ String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_') name
+
+let to_prometheus (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      add "# TYPE %s counter\n%s %d\n" n n v)
+    s.counters;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      add "# TYPE %s histogram\n" n;
+      let cumulative = ref 0 in
+      List.iter
+        (fun (idx, c) ->
+          cumulative := !cumulative + c;
+          add "%s_bucket{le=\"%Ld\"} %d\n" n (Histogram.bucket_bound idx) !cumulative)
+        (Histogram.nonzero_buckets h);
+      add "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h);
+      add "%s_sum %Ld\n%s_count %d\n" n (Histogram.sum h) n (Histogram.count h))
+    s.histograms;
+  add "# TYPE untenable_trace_events_dropped counter\nuntenable_trace_events_dropped %d\n"
+    s.dropped_events;
+  Buffer.contents buf
+
+(* ---- human table ---- *)
+
+let namespace name = match String.index_opt name '.' with None -> name | Some i -> String.sub name 0 i
+
+let pp_table ?(all = false) ppf (s : snapshot) =
+  let counters = if all then s.counters else List.filter (fun (_, v) -> v <> 0) s.counters in
+  let histograms =
+    if all then s.histograms else List.filter (fun (_, h) -> Histogram.count h > 0) s.histograms
+  in
+  Format.fprintf ppf "== counters ==@.";
+  let last_ns = ref "" in
+  List.iter
+    (fun (name, v) ->
+      let ns = namespace name in
+      if ns <> !last_ns then begin
+        if !last_ns <> "" then Format.fprintf ppf "@.";
+        last_ns := ns
+      end;
+      Format.fprintf ppf "  %-42s %12d@." name v)
+    counters;
+  if histograms <> [] then begin
+    Format.fprintf ppf "@.== histograms (log2 buckets) ==@.";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %-42s count=%-8d mean=%-12.1f max=%Ld@." name (Histogram.count h)
+          (Histogram.mean h) (Histogram.max_value h))
+      histograms
+  end;
+  Format.fprintf ppf "@.== trace ==@.  %d events retained, %d dropped@." (List.length s.events)
+    s.dropped_events
+
+let pp_timeline ppf (s : snapshot) =
+  List.iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) s.events;
+  if s.dropped_events > 0 then
+    Format.fprintf ppf "... %d further events dropped (ring full)@." s.dropped_events
+
+(* ---- snapshot file round-trip ---- *)
+
+let file_magic = "untenable-telemetry v1"
+
+let save_file (s : snapshot) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (file_magic ^ "\n");
+      List.iter (fun (name, v) -> Printf.fprintf oc "counter %s %d\n" name v) s.counters;
+      List.iter
+        (fun (name, h) ->
+          let buckets =
+            Histogram.nonzero_buckets h
+            |> List.map (fun (i, c) -> Printf.sprintf "%d:%d" i c)
+            |> String.concat ","
+          in
+          Printf.fprintf oc "hist %s %d %Ld %Ld %s\n" name (Histogram.count h) (Histogram.sum h)
+            (Histogram.max_value h)
+            (if buckets = "" then "-" else buckets))
+        s.histograms;
+      List.iter
+        (fun (e : Event.t) ->
+          Printf.fprintf oc "event %d %Ld %d %s %Ld %s\n" e.seq e.time_ns e.depth
+            (Event.kind_to_string e.kind) e.value e.name)
+        s.events;
+      Printf.fprintf oc "dropped %d\n" s.dropped_events)
+
+let parse_error line = failwith (Printf.sprintf "telemetry snapshot: cannot parse %S" line)
+
+let load_file path : snapshot =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let counters = ref [] and histograms = ref [] and events = ref [] and dropped = ref 0 in
+      (match input_line ic with
+      | magic when magic = file_magic -> ()
+      | magic -> failwith (Printf.sprintf "telemetry snapshot: bad magic %S" magic)
+      | exception End_of_file -> failwith "telemetry snapshot: empty file");
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ "counter"; name; v ] -> (
+             match int_of_string_opt v with
+             | Some v -> counters := (name, v) :: !counters
+             | None -> parse_error line)
+           | [ "hist"; name; count; sum; max; buckets ] ->
+             let parse_buckets s =
+               if s = "-" then []
+               else
+                 String.split_on_char ',' s
+                 |> List.map (fun pair ->
+                        match String.split_on_char ':' pair with
+                        | [ i; c ] -> (int_of_string i, int_of_string c)
+                        | _ -> parse_error line)
+             in
+             (try
+                let h =
+                  Histogram.of_parts ~name ~count:(int_of_string count)
+                    ~sum:(Int64.of_string sum) ~max:(Int64.of_string max)
+                    ~buckets:(parse_buckets buckets)
+                in
+                histograms := (name, h) :: !histograms
+              with Failure _ -> parse_error line)
+           | "event" :: seq :: time_ns :: depth :: kind :: value :: name_parts -> (
+             match (Event.kind_of_string kind, String.concat " " name_parts) with
+             | Some kind, name -> (
+               try
+                 events :=
+                   {
+                     Event.seq = int_of_string seq;
+                     time_ns = Int64.of_string time_ns;
+                     depth = int_of_string depth;
+                     kind;
+                     name;
+                     value = Int64.of_string value;
+                   }
+                   :: !events
+               with Failure _ -> parse_error line)
+             | _ -> parse_error line)
+           | [ "dropped"; n ] -> (
+             match int_of_string_opt n with
+             | Some n -> dropped := n
+             | None -> parse_error line)
+           | [ "" ] -> ()
+           | _ -> parse_error line
+         done
+       with End_of_file -> ());
+      {
+        counters = List.rev !counters;
+        histograms = List.rev !histograms;
+        events = List.rev !events;
+        dropped_events = !dropped;
+      })

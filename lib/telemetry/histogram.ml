@@ -1,0 +1,69 @@
+(* Log2-bucket histograms, in the style of the kernel's BPF-exported
+   latency histograms: bucket [i] counts observations [v] with
+   2^(i-1) <= v < 2^i (bucket 0 collects v <= 0).  Cheap enough to sit on
+   the helper-call path: one highest-bit scan and three field updates. *)
+
+let bucket_count = 65 (* bucket 0 (v <= 0) + one per bit of a 64-bit value *)
+
+type t = {
+  name : string;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int64;
+  mutable max : int64;
+}
+
+let make name = { name; buckets = Array.make bucket_count 0; count = 0; sum = 0L; max = 0L }
+
+(* Index of the highest set bit, plus one: v=1 -> 1, v in [2,4) -> 2, ... *)
+let bucket_index v =
+  if Int64.compare v 0L <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while not (Int64.equal !v 0L) do
+      incr i;
+      v := Int64.shift_right_logical !v 1
+    done;
+    !i
+  end
+
+(* Inclusive upper bound of bucket [i], i.e. 2^i - 1 (bucket 0: 0). *)
+let bucket_bound i = if i = 0 then 0L else Int64.sub (Int64.shift_left 1L i) 1L
+
+let observe t v =
+  t.buckets.(bucket_index v) <- t.buckets.(bucket_index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- Int64.add t.sum v;
+  if Int64.compare v t.max > 0 then t.max <- v
+
+let name t = t.name
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max
+let mean t = if t.count = 0 then 0.0 else Int64.to_float t.sum /. float_of_int t.count
+
+(* (bucket index, count) for every non-empty bucket, ascending. *)
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let copy t =
+  { name = t.name; buckets = Array.copy t.buckets; count = t.count; sum = t.sum; max = t.max }
+
+(* Rebuild a histogram from exported parts (snapshot loading). *)
+let of_parts ~name ~count ~sum ~max ~buckets =
+  let t = make name in
+  List.iter (fun (i, n) -> if i >= 0 && i < bucket_count then t.buckets.(i) <- n) buckets;
+  t.count <- count;
+  t.sum <- sum;
+  t.max <- max;
+  t
+
+let reset t =
+  Array.fill t.buckets 0 bucket_count 0;
+  t.count <- 0;
+  t.sum <- 0L;
+  t.max <- 0L

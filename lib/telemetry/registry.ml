@@ -1,0 +1,121 @@
+(* The process-global metric registry and trace sink.
+
+   Every instrumented subsystem interns its counters/histograms here by
+   dotted name ("interp.insns", "helper.ns.bpf_loop", ...).  The registry
+   is deliberately global: instrumentation sites are scattered across
+   libraries that share no common context object, and threading one through
+   would be most of the cost of the feature.
+
+   Disabling ([set_enabled false]) turns every recording entry point into a
+   no-op sink — one flag load on the hot path — which is what the bench's
+   overhead experiment compares against.
+
+   Time comes from an injected clock so this library stays dependency-free
+   while spans are still timed on the simulated [Vclock]: [Kernel.create]
+   points the clock at its world's Vclock.  Call sites that hold a specific
+   kernel can pass [?clock] explicitly to be robust to multiple worlds. *)
+
+let on = ref true
+let clock_src : (unit -> int64) ref = ref (fun () -> 0L)
+
+let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+let default_trace_capacity = 4096
+let ring = ref (Ring.create ~capacity:default_trace_capacity)
+let depth = ref 0
+
+let enabled () = !on
+let set_enabled b = on := b
+let set_clock f = clock_src := f
+let now () = !clock_src ()
+
+(* Replaces the ring: existing events are discarded. *)
+let set_trace_capacity n = ring := Ring.create ~capacity:n
+
+(* Interning returns the same [Counter.t] for the same name, so hot call
+   sites can hold the counter directly and skip the hash lookup. *)
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = Counter.make name in
+    Hashtbl.add counters name c;
+    c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.make name in
+    Hashtbl.add histograms name h;
+    h
+
+let incr ?(n = 1) c = if !on then Counter.incr ~n c
+let[@inline] bump c = if !on then Counter.bump c
+let[@inline] add c n = if !on then Counter.add c n
+let incr_name ?(n = 1) name = if !on then Counter.incr ~n (counter name)
+let observe h v = if !on then Histogram.observe h v
+let observe_name name v = if !on then Histogram.observe (histogram name) v
+
+let point ?value name =
+  if !on then
+    Ring.push !ring ~time_ns:(now ()) ~depth:!depth ~kind:Event.Point ~name
+      ~value:(Option.value value ~default:0L)
+
+(* A span emits Enter/Exit trace events and feeds a "<name>.ns" duration
+   histogram.  Durations are measured on [?clock] (default: the injected
+   registry clock).  Hot call sites should pre-intern the histogram and
+   pass it as [?hist]; resolving "<name>.ns" costs a string concatenation
+   plus a hash lookup per span. *)
+let with_span ?clock ?hist name f =
+  if not !on then f ()
+  else begin
+    let now = match clock with Some c -> c | None -> !clock_src in
+    let t0 = now () in
+    Ring.push !ring ~time_ns:t0 ~depth:!depth ~kind:Event.Enter ~name ~value:0L;
+    depth := !depth + 1;
+    let finish () =
+      depth := !depth - 1;
+      let t1 = now () in
+      let dt = Int64.sub t1 t0 in
+      Ring.push !ring ~time_ns:t1 ~depth:!depth ~kind:Event.Exit ~name ~value:dt;
+      let h = match hist with Some h -> h | None -> histogram (name ^ ".ns") in
+      Histogram.observe h dt
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ---- snapshots ---- *)
+
+type snapshot = {
+  counters : (string * int) list;           (* sorted by name *)
+  histograms : (string * Histogram.t) list; (* sorted by name; copies *)
+  events : Event.t list;                    (* oldest first *)
+  dropped_events : int;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters Counter.value;
+    histograms = sorted_bindings histograms Histogram.copy;
+    events = Ring.events !ring;
+    dropped_events = Ring.dropped !ring;
+  }
+
+(* Zero all values but keep interned objects alive, so module-level counter
+   references held by instrumentation sites survive a reset. *)
+let reset () =
+  Hashtbl.iter (fun _ c -> Counter.reset c) counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) histograms;
+  Ring.reset !ring;
+  depth := 0

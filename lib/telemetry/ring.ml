@@ -1,0 +1,37 @@
+(* Bounded trace-event ring.
+
+   Overflow semantics deliberately mirror [Maps.Ringbuf.reserve]: when the
+   buffer is full the NEW event is dropped (and counted), the oldest events
+   are retained.  That is the BPF ring buffer's contract — producers fail,
+   consumers never lose what was already committed — and keeping the trace
+   sink bit-compatible with the thing it observes avoids two mental models. *)
+
+type t = {
+  capacity : int;
+  mutable rev_events : Event.t list; (* newest first *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable next_seq : int;
+}
+
+let create ~capacity = { capacity; rev_events = []; len = 0; dropped = 0; next_seq = 0 }
+
+let push t ~time_ns ~depth ~kind ~name ~value =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.len >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    t.rev_events <- { Event.seq; time_ns; depth; kind; name; value } :: t.rev_events;
+    t.len <- t.len + 1
+  end
+
+let events t = List.rev t.rev_events
+let length t = t.len
+let capacity t = t.capacity
+let dropped t = t.dropped
+
+let reset t =
+  t.rev_events <- [];
+  t.len <- 0;
+  t.dropped <- 0;
+  t.next_seq <- 0

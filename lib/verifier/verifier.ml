@@ -1062,8 +1062,38 @@ let make_env ~config ~map_def (prog : Program.t) =
     pending_callbacks = []; seen_callbacks = []; next_id = 0;
     logbuf = Buffer.create 256 }
 
+let tele_runs = Telemetry.Registry.counter "verifier.runs"
+let tele_accepts = Telemetry.Registry.counter "verifier.accepts"
+let tele_rejects = Telemetry.Registry.counter "verifier.rejects"
+let tele_insns = Telemetry.Registry.counter "verifier.insns_processed"
+let tele_states = Telemetry.Registry.counter "verifier.states_explored"
+let tele_prunes = Telemetry.Registry.counter "verifier.prune_hits"
+let tele_callbacks = Telemetry.Registry.counter "verifier.callbacks_verified"
+let tele_time = Telemetry.Registry.histogram "verifier.ns"
+
+(* Verification happens at load time, before the simulated clock starts to
+   move, so the per-program verification-time histogram — the continuously
+   measurable form of §2's "verification cost keeps growing" — is taken on
+   the host's CPU clock instead. *)
+let host_ns () = Int64.of_float (Sys.time () *. 1e9)
+
+let tele_record env started_ns accepted =
+  if Telemetry.Registry.enabled () then begin
+    Telemetry.Registry.bump tele_runs;
+  Telemetry.Registry.incr (if accepted then tele_accepts else tele_rejects);
+  Telemetry.Registry.incr tele_insns ~n:env.insns_processed;
+  Telemetry.Registry.incr tele_states ~n:env.states_explored;
+  Telemetry.Registry.incr tele_prunes ~n:env.prune_hits;
+  Telemetry.Registry.incr tele_callbacks ~n:env.callbacks_verified;
+  Telemetry.Registry.observe tele_time (Int64.sub (host_ns ()) started_ns);
+    Telemetry.Registry.point
+      (if accepted then "verifier.accept" else "verifier.reject")
+      ~value:(Int64.of_int env.states_explored)
+  end
+
 let verify ?(config = default_config ()) ~map_def (prog : Program.t) : verdict =
   let env = make_env ~config ~map_def prog in
+  let started_ns = host_ns () in
   match
     if Array.length prog.Program.insns > config.max_insns then
       reject 0 "too many instructions (%d > %d)" (Array.length prog.Program.insns)
@@ -1086,11 +1116,14 @@ let verify ?(config = default_config ()) ~map_def (prog : Program.t) : verdict =
     drain ()
   with
   | () ->
+    tele_record env started_ns true;
     Ok
       { insns_processed = env.insns_processed; states_explored = env.states_explored;
         prune_hits = env.prune_hits; callbacks_verified = env.callbacks_verified;
         log = Buffer.contents env.logbuf }
-  | exception Reject (at_pc, reason) -> Error { at_pc; reason }
+  | exception Reject (at_pc, reason) ->
+    tele_record env started_ns false;
+    Error { at_pc; reason }
 
 (* Convenience: verify against a map registry. *)
 let verify_with_registry ?config ~registry prog =

@@ -255,6 +255,40 @@ let test_tail_call_limit () =
   | o -> Alcotest.failf "expected limit cutoff (0), got %s"
            (Format.asprintf "%a" Loader.pp_outcome o)
 
+(* The §2.2 nested-bpf_loop hang demo, run with the fix active, must be
+   stopped by the watchdog — and the telemetry subsystem must have seen it:
+   a nonzero guard.watchdog_trips counter plus activity in several other
+   namespaces, proving the instrumentation is wired through the whole path. *)
+let test_telemetry_sees_watchdog_trip () =
+  let module Registry = Telemetry.Registry in
+  Registry.reset ();
+  let demo =
+    match Framework.Exploits.find "hbug:nested-bpf-loop-hang" with
+    | Some d -> d
+    | None -> Alcotest.fail "demo hbug:nested-bpf-loop-hang not registered"
+  in
+  let summary = demo.Framework.Exploits.run ~vulnerable:false in
+  Alcotest.(check bool) "kernel survives the fixed run" false
+    summary.Framework.Exploits.kernel_dead;
+  let trips = Telemetry.Counter.value (Registry.counter "guard.watchdog_trips") in
+  Alcotest.(check bool) "guard.watchdog_trips is nonzero" true (trips > 0);
+  let snap = Registry.snapshot () in
+  let namespaces =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None
+        else match String.index_opt name '.' with
+          | Some i -> Some (String.sub name 0 i)
+          | None -> Some name)
+      snap.Registry.counters
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "counters active in >= 4 namespaces (got %d: %s)"
+       (List.length namespaces) (String.concat ", " namespaces))
+    true
+    (List.length namespaces >= 4)
+
 let suite =
   [
     Alcotest.test_case "tail call chain (wired)" `Quick test_tail_call_chain_wired;
@@ -268,4 +302,5 @@ let suite =
     Alcotest.test_case "gate difference A vs B" `Quick test_verification_vs_signature_gate_difference;
     Alcotest.test_case "jit and interp agree" `Quick test_jit_and_interp_paths_same_result;
     Alcotest.test_case "trace pipeline" `Quick test_trace_pipeline;
+    Alcotest.test_case "telemetry sees watchdog trip" `Quick test_telemetry_sees_watchdog_trip;
   ]

@@ -157,6 +157,38 @@ let test_fuel_guard () =
   | other -> Alcotest.failf "expected fuel termination, got %s"
                (Format.asprintf "%a" Interp.pp_outcome other)
 
+(* Regression: fuel is checked before executing, so [fuel:N] runs exactly N
+   instructions.  An off-by-one previously terminated a single-insn program
+   under [fuel:1]. *)
+let test_fuel_exact_budget () =
+  (match run_items ~fuel:1L [ exit_ ] with
+   | Interp.Ret _ -> ()
+   | other -> Alcotest.failf "fuel:1 should run [exit_], got %s"
+                (Format.asprintf "%a" Interp.pp_outcome other));
+  (match run_items ~fuel:3L [ mov_i r0 7; mov_i r0 9; exit_ ] with
+   | Interp.Ret v -> Alcotest.(check int64) "ran to completion" 9L v
+   | other -> Alcotest.failf "fuel:3 should suffice for 3 insns, got %s"
+                (Format.asprintf "%a" Interp.pp_outcome other));
+  (match run_items ~fuel:2L [ mov_i r0 7; mov_i r0 9; exit_ ] with
+   | Interp.Terminated { Guard.reason = Guard.Fuel_exhausted; _ } -> ()
+   | other -> Alcotest.failf "fuel:2 on 3 insns should trip, got %s"
+                (Format.asprintf "%a" Interp.pp_outcome other));
+  (match run_items ~fuel:0L [ exit_ ] with
+   | Interp.Terminated { Guard.reason = Guard.Fuel_exhausted; _ } -> ()
+   | other -> Alcotest.failf "fuel:0 should trip immediately, got %s"
+                (Format.asprintf "%a" Interp.pp_outcome other))
+
+let test_fuel_retires_exactly () =
+  let _, hctx, ctx_addr = fresh () in
+  let prog = Program.of_items_exn ~name:"t" ~prog_type:Program.Kprobe
+      [ mov_i r0 0; label "l"; add_i r0 1; ja "l" ] in
+  let outcome, retired = Interp.run_counted ~fuel:3L ~hctx ~prog ~ctx_addr () in
+  (match outcome with
+   | Interp.Terminated { Guard.reason = Guard.Fuel_exhausted; _ } -> ()
+   | other -> Alcotest.failf "expected fuel termination, got %s"
+                (Format.asprintf "%a" Interp.pp_outcome other));
+  Alcotest.(check int64) "exactly 3 insns retired" 3L retired
+
 let test_watchdog_guard () =
   match
     run_items ~wall_ns:5000L ~ns_per_insn:10L
@@ -334,6 +366,8 @@ let suite =
     Alcotest.test_case "bpf2bpf recursion guarded" `Quick test_bpf2bpf_recursion_guarded;
     Alcotest.test_case "bpf2bpf jit parity" `Quick test_bpf2bpf_jit_parity;
     Alcotest.test_case "fuel guard" `Quick test_fuel_guard;
+    Alcotest.test_case "fuel exact budget" `Quick test_fuel_exact_budget;
+    Alcotest.test_case "fuel retires exactly" `Quick test_fuel_retires_exactly;
     Alcotest.test_case "watchdog guard" `Quick test_watchdog_guard;
     Alcotest.test_case "oops surfaces" `Quick test_oops_surfaces;
     Alcotest.test_case "rcu wrapped" `Quick test_rcu_wrapped;

@@ -1,0 +1,314 @@
+(* Tests for the telemetry subsystem: counter and histogram math, span
+   nesting on an injected clock, ring overflow semantics, exporters, and
+   the snapshot file round-trip.
+
+   The registry is process-global, so every test starts from a reset and
+   restores the defaults it changes (enabled flag, trace capacity, clock)
+   to avoid leaking state into the other suites. *)
+
+open Untenable
+module Counter = Telemetry.Counter
+module Histogram = Telemetry.Histogram
+module Event = Telemetry.Event
+module Ring = Telemetry.Ring
+module Registry = Telemetry.Registry
+module Export = Telemetry.Export
+
+let t64 = Alcotest.testable (fun ppf v -> Format.fprintf ppf "%Ld" v) Int64.equal
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_fresh_registry f =
+  Registry.reset ();
+  Registry.set_trace_capacity 64;
+  Registry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Registry.reset ();
+      Registry.set_trace_capacity 4096;
+      Registry.set_enabled true;
+      Registry.set_clock (fun () -> 0L))
+    f
+
+(* ---------------- counters ---------------- *)
+
+let test_counter_math () =
+  let c = Counter.make "t.c" in
+  Alcotest.(check int) "starts at 0" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c ~n:41;
+  Counter.bump c;
+  Counter.add c 7;
+  Alcotest.(check int) "1+41+1+7" 50 (Counter.value c);
+  Alcotest.(check string) "name" "t.c" (Counter.name c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+let test_registry_interning () =
+  with_fresh_registry (fun () ->
+      let a = Registry.counter "t.interned" in
+      Registry.incr a ~n:5;
+      let b = Registry.counter "t.interned" in
+      Alcotest.(check int) "same object" 5 (Counter.value b);
+      Registry.reset ();
+      (* reset zeroes but keeps the interned object alive *)
+      Registry.bump a;
+      Alcotest.(check int) "survives reset" 1
+        (Counter.value (Registry.counter "t.interned")))
+
+let test_disabled_is_noop () =
+  with_fresh_registry (fun () ->
+      Registry.set_enabled false;
+      let c = Registry.counter "t.off" in
+      let h = Registry.histogram "t.off_h" in
+      Registry.incr c;
+      Registry.bump c;
+      Registry.add c 9;
+      Registry.incr_name "t.off_name";
+      Registry.observe h 42L;
+      Registry.point "t.off_point" ~value:1L;
+      Registry.with_span "t.off_span" (fun () -> ());
+      Registry.set_enabled true;
+      let s = Registry.snapshot () in
+      Alcotest.(check int) "counter untouched" 0 (Counter.value c);
+      Alcotest.(check int) "histogram untouched" 0 (Histogram.count h);
+      Alcotest.(check int) "no events" 0 (List.length s.Registry.events))
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "v<=0 -> bucket 0" 0 (Histogram.bucket_index 0L);
+  Alcotest.(check int) "neg -> bucket 0" 0 (Histogram.bucket_index (-3L));
+  Alcotest.(check int) "1 -> bucket 1" 1 (Histogram.bucket_index 1L);
+  Alcotest.(check int) "2 -> bucket 2" 2 (Histogram.bucket_index 2L);
+  Alcotest.(check int) "3 -> bucket 2" 2 (Histogram.bucket_index 3L);
+  Alcotest.(check int) "4 -> bucket 3" 3 (Histogram.bucket_index 4L);
+  Alcotest.(check int) "7 -> bucket 3" 3 (Histogram.bucket_index 7L);
+  Alcotest.(check int) "max_int64 -> bucket 63" 63 (Histogram.bucket_index Int64.max_int);
+  Alcotest.check t64 "bound 0" 0L (Histogram.bucket_bound 0);
+  Alcotest.check t64 "bound 3 = 2^3-1" 7L (Histogram.bucket_bound 3);
+  (* every bucket's bound is the largest value still indexed into it *)
+  for i = 1 to 62 do
+    let b = Histogram.bucket_bound i in
+    Alcotest.(check int) "bound in bucket" i (Histogram.bucket_index b);
+    Alcotest.(check int) "bound+1 in next" (i + 1) (Histogram.bucket_index (Int64.add b 1L))
+  done
+
+let test_histogram_stats () =
+  let h = Histogram.make "t.h" in
+  List.iter (Histogram.observe h) [ 1L; 2L; 3L; 10L ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.check t64 "sum" 16L (Histogram.sum h);
+  Alcotest.check t64 "max" 10L (Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 4.0 (Histogram.mean h);
+  Alcotest.(check (list (pair int int)))
+    "nonzero buckets" [ (1, 1); (2, 2); (4, 1) ] (Histogram.nonzero_buckets h);
+  let c = Histogram.copy h in
+  Histogram.observe h 1L;
+  Alcotest.(check int) "copy is independent" 4 (Histogram.count c);
+  Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Histogram.count h);
+  Alcotest.(check (list (pair int int))) "reset buckets" [] (Histogram.nonzero_buckets h)
+
+let test_histogram_of_parts () =
+  let h =
+    Histogram.of_parts ~name:"t.p" ~count:3 ~sum:13L ~max:8L ~buckets:[ (1, 2); (4, 1) ]
+  in
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  Alcotest.check t64 "sum" 13L (Histogram.sum h);
+  Alcotest.check t64 "max" 8L (Histogram.max_value h);
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (1, 2); (4, 1) ] (Histogram.nonzero_buckets h)
+
+(* ---------------- spans on a virtual clock ---------------- *)
+
+let test_span_nesting () =
+  with_fresh_registry (fun () ->
+      let now = ref 100L in
+      Registry.set_clock (fun () -> !now);
+      let advance ns = now := Int64.add !now ns in
+      Registry.with_span "outer" (fun () ->
+          advance 10L;
+          Registry.with_span "inner" (fun () -> advance 5L);
+          advance 1L);
+      let s = Registry.snapshot () in
+      let kinds =
+        List.map (fun (e : Event.t) -> (Event.kind_to_string e.kind, e.name, e.depth)) s.Registry.events
+      in
+      Alcotest.(check (list (triple string string int)))
+        "event order and depth"
+        [ ("enter", "outer", 0); ("enter", "inner", 1); ("exit", "inner", 1); ("exit", "outer", 0) ]
+        kinds;
+      let exit_value name =
+        List.find_map
+          (fun (e : Event.t) ->
+            if e.kind = Event.Exit && e.name = name then Some e.value else None)
+          s.Registry.events
+        |> Option.get
+      in
+      Alcotest.check t64 "inner duration" 5L (exit_value "inner");
+      Alcotest.check t64 "outer duration" 16L (exit_value "outer");
+      let hist name = List.assoc name s.Registry.histograms in
+      Alcotest.(check int) "outer.ns observed" 1 (Histogram.count (hist "outer.ns"));
+      Alcotest.check t64 "outer.ns sum" 16L (Histogram.sum (hist "outer.ns")))
+
+let test_span_exception_safe () =
+  with_fresh_registry (fun () ->
+      let now = ref 0L in
+      Registry.set_clock (fun () -> !now);
+      (try
+         Registry.with_span "boom" (fun () ->
+             now := 7L;
+             failwith "inside")
+       with Failure _ -> ());
+      let s = Registry.snapshot () in
+      Alcotest.(check int) "enter+exit recorded" 2 (List.length s.Registry.events);
+      let e = List.nth s.Registry.events 1 in
+      Alcotest.(check string) "exit event" "exit" (Event.kind_to_string e.Event.kind);
+      Alcotest.check t64 "duration recorded" 7L e.Event.value;
+      (* depth unwound: a fresh span starts back at depth 0 *)
+      Registry.with_span "after" (fun () -> ());
+      let s = Registry.snapshot () in
+      let after = List.nth s.Registry.events 2 in
+      Alcotest.(check int) "depth unwound" 0 after.Event.depth)
+
+(* ---------------- trace ring ---------------- *)
+
+let test_ring_overflow () =
+  with_fresh_registry (fun () ->
+      Registry.set_trace_capacity 3;
+      for i = 1 to 5 do
+        Registry.point "p" ~value:(Int64.of_int i)
+      done;
+      let s = Registry.snapshot () in
+      Alcotest.(check int) "retained = capacity" 3 (List.length s.Registry.events);
+      Alcotest.(check int) "dropped" 2 s.Registry.dropped_events;
+      (* drop-newest, as in Maps.Ringbuf: the oldest events survive *)
+      Alcotest.(check (list t64))
+        "oldest retained" [ 1L; 2L; 3L ]
+        (List.map (fun (e : Event.t) -> e.value) s.Registry.events);
+      (* seq keeps counting through drops, so gaps are visible *)
+      Alcotest.(check (list int))
+        "seq assigned to drops too" [ 0; 1; 2 ]
+        (List.map (fun (e : Event.t) -> e.seq) s.Registry.events);
+      Registry.point "p" ~value:9L;
+      let s = Registry.snapshot () in
+      Alcotest.(check int) "still full" 3 (List.length s.Registry.events);
+      Alcotest.(check int) "drop counted" 3 s.Registry.dropped_events)
+
+(* ---------------- exporters ---------------- *)
+
+let golden_snapshot () =
+  Registry.reset ();
+  let c = Registry.counter "g.counter" in
+  Registry.incr c ~n:42;
+  let h = Registry.histogram "g.hist" in
+  Registry.observe h 1L;
+  Registry.observe h 2L;
+  Registry.observe h 3L;
+  Registry.point "g.point" ~value:5L;
+  Registry.snapshot ()
+
+let test_export_json () =
+  with_fresh_registry (fun () ->
+      Registry.set_clock (fun () -> 11L);
+      let json = Export.to_json (golden_snapshot ()) in
+      List.iter
+        (fun needle ->
+          if not (contains json needle) then
+            Alcotest.failf "JSON missing %S in:\n%s" needle json)
+        [
+          "\"g.counter\": 42";
+          "\"g.hist\": { \"count\": 3, \"sum\": 6, \"max\": 3";
+          "{ \"le\": 1, \"count\": 1 }";
+          "{ \"le\": 3, \"count\": 2 }";
+          "\"kind\": \"point\"";
+          "\"name\": \"g.point\"";
+          "\"value\": 5";
+        ])
+
+let test_export_prometheus () =
+  with_fresh_registry (fun () ->
+      let prom = Export.to_prometheus (golden_snapshot ()) in
+      let expect =
+        [
+          "# TYPE untenable_g_counter counter";
+          "untenable_g_counter 42";
+          "# TYPE untenable_g_hist histogram";
+          "untenable_g_hist_bucket{le=\"1\"} 1";
+          (* cumulative: bucket 2 holds observations 2 and 3 *)
+          "untenable_g_hist_bucket{le=\"3\"} 3";
+          "untenable_g_hist_bucket{le=\"+Inf\"} 3";
+          "untenable_g_hist_sum 6";
+          "untenable_g_hist_count 3";
+          "untenable_trace_events_dropped 0";
+        ]
+      in
+      let lines = String.split_on_char '\n' prom in
+      List.iter
+        (fun l ->
+          if not (List.mem l lines) then
+            Alcotest.failf "prometheus missing line %S in:\n%s" l prom)
+        expect)
+
+let test_snapshot_file_roundtrip () =
+  with_fresh_registry (fun () ->
+      Registry.set_trace_capacity 2;
+      Registry.set_clock (fun () -> 33L);
+      let c = Registry.counter "t.file" in
+      Registry.incr c ~n:17;
+      Registry.observe (Registry.histogram "t.file_h") 12L;
+      (* a name with spaces exercises the name-rejoining path *)
+      Registry.point "guard trip fuel exhausted" ~value:2L;
+      Registry.point "second" ~value:3L;
+      Registry.point "third overflows" ~value:4L;
+      let s = Registry.snapshot () in
+      let path = Filename.temp_file "untenable-tele" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Export.save_file s path;
+          let s' = Export.load_file path in
+          Alcotest.(check (list (pair string int))) "counters" s.Registry.counters s'.Registry.counters;
+          Alcotest.(check int) "dropped" 1 s'.Registry.dropped_events;
+          Alcotest.(check int) "events" 2 (List.length s'.Registry.events);
+          let e = List.hd s'.Registry.events in
+          Alcotest.(check string) "multi-word name survives" "guard trip fuel exhausted" e.Event.name;
+          Alcotest.check t64 "event time" 33L e.Event.time_ns;
+          let h = List.assoc "t.file_h" s'.Registry.histograms in
+          Alcotest.(check int) "hist count" 1 (Histogram.count h);
+          Alcotest.check t64 "hist sum" 12L (Histogram.sum h);
+          Alcotest.(check (list (pair int int)))
+            "hist buckets" [ (4, 1) ] (Histogram.nonzero_buckets h)))
+
+let test_load_file_rejects_garbage () =
+  let path = Filename.temp_file "untenable-tele" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a snapshot\n";
+      close_out oc;
+      match Export.load_file path with
+      | _ -> Alcotest.fail "expected bad-magic failure"
+      | exception Failure _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "counter math" `Quick test_counter_math;
+    Alcotest.test_case "registry interning and reset" `Quick test_registry_interning;
+    Alcotest.test_case "disabled sink is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+    Alcotest.test_case "histogram of_parts" `Quick test_histogram_of_parts;
+    Alcotest.test_case "span nesting on injected clock" `Quick test_span_nesting;
+    Alcotest.test_case "span is exception-safe" `Quick test_span_exception_safe;
+    Alcotest.test_case "ring overflow drops newest" `Quick test_ring_overflow;
+    Alcotest.test_case "JSON export" `Quick test_export_json;
+    Alcotest.test_case "Prometheus export" `Quick test_export_prometheus;
+    Alcotest.test_case "snapshot file round-trip" `Quick test_snapshot_file_roundtrip;
+    Alcotest.test_case "snapshot file rejects garbage" `Quick test_load_file_rejects_garbage;
+  ]

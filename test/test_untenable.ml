@@ -4,6 +4,7 @@
 let () =
   Alcotest.run "untenable"
     [
+      ("telemetry", Test_telemetry.suite);
       ("tnum", Test_tnum.suite);
       ("kernel_sim", Test_kernel_sim.suite);
       ("maps", Test_maps.suite);
