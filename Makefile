@@ -17,6 +17,7 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- telemetry-smoke
+	dune exec bench/main.exe -- throughput-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -4,6 +4,8 @@
      untenable-cli audit                     call-graph audit (Fig. 3 data)
      untenable-cli demos                     list the exploit corpus
      untenable-cli demo ID [--fixed]         run one exploit demo
+     untenable-cli dispatch [--filters N]    attach a filter population and
+                   [--events N] [--jit]      drive a synthetic packet stream
      untenable-cli matrix                    executable Table 2
      untenable-cli datasets                  the paper's static datasets
      untenable-cli stats [ID] [--format F]   telemetry snapshot (last demo or ID)
@@ -207,6 +209,77 @@ let datasets_cmd =
   Cmd.v (Cmd.info "datasets" ~doc:"Print the paper's static datasets")
     Term.(const run $ const ())
 
+(* ---- dispatch ---- *)
+
+let dispatch_cmd =
+  let run filters events size seed jit =
+    let world = Framework.World.create_populated () in
+    let opts = { Framework.Invoke.default_opts with Framework.Invoke.use_jit = jit } in
+    let engine = Framework.Dispatch.create ~opts world in
+    let open Ebpf.Asm in
+    (* a small rotating population: length, parity-of-length, first byte *)
+    let bodies =
+      [| ("len", [ ldxw r0 r1 0; exit_ ]);
+         ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]);
+         ("proto", [ ldxw r0 r1 4; exit_ ]) |]
+    in
+    for i = 0 to filters - 1 do
+      let name, items = bodies.(i mod Array.length bodies) in
+      let prog =
+        Ebpf.Program.of_items_exn ~name:(Printf.sprintf "%s%d" name i)
+          ~prog_type:Ebpf.Program.Socket_filter items
+      in
+      match Framework.Pipeline.load_ebpf world prog with
+      | Ok loaded ->
+        ignore (Framework.Attach.attach engine.Framework.Dispatch.attach ~hook:"xdp" loaded)
+      | Error e ->
+        Format.eprintf "load failed: %a@." Framework.Pipeline.pp_error e;
+        exit 1
+    done;
+    Printf.printf "loaded programs:\n";
+    List.iter
+      (fun (id, (p : Ebpf.Program.t)) ->
+        Printf.printf "  prog_id=%d %-12s %d insns\n" id p.Ebpf.Program.name
+          (Ebpf.Program.length p))
+      (Framework.World.progs_sorted world);
+    (match Framework.World.tail_calls_sorted world with
+    | [] -> ()
+    | tcs ->
+      Printf.printf "tail-call table:\n";
+      List.iter (fun (idx, pid) -> Printf.printf "  [%d] -> prog_id=%d\n" idx pid) tcs);
+    List.iter
+      (fun hook ->
+        Printf.printf "hook %s:\n" hook;
+        List.iter
+          (fun a -> Printf.printf "  %s\n" (Framework.Attach.describe a))
+          (Framework.Attach.attached engine.Framework.Dispatch.attach ~hook))
+      (Framework.Attach.hooks engine.Framework.Dispatch.attach);
+    let gen = Framework.Dispatch.synthetic_packets ~seed ~size () in
+    let stats =
+      Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count:events ()
+    in
+    Format.printf "%a@." Framework.Dispatch.pp_stream_stats stats;
+    save_snapshot ();
+    Printf.printf "(telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
+  in
+  let filters =
+    Arg.(value & opt int 3 & info [ "filters" ] ~doc:"Number of filters to attach.")
+  in
+  let events =
+    Arg.(value & opt int 10_000 & info [ "events" ] ~doc:"Number of synthetic packets.")
+  in
+  let size =
+    Arg.(value & opt int 64 & info [ "size" ] ~doc:"Packet size in bytes.")
+  in
+  let seed =
+    Arg.(value & opt int64 0x9e3779b97f4a7c15L & info [ "seed" ] ~doc:"Packet-stream seed.")
+  in
+  let jit = Arg.(value & flag & info [ "jit" ] ~doc:"Run filters through the JIT.") in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:"Load and attach a filter population, then drive a synthetic packet stream")
+    Term.(const run $ filters $ events $ size $ seed $ jit)
+
 (* ---- rustlite source ---- *)
 
 let read_source path_or_inline =
@@ -282,7 +355,7 @@ let main =
   Cmd.group
     (Cmd.info "untenable-cli" ~version:Untenable.version
        ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
-    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; matrix_cmd; datasets_cmd;
-      rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
+    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; matrix_cmd;
+      datasets_cmd; rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

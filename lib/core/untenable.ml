@@ -6,6 +6,8 @@
     - {!Tnum} — tristate numbers, the verifier's abstract value domain;
     - {!Telemetry} — counters, histograms, trace spans, and the ring-buffer
       trace sink every other subsystem reports into;
+    - {!Hash} — SHA-256/HMAC, shared by the signing toolchain and the
+      content-addressed verdict cache;
     - {!Kernel_sim} — the simulated kernel (guarded memory, RCU, refcounts,
       spinlocks, memory pool, virtual clock, oops machine);
     - {!Maps} — eBPF maps (array/hash/LRU/per-CPU/ringbuf);
@@ -19,8 +21,9 @@
     - {!Kerndata} — the paper's datasets (Figures 2/4, Tables 1/2, §3.2);
     - {!Rustlite} — the proposed safe-language framework (typed AST,
       ownership checker, signing toolchain, RAII kernel crate);
-    - {!Framework} — worlds, the two load paths, the exploit corpus, and
-      the executable safety matrix.
+    - {!Framework} — worlds, the staged load pipeline with its verdict
+      cache, attach/dispatch, the exploit corpus, and the executable
+      safety matrix.
 
     Quick start (see also [examples/quickstart.ml]):
 
@@ -36,6 +39,7 @@
 
 module Tnum = Tnum
 module Telemetry = Telemetry
+module Hash = Hash
 module Kernel_sim = Kernel_sim
 module Maps = Maps
 module Ebpf = Ebpf

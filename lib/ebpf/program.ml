@@ -82,6 +82,22 @@ let of_items_exn ~name ~prog_type items =
 
 let length t = Array.length t.insns
 
+(* Canonical content digest of a program: SHA-256 over the kernel wire
+   encoding of the instructions, the program type, and any still-unresolved
+   helper-name relocations (fixup changes what the program does, so a fixed
+   and an unfixed image must not collide).  The program [name] is metadata,
+   not content — two identically-encoded programs share an address, which is
+   exactly what the load-path verdict cache wants. *)
+let digest t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (prog_type_to_string t.prog_type);
+  Buffer.add_char b '\n';
+  Buffer.add_bytes b (Encode.to_bytes t.insns);
+  List.iter
+    (fun (pc, name) -> Buffer.add_string b (Printf.sprintf "\nreloc %d %s" pc name))
+    (List.sort compare t.relocs);
+  Hash.Sha256.hex_digest (Buffer.contents b)
+
 (* Map fds referenced by the program (for load-time resolution). *)
 let referenced_maps t =
   Array.to_list t.insns

@@ -1,0 +1,30 @@
+(** Attachment registry: many loaded extensions on named hook points.
+
+    Dispatch order within a hook is attach order, like the kernel's
+    prog-array chains. *)
+
+type attachment = {
+  attach_id : int;
+  hook : string;
+  loaded : Pipeline.loaded;
+}
+
+type t
+
+val create : unit -> t
+
+val attach : t -> hook:string -> Pipeline.loaded -> attachment
+
+val detach : t -> attach_id:int -> bool
+(** [false] if no attachment had that id. *)
+
+val attached : t -> hook:string -> attachment list
+(** In attach order. *)
+
+val hooks : t -> string list
+(** Hook names carrying at least one attachment, sorted. *)
+
+val count : t -> int
+
+val describe : attachment -> string
+(** One line: attach id, program name/id, content-digest prefix. *)

@@ -1,0 +1,233 @@
+(* Running a loaded extension.
+
+   Two modes share one code path:
+
+   - one-shot (the historical Loader.run behaviour): a fresh helper context
+     and fresh ctx/skb regions per invocation.  Exploit demos depend on the
+     exact allocation pattern (an OOB write lands in a *new* region), so
+     this stays byte-for-byte what it was.
+
+   - pooled (a [t]): a serving loop reuses one helper context, one ctx
+     region per context size, and one growable skb buffer.  Kmem regions
+     are never freed on this path and lookups scan the region list, so
+     without reuse a 10k-event dispatch run allocates 20k regions and ends
+     up quadratic; with reuse the address space stays constant-size. *)
+
+module Kernel = Kernel_sim.Kernel
+module Kobject = Kernel_sim.Kobject
+module Kmem = Kernel_sim.Kmem
+module Oops = Kernel_sim.Oops
+module Hctx = Helpers.Hctx
+module Guard = Runtime.Guard
+module Program = Ebpf.Program
+
+type run_opts = {
+  skb_payload : Bytes.t option;  (* packet to attach (socket_filter/xdp) *)
+  fuel : int64 option;           (* instruction budget guard *)
+  wall_ns : int64 option;        (* wall-clock guard (interpreter only) *)
+  ns_per_insn : int64;           (* simulated cost per instruction *)
+  use_jit : bool;
+  jit_branch_bug : bool;         (* inject the JIT branch-offset bug *)
+}
+
+let default_opts =
+  { skb_payload = None; fuel = None; wall_ns = None; ns_per_insn = 1L;
+    use_jit = false; jit_branch_bug = false }
+
+(* ---- reusable invocation context ---- *)
+
+type t = {
+  world : World.t;
+  hctx : Hctx.t;
+  (* one preallocated ctx struct per context size seen, zeroed on reuse *)
+  mutable ctx_regions : (int * Kmem.region) list;
+  (* one skb backing buffer, grown (reallocated) only when a larger packet
+     arrives; the sk_buff record itself is rebuilt per event with the
+     event's length *)
+  mutable skb_region : Kmem.region option;
+}
+
+let create (w : World.t) =
+  { world = w; hctx = World.new_hctx w; ctx_regions = []; skb_region = None }
+
+let ctx_region ictx size =
+  match List.assoc_opt size ictx.ctx_regions with
+  | Some r ->
+    Bytes.fill r.Kmem.bytes 0 size '\000';
+    r
+  | None ->
+    let r =
+      Kmem.alloc ictx.world.World.kernel.Kernel.mem ~size ~kind:"ctx"
+        ~name:"prog_ctx" ()
+    in
+    ictx.ctx_regions <- (size, r) :: ictx.ctx_regions;
+    r
+
+let reuse_skb ictx payload =
+  let mem = ictx.world.World.kernel.Kernel.mem in
+  let len = Bytes.length payload in
+  let region =
+    match ictx.skb_region with
+    | Some r when r.Kmem.size >= max len 1 -> r
+    | _ ->
+      let r = Kmem.alloc mem ~size:(max len 1) ~kind:"ctx" ~name:"sk_buff" () in
+      ictx.skb_region <- Some r;
+      r
+  in
+  Kmem.store_bytes mem ~addr:region.Kmem.base ~src:payload ~context:"make_skb";
+  { Kobject.skb_mem = region; len; mark = 0L }
+
+(* ---- telemetry ---- *)
+
+let tele_runs = Telemetry.Registry.counter "loader.runs"
+let tele_run_ns = Telemetry.Registry.histogram "loader.run.ns"
+
+(* ---- running ---- *)
+
+type outcome =
+  | Finished of int64                  (* clean return value *)
+  | Crashed of Oops.report             (* the kernel is dead *)
+  | Stopped of Guard.termination       (* runtime guard fired; cleaned up *)
+
+let pp_outcome ppf = function
+  | Finished v -> Format.fprintf ppf "finished ret=%Ld" v
+  | Crashed r -> Format.fprintf ppf "CRASHED: %a" Oops.pp_report r
+  | Stopped t -> Format.fprintf ppf "%a" Guard.pp_termination t
+
+type run_report = {
+  outcome : outcome;
+  health : Kernel.health;
+  trace : string list;
+  resources_outstanding : int;  (* leaked-by-exit acquired resources *)
+}
+
+(* Fill the context struct for an eBPF program type (the region is fresh or
+   freshly zeroed, so only the populated fields matter). *)
+let fill_ctx (w : World.t) (prog : Program.t) (skb : Kobject.sk_buff option) region =
+  (match (prog.Program.prog_type, skb) with
+  | (Program.Socket_filter | Program.Xdp), Some skb ->
+    Kmem.store w.World.kernel.Kernel.mem ~size:4 ~addr:region.Kmem.base
+      ~value:(Int64.of_int skb.Kobject.len) ~context:"ctx setup";
+    Kmem.store w.World.kernel.Kernel.mem ~size:4
+      ~addr:(Kmem.region_addr region 4) ~value:0x0800L ~context:"ctx setup"
+  | _ -> ());
+  region
+
+let max_tail_calls = 33
+
+let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
+    run_report =
+  (match ictx with
+  | Some i when i.world != w ->
+    invalid_arg "Invoke.run: invocation context belongs to a different world"
+  | _ -> ());
+  let hctx =
+    match ictx with
+    | Some i ->
+      Hctx.reset i.hctx;
+      World.sync_hctx w i.hctx;
+      i.hctx
+    | None -> World.new_hctx w
+  in
+  let skb =
+    Option.map
+      (fun payload ->
+        match ictx with
+        | Some i -> reuse_skb i payload
+        | None -> Kobject.make_skb w.World.kernel.Kernel.mem ~payload)
+      opts.skb_payload
+  in
+  hctx.Hctx.skb <- skb;
+  Kernel.snapshot_refs w.World.kernel;
+  Telemetry.Registry.bump tele_runs;
+  let { fuel; wall_ns; ns_per_insn; use_jit; jit_branch_bug; _ } = opts in
+  let outcome =
+    Telemetry.Registry.with_span "loader.run" ~hist:tele_run_ns
+      ~clock:(fun () -> Kernel_sim.Vclock.now w.World.kernel.Kernel.clock)
+      (fun () ->
+    match loaded with
+    | Pipeline.Ebpf_prog { prog; _ } -> (
+      let desc = Program.ctx_of_prog_type prog.Program.prog_type in
+      let region =
+        match ictx with
+        | Some i -> ctx_region i desc.Program.ctx_size
+        | None ->
+          Kmem.alloc w.World.kernel.Kernel.mem ~size:desc.Program.ctx_size
+            ~kind:"ctx" ~name:"prog_ctx" ()
+      in
+      let ctx = fill_ctx w prog skb region in
+      let convert = function
+        | Runtime.Interp.Ret v -> Finished v
+        | Runtime.Interp.Oopsed r -> Crashed r
+        | Runtime.Interp.Terminated t -> Stopped t
+      in
+      (* fire armed timers once the invocation completes (the simulated
+         softirq): advance the clock to each deadline and run the callback
+         at its pc with (0, cb_ctx) — the shape the verifier checked *)
+      let fire_timers prog =
+        let timers = List.sort compare hctx.Hctx.timers in
+        hctx.Hctx.timers <- [];
+        List.iter
+          (fun (deadline, cb_pc, cb_ctx) ->
+            let now = Kernel_sim.Vclock.now w.World.kernel.Kernel.clock in
+            if Int64.compare deadline now > 0 then
+              Kernel_sim.Vclock.advance w.World.kernel.Kernel.clock
+                (Int64.sub deadline now);
+            let t = Runtime.Interp.create ~fuel:1_000_000L hctx in
+            match
+              Runtime.Interp.exec_insns t prog.Program.insns ~entry:cb_pc ~depth:1
+                ~args:[| 0L; cb_ctx; 0L; 0L; 0L |]
+            with
+            | (_ : int64) -> ()
+            | exception Runtime.Guard.Terminate reason ->
+              ignore (Runtime.Guard.terminate hctx reason))
+          timers
+      in
+      let rec go prog remaining_tail_calls =
+        match
+          if use_jit then
+            let compiled =
+              Runtime.Jit.compile ~bug_branch_off_by_one:jit_branch_bug hctx prog
+            in
+            Runtime.Jit.run ?fuel ~ns_per_insn hctx compiled ~ctx_addr:ctx.Kmem.base
+          else
+            Runtime.Interp.run ?fuel ?wall_ns ~ns_per_insn ~hctx ~prog
+              ~ctx_addr:ctx.Kmem.base ()
+        with
+        | r ->
+          (* softirq: deliver any timers the program armed *)
+          (match r with
+          | Runtime.Interp.Ret _ when hctx.Hctx.timers <> [] -> (
+            match Kernel.protect w.World.kernel (fun () -> fire_timers prog) with
+            | Ok () -> ()
+            | Error _ -> ())
+          | _ -> ());
+          convert r
+        | exception Hctx.Tail_call prog_id -> (
+          (* the old program's invocation ends here; leave its RCU section
+             before entering the next program in the chain *)
+          Kernel_sim.Rcu.read_unlock w.World.kernel.Kernel.rcu ~context:"tail_call";
+          if remaining_tail_calls = 0 then Finished 0L
+          else
+            match Hashtbl.find_opt w.World.progs prog_id with
+            | None -> Finished (-22L)
+            | Some next -> go next (remaining_tail_calls - 1))
+      in
+      go prog max_tail_calls)
+    | Pipeline.Rustlite_ext { ext; map_ids } -> (
+      let kctx = { Rustlite.Kcrate.hctx; map_ids } in
+      match
+        Rustlite.Eval.run ?fuel ?wall_ns ~kctx
+          ext.Rustlite.Toolchain.src.Rustlite.Toolchain.body
+      with
+      | Rustlite.Eval.Ret v ->
+        Finished (match v with Rustlite.Value.V_int x -> x | _ -> 0L)
+      | Rustlite.Eval.Oopsed r -> Crashed r
+      | Rustlite.Eval.Terminated t -> Stopped t))
+  in
+  {
+    outcome;
+    health = Kernel.health w.World.kernel;
+    trace = Hctx.trace_output hctx;
+    resources_outstanding = Helpers.Resources.outstanding hctx.Hctx.resources;
+  }

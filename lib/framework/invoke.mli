@@ -1,0 +1,49 @@
+(** Invoking a loaded extension, one-shot or through a pooled context.
+
+    {!run} without an [ictx] reproduces the historical per-invocation
+    behaviour exactly: fresh helper context, fresh ctx/skb regions.  With a
+    pooled {!t}, the helper context is reset and the ctx/skb regions are
+    reused, keeping the simulated address space constant-size under a
+    serving loop ({!Dispatch}). *)
+
+type run_opts = {
+  skb_payload : Bytes.t option;  (** packet to attach (socket_filter/xdp) *)
+  fuel : int64 option;           (** instruction budget guard *)
+  wall_ns : int64 option;        (** wall-clock guard (interpreter only) *)
+  ns_per_insn : int64;           (** simulated cost per instruction *)
+  use_jit : bool;
+  jit_branch_bug : bool;         (** inject the JIT branch-offset bug *)
+}
+
+val default_opts : run_opts
+(** No packet, no guards, 1ns/insn, interpreter. *)
+
+type t
+(** A reusable invocation context bound to one world. *)
+
+val create : World.t -> t
+
+type outcome =
+  | Finished of int64                    (** clean return value *)
+  | Crashed of Kernel_sim.Oops.report    (** the kernel is dead *)
+  | Stopped of Runtime.Guard.termination (** a runtime guard fired *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type run_report = {
+  outcome : outcome;
+  health : Kernel_sim.Kernel.health;
+  trace : string list;                  (** bpf_trace_printk / kcrate trace *)
+  resources_outstanding : int;          (** acquired resources left at exit *)
+}
+
+val max_tail_calls : int
+(** MAX_TAIL_CALL_CNT: the kernel's cap on chained tail calls. *)
+
+val run : ?opts:run_opts -> ?ictx:t -> World.t -> Pipeline.loaded -> run_report
+(** One invocation: builds (or reuses) the attach context, snapshots
+    refcounts for leak attribution, executes under the requested guards,
+    chases tail calls (up to {!max_tail_calls}), fires armed timers (the
+    simulated softirq), and reports the outcome with the kernel's health.
+    Raises [Invalid_argument] if [ictx] was created for a different
+    world. *)

@@ -1,27 +1,15 @@
-(* The two load paths of the study, side by side:
+(* Historical flat API over the staged pipeline.
 
-   Path A (today's architecture, paper Figure 1): bytecode arrives in the
-   kernel and the in-kernel verifier symbolically executes it.  Acceptance
-   is the only safety gate; helpers are trusted.
+   The load/run machinery lives in Pipeline (admission -> fixup -> gate ->
+   link, with the verdict cache in front of the verify gate) and Invoke
+   (one-shot and pooled invocation); this module keeps the original
+   surface — [load_ebpf], [load_rustlite], [run] with flat optional
+   arguments, and the flat [load_error] — so every existing experiment and
+   test reads exactly as before. *)
 
-   Path B (the proposal, paper Figure 5): a signed artifact arrives; the
-   kernel validates the toolchain signature and performs only load-time
-   fixup (map registration); safety came from the userspace toolchain and
-   will be backstopped by the runtime guards.
-
-   Both paths produce a [loaded] handle run by the same machinery, so any
-   difference in observed safety is attributable to the architecture. *)
-
-module Kernel = Kernel_sim.Kernel
-module Kobject = Kernel_sim.Kobject
-module Kmem = Kernel_sim.Kmem
-module Oops = Kernel_sim.Oops
-module Bpf_map = Maps.Bpf_map
-module Hctx = Helpers.Hctx
-module Guard = Runtime.Guard
 module Program = Ebpf.Program
 
-type loaded =
+type loaded = Pipeline.loaded =
   | Ebpf_prog of { prog_id : int; prog : Program.t; vstats : Bpf_verifier.Verifier.stats }
   | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
                       map_ids : (string * int) list }
@@ -38,228 +26,49 @@ let pp_load_error ppf = function
   | Bad_signature -> Format.fprintf ppf "signature validation failed"
   | Fixup_failed name -> Format.fprintf ppf "load-time fixup failed: unknown helper %s" name
 
-(* ---- load-time fixup (both paths need some of it; Fig. 1 / Fig. 5) ---- *)
+(* Flatten the pipeline's staged error into the historical shape.  An
+   admission-stage size rejection folds into the verdict the verifier's own
+   cap produced before the stage split, text included. *)
+let of_pipeline_error : Pipeline.error -> load_error = function
+  | Pipeline.Too_many_insns { count; max } ->
+    Rejected
+      { Bpf_verifier.Verifier.at_pc = 0;
+        reason = Printf.sprintf "too many instructions (%d > %d)" count max }
+  | Pipeline.Unknown_helper name -> Fixup_failed name
+  | Pipeline.Verifier_rejected r -> Rejected r
+  | Pipeline.Verifier_crashed msg -> Verifier_crashed msg
+  | Pipeline.Bad_signature -> Bad_signature
+  | Pipeline.Duplicate_map name ->
+    Fixup_failed (Printf.sprintf "duplicate map name %s" name)
 
-(* Resolve helper-name relocations to helper ids — the "load-time fixup on
-   the program to resolve helper function addresses and other relocations"
-   of §3.1.  Returns the patched program. *)
-let fixup (prog : Program.t) : (Program.t, load_error) result =
-  match prog.Program.relocs with
-  | [] -> Ok prog
-  | relocs -> (
-    let insns = Array.copy prog.Program.insns in
-    let missing =
-      List.find_map
-        (fun (pc, name) ->
-          match Helpers.Registry.find_by_name name with
-          | Some def ->
-            insns.(pc) <- Ebpf.Insn.Call def.Helpers.Registry.id;
-            None
-          | None -> Some name)
-        relocs
-    in
-    match missing with
-    | Some name -> Error (Fixup_failed name)
-    | None -> Ok { prog with Program.insns; relocs = [] })
+let fixup prog = Result.map_error of_pipeline_error (Pipeline.fixup prog)
 
-(* ---- telemetry ---- *)
+let load_ebpf w prog = Result.map_error of_pipeline_error (Pipeline.load_ebpf w prog)
 
-let tele_ebpf_loads = Telemetry.Registry.counter "loader.ebpf_loads"
-let tele_rustlite_loads = Telemetry.Registry.counter "loader.rustlite_loads"
-let tele_load_errors = Telemetry.Registry.counter "loader.load_errors"
-let tele_runs = Telemetry.Registry.counter "loader.runs"
-let tele_load_ns = Telemetry.Registry.histogram "loader.load_ns"
-let tele_validate_ns = Telemetry.Registry.histogram "loader.validate_ns"
-let tele_run_ns = Telemetry.Registry.histogram "loader.run.ns"
-
-(* Loading happens before the simulated clock moves; host CPU time is the
-   meaningful measure (it is dominated by verification on path A and by
-   signature validation on path B). *)
-let host_ns () = Int64.of_float (Sys.time () *. 1e9)
-
-(* ---- path A ---- *)
-
-let load_ebpf_unmetered (w : World.t) (prog : Program.t) : (loaded, load_error) result =
-  match fixup prog with
-  | Error e -> Error e
-  | Ok prog ->
-  let config = { w.World.vconfig with Bpf_verifier.Verifier.bugs = w.World.vconfig.bugs } in
-  match Bpf_verifier.Verifier.verify_with_registry ~config ~registry:w.World.maps prog with
-  | Ok vstats ->
-    let prog_id = w.World.next_prog_id in
-    w.World.next_prog_id <- prog_id + 1;
-    Hashtbl.replace w.World.progs prog_id prog;
-    Ok (Ebpf_prog { prog_id; prog; vstats })
-  | Error r -> Error (Rejected r)
-  | exception Bpf_verifier.Vbug.Verifier_crash msg ->
-    (* the verifier itself died: that is a kernel bug *)
-    Kernel.record_oops w.World.kernel
-      { Oops.kind = Oops.Use_after_free; addr = None;
-        context = "bpf_check/" ^ msg;
-        time_ns = Kernel_sim.Vclock.now w.World.kernel.Kernel.clock };
-    Error (Verifier_crashed msg)
-
-let load_ebpf w prog =
-  Telemetry.Registry.bump tele_ebpf_loads;
-  let started = host_ns () in
-  let result = load_ebpf_unmetered w prog in
-  Telemetry.Registry.observe tele_load_ns (Int64.sub (host_ns ()) started);
-  (match result with
-  | Error _ -> Telemetry.Registry.bump tele_load_errors
-  | Ok _ -> ());
-  result
-
-(* ---- path B ---- *)
-
-let load_rustlite (w : World.t) (ext : Rustlite.Toolchain.signed_extension) :
-    (loaded, load_error) result =
-  Telemetry.Registry.bump tele_rustlite_loads;
-  let started = host_ns () in
-  let valid = Rustlite.Toolchain.validate ext in
-  Telemetry.Registry.observe tele_validate_ns (Int64.sub (host_ns ()) started);
-  if not valid then begin
-    Telemetry.Registry.bump tele_load_errors;
-    Error Bad_signature
-  end
-  else begin
-    (* load-time fixup: register the declared maps, nothing else *)
-    let map_ids =
-      List.map
-        (fun def ->
-          let m = World.register_map w def in
-          (def.Bpf_map.name, m.Bpf_map.id))
-        ext.Rustlite.Toolchain.src.Rustlite.Toolchain.maps
-    in
-    Ok (Rustlite_ext { ext; map_ids })
-  end
+let load_rustlite w ext = Result.map_error of_pipeline_error (Pipeline.load_rustlite w ext)
 
 (* ---- running ---- *)
 
-type outcome =
+type outcome = Invoke.outcome =
   | Finished of int64                  (* clean return value *)
-  | Crashed of Oops.report             (* the kernel is dead *)
-  | Stopped of Guard.termination       (* runtime guard fired; cleaned up *)
+  | Crashed of Kernel_sim.Oops.report  (* the kernel is dead *)
+  | Stopped of Runtime.Guard.termination (* runtime guard fired; cleaned up *)
 
-let pp_outcome ppf = function
-  | Finished v -> Format.fprintf ppf "finished ret=%Ld" v
-  | Crashed r -> Format.fprintf ppf "CRASHED: %a" Oops.pp_report r
-  | Stopped t -> Format.fprintf ppf "%a" Guard.pp_termination t
+let pp_outcome = Invoke.pp_outcome
 
-type run_report = {
+type run_report = Invoke.run_report = {
   outcome : outcome;
-  health : Kernel.health;
+  health : Kernel_sim.Kernel.health;
   trace : string list;
-  resources_outstanding : int;  (* leaked-by-exit acquired resources *)
+  resources_outstanding : int;
 }
 
-(* Build and fill the context struct for an eBPF program type. *)
-let make_ctx_region (w : World.t) (prog : Program.t) (skb : Kobject.sk_buff option) =
-  let desc = Program.ctx_of_prog_type prog.Program.prog_type in
-  let region =
-    Kmem.alloc w.World.kernel.Kernel.mem ~size:desc.Program.ctx_size ~kind:"ctx"
-      ~name:"prog_ctx" ()
-  in
-  (match (prog.Program.prog_type, skb) with
-  | (Program.Socket_filter | Program.Xdp), Some skb ->
-    Kmem.store w.World.kernel.Kernel.mem ~size:4 ~addr:region.Kmem.base
-      ~value:(Int64.of_int skb.Kobject.len) ~context:"ctx setup";
-    Kmem.store w.World.kernel.Kernel.mem ~size:4
-      ~addr:(Kmem.region_addr region 4) ~value:0x0800L ~context:"ctx setup"
-  | _ -> ());
-  region
-
-let max_tail_calls = 33
+let max_tail_calls = Invoke.max_tail_calls
 
 let run ?skb_payload ?fuel ?wall_ns ?(ns_per_insn = 1L) ?use_jit
     ?(jit_branch_bug = false) (w : World.t) (loaded : loaded) : run_report =
-  let hctx = World.new_hctx w in
-  let skb =
-    Option.map (fun payload -> Kobject.make_skb w.World.kernel.Kernel.mem ~payload)
-      skb_payload
+  let opts =
+    { Invoke.skb_payload; fuel; wall_ns; ns_per_insn;
+      use_jit = Option.value ~default:false use_jit; jit_branch_bug }
   in
-  hctx.Hctx.skb <- skb;
-  Kernel.snapshot_refs w.World.kernel;
-  Telemetry.Registry.bump tele_runs;
-  let outcome =
-    Telemetry.Registry.with_span "loader.run" ~hist:tele_run_ns
-      ~clock:(fun () -> Kernel_sim.Vclock.now w.World.kernel.Kernel.clock)
-      (fun () ->
-    match loaded with
-    | Ebpf_prog { prog; _ } -> (
-      let ctx = make_ctx_region w prog skb in
-      let use_jit = Option.value ~default:false use_jit in
-      let convert = function
-        | Runtime.Interp.Ret v -> Finished v
-        | Runtime.Interp.Oopsed r -> Crashed r
-        | Runtime.Interp.Terminated t -> Stopped t
-      in
-      (* fire armed timers once the invocation completes (the simulated
-         softirq): advance the clock to each deadline and run the callback
-         at its pc with (0, cb_ctx) — the shape the verifier checked *)
-      let fire_timers prog =
-        let timers = List.sort compare hctx.Hctx.timers in
-        hctx.Hctx.timers <- [];
-        List.iter
-          (fun (deadline, cb_pc, cb_ctx) ->
-            let now = Kernel_sim.Vclock.now w.World.kernel.Kernel.clock in
-            if Int64.compare deadline now > 0 then
-              Kernel_sim.Vclock.advance w.World.kernel.Kernel.clock
-                (Int64.sub deadline now);
-            let t = Runtime.Interp.create ~fuel:1_000_000L hctx in
-            match
-              Runtime.Interp.exec_insns t prog.Program.insns ~entry:cb_pc ~depth:1
-                ~args:[| 0L; cb_ctx; 0L; 0L; 0L |]
-            with
-            | (_ : int64) -> ()
-            | exception Runtime.Guard.Terminate reason ->
-              ignore (Runtime.Guard.terminate hctx reason))
-          timers
-      in
-      let rec go prog remaining_tail_calls =
-        match
-          if use_jit then
-            let compiled =
-              Runtime.Jit.compile ~bug_branch_off_by_one:jit_branch_bug hctx prog
-            in
-            Runtime.Jit.run ?fuel ~ns_per_insn hctx compiled ~ctx_addr:ctx.Kmem.base
-          else
-            Runtime.Interp.run ?fuel ?wall_ns ~ns_per_insn ~hctx ~prog
-              ~ctx_addr:ctx.Kmem.base ()
-        with
-        | r ->
-          (* softirq: deliver any timers the program armed *)
-          (match r with
-          | Runtime.Interp.Ret _ when hctx.Hctx.timers <> [] -> (
-            match Kernel.protect w.World.kernel (fun () -> fire_timers prog) with
-            | Ok () -> ()
-            | Error _ -> ())
-          | _ -> ());
-          convert r
-        | exception Hctx.Tail_call prog_id -> (
-          (* the old program's invocation ends here; leave its RCU section
-             before entering the next program in the chain *)
-          Kernel_sim.Rcu.read_unlock w.World.kernel.Kernel.rcu ~context:"tail_call";
-          if remaining_tail_calls = 0 then Finished 0L
-          else
-            match Hashtbl.find_opt w.World.progs prog_id with
-            | None -> Finished (-22L)
-            | Some next -> go next (remaining_tail_calls - 1))
-      in
-      go prog max_tail_calls)
-    | Rustlite_ext { ext; map_ids } -> (
-      let kctx = { Rustlite.Kcrate.hctx; map_ids } in
-      match
-        Rustlite.Eval.run ?fuel ?wall_ns ~kctx
-          ext.Rustlite.Toolchain.src.Rustlite.Toolchain.body
-      with
-      | Rustlite.Eval.Ret v ->
-        Finished (match v with Rustlite.Value.V_int x -> x | _ -> 0L)
-      | Rustlite.Eval.Oopsed r -> Crashed r
-      | Rustlite.Eval.Terminated t -> Stopped t))
-  in
-  {
-    outcome;
-    health = Kernel.health w.World.kernel;
-    trace = Hctx.trace_output hctx;
-    resources_outstanding = Helpers.Resources.outstanding hctx.Hctx.resources;
-  }
+  Invoke.run ~opts w loaded

@@ -1,4 +1,10 @@
-(** The two load paths of the study, side by side.
+(** Historical flat API over the staged load pipeline.
+
+    The machinery lives in {!Pipeline} (admission -> fixup -> gate -> link,
+    with the content-addressed verdict cache in front of the verify gate)
+    and {!Invoke} (one-shot and pooled invocation).  This module re-exports
+    it behind the original surface, so existing experiments and tests are
+    unchanged.
 
     Path A (today's architecture, paper Figure 1): bytecode arrives in the
     kernel; the in-kernel verifier symbolically executes it; acceptance is
@@ -6,13 +12,9 @@
 
     Path B (the proposal, paper Figure 5): a signed artifact arrives; the
     kernel validates the toolchain signature, performs only load-time
-    fixup, and relies on the runtime guards from then on.
+    fixup, and relies on the runtime guards from then on. *)
 
-    Both paths produce a {!loaded} handle run by the same machinery
-    ({!run}), so any difference in observed safety is attributable to the
-    architecture. *)
-
-type loaded =
+type loaded = Pipeline.loaded =
   | Ebpf_prog of { prog_id : int; prog : Ebpf.Program.t;
                    vstats : Bpf_verifier.Verifier.stats }
   | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
@@ -26,25 +28,28 @@ type load_error =
 
 val pp_load_error : Format.formatter -> load_error -> unit
 
+val of_pipeline_error : Pipeline.error -> load_error
+(** Flatten a staged pipeline error into the historical shape. *)
+
 val fixup : Ebpf.Program.t -> (Ebpf.Program.t, load_error) result
 (** Resolve helper-name relocations to helper ids (the §3.1 "load-time
     fixup ... to resolve helper function addresses"). *)
 
 val load_ebpf : World.t -> Ebpf.Program.t -> (loaded, load_error) result
-(** Path A: fixup, then in-kernel verification. *)
+(** Path A: admission, fixup, then the cached in-kernel verify gate. *)
 
 val load_rustlite :
   World.t -> Rustlite.Toolchain.signed_extension -> (loaded, load_error) result
 (** Path B: signature validation + map registration, no analysis. *)
 
-type outcome =
+type outcome = Invoke.outcome =
   | Finished of int64                  (** clean return value *)
   | Crashed of Kernel_sim.Oops.report  (** the kernel is dead *)
   | Stopped of Runtime.Guard.termination (** a runtime guard fired; cleaned up *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-type run_report = {
+type run_report = Invoke.run_report = {
   outcome : outcome;
   health : Kernel_sim.Kernel.health;
   trace : string list;                  (** bpf_trace_printk / kcrate trace *)
@@ -62,8 +67,8 @@ val run :
   ?use_jit:bool ->
   ?jit_branch_bug:bool ->
   World.t -> loaded -> run_report
-(** One invocation: builds the attach context (optionally around a packet
-    payload), snapshots refcounts for leak attribution, executes under the
-    requested guards, chases tail calls (up to {!max_tail_calls}), fires
-    armed timers (the simulated softirq), and reports the outcome together
-    with the kernel's health. *)
+(** One invocation ({!Invoke.run} in one-shot mode): builds the attach
+    context (optionally around a packet payload), snapshots refcounts for
+    leak attribution, executes under the requested guards, chases tail
+    calls (up to {!max_tail_calls}), fires armed timers (the simulated
+    softirq), and reports the outcome together with the kernel's health. *)

@@ -1,0 +1,57 @@
+(** The staged extension-load pipeline:
+
+    {v admission -> fixup -> gate [verify | validate-signature] -> link v}
+
+    Path A (today's architecture, paper Figure 1) gates on the in-kernel
+    verifier, fronted by the world's content-addressed {!Verdict_cache};
+    path B (the proposal, paper Figure 5) gates on toolchain signature
+    validation only.  Both paths produce the same {!loaded} handle.
+
+    {!Loader} re-exports this behind the historical flat API. *)
+
+type loaded =
+  | Ebpf_prog of { prog_id : int; prog : Ebpf.Program.t;
+                   vstats : Bpf_verifier.Verifier.stats }
+  | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
+                      map_ids : (string * int) list }
+
+type stage = Admission | Fixup | Gate | Link
+
+val stage_name : stage -> string
+
+type error =
+  | Too_many_insns of { count : int; max : int }
+      (** admission: program exceeds the instruction cap *)
+  | Unknown_helper of string  (** fixup: unresolved helper relocation *)
+  | Verifier_rejected of Bpf_verifier.Verifier.reject  (** gate, path A *)
+  | Verifier_crashed of string  (** gate, path A: a verifier bug fired *)
+  | Bad_signature  (** gate, path B *)
+  | Duplicate_map of string  (** link, path B: ambiguous declared map name *)
+
+val stage_of_error : error -> stage
+val pp_error : Format.formatter -> error -> unit
+
+val admit : World.t -> Ebpf.Program.t -> (Ebpf.Program.t, error) result
+(** Admission stage alone: cheap structural caps, before per-insn work. *)
+
+val fixup : Ebpf.Program.t -> (Ebpf.Program.t, error) result
+(** Fixup stage alone: resolve helper-name relocations to helper ids. *)
+
+val gate_verify :
+  ?use_cache:bool -> World.t -> Ebpf.Program.t ->
+  (Bpf_verifier.Verifier.stats, error) result
+(** Gate stage, path A: the verifier behind the verdict cache (default on).
+    The cache key fingerprints every verdict input, so mutating the world's
+    vconfig or bug sets invalidates; verifier crashes are never cached. *)
+
+val gate_validate :
+  Rustlite.Toolchain.signed_extension -> (unit, error) result
+(** Gate stage, path B: toolchain signature validation only. *)
+
+val load_ebpf :
+  ?use_cache:bool -> World.t -> Ebpf.Program.t -> (loaded, error) result
+(** Path A end to end: admission -> fixup -> cached verify gate -> link. *)
+
+val load_rustlite :
+  World.t -> Rustlite.Toolchain.signed_extension -> (loaded, error) result
+(** Path B end to end: validate-signature gate -> link (map registration). *)

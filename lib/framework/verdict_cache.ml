@@ -1,0 +1,98 @@
+(* The content-addressed verdict cache that sits in front of the verify gate.
+
+   The in-kernel verifier's DFS is the expensive step of the paper's Figure 1
+   load path — exponential in the worst case (§2.1) — yet a kernel servicing
+   heavy extension traffic sees the *same* program images over and over
+   (fleet rollouts load one image on every node; per-CPU attach loads one
+   image per core).  Verification is a pure function of
+
+     (program content, verifier configuration, referenced map shapes,
+      kernel version, injected bug set)
+
+   so its verdict can be memoized under a key that covers every input.  A
+   repeat load of an identical program then skips the DFS entirely and
+   replays the recorded verdict — including the stats, so a cache hit is
+   observationally identical to a fresh verification.
+
+   Correctness hinges on the key covering *all* the inputs.  World.vconfig
+   is a mutable field and Vbug.t is a record of mutable toggles, so the
+   fingerprint is recomputed from live values on every lookup: mutate the
+   config (or force a helper bug on) and the next load misses rather than
+   replaying a stale accept.  Verifier *crashes* (an injected verifier bug
+   killing the verifier itself) are deliberately not cached: each crashing
+   load oopses the kernel as a side effect and must keep doing so. *)
+
+module Bugdb = Helpers.Bugdb
+module Bpf_map = Maps.Bpf_map
+module Kver = Kerndata.Kver
+module Verifier = Bpf_verifier.Verifier
+module Vbug = Bpf_verifier.Vbug
+module Program = Ebpf.Program
+
+type verdict = (Verifier.stats, Verifier.reject) result
+
+type t = {
+  tbl : (string, verdict) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let serialize_map_def (d : Bpf_map.def) =
+  Printf.sprintf "(map %s %s %d %d %d %s)" d.Bpf_map.name
+    (Bpf_map.kind_to_string d.Bpf_map.kind)
+    d.Bpf_map.key_size d.Bpf_map.value_size d.Bpf_map.max_entries
+    (match d.Bpf_map.lock_off with None -> "-" | Some o -> string_of_int o)
+
+(* Canonical fingerprint of everything besides program content that can
+   change a verdict.  Built from live values, hashed to a fixed-size key
+   component. *)
+let fingerprint ~(config : Verifier.config) ~(bugs : Bugdb.t)
+    ~(map_def : int -> Bpf_map.def option) (prog : Program.t) : string =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  add "kver %s" (Kver.to_string config.Verifier.version);
+  add "max_insns %d" config.Verifier.max_insns;
+  add "insn_budget %d" config.Verifier.insn_budget;
+  add "max_states %d" config.Verifier.max_states_per_point;
+  add "allow_loops %b" config.Verifier.allow_loops;
+  add "track_ringbuf_refs %b" config.Verifier.track_ringbuf_refs;
+  add "prune %b" config.Verifier.prune;
+  add "allow_ptr_leaks %b" config.Verifier.allow_ptr_leaks;
+  add "reject_speculative_oob %b" config.Verifier.reject_speculative_oob;
+  add "verbose %b" config.Verifier.verbose;
+  (* the injected verifier-bug set: live mutable toggles *)
+  add "vbugs %s" (String.concat "," (Vbug.keys config.Verifier.bugs));
+  (* the helper-bug injection set: the kernel the verdict was issued for *)
+  add "bugdb %s %s"
+    (Kver.to_string bugs.Bugdb.version)
+    (String.concat ","
+       (List.sort String.compare
+          (List.map (fun (bug : Bugdb.bug) -> bug.Bugdb.key) (Bugdb.active_bugs bugs))));
+  (* the shapes of every map the program references: a map recreated with a
+     different value_size must not replay the old bounds verdict *)
+  List.iter
+    (fun fd ->
+      match map_def fd with
+      | Some d -> add "fd %d %s" fd (serialize_map_def d)
+      | None -> add "fd %d missing" fd)
+    (Program.referenced_maps prog);
+  Hash.Sha256.hex_digest (Buffer.contents b)
+
+let key ~digest ~fingerprint = digest ^ ":" ^ fingerprint
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some v ->
+    t.hits <- t.hits + 1;
+    Some v
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let store t k v = Hashtbl.replace t.tbl k v
+let clear t = Hashtbl.reset t.tbl
+let size t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses

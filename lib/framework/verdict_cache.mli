@@ -1,0 +1,36 @@
+(** Content-addressed verdict cache for the verify gate of the load
+    pipeline.
+
+    Keyed by (program digest, fingerprint of verifier config + injected bug
+    sets + referenced map shapes + kernel version); a hit replays the
+    recorded verdict — stats included — without re-running the verifier's
+    DFS.  The fingerprint is recomputed from live mutable state on every
+    lookup, so mutating {!World.t.vconfig}, a {!Bpf_verifier.Vbug.t}
+    toggle, or the {!Helpers.Bugdb.t} injection set invalidates cached
+    verdicts instead of replaying a stale accept. *)
+
+type verdict = (Bpf_verifier.Verifier.stats, Bpf_verifier.Verifier.reject) result
+
+type t
+
+val create : unit -> t
+
+val fingerprint :
+  config:Bpf_verifier.Verifier.config ->
+  bugs:Helpers.Bugdb.t ->
+  map_def:(int -> Maps.Bpf_map.def option) ->
+  Ebpf.Program.t ->
+  string
+(** Hash of every verdict input besides program content. *)
+
+val key : digest:string -> fingerprint:string -> string
+
+val find : t -> string -> verdict option
+(** Bumps the hit/miss tallies as a side effect. *)
+
+val store : t -> string -> verdict -> unit
+
+val clear : t -> unit
+val size : t -> int
+val hits : t -> int
+val misses : t -> int

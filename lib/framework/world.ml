@@ -18,6 +18,9 @@ type t = {
   mutable next_prog_id : int;
   (* the BPF_MAP_TYPE_PROG_ARRAY stand-in: tail-call index -> prog id *)
   prog_array : (int, int) Hashtbl.t;
+  (* content-addressed verdicts for the verify gate (Pipeline); per world,
+     because a world *is* one kernel instance *)
+  vcache : Verdict_cache.t;
 }
 
 let create ?(version = Kver.V5_18) ?vconfig () =
@@ -28,9 +31,16 @@ let create ?(version = Kver.V5_18) ?vconfig () =
   in
   { kernel = Kernel.create (); maps = Bpf_map.Registry.create ();
     bugs = Bugdb.create ~version (); vconfig; progs = Hashtbl.create 4;
-    next_prog_id = 1; prog_array = Hashtbl.create 4 }
+    next_prog_id = 1; prog_array = Hashtbl.create 4;
+    vcache = Verdict_cache.create () }
 
 let register_map t (def : Bpf_map.def) = Bpf_map.Registry.register t.maps t.kernel def
+
+(* Re-point an existing hctx's tail-call table at this world's current
+   state (used when a pooled invocation context is reused across runs). *)
+let sync_hctx t (hctx : Hctx.t) =
+  Hashtbl.reset hctx.Hctx.prog_array;
+  Hashtbl.iter (fun k v -> Hashtbl.replace hctx.Hctx.prog_array k v) t.prog_array
 
 let new_hctx ?(owner = "bpf_prog") t =
   let hctx = Hctx.create ~owner ~kernel:t.kernel ~maps:t.maps ~bugs:t.bugs () in
@@ -39,6 +49,17 @@ let new_hctx ?(owner = "bpf_prog") t =
 
 (* Wire a loaded program into the tail-call table at [index]. *)
 let set_tail_call t ~index ~prog_id = Hashtbl.replace t.prog_array index prog_id
+
+(* Deterministic views of the two Hashtbl-backed tables, for printing:
+   raw Hashtbl order depends on insertion history and hashing, so anything
+   user-visible iterates these instead. *)
+let progs_sorted t =
+  Hashtbl.fold (fun id p acc -> (id, p) :: acc) t.progs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let tail_calls_sorted t =
+  Hashtbl.fold (fun idx pid acc -> (idx, pid) :: acc) t.prog_array []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* Populate a default environment: a couple of tasks and sockets for the
    task/sock helpers to find. *)

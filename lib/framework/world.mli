@@ -17,6 +17,7 @@ type t = {
   progs : (int, Ebpf.Program.t) Hashtbl.t;
   mutable next_prog_id : int;
   prog_array : (int, int) Hashtbl.t;  (** tail-call index -> prog id *)
+  vcache : Verdict_cache.t;  (** content-addressed verify-gate verdicts *)
 }
 
 val create : ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config -> unit -> t
@@ -29,8 +30,19 @@ val new_hctx : ?owner:string -> t -> Hctx.t
 (** A fresh helper execution context wired to this world (including the
     tail-call table). *)
 
+val sync_hctx : t -> Hctx.t -> unit
+(** Re-point an existing hctx's tail-call table at this world's current
+    state (used when reusing a pooled invocation context). *)
+
 val set_tail_call : t -> index:int -> prog_id:int -> unit
 (** Wire a loaded program into the tail-call table. *)
+
+val progs_sorted : t -> (int * Ebpf.Program.t) list
+(** The loaded-program table in ascending prog-id order — the deterministic
+    view any printed output must use instead of raw [Hashtbl] order. *)
+
+val tail_calls_sorted : t -> (int * int) list
+(** The tail-call table as (index, prog id), ascending by index. *)
 
 val populate : t -> t
 (** Add the standard task/socket population (nginx pid 1234 as current,

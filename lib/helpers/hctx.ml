@@ -13,7 +13,7 @@ exception Tail_call of int
 type t = {
   kernel : Kernel.t;
   maps : Maps.Bpf_map.Registry.t;
-  resources : Resources.t;
+  mutable resources : Resources.t;
   bugs : Bugdb.t;
   owner : string;                      (* lock-ownership context *)
   mutable rng_state : int64;           (* deterministic bpf_get_prandom_u32 *)
@@ -33,13 +33,34 @@ type t = {
   mutable timers : (int64 * int * int64) list;
 }
 
+(* The PRNG seed every context starts from (each Loader.run historically
+   built a fresh hctx, so every invocation saw the same deterministic
+   stream; [reset] restores it for the same reason). *)
+let initial_rng_seed = 0x853c49e6748fea9bL
+
 let create ?(owner = "bpf_prog") ~kernel ~maps ~bugs () =
   { kernel; maps; resources = Resources.create (); bugs; owner;
-    rng_state = 0x853c49e6748fea9bL; call_subprog = None; charge = (fun _ -> ());
+    rng_state = initial_rng_seed; call_subprog = None; charge = (fun _ -> ());
     helper_calls = 0; loop_depth = 0; trace = []; skb = None;
     prog_array = Hashtbl.create 4; frames = Array.make 16 None; timers = [] }
 
 let charge t ns = t.charge ns
+
+(* Return a context to its just-created state while keeping the expensive
+   parts — the preallocated stack frames and the kernel/map wiring — so a
+   serving loop can reuse one context across invocations instead of
+   rebuilding it per run.  The tail-call table is the world's job to refresh
+   (World.sync_hctx). *)
+let reset t =
+  t.resources <- Resources.create ();
+  t.rng_state <- initial_rng_seed;
+  t.call_subprog <- None;
+  t.charge <- (fun _ -> ());
+  t.helper_calls <- 0;
+  t.loop_depth <- 0;
+  t.trace <- [];
+  t.skb <- None;
+  t.timers <- []
 
 (* xorshift64*: deterministic, seedable PRNG for bpf_get_prandom_u32 and the
    random map accesses of the §2.2 termination exploit. *)

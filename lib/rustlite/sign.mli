@@ -1,12 +1,13 @@
 (** Extension signing: the "decoupling static code analysis" half of §3.1.
 
-    Self-contained SHA-256 and HMAC-SHA256 (no external dependencies); the
-    shared-MAC trust model stands in for the asymmetric signatures and
-    secure key bootstrap (IMA integration) the paper points at, without
-    changing the load-time protocol. *)
+    The SHA-256/HMAC primitives are the shared {!Hash.Sha256} library
+    (re-exported here for existing callers); the shared-MAC trust model
+    stands in for the asymmetric signatures and secure key bootstrap (IMA
+    integration) the paper points at, without changing the load-time
+    protocol. *)
 
 val sha256 : string -> string
-(** Raw 32-byte digest. *)
+(** Raw 32-byte digest ({!Hash.Sha256.digest}). *)
 
 val to_hex : string -> string
 

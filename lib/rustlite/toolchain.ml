@@ -52,6 +52,13 @@ let compile (src : source) : (signed_extension, error) result =
       let payload = payload_of src in
       Ok { src; payload; signature = Sign.sign ~key:toolchain_key payload })
 
+(* Canonical content digest of a signed artifact: recomputed from the payload
+   that actually arrived (not the signature's claim), so a tampered artifact
+   gets a different address.  Shares the digest space of Ebpf.Program.digest:
+   both are SHA-256 hex over the canonical serialization. *)
+let artifact_digest (ext : signed_extension) : string =
+  Hash.Sha256.hex_digest ext.payload
+
 (* Kernel-side validation: recompute the payload from what arrived and check
    the MAC.  Tampering with the AST after signing changes the payload. *)
 let validate (ext : signed_extension) : bool =

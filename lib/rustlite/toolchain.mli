@@ -32,6 +32,10 @@ val toolchain_key : string
 val compile : source -> (signed_extension, error) result
 (** typecheck -> ownership check -> sign. *)
 
+val artifact_digest : signed_extension -> string
+(** Canonical content address of a signed artifact: SHA-256 hex recomputed
+    over the payload that actually arrived (tampering changes it). *)
+
 val validate : signed_extension -> bool
 (** Kernel-side: recompute the payload from what arrived and check the MAC;
     any post-signing mutation fails. *)

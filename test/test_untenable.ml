@@ -14,6 +14,7 @@ let () =
       ("helpers", Test_helpers.suite);
       ("rustlite", Test_rustlite.suite);
       ("framework", Test_framework.suite);
+      ("pipeline", Test_pipeline.suite);
       ("data", Test_data.suite);
       ("integration", Test_integration.suite);
       ("section4", Test_section4.suite);
