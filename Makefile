@@ -18,6 +18,7 @@ check:
 	dune runtest
 	dune exec bench/main.exe -- telemetry-smoke
 	dune exec bench/main.exe -- throughput-smoke
+	dune exec bench/main.exe -- chaos-smoke
 
 bench:
 	dune exec bench/main.exe

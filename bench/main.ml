@@ -853,7 +853,7 @@ let throughput ?(smoke = false) () =
   in
   Printf.printf "  dispatch %d events x %d attached filters:\n    %s\n" count
     (Framework.Attach.count engine.Framework.Dispatch.attach)
-    (Format.asprintf "%a" Framework.Dispatch.pp_stream_stats stats);
+    (Format.asprintf "%a" Framework.Dispatch.pp_stream_result stats);
   (* determinism: a second engine, same seed, must match checksum-for-checksum *)
   let stats' =
     Framework.Dispatch.run_stream (build_engine ()) ~hook:"xdp"
@@ -874,12 +874,124 @@ let throughput ?(smoke = false) () =
     (cval "pipeline.cache_hits") (cval "pipeline.cache_misses")
     (cval "dispatch.events") (cval "dispatch.events_per_sec")
 
+(* ------------------------------------------------------------------ *)
+(* CHAOS: supervised dispatch under deterministic fault injection      *)
+(* ------------------------------------------------------------------ *)
+
+(* The §3 position made operational: what the verifier cannot promise, the
+   serving path must absorb.  Part 1 attaches a verifier-accepted crasher
+   (the §2.2 probe-read vehicle, bug armed) next to healthy filters and
+   shows the supervised engine quarantining it while every event is still
+   served.  Part 2 measures what chaos injection costs: the same healthy
+   population with and without a 1% deterministic fault schedule, compared
+   by throughput. *)
+let chaos_exp ?(smoke = false) () =
+  let module Dispatch = Framework.Dispatch in
+  let module Chaos = Framework.Chaos in
+  let module Supervisor = Framework.Supervisor in
+  let module Attach = Framework.Attach in
+  print_string
+    (Report.section
+       "CHAOS: supervised dispatch under deterministic fault injection");
+  let open Ebpf.Asm in
+  let h = Helpers.Registry.id_of_name in
+  let load world name ~prog_type items =
+    match
+      Loader.load_ebpf world
+        (Ebpf.Program.of_items_exn ~name ~prog_type items)
+    with
+    | Ok loaded -> loaded
+    | Error e -> failwith (Format.asprintf "%a" Loader.pp_load_error e)
+  in
+  let build ?policy ~crasher () =
+    let world = World.create_populated () in
+    let engine = Dispatch.create ?policy world in
+    if crasher then begin
+      Helpers.Bugdb.force_on world.World.bugs "hbug:probe-read-size-unchecked";
+      ignore
+        (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+           (load world "crasher" ~prog_type:Ebpf.Program.Kprobe
+              [ call (h "bpf_get_current_task"); mov_r r3 r0; mov_r r1 r10;
+                add_i r1 (-16); mov_i r2 16; call (h "bpf_probe_read_kernel");
+                mov_i r0 0; exit_ ]))
+    end;
+    List.iter
+      (fun (name, items) ->
+        ignore
+          (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+             (load world name ~prog_type:Ebpf.Program.Socket_filter items)))
+      [ ("len", [ ldxw r0 r1 0; exit_ ]);
+        ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]);
+        ("mask", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 255; exit_ ]) ]
+    ;
+    engine
+  in
+  let run ?chaos ~count engine =
+    Dispatch.run_stream ?chaos engine ~hook:"xdp"
+      ~gen:(Dispatch.synthetic_packets ~size:64 ())
+      ~count ()
+  in
+  (* -- part 1: a crasher in the population, supervised -- *)
+  let count1 = if smoke then 300 else 3_000 in
+  let sup_config =
+    { Supervisor.default_config with
+      Supervisor.cooldown_ns = 100L (* expire within a few events *);
+      max_cooldown_ns = 1_000L }
+  in
+  let engine = build ~policy:(Dispatch.Supervise sup_config) ~crasher:true () in
+  let r = run ~count:count1 engine in
+  Printf.printf
+    "  crasher + 3 healthy filters, Supervise policy, %d events:\n    %s\n"
+    count1
+    (Format.asprintf "%a" Dispatch.pp_stream_result r);
+  print_string (Format.asprintf "%a" Dispatch.pp_per_ext r);
+  Printf.printf "  acceptance: every event served, offender quarantined — %s\n\n"
+    (if r.Dispatch.events = count1 && r.Dispatch.quarantined = 1 then "MET"
+     else "MISSED");
+  (* -- part 2: throughput cost of a 1% chaos schedule -- *)
+  let count2 = if smoke then 5_000 else 20_000 in
+  let chaos = Chaos.default_config (* 1% fault rate *) in
+  ignore (run ~count:(count2 / 10) (build ~crasher:false ())) (* warm up *);
+  (* wall-clock rates are noisy at smoke sizes: take the best of [reps]
+     runs of each configuration (the schedule is deterministic, so every
+     rep serves the identical stream) *)
+  let reps = if smoke then 3 else 2 in
+  let best ?chaos () =
+    List.fold_left
+      (fun acc r ->
+        if r.Dispatch.events_per_sec > acc.Dispatch.events_per_sec then r
+        else acc)
+      (run ?chaos ~count:count2 (build ~crasher:false ()))
+      (List.init (reps - 1) (fun _ ->
+           run ?chaos ~count:count2 (build ~crasher:false ())))
+  in
+  let base = best () in
+  let noisy = best ~chaos () in
+  let degradation =
+    (base.Dispatch.events_per_sec -. noisy.Dispatch.events_per_sec)
+    /. base.Dispatch.events_per_sec *. 100.
+  in
+  Printf.printf
+    "  healthy population, %d events, chaos fault rate %.1f%% (%d planned):\n\
+    \    calm  %s\n\
+    \    chaos %s\n\
+    \    degradation %.1f%%\n"
+    count2
+    (chaos.Chaos.fault_rate *. 100.)
+    (Chaos.planned chaos ~count:count2)
+    (Format.asprintf "%a" Dispatch.pp_stream_result base)
+    (Format.asprintf "%a" Dispatch.pp_stream_result noisy)
+    degradation;
+  Printf.printf
+    "  acceptance: <15%% throughput degradation at 1%% fault rate — %s\n"
+    (if degradation < 15. then "MET" else "MISSED")
+
 let experiments =
   [ ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("tab1", tab1 ~run_demos:true);
     ("tab2", tab2); ("exp-safety", exp_safety); ("exp-term", exp_term);
     ("exp-retire", exp_retire); ("exp-vcost", exp_vcost); ("exp-s4", exp_s4);
     ("perf", perf); ("telemetry", fun () -> telemetry ());
-    ("throughput", fun () -> throughput ()) ]
+    ("throughput", fun () -> throughput ()); ("chaos", fun () -> chaos_exp ()) ]
 
 (* Not part of the default full run: a reduced-iteration variant for
    `make check`. *)
@@ -941,6 +1053,7 @@ let tele_isolate () =
 let extra_experiments =
   [ ("telemetry-smoke", fun () -> telemetry ~smoke:true ());
     ("throughput-smoke", fun () -> throughput ~smoke:true ());
+    ("chaos-smoke", fun () -> chaos_exp ~smoke:true ());
     ("tele-isolate", tele_isolate) ]
 
 let () =

@@ -6,6 +6,9 @@
      untenable-cli demo ID [--fixed]         run one exploit demo
      untenable-cli dispatch [--filters N]    attach a filter population and
                    [--events N] [--jit]      drive a synthetic packet stream
+     untenable-cli supervise [--events N]    serve a stream with a crasher in
+                   [--policy P]              the population; per-extension
+                   [--chaos-rate R]          breaker/quarantine health
      untenable-cli matrix                    executable Table 2
      untenable-cli datasets                  the paper's static datasets
      untenable-cli stats [ID] [--format F]   telemetry snapshot (last demo or ID)
@@ -258,7 +261,7 @@ let dispatch_cmd =
     let stats =
       Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count:events ()
     in
-    Format.printf "%a@." Framework.Dispatch.pp_stream_stats stats;
+    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
     save_snapshot ();
     Printf.printf "(telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
   in
@@ -279,6 +282,125 @@ let dispatch_cmd =
     (Cmd.info "dispatch"
        ~doc:"Load and attach a filter population, then drive a synthetic packet stream")
     Term.(const run $ filters $ events $ size $ seed $ jit)
+
+(* ---- supervise ---- *)
+
+let supervise_cmd =
+  let run events policy_name chaos_rate no_crasher =
+    let world = Framework.World.create_populated () in
+    let policy =
+      match policy_name with
+      | `Fail_fast -> Framework.Dispatch.Fail_fast
+      | `Isolate -> Framework.Dispatch.Isolate
+      | `Supervise ->
+        (* a cooldown short enough to see quarantine inside one stream *)
+        Framework.Dispatch.Supervise
+          { Framework.Supervisor.default_config with
+            Framework.Supervisor.cooldown_ns = 100L;
+            max_cooldown_ns = 1_000L }
+    in
+    let engine = Framework.Dispatch.create ~policy world in
+    let open Ebpf.Asm in
+    let h = Helpers.Registry.id_of_name in
+    let attach name ~prog_type items =
+      let prog = Ebpf.Program.of_items_exn ~name ~prog_type items in
+      match Framework.Loader.load_ebpf world prog with
+      | Ok loaded ->
+        ignore
+          (Framework.Attach.attach engine.Framework.Dispatch.attach ~hook:"xdp" loaded)
+      | Error e ->
+        Format.eprintf "load failed: %a@." Framework.Loader.pp_load_error e;
+        exit 1
+    in
+    if not no_crasher then begin
+      (* the §2.2 probe-read vehicle: verifier-accepted, crashes on call *)
+      Helpers.Bugdb.force_on world.Framework.World.bugs
+        "hbug:probe-read-size-unchecked";
+      attach "crasher" ~prog_type:Ebpf.Program.Kprobe
+        [ call (h "bpf_get_current_task"); mov_r r3 r0; mov_r r1 r10;
+          add_i r1 (-16); mov_i r2 16; call (h "bpf_probe_read_kernel");
+          mov_i r0 0; exit_ ]
+    end;
+    List.iter
+      (fun (name, items) ->
+        attach name ~prog_type:Ebpf.Program.Socket_filter items)
+      [ ("len", [ ldxw r0 r1 0; exit_ ]);
+        ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]);
+        ("proto", [ ldxw r0 r1 4; exit_ ]) ];
+    let chaos =
+      if chaos_rate <= 0. then None
+      else
+        Some { Framework.Chaos.default_config with Framework.Chaos.fault_rate = chaos_rate }
+    in
+    (match chaos with
+    | Some c ->
+      Printf.printf "chaos: %.2f%% fault rate, %d of %d events carry an injection\n"
+        (c.Framework.Chaos.fault_rate *. 100.)
+        (Framework.Chaos.planned c ~count:events)
+        events
+    | None -> ());
+    let stats =
+      Framework.Dispatch.run_stream ?chaos engine ~hook:"xdp"
+        ~gen:(Framework.Dispatch.synthetic_packets ~size:64 ())
+        ~count:events ()
+    in
+    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    print_string
+      (Framework.Report.table
+         ~header:[ "#"; "extension"; "state"; "inv"; "ok"; "stop"; "crash";
+                   "exhaust"; "skip"; "trips"; "checksum" ]
+         (List.map
+            (fun (x : Framework.Supervisor.health) ->
+              [ string_of_int x.Framework.Supervisor.attach_id;
+                x.Framework.Supervisor.name;
+                Framework.Supervisor.state_to_string x.Framework.Supervisor.state;
+                string_of_int x.Framework.Supervisor.invocations;
+                string_of_int x.Framework.Supervisor.finished;
+                string_of_int x.Framework.Supervisor.stopped;
+                string_of_int x.Framework.Supervisor.crashed;
+                string_of_int x.Framework.Supervisor.exhausted;
+                string_of_int x.Framework.Supervisor.skipped;
+                string_of_int x.Framework.Supervisor.trips;
+                Printf.sprintf "%016Lx" x.Framework.Supervisor.ret_checksum ])
+            stats.Framework.Dispatch.per_ext));
+    Printf.printf "kernel at end: %s\n"
+      (if Kernel_sim.Kernel.is_dead world.Framework.World.kernel then "DEAD"
+       else "alive");
+    save_snapshot ();
+    Printf.printf "(telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
+  in
+  let events =
+    Arg.(value & opt int 2_000 & info [ "events" ] ~doc:"Number of synthetic packets.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("fail-fast", `Fail_fast); ("isolate", `Isolate);
+               ("supervise", `Supervise) ])
+          `Supervise
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Fault policy: fail-fast, isolate or supervise.")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-rate" ] ~docv:"RATE"
+          ~doc:"Chaos injection probability per event (0 disables).")
+  in
+  let no_crasher =
+    Arg.(
+      value & flag
+      & info [ "no-crasher" ]
+          ~doc:"Attach only healthy filters (skip the probe-read crasher).")
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Serve a packet stream with a crashing extension in the population and \
+          show per-extension supervision health")
+    Term.(const run $ events $ policy $ chaos_rate $ no_crasher)
 
 (* ---- rustlite source ---- *)
 
@@ -333,10 +455,13 @@ let rl_run_cmd =
           Format.printf "load failed: %a@." Framework.Loader.pp_load_error e;
           exit 1
         | Ok loaded ->
-          let report =
-            Framework.Loader.run
-              ~wall_ns:(Int64.mul (Int64.of_int wall_ms) 1_000_000L) world loaded
+          let opts =
+            { Framework.Invoke.default_opts with
+              Framework.Invoke.wall_ns =
+                Some (Int64.mul (Int64.of_int wall_ms) 1_000_000L)
+            }
           in
+          let report = Framework.Invoke.run ~opts world loaded in
           List.iter (Printf.printf "trace: %s\n") report.Framework.Loader.trace;
           Format.printf "%a@.kernel: %a@." Framework.Loader.pp_outcome
             report.Framework.Loader.outcome Kernel_sim.Kernel.pp_health
@@ -355,7 +480,7 @@ let main =
   Cmd.group
     (Cmd.info "untenable-cli" ~version:Untenable.version
        ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
-    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; matrix_cmd;
-      datasets_cmd; rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
+    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; supervise_cmd;
+      matrix_cmd; datasets_cmd; rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

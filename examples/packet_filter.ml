@@ -12,6 +12,7 @@
 
 open Untenable
 module Loader = Framework.Loader
+module Invoke = Framework.Invoke
 module World = Framework.World
 module Program = Ebpf.Program
 
@@ -64,7 +65,12 @@ let run_ebpf ~budget ~ports ~packets =
   | Ok loaded ->
     List.iter
       (fun port ->
-        let r = Loader.run ~skb_payload:(make_packet ~dst_port:port) world loaded in
+        let opts =
+            { Invoke.default_opts with
+              Invoke.skb_payload = Some (make_packet ~dst_port:port)
+            }
+          in
+          let r = Invoke.run ~opts world loaded in
         Format.printf "  port %5d -> %a@." port Loader.pp_outcome r.Loader.outcome)
       packets
 
@@ -125,7 +131,12 @@ let run_rustlite ~ports ~packets =
     | Ok loaded ->
       List.iter
         (fun port ->
-          let r = Loader.run ~skb_payload:(make_packet ~dst_port:port) world loaded in
+          let opts =
+            { Invoke.default_opts with
+              Invoke.skb_payload = Some (make_packet ~dst_port:port)
+            }
+          in
+          let r = Invoke.run ~opts world loaded in
           Format.printf "  port %5d -> %a@." port Loader.pp_outcome r.Loader.outcome)
         packets)
 

@@ -9,6 +9,7 @@
 
 open Untenable
 module Loader = Framework.Loader
+module Invoke = Framework.Invoke
 module World = Framework.World
 module Bpf_map = Maps.Bpf_map
 
@@ -63,7 +64,7 @@ let run_ebpf () =
         vstats.Bpf_verifier.Verifier.states_explored
     | Loader.Rustlite_ext _ -> ());
     for i = 1 to 3 do
-      let report = Loader.run world loaded in
+      let report = Invoke.run world loaded in
       Format.printf "run %d -> %a (kernel %a)@." i Loader.pp_outcome
         report.Loader.outcome Kernel_sim.Kernel.pp_health report.Loader.health
     done
@@ -104,7 +105,7 @@ let run_rustlite () =
     | Ok loaded ->
       Printf.printf "kernel: signature valid, loaded with NO in-kernel verification\n";
       for i = 1 to 3 do
-        let report = Loader.run world loaded in
+        let report = Invoke.run world loaded in
         Format.printf "run %d -> %a (kernel %a)@." i Loader.pp_outcome
           report.Loader.outcome Kernel_sim.Kernel.pp_health report.Loader.health;
         List.iter (Printf.printf "  trace: %s\n") report.Loader.trace

@@ -8,6 +8,7 @@
 
 open Untenable
 module Loader = Framework.Loader
+module Invoke = Framework.Invoke
 module World = Framework.World
 
 let good_program =
@@ -67,10 +68,12 @@ let compile_and_run ~name ?(wall_ms = 50) src =
       | Error e -> Format.printf "load failed: %a@." Loader.pp_load_error e
       | Ok loaded ->
         for i = 1 to 3 do
-          let r =
-            Loader.run ~wall_ns:(Int64.mul (Int64.of_int wall_ms) 1_000_000L) world
-              loaded
+          let opts =
+            { Invoke.default_opts with
+              Invoke.wall_ns = Some (Int64.mul (Int64.of_int wall_ms) 1_000_000L)
+            }
           in
+          let r = Invoke.run ~opts world loaded in
           Format.printf "run %d -> %a@." i Loader.pp_outcome r.Loader.outcome;
           List.iter (Printf.printf "   trace: %s\n") r.Loader.trace
         done;

@@ -9,6 +9,7 @@
 open Untenable
 open Rustlite.Ast
 module Loader = Framework.Loader
+module Invoke = Framework.Invoke
 module World = Framework.World
 module Bpf_map = Maps.Bpf_map
 module Ringbuf = Maps.Ringbuf
@@ -86,7 +87,7 @@ let () =
       List.iteri
         (fun i task ->
           Kernel_sim.Kernel.set_current world.World.kernel task;
-          let r = Loader.run world loaded in
+          let r = Invoke.run world loaded in
           Format.printf "hit %d on %-9s -> %a@." (i + 1)
             task.Kernel_sim.Kobject.comm Loader.pp_outcome r.Loader.outcome)
         (List.concat [ tasks; [ nginx ] ]);

@@ -22,8 +22,9 @@
     - {!Rustlite} — the proposed safe-language framework (typed AST,
       ownership checker, signing toolchain, RAII kernel crate);
     - {!Framework} — worlds, the staged load pipeline with its verdict
-      cache, attach/dispatch, the exploit corpus, and the executable
-      safety matrix.
+      cache, attach/dispatch with per-extension supervision (circuit
+      breakers, quarantine, chaos injection), the exploit corpus, and the
+      executable safety matrix.
 
     Quick start (see also [examples/quickstart.ml]):
 
@@ -32,7 +33,7 @@
       let prog = (* build with Untenable.Ebpf.Asm *) ... in
       match Untenable.Framework.Loader.load_ebpf world prog with
       | Ok loaded ->
-        let report = Untenable.Framework.Loader.run world loaded in
+        let report = Untenable.Framework.Invoke.run world loaded in
         Format.printf "%a@." Untenable.Framework.Loader.pp_outcome report.outcome
       | Error e -> Format.printf "%a@." Untenable.Framework.Loader.pp_load_error e
     ]} *)

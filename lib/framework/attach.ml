@@ -38,6 +38,21 @@ let detach t ~attach_id =
     t.hooks;
   !found
 
+let find t ~attach_id =
+  Hashtbl.fold
+    (fun _ attachments acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> List.find_opt (fun a -> a.attach_id = attach_id) attachments)
+    t.hooks None
+
+(* The extension's own name, for health reports. *)
+let name a =
+  match a.loaded with
+  | Pipeline.Ebpf_prog { prog; _ } -> prog.Ebpf.Program.name
+  | Pipeline.Rustlite_ext { ext; _ } ->
+    ext.Rustlite.Toolchain.src.Rustlite.Toolchain.name
+
 (* Attachments on [hook], in attach order. *)
 let attached t ~hook =
   List.rev (Option.value ~default:[] (Hashtbl.find_opt t.hooks hook))

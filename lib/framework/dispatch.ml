@@ -6,40 +6,76 @@
    (Invoke.t), so a 10k-event stream reuses one helper context and one skb
    buffer instead of allocating per event.
 
+   Fault handling is a policy, not a boolean.  Under [Fail_fast] the first
+   kernel crash aborts the stream (the kernel stays dead, the old
+   stop_on_crash behaviour).  Under [Isolate] a crash is contained to the
+   invocation that caused it: the kernel is revived and the stream carries
+   on, with the fault charged to the offending extension.  [Supervise]
+   additionally runs each extension behind a circuit breaker (Supervisor)
+   and detaches — quarantines — extensions that keep re-tripping it.
+
    Determinism: the synthetic packet generator is a seeded xorshift, the
-   simulated clock only moves by instruction cost, and dispatch order is
-   attach order — two engines fed the same seed produce identical stats
-   (ret_checksum included), which the tests assert. *)
+   simulated clock only moves by instruction cost, dispatch order is attach
+   order, and chaos injection (Chaos) is a pure function of (seed, event
+   index) — two engines fed the same seed produce identical results
+   (checksums included), which the tests assert. *)
 
 module Kernel = Kernel_sim.Kernel
+module Vclock = Kernel_sim.Vclock
+
+type policy =
+  | Fail_fast             (* first crash aborts the stream, kernel stays dead *)
+  | Isolate               (* contain crashes per invocation, keep serving *)
+  | Supervise of Supervisor.config
+                          (* isolate + circuit breakers + quarantine *)
 
 type engine = {
   world : World.t;
   attach : Attach.t;
   ictx : Invoke.t;
   opts : Invoke.run_opts;
+  policy : policy;
+  sup : Supervisor.t;
 }
 
-let create ?(opts = Invoke.default_opts) (w : World.t) =
-  { world = w; attach = Attach.create (); ictx = Invoke.create w; opts }
+let create ?(opts = Invoke.default_opts) ?(policy = Isolate) (w : World.t) =
+  let config =
+    match policy with Supervise c -> c | Fail_fast | Isolate -> Supervisor.default_config
+  in
+  { world = w; attach = Attach.create (); ictx = Invoke.create w; opts; policy;
+    sup = Supervisor.create ~config () }
 
-type stream_stats = {
+type stream_result = {
   events : int;
   invocations : int;
   finished : int;
   stopped : int;
   crashed : int;
-  ret_checksum : int64;   (* order-sensitive fold of return values *)
+  exhausted : int;
+  skipped : int;          (* invocations suppressed by an open breaker *)
+  faults_absorbed : int;  (* crashes + exhaustions contained (not Fail_fast) *)
+  quarantined : int;      (* extensions detached during this stream *)
+  injected : int;         (* chaos injections that landed on an event *)
+  ret_checksum : int64;   (* order-sensitive fold of all outcomes *)
   host_ns : int64;        (* wall time for the whole stream *)
   events_per_sec : float;
+  per_ext : Supervisor.health list;  (* per-extension health, attach order *)
 }
 
-let pp_stream_stats ppf s =
+let all_healthy r =
+  r.crashed = 0 && r.exhausted = 0 && r.stopped = 0 && r.skipped = 0
+  && r.quarantined = 0
+
+let pp_stream_result ppf r =
   Format.fprintf ppf
-    "events=%d invocations=%d finished=%d stopped=%d crashed=%d \
-     checksum=%016Lx rate=%.0f ev/s"
-    s.events s.invocations s.finished s.stopped s.crashed s.ret_checksum
-    s.events_per_sec
+    "events=%d invocations=%d finished=%d stopped=%d crashed=%d exhausted=%d \
+     skipped=%d absorbed=%d quarantined=%d injected=%d checksum=%016Lx \
+     rate=%.0f ev/s"
+    r.events r.invocations r.finished r.stopped r.crashed r.exhausted r.skipped
+    r.faults_absorbed r.quarantined r.injected r.ret_checksum r.events_per_sec
+
+let pp_per_ext ppf r =
+  List.iter (fun h -> Format.fprintf ppf "%a@." Supervisor.pp_health h) r.per_ext
 
 (* ---- telemetry ---- *)
 
@@ -47,6 +83,9 @@ let tele_events = Telemetry.Registry.counter "dispatch.events"
 let tele_invocations = Telemetry.Registry.counter "dispatch.invocations"
 let tele_crashes = Telemetry.Registry.counter "dispatch.crashes"
 let tele_stops = Telemetry.Registry.counter "dispatch.stops"
+let tele_exhausted = Telemetry.Registry.counter "dispatch.exhausted"
+let tele_skipped = Telemetry.Registry.counter "dispatch.skipped"
+let tele_absorbed = Telemetry.Registry.counter "dispatch.faults_absorbed"
 let tele_event_ns = Telemetry.Registry.histogram "dispatch.event_ns"
 let tele_rate = Telemetry.Registry.counter "dispatch.events_per_sec"
 
@@ -77,8 +116,15 @@ let synthetic_packets ?(seed = 0x9e3779b97f4a7c15L) ~size () =
 
 (* ---- dispatch ---- *)
 
-(* One event through every extension attached to [hook], in attach order.
-   Returns the per-attachment reports (same order). *)
+let checksum_add acc = function
+  | Invoke.Finished v -> Int64.add (Int64.mul acc 31L) v
+  | Invoke.Stopped _ -> Int64.add (Int64.mul acc 31L) (-1L)
+  | Invoke.Crashed _ -> Int64.add (Int64.mul acc 31L) (-2L)
+  | Invoke.Exhausted _ -> Int64.add (Int64.mul acc 31L) (-3L)
+
+(* One event through every extension attached to [hook], in attach order,
+   with no supervision — the raw fan-out.  Returns the per-attachment
+   reports (same order). *)
 let dispatch_event e ~hook payload =
   Telemetry.Registry.bump tele_events;
   let started = host_ns () in
@@ -91,6 +137,7 @@ let dispatch_event e ~hook payload =
         (match report.Invoke.outcome with
         | Invoke.Crashed _ -> Telemetry.Registry.bump tele_crashes
         | Invoke.Stopped _ -> Telemetry.Registry.bump tele_stops
+        | Invoke.Exhausted _ -> Telemetry.Registry.bump tele_exhausted
         | Invoke.Finished _ -> ());
         report)
       (Attach.attached e.attach ~hook)
@@ -98,35 +145,107 @@ let dispatch_event e ~hook payload =
   Telemetry.Registry.observe tele_event_ns (Int64.sub (host_ns ()) started);
   reports
 
-let checksum_add acc = function
-  | Invoke.Finished v -> Int64.add (Int64.mul acc 31L) v
-  | Invoke.Stopped _ -> Int64.add (Int64.mul acc 31L) (-1L)
-  | Invoke.Crashed _ -> Int64.add (Int64.mul acc 31L) (-2L)
-
-(* Drive [count] events from [gen] through [hook].  [stop_on_crash] aborts
-   the stream the first time an invocation oopses the kernel (default:
-   keep going and count, the way a real kernel limps on after a WARN). *)
-let run_stream ?(stop_on_crash = false) e ~hook ~gen ~count () =
+(* Drive [count] events from [gen] through [hook] under the engine's
+   policy, optionally with chaos injection. *)
+let run_stream ?chaos e ~hook ~gen ~count () =
   let started = host_ns () in
-  let finished = ref 0 and stopped = ref 0 and crashed = ref 0 in
-  let invocations = ref 0 in
+  let invocations = ref 0 and finished = ref 0 and stopped = ref 0 in
+  let crashed = ref 0 and exhausted = ref 0 and skipped = ref 0 in
+  let faults_absorbed = ref 0 and quarantined = ref 0 and injected = ref 0 in
   let checksum = ref 0L in
   let events = ref 0 in
+  let kernel = e.world.World.kernel in
+  let supervised = match e.policy with Supervise _ -> true | _ -> false in
+  (* A contained fault: revive already happened (crash) or was unnecessary
+     (exhaustion); charge the breaker and quarantine on its verdict. *)
+  let contained_fault ext =
+    incr faults_absorbed;
+    Telemetry.Registry.bump tele_absorbed;
+    if supervised then begin
+      let now = Vclock.now kernel.Kernel.clock in
+      match Supervisor.observe_fault e.sup ext ~now_ns:now with
+      | Supervisor.Quarantine ->
+        ignore (Attach.detach e.attach ~attach_id:ext.Supervisor.attach_id);
+        incr quarantined
+      | Supervisor.Tripped _ | Supervisor.No_change -> ()
+    end
+  in
   (try
      for i = 0 to count - 1 do
-       let reports = dispatch_event e ~hook (gen i) in
+       Telemetry.Registry.bump tele_events;
+       let ev_started = host_ns () in
        incr events;
+       let inj =
+         match chaos with
+         | None -> Chaos.Calm
+         | Some c -> Chaos.injection c ~event:i
+       in
+       if inj <> Chaos.Calm then incr injected;
+       let opts =
+         Chaos.apply_opts inj { e.opts with Invoke.skb_payload = Some (gen i) }
+       in
+       Chaos.arm inj e.world.World.bugs;
+       Fun.protect ~finally:(fun () -> Chaos.disarm inj e.world.World.bugs)
+       @@ fun () ->
        List.iter
-         (fun (r : Invoke.run_report) ->
-           incr invocations;
-           checksum := checksum_add !checksum r.Invoke.outcome;
-           match r.Invoke.outcome with
-           | Invoke.Finished _ -> incr finished
-           | Invoke.Stopped _ -> incr stopped
-           | Invoke.Crashed _ ->
-             incr crashed;
-             if stop_on_crash then raise Exit)
-         reports
+         (fun (a : Attach.attachment) ->
+           let ext =
+             Supervisor.ext e.sup ~attach_id:a.Attach.attach_id
+               ~name:(Attach.name a)
+           in
+           let decision =
+             if supervised then
+               Supervisor.decide e.sup ext
+                 ~now_ns:(Vclock.now kernel.Kernel.clock)
+             else Supervisor.Execute
+           in
+           match decision with
+           | Supervisor.Skip ->
+             Supervisor.observe_skip ext;
+             incr skipped;
+             Telemetry.Registry.bump tele_skipped
+           | Supervisor.Execute | Supervisor.Probe ->
+             Telemetry.Registry.bump tele_invocations;
+             let r = Invoke.run ~opts ~ictx:e.ictx e.world a.Attach.loaded in
+             incr invocations;
+             ext.Supervisor.invocations <- ext.Supervisor.invocations + 1;
+             checksum := checksum_add !checksum r.Invoke.outcome;
+             ext.Supervisor.ret_checksum <-
+               checksum_add ext.Supervisor.ret_checksum r.Invoke.outcome;
+             (match r.Invoke.outcome with
+             | Invoke.Finished _ ->
+               incr finished;
+               ext.Supervisor.finished <- ext.Supervisor.finished + 1;
+               if supervised then
+                 Supervisor.observe_ok e.sup ext
+                   ~now_ns:(Vclock.now kernel.Kernel.clock)
+             | Invoke.Stopped _ ->
+               (* a language panic is a clean self-stop, not a fault *)
+               Telemetry.Registry.bump tele_stops;
+               incr stopped;
+               ext.Supervisor.stopped <- ext.Supervisor.stopped + 1;
+               if supervised then
+                 Supervisor.observe_ok e.sup ext
+                   ~now_ns:(Vclock.now kernel.Kernel.clock)
+             | Invoke.Crashed _ -> (
+               Telemetry.Registry.bump tele_crashes;
+               incr crashed;
+               ext.Supervisor.crashed <- ext.Supervisor.crashed + 1;
+               match e.policy with
+               | Fail_fast -> raise Exit
+               | Isolate | Supervise _ ->
+                 ignore (Kernel.revive kernel);
+                 contained_fault ext)
+             | Invoke.Exhausted _ ->
+               Telemetry.Registry.bump tele_exhausted;
+               incr exhausted;
+               ext.Supervisor.exhausted <- ext.Supervisor.exhausted + 1;
+               (match e.policy with
+               | Fail_fast -> ()  (* guards cleaned up; keep serving *)
+               | Isolate | Supervise _ -> contained_fault ext)))
+         (Attach.attached e.attach ~hook);
+       Telemetry.Registry.observe tele_event_ns
+         (Int64.sub (host_ns ()) ev_started)
      done
    with Exit -> ());
   let elapsed = Int64.sub (host_ns ()) started in
@@ -144,7 +263,13 @@ let run_stream ?(stop_on_crash = false) e ~hook ~gen ~count () =
     finished = !finished;
     stopped = !stopped;
     crashed = !crashed;
+    exhausted = !exhausted;
+    skipped = !skipped;
+    faults_absorbed = !faults_absorbed;
+    quarantined = !quarantined;
+    injected = !injected;
     ret_checksum = !checksum;
     host_ns = elapsed;
     events_per_sec = rate;
+    per_ext = Supervisor.healths e.sup;
   }

@@ -1,45 +1,78 @@
 (** Event-driven dispatch: drive simulated packet/event streams through all
     extensions attached to a hook, in attach order, over a pooled
-    invocation context.
+    invocation context — under an explicit fault-handling {!policy}.
 
     Fully deterministic for a fixed seed: two engines built the same way
-    produce identical {!stream_stats} (checksum included). *)
+    produce identical {!stream_result}s (checksums included), and chaos
+    injection is a pure function of [(seed, event index)]. *)
+
+type policy =
+  | Fail_fast
+      (** the first kernel crash aborts the stream and the kernel stays
+          dead (the historical [stop_on_crash:true] behaviour) *)
+  | Isolate
+      (** contain each crash to the invocation that caused it: revive the
+          kernel, charge the fault to the offending extension, keep
+          serving (the default) *)
+  | Supervise of Supervisor.config
+      (** isolate + per-extension circuit breakers + quarantine *)
 
 type engine = {
   world : World.t;
   attach : Attach.t;
   ictx : Invoke.t;
   opts : Invoke.run_opts;
+  policy : policy;
+  sup : Supervisor.t;
 }
 
-val create : ?opts:Invoke.run_opts -> World.t -> engine
+val create : ?opts:Invoke.run_opts -> ?policy:policy -> World.t -> engine
 (** [opts] applies to every invocation (its [skb_payload] is overridden per
-    event). *)
+    event).  [policy] defaults to {!Isolate}. *)
 
-type stream_stats = {
+type stream_result = {
   events : int;
   invocations : int;
   finished : int;
   stopped : int;
   crashed : int;
-  ret_checksum : int64;  (** order-sensitive fold of outcomes *)
+  exhausted : int;
+  skipped : int;      (** invocations suppressed by an open breaker *)
+  faults_absorbed : int;
+      (** crashes + exhaustions contained (always 0 under [Fail_fast]) *)
+  quarantined : int;  (** extensions detached during this stream *)
+  injected : int;     (** chaos injections that landed on an event *)
+  ret_checksum : int64;  (** order-sensitive fold of all outcomes *)
   host_ns : int64;       (** wall time for the whole stream *)
   events_per_sec : float;
+  per_ext : Supervisor.health list;
+      (** per-extension health, attach order, quarantined included *)
 }
 
-val pp_stream_stats : Format.formatter -> stream_stats -> unit
+val all_healthy : stream_result -> bool
+(** No faults, no skips, no quarantines: every invocation finished. *)
+
+val pp_stream_result : Format.formatter -> stream_result -> unit
+
+val pp_per_ext : Format.formatter -> stream_result -> unit
+(** One {!Supervisor.pp_health} line per extension. *)
 
 val synthetic_packets : ?seed:int64 -> size:int -> unit -> int -> Bytes.t
 (** Deterministic packet generator: [synthetic_packets ~size () i] is the
     [i]th packet (byte 0 carries [i land 0xff]). *)
 
 val dispatch_event : engine -> hook:string -> Bytes.t -> Invoke.run_report list
-(** One event through every extension on [hook], in attach order. *)
+(** One event through every extension on [hook], in attach order, with no
+    supervision — the raw fan-out. *)
 
 val run_stream :
-  ?stop_on_crash:bool ->
+  ?chaos:Chaos.config ->
   engine -> hook:string -> gen:(int -> Bytes.t) -> count:int -> unit ->
-  stream_stats
-(** Drive [count] events from [gen] through [hook].  Updates the
-    [dispatch.*] telemetry counters and exports the stream's throughput as
-    the [dispatch.events_per_sec] counter. *)
+  stream_result
+(** Drive [count] events from [gen] through [hook] under the engine's
+    policy.  With [chaos], each event may get a fault injected on the
+    deterministic schedule.  Updates the [dispatch.*] telemetry counters
+    and exports the stream's throughput as [dispatch.events_per_sec].
+
+    Engine supervision state (breakers, per-extension tallies) accumulates
+    across successive [run_stream] calls on the same engine. *)

@@ -25,14 +25,15 @@ type run_opts = {
   skb_payload : Bytes.t option;  (* packet to attach (socket_filter/xdp) *)
   fuel : int64 option;           (* instruction budget guard *)
   wall_ns : int64 option;        (* wall-clock guard (interpreter only) *)
+  max_depth : int option;        (* call-depth cap (interpreter only) *)
   ns_per_insn : int64;           (* simulated cost per instruction *)
   use_jit : bool;
   jit_branch_bug : bool;         (* inject the JIT branch-offset bug *)
 }
 
 let default_opts =
-  { skb_payload = None; fuel = None; wall_ns = None; ns_per_insn = 1L;
-    use_jit = false; jit_branch_bug = false }
+  { skb_payload = None; fuel = None; wall_ns = None; max_depth = None;
+    ns_per_insn = 1L; use_jit = false; jit_branch_bug = false }
 
 (* ---- reusable invocation context ---- *)
 
@@ -84,15 +85,39 @@ let tele_run_ns = Telemetry.Registry.histogram "loader.run.ns"
 
 (* ---- running ---- *)
 
+(* The closed outcome algebra of an invocation.  A guard trip carries *which
+   budget* ran out as data, not as a string buried in the termination
+   record: supervisors and dispatch policies branch on it. *)
+
+type resource = Fuel | Wall_clock | Stack
+
+let resource_to_string = function
+  | Fuel -> "fuel"
+  | Wall_clock -> "wall-clock"
+  | Stack -> "stack"
+
 type outcome =
-  | Finished of int64                  (* clean return value *)
-  | Crashed of Oops.report             (* the kernel is dead *)
-  | Stopped of Guard.termination       (* runtime guard fired; cleaned up *)
+  | Finished of int64                       (* clean return value *)
+  | Stopped of Guard.termination            (* clean self-stop (language panic) *)
+  | Crashed of Oops.report                  (* the kernel is dead *)
+  | Exhausted of resource * Guard.termination
+      (* a runtime budget ran out; destructors ran, kernel intact *)
+
+(* Guard terminations carry a [reason]; lift it into the outcome algebra. *)
+let outcome_of_termination (t : Guard.termination) =
+  match t.Guard.reason with
+  | Guard.Fuel_exhausted -> Exhausted (Fuel, t)
+  | Guard.Watchdog_timeout -> Exhausted (Wall_clock, t)
+  | Guard.Stack_violation -> Exhausted (Stack, t)
+  | Guard.Language_panic _ -> Stopped t
 
 let pp_outcome ppf = function
   | Finished v -> Format.fprintf ppf "finished ret=%Ld" v
   | Crashed r -> Format.fprintf ppf "CRASHED: %a" Oops.pp_report r
   | Stopped t -> Format.fprintf ppf "%a" Guard.pp_termination t
+  | Exhausted (res, t) ->
+    Format.fprintf ppf "%s exhausted: %a" (resource_to_string res)
+      Guard.pp_termination t
 
 type run_report = {
   outcome : outcome;
@@ -140,7 +165,9 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
   hctx.Hctx.skb <- skb;
   Kernel.snapshot_refs w.World.kernel;
   Telemetry.Registry.bump tele_runs;
-  let { fuel; wall_ns; ns_per_insn; use_jit; jit_branch_bug; _ } = opts in
+  let { fuel; wall_ns; max_depth; ns_per_insn; use_jit; jit_branch_bug; _ } =
+    opts
+  in
   let outcome =
     Telemetry.Registry.with_span "loader.run" ~hist:tele_run_ns
       ~clock:(fun () -> Kernel_sim.Vclock.now w.World.kernel.Kernel.clock)
@@ -159,7 +186,7 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
       let convert = function
         | Runtime.Interp.Ret v -> Finished v
         | Runtime.Interp.Oopsed r -> Crashed r
-        | Runtime.Interp.Terminated t -> Stopped t
+        | Runtime.Interp.Terminated t -> outcome_of_termination t
       in
       (* fire armed timers once the invocation completes (the simulated
          softirq): advance the clock to each deadline and run the callback
@@ -191,8 +218,8 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
             in
             Runtime.Jit.run ?fuel ~ns_per_insn hctx compiled ~ctx_addr:ctx.Kmem.base
           else
-            Runtime.Interp.run ?fuel ?wall_ns ~ns_per_insn ~hctx ~prog
-              ~ctx_addr:ctx.Kmem.base ()
+            Runtime.Interp.run ?fuel ?wall_ns ?max_depth ~ns_per_insn ~hctx
+              ~prog ~ctx_addr:ctx.Kmem.base ()
         with
         | r ->
           (* softirq: deliver any timers the program armed *)
@@ -223,7 +250,7 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
       | Rustlite.Eval.Ret v ->
         Finished (match v with Rustlite.Value.V_int x -> x | _ -> 0L)
       | Rustlite.Eval.Oopsed r -> Crashed r
-      | Rustlite.Eval.Terminated t -> Stopped t))
+      | Rustlite.Eval.Terminated t -> outcome_of_termination t))
   in
   {
     outcome;

@@ -10,6 +10,7 @@ type run_opts = {
   skb_payload : Bytes.t option;  (** packet to attach (socket_filter/xdp) *)
   fuel : int64 option;           (** instruction budget guard *)
   wall_ns : int64 option;        (** wall-clock guard (interpreter only) *)
+  max_depth : int option;        (** call-depth cap (interpreter only) *)
   ns_per_insn : int64;           (** simulated cost per instruction *)
   use_jit : bool;
   jit_branch_bug : bool;         (** inject the JIT branch-offset bug *)
@@ -23,10 +24,23 @@ type t
 
 val create : World.t -> t
 
+type resource = Fuel | Wall_clock | Stack
+(** Which runtime budget an invocation ran out of. *)
+
+val resource_to_string : resource -> string
+
 type outcome =
   | Finished of int64                    (** clean return value *)
+  | Stopped of Runtime.Guard.termination
+      (** clean self-stop: a language panic handled by safe termination *)
   | Crashed of Kernel_sim.Oops.report    (** the kernel is dead *)
-  | Stopped of Runtime.Guard.termination (** a runtime guard fired *)
+  | Exhausted of resource * Runtime.Guard.termination
+      (** a runtime budget (fuel / wall-clock / stack) ran out; the
+          recorded destructors ran and the kernel is intact *)
+
+val outcome_of_termination : Runtime.Guard.termination -> outcome
+(** Lift a guard termination into the outcome algebra: fuel, watchdog and
+    stack trips become {!Exhausted}; a language panic becomes {!Stopped}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

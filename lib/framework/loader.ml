@@ -49,10 +49,14 @@ let load_rustlite w ext = Result.map_error of_pipeline_error (Pipeline.load_rust
 
 (* ---- running ---- *)
 
+type resource = Invoke.resource = Fuel | Wall_clock | Stack
+
 type outcome = Invoke.outcome =
   | Finished of int64                  (* clean return value *)
+  | Stopped of Runtime.Guard.termination (* clean self-stop (language panic) *)
   | Crashed of Kernel_sim.Oops.report  (* the kernel is dead *)
-  | Stopped of Runtime.Guard.termination (* runtime guard fired; cleaned up *)
+  | Exhausted of resource * Runtime.Guard.termination
+      (* a runtime budget ran out; destructors ran, kernel intact *)
 
 let pp_outcome = Invoke.pp_outcome
 
@@ -68,7 +72,7 @@ let max_tail_calls = Invoke.max_tail_calls
 let run ?skb_payload ?fuel ?wall_ns ?(ns_per_insn = 1L) ?use_jit
     ?(jit_branch_bug = false) (w : World.t) (loaded : loaded) : run_report =
   let opts =
-    { Invoke.skb_payload; fuel; wall_ns; ns_per_insn;
+    { Invoke.default_opts with Invoke.skb_payload; fuel; wall_ns; ns_per_insn;
       use_jit = Option.value ~default:false use_jit; jit_branch_bug }
   in
   Invoke.run ~opts w loaded

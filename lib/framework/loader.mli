@@ -42,10 +42,15 @@ val load_rustlite :
   World.t -> Rustlite.Toolchain.signed_extension -> (loaded, load_error) result
 (** Path B: signature validation + map registration, no analysis. *)
 
+type resource = Invoke.resource = Fuel | Wall_clock | Stack
+
 type outcome = Invoke.outcome =
   | Finished of int64                  (** clean return value *)
+  | Stopped of Runtime.Guard.termination
+      (** clean self-stop: a language panic handled by safe termination *)
   | Crashed of Kernel_sim.Oops.report  (** the kernel is dead *)
-  | Stopped of Runtime.Guard.termination (** a runtime guard fired; cleaned up *)
+  | Exhausted of resource * Runtime.Guard.termination
+      (** a runtime budget ran out; destructors ran, kernel intact *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -67,8 +72,10 @@ val run :
   ?use_jit:bool ->
   ?jit_branch_bug:bool ->
   World.t -> loaded -> run_report
-(** One invocation ({!Invoke.run} in one-shot mode): builds the attach
-    context (optionally around a packet payload), snapshots refcounts for
-    leak attribution, executes under the requested guards, chases tail
-    calls (up to {!max_tail_calls}), fires armed timers (the simulated
-    softirq), and reports the outcome together with the kernel's health. *)
+  [@@ocaml.deprecated
+    "Build an Invoke.run_opts record ({ Invoke.default_opts with ... }) and \
+     call Invoke.run ~opts instead."]
+(** @deprecated The optional-argument pile stopped scaling once invocation
+    gained more knobs (pooled contexts, call-depth caps).  Build an
+    {!Invoke.run_opts} record — [{ Invoke.default_opts with fuel = ... }] —
+    and call {!Invoke.run}[ ~opts], which is what this facade does. *)

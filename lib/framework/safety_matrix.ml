@@ -26,7 +26,8 @@ let run_rustlite ?fuel ?wall_ns world src =
     match Loader.load_rustlite world ext with
     | Error _ -> `Toolchain_rejected "bad signature"
     | Ok loaded ->
-      let report = Loader.run ?fuel ?wall_ns world loaded in
+      let opts = { Invoke.default_opts with Invoke.fuel; wall_ns } in
+      let report = Invoke.run ~opts world loaded in
       `Ran report)
 
 let healthy world = Kernel.healthy (Kernel.health world.World.kernel)
@@ -200,7 +201,7 @@ let witness_stack () =
     match Loader.load_ebpf world prog with
     | Error e -> Format.asprintf "%a" Loader.pp_load_error e
     | Ok loaded ->
-      let r = Loader.run world loaded in
+      let r = Invoke.run world loaded in
       Format.asprintf "%a" Loader.pp_outcome r.Loader.outcome
   in
   { property = "Stack protection";

@@ -1,0 +1,231 @@
+(* Per-extension health supervision for the serving path.
+
+   The paper's §3 position is that what the verifier cannot promise
+   statically must be enforced at runtime; this module is the piece that
+   makes that enforcement *per extension* instead of per stream.  Each
+   attached extension gets a circuit breaker:
+
+     Closed --(fault_threshold faults within a window of [window]
+               observations)--> Open
+     Open --(cooldown elapsed on the virtual clock)--> Half_open
+     Half_open --(probe finishes)--> Closed
+     Half_open --(probe faults)--> Open again, cooldown doubled
+     (quarantine_after trips) --> Quarantined (detached by dispatch)
+
+   Cooldowns are measured in Vclock ns so the whole machine is
+   deterministic, and the state machine is driven through [decide] /
+   [observe_*] so the tests can exercise every transition without a
+   dispatch engine in the loop.
+
+   A "fault" is a contained kernel crash or a budget exhaustion
+   (fuel / wall-clock / stack).  A language panic is a clean self-stop —
+   the extension asked to stop, the guard cleaned up — so it does not
+   count against the breaker. *)
+
+type config = {
+  window : int;            (* sliding window length, in observations *)
+  fault_threshold : int;   (* faults within [window] that open the breaker *)
+  cooldown_ns : int64;     (* base open -> half-open cooldown (Vclock ns) *)
+  backoff : float;         (* cooldown multiplier per re-trip *)
+  max_cooldown_ns : int64; (* backoff cap *)
+  quarantine_after : int;  (* breaker trips before quarantine *)
+}
+
+let default_config =
+  {
+    window = 16;
+    fault_threshold = 3;
+    cooldown_ns = 1_000_000L (* 1 simulated ms *);
+    backoff = 2.0;
+    max_cooldown_ns = 1_000_000_000L;
+    quarantine_after = 3;
+  }
+
+type state = Closed | Open of { until_ns : int64 } | Half_open | Quarantined
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open { until_ns } -> Printf.sprintf "open(until=%Ldns)" until_ns
+  | Half_open -> "half-open"
+  | Quarantined -> "quarantined"
+
+type ext = {
+  attach_id : int;
+  name : string;
+  mutable state : state;
+  mutable trips : int;           (* times the breaker opened, cumulative *)
+  mutable seq : int;             (* observations (executions + skips) *)
+  mutable fault_seqs : int list; (* seqs of recent faults, newest first *)
+  (* per-extension serving tallies, filled in by dispatch *)
+  mutable invocations : int;
+  mutable finished : int;
+  mutable stopped : int;
+  mutable crashed : int;
+  mutable exhausted : int;
+  mutable skipped : int;
+  mutable ret_checksum : int64;
+  mutable quarantined_at_ns : int64 option;
+}
+
+type t = {
+  config : config;
+  exts : (int, ext) Hashtbl.t; (* attach_id -> ext *)
+}
+
+let create ?(config = default_config) () =
+  { config; exts = Hashtbl.create 8 }
+
+let ext t ~attach_id ~name =
+  match Hashtbl.find_opt t.exts attach_id with
+  | Some e -> e
+  | None ->
+    let e =
+      { attach_id; name; state = Closed; trips = 0; seq = 0; fault_seqs = [];
+        invocations = 0; finished = 0; stopped = 0; crashed = 0; exhausted = 0;
+        skipped = 0; ret_checksum = 0L; quarantined_at_ns = None }
+    in
+    Hashtbl.add t.exts attach_id e;
+    e
+
+let exts t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.exts []
+  |> List.sort (fun a b -> compare a.attach_id b.attach_id)
+
+(* ---- telemetry ---- *)
+
+let tele_faults = Telemetry.Registry.counter "supervisor.faults_absorbed"
+let tele_trips = Telemetry.Registry.counter "supervisor.breaker_trips"
+let tele_quarantined = Telemetry.Registry.counter "supervisor.quarantined"
+let tele_probes = Telemetry.Registry.counter "supervisor.probes"
+
+(* ---- the state machine ---- *)
+
+type decision =
+  | Execute                  (* breaker closed: run normally *)
+  | Probe                    (* half-open: run once to test recovery *)
+  | Skip                     (* open or quarantined: do not run *)
+
+let decide _t e ~now_ns =
+  match e.state with
+  | Closed -> Execute
+  | Quarantined -> Skip
+  | Half_open -> Probe
+  | Open { until_ns } ->
+    if Int64.compare now_ns until_ns >= 0 then begin
+      e.state <- Half_open;
+      Telemetry.Registry.bump tele_probes;
+      Probe
+    end
+    else Skip
+
+(* Cooldown for the [n]th trip (1-based): cooldown * backoff^(n-1), capped. *)
+let cooldown_for config ~trip =
+  let scaled =
+    Int64.to_float config.cooldown_ns
+    *. (config.backoff ** float_of_int (max 0 (trip - 1)))
+  in
+  let capped = min scaled (Int64.to_float config.max_cooldown_ns) in
+  Int64.of_float capped
+
+type transition =
+  | No_change
+  | Tripped of { until_ns : int64; trip : int }
+  | Quarantine
+
+let prune_window config e =
+  e.fault_seqs <- List.filter (fun s -> s > e.seq - config.window) e.fault_seqs
+
+let trip t e ~now_ns =
+  e.trips <- e.trips + 1;
+  e.fault_seqs <- [];
+  Telemetry.Registry.bump tele_trips;
+  if e.trips >= t.config.quarantine_after then begin
+    e.state <- Quarantined;
+    e.quarantined_at_ns <- Some now_ns;
+    Telemetry.Registry.bump tele_quarantined;
+    Telemetry.Registry.point ("supervisor.quarantined." ^ e.name)
+      ~value:(Int64.of_int e.attach_id);
+    Quarantine
+  end
+  else begin
+    let until_ns = Int64.add now_ns (cooldown_for t.config ~trip:e.trips) in
+    e.state <- Open { until_ns };
+    Telemetry.Registry.point ("supervisor.breaker_open." ^ e.name)
+      ~value:until_ns;
+    Tripped { until_ns; trip = e.trips }
+  end
+
+(* A fault was observed (and contained) for [e].  Returns the breaker
+   transition so the caller can detach on [Quarantine]. *)
+let observe_fault t e ~now_ns =
+  e.seq <- e.seq + 1;
+  Telemetry.Registry.bump tele_faults;
+  match e.state with
+  | Quarantined -> No_change
+  | Half_open ->
+    (* the recovery probe failed: re-trip immediately, backoff doubled *)
+    trip t e ~now_ns
+  | Open _ ->
+    (* not normally reachable (open extensions are skipped) *)
+    No_change
+  | Closed ->
+    e.fault_seqs <- e.seq :: e.fault_seqs;
+    prune_window t.config e;
+    if List.length e.fault_seqs >= t.config.fault_threshold then
+      trip t e ~now_ns
+    else No_change
+
+(* A clean execution: a successful half-open probe closes the breaker. *)
+let observe_ok _t e ~now_ns:_ =
+  e.seq <- e.seq + 1;
+  match e.state with
+  | Half_open ->
+    e.state <- Closed;
+    e.fault_seqs <- []
+  | Closed | Open _ | Quarantined -> ()
+
+let observe_skip e =
+  e.seq <- e.seq + 1;
+  e.skipped <- e.skipped + 1
+
+(* ---- reporting ---- *)
+
+type health = {
+  attach_id : int;
+  name : string;
+  state : state;
+  trips : int;
+  invocations : int;
+  finished : int;
+  stopped : int;
+  crashed : int;
+  exhausted : int;
+  skipped : int;
+  ret_checksum : int64;
+  quarantined : bool;
+}
+
+let health_of_ext (e : ext) =
+  {
+    attach_id = e.attach_id;
+    name = e.name;
+    state = e.state;
+    trips = e.trips;
+    invocations = e.invocations;
+    finished = e.finished;
+    stopped = e.stopped;
+    crashed = e.crashed;
+    exhausted = e.exhausted;
+    skipped = e.skipped;
+    ret_checksum = e.ret_checksum;
+    quarantined = (e.state = Quarantined);
+  }
+
+let healths t = List.map health_of_ext (exts t)
+
+let pp_health ppf h =
+  Format.fprintf ppf
+    "#%d %-16s %-10s inv=%d ok=%d stop=%d crash=%d exhaust=%d skip=%d \
+     trips=%d checksum=%016Lx"
+    h.attach_id h.name (state_to_string h.state) h.invocations h.finished
+    h.stopped h.crashed h.exhausted h.skipped h.trips h.ret_checksum

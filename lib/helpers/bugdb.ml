@@ -57,6 +57,14 @@ let create ?(version = Kver.V5_18) () = { version; forced_on = []; forced_off = 
 let force_on t key = t.forced_on <- key :: t.forced_on
 let force_off t key = t.forced_off <- key :: t.forced_off
 
+(* Drop every override for [key], restoring the version-window default.
+   [force_off] cannot undo a [force_on] (off wins and both lists only ever
+   grow), so transient injection — the chaos harness arming a bug for one
+   event — needs a true removal. *)
+let clear_forced t key =
+  t.forced_on <- List.filter (fun k -> not (String.equal k key)) t.forced_on;
+  t.forced_off <- List.filter (fun k -> not (String.equal k key)) t.forced_off
+
 let find key = List.find_opt (fun b -> String.equal b.key key) bugs
 
 let active t key =

@@ -38,6 +38,7 @@ let default_pool_chunks = 64
 let default_pool_chunk_size = 256
 
 let tele_oops = Telemetry.Registry.counter "ksim.oops"
+let tele_revives = Telemetry.Registry.counter "ksim.revives"
 
 let create ?(pool_chunks = default_pool_chunks) () =
   let clock = Vclock.create () in
@@ -69,6 +70,27 @@ let record_oops t report =
     Telemetry.Registry.bump tele_oops;
     Telemetry.Registry.point "ksim.oops" ~value:(Option.value report.Oops.addr ~default:0L)
   end
+
+(* Supervised recovery: clear the oops latch and force the kernel back to a
+   runnable state after a *contained* extension crash.  The crashed
+   invocation may have died inside an RCU read-side section or while holding
+   a spinlock; a real supervisor has to tear those down before the next
+   extension runs, so we drain the RCU nesting and force-release held locks
+   here.  Leak accounting (refcounts, pool chunks, stall history) is
+   deliberately untouched: those remain attributable damage. *)
+let revive t =
+  match t.oops with
+  | None -> false
+  | Some _ ->
+    t.oops <- None;
+    while Rcu.in_critical_section t.rcu do
+      Rcu.read_unlock t.rcu ~context:"revive"
+    done;
+    List.iter
+      (fun (l : Spinlock.t) -> if Spinlock.is_held l then l.Spinlock.holder <- None)
+      t.locks;
+    Telemetry.Registry.bump tele_revives;
+    true
 
 (* Run [f] against the kernel, converting an escaped oops exception into the
    recorded-dead state.  Returns the oops if one occurred. *)

@@ -1,0 +1,77 @@
+(** The simulated kernel world: clock, memory, RCU state, refcount registry,
+    locks, a memory pool, a task/socket population, and the oops latch.
+
+    Every experiment runs extensions against an instance of this world and
+    then inspects its {!health}: did it oops, which RCU stalls fired, which
+    references or locks leaked?  A fresh world per experiment keeps runs
+    independent and deterministic. *)
+
+type health = {
+  oopsed : Oops.report option;
+  rcu_stalls : int;
+  leaked_refs : Refcount.t list;
+  held_locks : Spinlock.t list;
+  leaked_pool_chunks : int;
+}
+
+type t = {
+  clock : Vclock.t;
+  mem : Kmem.t;
+  rcu : Rcu.t;
+  refs : Refcount.registry;
+  pool : Mempool.t;
+  mutable locks : Spinlock.t list;
+  mutable next_lock_id : int;
+  mutable tasks : Kobject.task list;
+  mutable current : Kobject.task;
+  mutable socks : Kobject.sock list;
+  mutable next_sock_id : int;
+  mutable oops : Oops.report option;
+  mutable cpu : int;  (** the simulated current CPU (per-CPU maps, smp id) *)
+  stats : (string, int) Hashtbl.t;
+  mutable ref_baseline : (int * int) list;
+      (** refcount baselines from the last {!snapshot_refs} *)
+}
+
+val default_pool_chunks : int
+val default_pool_chunk_size : int
+
+val create : ?pool_chunks:int -> unit -> t
+(** A fresh world; also points the telemetry registry's clock at it. *)
+
+val bump : ?n:int -> t -> string -> unit
+(** Increment a free-form named kernel statistic. *)
+
+val stat : t -> string -> int
+
+val is_dead : t -> bool
+(** True once an oops has been latched. *)
+
+val record_oops : t -> Oops.report -> unit
+(** Latch the first oops (later ones are ignored) and count it. *)
+
+val revive : t -> bool
+(** Supervised recovery after a {e contained} extension crash: clear the
+    oops latch, drain any RCU read-side nesting the dead invocation left
+    open, and force-release held spinlocks so the next extension can run.
+    Leak accounting (refcounts, pool chunks, RCU stall history) is
+    untouched — that damage stays attributable.  Returns [false] if the
+    kernel was not dead. *)
+
+val protect : t -> (unit -> 'a) -> ('a, Oops.report) result
+(** Run [f], converting an escaped {!Oops.Kernel_oops} into the
+    recorded-dead state. *)
+
+val add_task : t -> pid:int -> tgid:int -> comm:string -> Kobject.task
+val set_current : t -> Kobject.task -> unit
+val add_sock : t -> port:int -> state:Kobject.sock_state -> Kobject.sock
+val find_sock : t -> port:int -> Kobject.sock option
+val new_lock : t -> name:string -> Spinlock.t
+
+val snapshot_refs : t -> unit
+(** Baseline refcounts so {!health} attributes only what an extension leaked
+    on top of the kernel's own references. *)
+
+val health : t -> health
+val healthy : health -> bool
+val pp_health : Format.formatter -> health -> unit

@@ -47,6 +47,24 @@ let kind_to_string = function
   | Control_flow_hijack -> "control-flow hijack"
   | Bug s -> "BUG: " ^ s
 
+(* Short stable identifiers for telemetry labels. *)
+let kind_slug = function
+  | Null_deref -> "null-deref"
+  | Invalid_access -> "invalid-access"
+  | Use_after_free -> "uaf"
+  | Out_of_bounds -> "oob"
+  | Permission -> "permission"
+  | Protection_key -> "pkey"
+  | Refcount_underflow -> "ref-underflow"
+  | Refcount_saturated -> "ref-saturated"
+  | Double_free -> "double-free"
+  | Deadlock -> "deadlock"
+  | Stack_overflow -> "stack-overflow"
+  | Unwind_failure -> "unwind"
+  | Division_trap -> "div-trap"
+  | Control_flow_hijack -> "cfh"
+  | Bug _ -> "bug"
+
 let pp_report ppf r =
   Format.fprintf ppf "kernel oops: %s%a (in %s, at t=%a)"
     (kind_to_string r.kind)

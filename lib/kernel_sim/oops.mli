@@ -1,0 +1,42 @@
+(** The kernel "oops" machine: every safety violation the paper talks about
+    (NULL dereference, use-after-free, out-of-bounds, refcount underflow,
+    deadlock, ...) surfaces as a structured oops report — the simulated
+    analogue of a real kernel crash. *)
+
+type kind =
+  | Null_deref
+  | Invalid_access      (** wild pointer: no backing region *)
+  | Use_after_free
+  | Out_of_bounds
+  | Permission          (** write to read-only memory *)
+  | Refcount_underflow
+  | Refcount_saturated
+  | Double_free
+  | Deadlock
+  | Stack_overflow
+  | Unwind_failure
+  | Protection_key      (** MPK-style domain violation (§4 hardware protection) *)
+  | Division_trap       (** only when the JIT guard is buggy *)
+  | Control_flow_hijack (** JIT miscompilation landed in the weeds *)
+  | Bug of string
+
+type report = {
+  kind : kind;
+  addr : int64 option;
+  context : string;  (** which subsystem / helper / insn faulted *)
+  time_ns : int64;
+}
+
+exception Kernel_oops of report
+
+val kind_to_string : kind -> string
+(** The dmesg-style headline for [kind]. *)
+
+val kind_slug : kind -> string
+(** Short stable identifier for telemetry labels ("null-deref", "oob", ...). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val raise_oops :
+  ?addr:int64 -> kind:kind -> context:string -> time_ns:int64 -> unit -> 'a
+(** Raise {!Kernel_oops} with the assembled report. *)

@@ -30,6 +30,7 @@ type t = {
   mutable fuel : int64;            (* remaining instructions; negative = unlimited *)
   wall_deadline : int64;           (* absolute sim time; -1 = none *)
   ns_per_insn : int64;
+  max_depth : int;                 (* deepest allowed call depth *)
   rcu_check_interval : int;
   mutable insns_retired : int64;
   tele_on : bool;                  (* telemetry state, sampled once per run *)
@@ -40,13 +41,13 @@ let max_call_depth = 8
 let stack_size = 512
 
 let create ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_insn = 1L)
-    ?(rcu_check_interval = 4096) (hctx : Hctx.t) =
+    ?(max_depth = max_call_depth) ?(rcu_check_interval = 4096) (hctx : Hctx.t) =
   let wall_deadline =
     if Int64.compare wall_ns 0L < 0 then -1L
     else Int64.add (Vclock.now hctx.kernel.clock) wall_ns
   in
-  { hctx; fuel; wall_deadline; ns_per_insn; rcu_check_interval; insns_retired = 0L;
-    tele_on = Telemetry.Registry.enabled (); pc_tally = [||] }
+  { hctx; fuel; wall_deadline; ns_per_insn; max_depth; rcu_check_interval;
+    insns_retired = 0L; tele_on = Telemetry.Registry.enabled (); pc_tally = [||] }
 
 let frame t depth = Hctx.stack_frame t.hctx depth
 
@@ -143,7 +144,7 @@ let u64 v = v
 (* Execute [insns] starting at [entry] with the given initial r1..r5;
    returns r0 when that activation exits. *)
 let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 array) =
-  if depth > max_call_depth then raise (Guard.Terminate Guard.Stack_violation);
+  if depth > t.max_depth then raise (Guard.Terminate Guard.Stack_violation);
   let regs = Array.make 11 0L in
   Array.blit args 0 regs 1 (min 5 (Array.length args));
   let stack = frame t depth in
@@ -367,9 +368,9 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
   !retval
 
 (* Run a program whose context struct lives at [ctx_addr]. *)
-let run_counted ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~(hctx : Hctx.t)
-    ~(prog : Program.t) ~ctx_addr () : outcome * int64 =
-  let t = create ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval hctx in
+let run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
+    ~(hctx : Hctx.t) ~(prog : Program.t) ~ctx_addr () : outcome * int64 =
+  let t = create ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval hctx in
   (* charge clock via the helpers' charge hook too *)
   hctx.charge <- (fun ns -> Vclock.advance hctx.kernel.clock ns);
   Telemetry.Registry.bump tele_runs;
@@ -394,5 +395,8 @@ let run_counted ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~(hctx : Hctx.t)
   flush_tallies t prog.Program.insns;
   (outcome, t.insns_retired)
 
-let run ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~hctx ~prog ~ctx_addr () =
-  fst (run_counted ?fuel ?wall_ns ?ns_per_insn ?rcu_check_interval ~hctx ~prog ~ctx_addr ())
+let run ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ~hctx ~prog
+    ~ctx_addr () =
+  fst
+    (run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ~hctx
+       ~prog ~ctx_addr ())

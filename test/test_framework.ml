@@ -5,6 +5,7 @@
 open Untenable
 module World = Framework.World
 module Loader = Framework.Loader
+module Invoke = Framework.Invoke
 module Exploits = Framework.Exploits
 module Report = Framework.Report
 module Kernel = Kernel_sim.Kernel
@@ -33,7 +34,7 @@ let test_load_and_run_ebpf () =
   match Loader.load_ebpf world trivial_prog with
   | Error e -> Alcotest.failf "load: %s" (Format.asprintf "%a" Loader.pp_load_error e)
   | Ok loaded -> (
-    match (Loader.run world loaded).Loader.outcome with
+    match (Invoke.run world loaded).Loader.outcome with
     | Loader.Finished 7L -> ()
     | o -> Alcotest.failf "expected 7, got %s" (Format.asprintf "%a" Loader.pp_outcome o))
 
@@ -57,7 +58,13 @@ let test_skb_ctx_wiring () =
   | Error _ -> Alcotest.fail "rejected"
   | Ok loaded -> (
     match
-      (Loader.run ~skb_payload:(Bytes.make 99 'p') world loaded).Loader.outcome
+      (Invoke.run
+         ~opts:
+           { Invoke.default_opts with
+             Invoke.skb_payload = Some (Bytes.make 99 'p')
+           }
+         world loaded)
+        .Loader.outcome
     with
     | Loader.Finished 99L -> ()
     | o -> Alcotest.failf "expected len 99, got %s" (Format.asprintf "%a" Loader.pp_outcome o))
@@ -81,7 +88,7 @@ let test_tail_call_chain () =
   | Ok a_loaded ->
     (* wire the prog array in the shared hctx at run time is loader-internal;
        instead run and expect the fallthrough (-ENOENT path) *)
-    (match (Loader.run world a_loaded).Loader.outcome with
+    (match (Invoke.run world a_loaded).Loader.outcome with
     | Loader.Finished 1L -> () (* empty prog array: tail call fails, returns 1 *)
     | o -> Alcotest.failf "expected 1, got %s" (Format.asprintf "%a" Loader.pp_outcome o));
     ignore b_id
@@ -95,7 +102,7 @@ let test_rustlite_load_path () =
   match Loader.load_rustlite world ext with
   | Error _ -> Alcotest.fail "valid extension rejected"
   | Ok loaded -> (
-    match (Loader.run world loaded).Loader.outcome with
+    match (Invoke.run world loaded).Loader.outcome with
     | Loader.Finished 3L -> ()
     | o -> Alcotest.failf "expected 3, got %s" (Format.asprintf "%a" Loader.pp_outcome o))
 
@@ -125,7 +132,7 @@ let test_load_time_fixup () =
   (match Loader.load_ebpf world prog with
   | Error e -> Alcotest.failf "fixup load: %s" (Format.asprintf "%a" Loader.pp_load_error e)
   | Ok loaded -> (
-    match (Loader.run world loaded).Loader.outcome with
+    match (Invoke.run world loaded).Loader.outcome with
     | Loader.Finished _ -> ()
     | o -> Alcotest.failf "run after fixup: %s" (Format.asprintf "%a" Loader.pp_outcome o)));
   (* an unknown name fails the fixup, not the verifier *)

@@ -5,6 +5,7 @@
 open Untenable
 module World = Framework.World
 module Loader = Framework.Loader
+module Invoke = Framework.Invoke
 module Kernel = Kernel_sim.Kernel
 module Bpf_map = Maps.Bpf_map
 open Ebpf.Asm
@@ -48,13 +49,13 @@ let test_paths_agree () =
     let world = World.create_populated () in
     let m = World.register_map world counter_def in
     let loaded = Result.get_ok (Loader.load_ebpf world (ebpf_counter ~map_id:m.Bpf_map.id)) in
-    List.init 5 (fun _ -> returns (Loader.run world loaded).Loader.outcome)
+    List.init 5 (fun _ -> returns (Invoke.run world loaded).Loader.outcome)
   in
   let run_b () =
     let world = World.create_populated () in
     let ext = Result.get_ok (Rustlite.Toolchain.compile rustlite_counter) in
     let loaded = Result.get_ok (Loader.load_rustlite world ext) in
-    List.init 5 (fun _ -> returns (Loader.run world loaded).Loader.outcome)
+    List.init 5 (fun _ -> returns (Invoke.run world loaded).Loader.outcome)
   in
   Alcotest.(check (list int64)) "same observable behaviour" (run_a ()) (run_b ())
 
@@ -63,7 +64,7 @@ let test_both_paths_leave_healthy_kernels () =
   let m = World.register_map world counter_def in
   let loaded = Result.get_ok (Loader.load_ebpf world (ebpf_counter ~map_id:m.Bpf_map.id)) in
   for _ = 1 to 20 do
-    ignore (Loader.run world loaded)
+    ignore (Invoke.run world loaded)
   done;
   Alcotest.(check bool) "healthy after 20 runs" true
     (Kernel.healthy (Kernel.health world.World.kernel))
@@ -79,7 +80,7 @@ let test_dead_kernel_stays_dead () =
   let m = World.register_map world counter_def in
   ignore m;
   let loaded = Result.get_ok (Loader.load_ebpf world crasher) in
-  (match (Loader.run world loaded).Loader.outcome with
+  (match (Invoke.run world loaded).Loader.outcome with
   | Loader.Crashed _ -> ()
   | o -> Alcotest.failf "expected crash, got %s" (Format.asprintf "%a" Loader.pp_outcome o));
   Alcotest.(check bool) "kernel dead" true (Kernel.is_dead world.World.kernel)
@@ -108,8 +109,9 @@ let test_verification_vs_signature_gate_difference () =
   in
   let ext = Result.get_ok (Rustlite.Toolchain.compile src) in
   let loaded = Result.get_ok (Loader.load_rustlite world_b ext) in
-  match (Loader.run ~wall_ns:100_000L world_b loaded).Loader.outcome with
-  | Loader.Stopped _ -> ()
+  let opts = { Invoke.default_opts with Invoke.wall_ns = Some 100_000L } in
+  match (Invoke.run ~opts world_b loaded).Loader.outcome with
+  | Loader.Exhausted (Loader.Wall_clock, _) -> ()
   | o -> Alcotest.failf "expected watchdog stop, got %s" (Format.asprintf "%a" Loader.pp_outcome o)
 
 let test_jit_and_interp_paths_same_result () =
@@ -117,8 +119,18 @@ let test_jit_and_interp_paths_same_result () =
   let m = World.register_map world counter_def in
   let prog = ebpf_counter ~map_id:m.Bpf_map.id in
   let loaded = Result.get_ok (Loader.load_ebpf world prog) in
-  let a = returns (Loader.run ~use_jit:false world loaded).Loader.outcome in
-  let b = returns (Loader.run ~use_jit:true world loaded).Loader.outcome in
+  let a =
+    returns
+      (Invoke.run ~opts:{ Invoke.default_opts with Invoke.use_jit = false }
+         world loaded)
+        .Loader.outcome
+  in
+  let b =
+    returns
+      (Invoke.run ~opts:{ Invoke.default_opts with Invoke.use_jit = true }
+         world loaded)
+        .Loader.outcome
+  in
   Alcotest.(check int64) "interp then jit continue the same count" (Int64.add a 1L) b
 
 let test_trace_pipeline () =
@@ -132,7 +144,7 @@ let test_trace_pipeline () =
         call (h "bpf_trace_printk"); mov_i r0 0; exit_ ]
   in
   let loaded = Result.get_ok (Loader.load_ebpf world prog) in
-  let report = Loader.run world loaded in
+  let report = Invoke.run world loaded in
   Alcotest.(check (list string)) "trace output" [ "n=42" ] report.Loader.trace
 
 let test_queue_program_end_to_end () =
@@ -156,7 +168,7 @@ let test_queue_program_end_to_end () =
   match Loader.load_ebpf world prog with
   | Error e -> Alcotest.failf "rejected: %s" (Format.asprintf "%a" Loader.pp_load_error e)
   | Ok loaded -> (
-    match (Loader.run world loaded).Loader.outcome with
+    match (Invoke.run world loaded).Loader.outcome with
     | Loader.Finished 41L -> ()
     | o -> Alcotest.failf "expected 41 (FIFO), got %s" (Format.asprintf "%a" Loader.pp_outcome o))
 
@@ -177,8 +189,8 @@ let test_timer_fires () =
   match Loader.load_ebpf world prog with
   | Error e -> Alcotest.failf "rejected: %s" (Format.asprintf "%a" Loader.pp_load_error e)
   | Ok loaded ->
-    ignore (Loader.run world loaded);
-    ignore (Loader.run world loaded);
+    ignore (Invoke.run world loaded);
+    ignore (Invoke.run world loaded);
     let addr =
       Option.get (Bpf_map.lookup m ~key:(Bytes.make 4 '\000'))
     in
@@ -205,7 +217,7 @@ let test_timer_cancel () =
   match Loader.load_ebpf world prog with
   | Error e -> Alcotest.failf "rejected: %s" (Format.asprintf "%a" Loader.pp_load_error e)
   | Ok loaded ->
-    (match (Loader.run world loaded).Loader.outcome with
+    (match (Invoke.run world loaded).Loader.outcome with
     | Loader.Finished 1L -> ()
     | o -> Alcotest.failf "expected 1 cancel, got %s" (Format.asprintf "%a" Loader.pp_outcome o));
     let addr = Option.get (Bpf_map.lookup m ~key:(Bytes.make 4 '\000')) in
@@ -232,7 +244,7 @@ let test_tail_call_chain_wired () =
         mov_i r0 1; exit_ ]
   in
   let a = Result.get_ok (Loader.load_ebpf world prog_a) in
-  match (Loader.run world a).Loader.outcome with
+  match (Invoke.run world a).Loader.outcome with
   | Loader.Finished 55L -> ()
   | o -> Alcotest.failf "expected 55 via tail call, got %s"
            (Format.asprintf "%a" Loader.pp_outcome o)
@@ -250,7 +262,7 @@ let test_tail_call_limit () =
     match loaded with Loader.Ebpf_prog { prog_id; _ } -> prog_id | _ -> 0
   in
   World.set_tail_call world ~index:0 ~prog_id:self_id;
-  match (Loader.run world loaded).Loader.outcome with
+  match (Invoke.run world loaded).Loader.outcome with
   | Loader.Finished 0L -> () (* the chain was cut by the limit *)
   | o -> Alcotest.failf "expected limit cutoff (0), got %s"
            (Format.asprintf "%a" Loader.pp_outcome o)

@@ -154,7 +154,7 @@ let test_source_to_execution () =
   | Error e -> Alcotest.failf "toolchain: %s" (Format.asprintf "%a" Rustlite.Toolchain.pp_error e)
   | Ok ext -> (
     let loaded = Result.get_ok (Framework.Loader.load_rustlite world ext) in
-    match (Framework.Loader.run world loaded).Framework.Loader.outcome with
+    match (Framework.Invoke.run world loaded).Framework.Loader.outcome with
     | Framework.Loader.Finished 1683L -> ()
     | o ->
       Alcotest.failf "expected 1683, got %s"

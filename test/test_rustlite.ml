@@ -592,13 +592,22 @@ let rl_soundness =
         match Framework.Loader.load_rustlite world ext with
         | Error _ -> false
         | Ok loaded ->
-          let report = Framework.Loader.run ~fuel:200_000L world loaded in
+          let report =
+            Framework.Invoke.run
+              ~opts:
+                { Framework.Invoke.default_opts with
+                  Framework.Invoke.fuel = Some 200_000L
+                }
+              world loaded
+          in
           let healthy =
             Kernel.healthy (Kernel.health world.World.kernel)
           in
           let safe_outcome =
             match report.Framework.Loader.outcome with
-            | Framework.Loader.Finished _ | Framework.Loader.Stopped _ -> true
+            | Framework.Loader.Finished _ | Framework.Loader.Stopped _
+            | Framework.Loader.Exhausted _ ->
+              true
             | Framework.Loader.Crashed _ -> false
           in
           safe_outcome && healthy && report.Framework.Loader.resources_outstanding = 0))

@@ -1,0 +1,316 @@
+(* Supervisor tests: the circuit-breaker state machine in isolation (every
+   transition, the backoff schedule, the quarantine budget), the chaos
+   schedule's determinism, and the dispatch integration — a crashing
+   extension must not perturb what healthy extensions compute. *)
+
+open Untenable
+module World = Framework.World
+module Loader = Framework.Loader
+module Invoke = Framework.Invoke
+module Dispatch = Framework.Dispatch
+module Supervisor = Framework.Supervisor
+module Chaos = Framework.Chaos
+module Attach = Framework.Attach
+module Kernel = Kernel_sim.Kernel
+module Bugdb = Helpers.Bugdb
+open Ebpf.Asm
+
+let h = Helpers.Registry.id_of_name
+
+(* ---------------- the breaker state machine, no engine ---------------- *)
+
+let test_cfg =
+  { Supervisor.window = 8;
+    fault_threshold = 3;
+    cooldown_ns = 100L;
+    backoff = 2.0;
+    max_cooldown_ns = 1_000L;
+    quarantine_after = 99 (* out of the way unless a test wants it *) }
+
+let fresh ?(config = test_cfg) () =
+  let sup = Supervisor.create ~config () in
+  (sup, Supervisor.ext sup ~attach_id:0 ~name:"probe")
+
+let test_trips_at_threshold () =
+  let sup, e = fresh () in
+  Alcotest.(check bool) "starts executing" true
+    (Supervisor.decide sup e ~now_ns:0L = Supervisor.Execute);
+  (match Supervisor.observe_fault sup e ~now_ns:0L with
+  | Supervisor.No_change -> ()
+  | _ -> Alcotest.fail "tripped after 1 fault");
+  (match Supervisor.observe_fault sup e ~now_ns:0L with
+  | Supervisor.No_change -> ()
+  | _ -> Alcotest.fail "tripped after 2 faults");
+  (match Supervisor.observe_fault sup e ~now_ns:10L with
+  | Supervisor.Tripped { until_ns; trip } ->
+    Alcotest.(check int) "first trip" 1 trip;
+    Alcotest.(check int64) "base cooldown" 110L until_ns
+  | _ -> Alcotest.fail "threshold fault did not trip");
+  Alcotest.(check bool) "open: skipped" true
+    (Supervisor.decide sup e ~now_ns:50L = Supervisor.Skip);
+  Alcotest.(check bool) "cooldown elapsed: probe" true
+    (Supervisor.decide sup e ~now_ns:110L = Supervisor.Probe);
+  Alcotest.(check bool) "now half-open" true (e.Supervisor.state = Supervisor.Half_open)
+
+let test_window_slides () =
+  let sup, e = fresh ~config:{ test_cfg with Supervisor.window = 3 } () in
+  ignore (Supervisor.observe_fault sup e ~now_ns:0L);
+  ignore (Supervisor.observe_fault sup e ~now_ns:0L);
+  (* three clean observations push both faults out of the window *)
+  Supervisor.observe_ok sup e ~now_ns:0L;
+  Supervisor.observe_ok sup e ~now_ns:0L;
+  Supervisor.observe_ok sup e ~now_ns:0L;
+  (match Supervisor.observe_fault sup e ~now_ns:0L with
+  | Supervisor.No_change -> ()
+  | _ -> Alcotest.fail "stale faults counted against the window");
+  Alcotest.(check bool) "still closed" true (e.Supervisor.state = Supervisor.Closed)
+
+let test_probe_recovery_closes () =
+  let sup, e = fresh () in
+  for _ = 1 to 3 do ignore (Supervisor.observe_fault sup e ~now_ns:0L) done;
+  Alcotest.(check bool) "probe offered" true
+    (Supervisor.decide sup e ~now_ns:1_000L = Supervisor.Probe);
+  Supervisor.observe_ok sup e ~now_ns:1_000L;
+  Alcotest.(check bool) "probe ok closes" true
+    (e.Supervisor.state = Supervisor.Closed);
+  (* the fault window restarts: one new fault must not re-trip *)
+  (match Supervisor.observe_fault sup e ~now_ns:1_001L with
+  | Supervisor.No_change -> ()
+  | _ -> Alcotest.fail "window not reset after recovery")
+
+let test_probe_failure_backs_off () =
+  let sup, e = fresh () in
+  for _ = 1 to 3 do ignore (Supervisor.observe_fault sup e ~now_ns:0L) done;
+  ignore (Supervisor.decide sup e ~now_ns:200L);
+  (match Supervisor.observe_fault sup e ~now_ns:200L with
+  | Supervisor.Tripped { until_ns; trip } ->
+    Alcotest.(check int) "second trip" 2 trip;
+    Alcotest.(check int64) "cooldown doubled" 400L until_ns
+  | _ -> Alcotest.fail "failed probe did not re-trip")
+
+let test_cooldown_schedule () =
+  let c = test_cfg in
+  Alcotest.(check int64) "trip 1" 100L (Supervisor.cooldown_for c ~trip:1);
+  Alcotest.(check int64) "trip 2" 200L (Supervisor.cooldown_for c ~trip:2);
+  Alcotest.(check int64) "trip 3" 400L (Supervisor.cooldown_for c ~trip:3);
+  Alcotest.(check int64) "trip 4" 800L (Supervisor.cooldown_for c ~trip:4);
+  Alcotest.(check int64) "trip 5 capped" 1_000L (Supervisor.cooldown_for c ~trip:5);
+  Alcotest.(check int64) "trip 20 capped" 1_000L (Supervisor.cooldown_for c ~trip:20)
+
+let test_quarantine_budget () =
+  let sup, e =
+    fresh ~config:{ test_cfg with Supervisor.quarantine_after = 2 } ()
+  in
+  for _ = 1 to 3 do ignore (Supervisor.observe_fault sup e ~now_ns:0L) done;
+  ignore (Supervisor.decide sup e ~now_ns:200L);
+  (match Supervisor.observe_fault sup e ~now_ns:200L with
+  | Supervisor.Quarantine -> ()
+  | _ -> Alcotest.fail "trip budget spent but no quarantine");
+  Alcotest.(check bool) "state quarantined" true
+    (e.Supervisor.state = Supervisor.Quarantined);
+  Alcotest.(check bool) "always skipped" true
+    (Supervisor.decide sup e ~now_ns:1_000_000L = Supervisor.Skip);
+  let h = Supervisor.health_of_ext e in
+  Alcotest.(check bool) "health reports quarantine" true h.Supervisor.quarantined;
+  (* further faults are a no-op, not a crash *)
+  match Supervisor.observe_fault sup e ~now_ns:300L with
+  | Supervisor.No_change -> ()
+  | _ -> Alcotest.fail "quarantined ext transitioned again"
+
+(* ---------------- the chaos schedule ---------------- *)
+
+let test_chaos_pure () =
+  let c = { Chaos.default_config with Chaos.fault_rate = 0.05 } in
+  for i = 0 to 499 do
+    Alcotest.(check string)
+      (Printf.sprintf "event %d stable" i)
+      (Chaos.describe (Chaos.injection c ~event:i))
+      (Chaos.describe (Chaos.injection c ~event:i))
+  done;
+  let n = ref 0 in
+  for i = 0 to 499 do
+    if Chaos.injection c ~event:i <> Chaos.Calm then incr n
+  done;
+  Alcotest.(check int) "planned matches schedule" !n (Chaos.planned c ~count:500);
+  Alcotest.(check bool) "rate roughly honoured" true (!n > 0 && !n < 100)
+
+let test_chaos_rate_edges () =
+  let calm = { Chaos.default_config with Chaos.fault_rate = 0. } in
+  Alcotest.(check int) "rate 0: no injections" 0 (Chaos.planned calm ~count:200);
+  let storm = { Chaos.default_config with Chaos.fault_rate = 1. } in
+  Alcotest.(check int) "rate 1: every event" 200 (Chaos.planned storm ~count:200)
+
+let test_chaos_disarm_unpins () =
+  (* disarm must not pin the bug off: a later force_on must still win *)
+  let world = World.create_populated () in
+  let key = "hbug:probe-read-size-unchecked" in
+  let inj = Chaos.Helper_bug key in
+  Chaos.arm inj world.World.bugs;
+  Chaos.disarm inj world.World.bugs;
+  Bugdb.force_on world.World.bugs key;
+  Alcotest.(check bool) "force_on after disarm sticks" true
+    (Bugdb.active world.World.bugs key)
+
+(* ---------------- dispatch integration ---------------- *)
+
+let load world name ~prog_type items =
+  match
+    Loader.load_ebpf world
+      (Ebpf.Program.of_items_exn ~name ~prog_type items)
+  with
+  | Ok loaded -> loaded
+  | Error e -> Alcotest.failf "load %s: %a" name Loader.pp_load_error e
+
+let healthy_filters =
+  [ ("len", [ ldxw r0 r1 0; exit_ ]);
+    ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]) ]
+
+(* Verifier-accepted, crashes every invocation once the probe-read bug is
+   armed in the world's Bugdb (the §2.2 vehicle). *)
+let crasher_items =
+  [ call (h "bpf_get_current_task");
+    mov_r r3 r0;
+    mov_r r1 r10;
+    add_i r1 (-16);
+    mov_i r2 16;
+    call (h "bpf_probe_read_kernel");
+    mov_i r0 0;
+    exit_ ]
+
+let build_engine ?policy ~with_crasher () =
+  let world = World.create_populated () in
+  let engine = Dispatch.create ?policy world in
+  if with_crasher then begin
+    Bugdb.force_on world.World.bugs "hbug:probe-read-size-unchecked";
+    ignore
+      (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+         (load world "crasher" ~prog_type:Ebpf.Program.Kprobe crasher_items))
+  end;
+  List.iter
+    (fun (name, items) ->
+      ignore
+        (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+           (load world name ~prog_type:Ebpf.Program.Socket_filter items)))
+    healthy_filters;
+  engine
+
+let run ?chaos ~count engine =
+  Dispatch.run_stream ?chaos engine ~hook:"xdp"
+    ~gen:(Dispatch.synthetic_packets ~seed:7L ~size:32 ())
+    ~count ()
+
+let health_by name (r : Dispatch.stream_result) =
+  match
+    List.find_opt
+      (fun (h : Supervisor.health) -> String.equal h.Supervisor.name name)
+      r.Dispatch.per_ext
+  with
+  | Some h -> h
+  | None -> Alcotest.failf "no per-ext health for %s" name
+
+let test_isolate_contains () =
+  let engine = build_engine ~with_crasher:true () in
+  let r = run ~count:25 engine in
+  Alcotest.(check int) "all events served" 25 r.Dispatch.events;
+  Alcotest.(check int) "every invocation ran" 75 r.Dispatch.invocations;
+  Alcotest.(check int) "crasher crashed every time" 25 r.Dispatch.crashed;
+  Alcotest.(check int) "every fault absorbed" 25 r.Dispatch.faults_absorbed;
+  Alcotest.(check int) "no quarantine under Isolate" 0 r.Dispatch.quarantined;
+  Alcotest.(check int) "crasher tally" 25 (health_by "crasher" r).Supervisor.crashed;
+  Alcotest.(check int) "healthy tally" 25 (health_by "len" r).Supervisor.finished;
+  Alcotest.(check bool) "kernel alive at end" false
+    (Kernel.is_dead engine.Dispatch.world.World.kernel)
+
+let test_supervise_quarantines () =
+  let config =
+    { Supervisor.default_config with
+      Supervisor.cooldown_ns = 1L (* expire by the next event *);
+      max_cooldown_ns = 4L }
+  in
+  let engine =
+    build_engine ~policy:(Dispatch.Supervise config) ~with_crasher:true ()
+  in
+  let count = 60 in
+  let r = run ~count engine in
+  let baseline = run ~count (build_engine ~with_crasher:false ()) in
+  Alcotest.(check int) "all events served" count r.Dispatch.events;
+  Alcotest.(check int) "offender quarantined" 1 r.Dispatch.quarantined;
+  let c = health_by "crasher" r in
+  Alcotest.(check bool) "crasher marked quarantined" true c.Supervisor.quarantined;
+  Alcotest.(check int) "trip budget spent" config.Supervisor.quarantine_after
+    c.Supervisor.trips;
+  Alcotest.(check bool) "crasher stopped being invoked" true
+    (c.Supervisor.invocations < count);
+  Alcotest.(check int) "offender detached from the hook"
+    (List.length healthy_filters)
+    (Attach.count engine.Dispatch.attach);
+  (* the healthy population computed exactly what a crasher-free run does *)
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check int64)
+        (name ^ " checksum matches crasher-free run")
+        (health_by name baseline).Supervisor.ret_checksum
+        (health_by name r).Supervisor.ret_checksum;
+      Alcotest.(check int)
+        (name ^ " served every event")
+        count
+        (health_by name r).Supervisor.invocations)
+    healthy_filters;
+  Alcotest.(check bool) "kernel alive at end" false
+    (Kernel.is_dead engine.Dispatch.world.World.kernel)
+
+let test_fail_fast_aborts () =
+  let engine = build_engine ~policy:Dispatch.Fail_fast ~with_crasher:true () in
+  let r = run ~count:10 engine in
+  Alcotest.(check int) "stream aborted on first crash" 1 r.Dispatch.events;
+  Alcotest.(check int) "one crash" 1 r.Dispatch.crashed;
+  Alcotest.(check int) "nothing absorbed" 0 r.Dispatch.faults_absorbed;
+  Alcotest.(check bool) "kernel stays dead" true
+    (Kernel.is_dead engine.Dispatch.world.World.kernel)
+
+let test_chaos_dispatch_deterministic () =
+  let chaos = { Chaos.default_config with Chaos.fault_rate = 0.2 } in
+  let go () = run ~chaos ~count:120 (build_engine ~with_crasher:false ()) in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check int) "same injections" r1.Dispatch.injected r2.Dispatch.injected;
+  Alcotest.(check bool) "chaos actually landed" true (r1.Dispatch.injected > 0);
+  Alcotest.(check int64) "identical checksums" r1.Dispatch.ret_checksum
+    r2.Dispatch.ret_checksum;
+  Alcotest.(check int) "all events served" 120 r1.Dispatch.events
+
+(* Property: under Isolate, an always-crashing extension is invisible to the
+   healthy population — their per-extension checksums match a crasher-free
+   run event for event. *)
+let isolate_equivalence_property =
+  QCheck.Test.make ~count:25 ~name:"Isolate: crasher invisible to healthy exts"
+    QCheck.(pair (int_range 1 40) (int_range 0 1000))
+    (fun (count, _salt) ->
+      let with_c = run ~count (build_engine ~with_crasher:true ()) in
+      let without = run ~count (build_engine ~with_crasher:false ()) in
+      with_c.Dispatch.events = count
+      && List.for_all
+           (fun (name, _) ->
+             Int64.equal
+               (health_by name with_c).Supervisor.ret_checksum
+               (health_by name without).Supervisor.ret_checksum)
+           healthy_filters)
+
+let suite =
+  [
+    Alcotest.test_case "breaker trips at threshold" `Quick test_trips_at_threshold;
+    Alcotest.test_case "fault window slides" `Quick test_window_slides;
+    Alcotest.test_case "probe recovery closes" `Quick test_probe_recovery_closes;
+    Alcotest.test_case "probe failure backs off" `Quick test_probe_failure_backs_off;
+    Alcotest.test_case "cooldown schedule" `Quick test_cooldown_schedule;
+    Alcotest.test_case "quarantine budget" `Quick test_quarantine_budget;
+    Alcotest.test_case "chaos schedule is pure" `Quick test_chaos_pure;
+    Alcotest.test_case "chaos rate edges" `Quick test_chaos_rate_edges;
+    Alcotest.test_case "chaos disarm unpins the bug" `Quick test_chaos_disarm_unpins;
+    Alcotest.test_case "Isolate contains a crasher" `Quick test_isolate_contains;
+    Alcotest.test_case "Supervise quarantines the offender" `Quick
+      test_supervise_quarantines;
+    Alcotest.test_case "Fail_fast aborts the stream" `Quick test_fail_fast_aborts;
+    Alcotest.test_case "chaos dispatch is deterministic" `Quick
+      test_chaos_dispatch_deterministic;
+    QCheck_alcotest.to_alcotest isolate_equivalence_property;
+  ]

@@ -665,10 +665,17 @@ let soundness_property =
             | Ok l -> l
             | Error _ -> Alcotest.fail "re-verification failed"
           in
-          let report = Framework.Loader.run ~fuel:1_000_000L world loaded in
+          let opts =
+            { Framework.Invoke.default_opts with
+              Framework.Invoke.fuel = Some 1_000_000L
+            }
+          in
+          let report = Framework.Invoke.run ~opts world loaded in
           match report.Framework.Loader.outcome with
           | Framework.Loader.Crashed _ -> false
-          | Framework.Loader.Finished _ | Framework.Loader.Stopped _ -> true)))
+          | Framework.Loader.Finished _ | Framework.Loader.Stopped _
+          | Framework.Loader.Exhausted _ ->
+            true)))
 
 let suite =
   [
