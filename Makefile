@@ -3,7 +3,7 @@
 # regressions, not a precision measurement; use `make bench-telemetry` for
 # the real numbers).
 
-.PHONY: all build test check bench bench-telemetry clean
+.PHONY: all build test check bench bench-telemetry lint-smoke clean
 
 all: build
 
@@ -19,6 +19,26 @@ check:
 	dune exec bench/main.exe -- telemetry-smoke
 	dune exec bench/main.exe -- throughput-smoke
 	dune exec bench/main.exe -- chaos-smoke
+	dune exec bench/main.exe -- elision-smoke
+	$(MAKE) lint-smoke
+
+# The three analysis passes over the lint corpus (which includes the §2.2
+# probe-read exploit vehicle): every known-bad program must be flagged,
+# every clean one must not, and the examples/lint_demo ground-truth run
+# must agree with the runtime on both programs.
+lint-smoke:
+	dune build @all
+	dune exec bin/untenable_cli.exe -- lint > /tmp/lint.out
+	grep -q '^sock-leak .*resource.*error' /tmp/lint.out
+	grep -q '^ringbuf-leak .*resource.*error' /tmp/lint.out
+	grep -q '^lock-sleep .*lock.*error' /tmp/lint.out
+	grep -q '^redundant-guard .*elide.*info.*elided' /tmp/lint.out
+	! grep -q '^sock-clean .*\(error\|warning\)' /tmp/lint.out
+	! grep -q '^probe-read-crasher .*\(error\|warning\|info\)' /tmp/lint.out
+	dune exec examples/lint_demo.exe > /tmp/lint_demo.out
+	grep -q 'leaky: .*OK' /tmp/lint_demo.out
+	grep -q 'clean: .*OK' /tmp/lint_demo.out
+	@echo "lint-smoke: OK"
 
 bench:
 	dune exec bench/main.exe

@@ -986,12 +986,90 @@ let chaos_exp ?(smoke = false) () =
     "  acceptance: <15%% throughput degradation at 1%% fault rate — %s\n"
     (if degradation < 15. then "MET" else "MISSED")
 
+(* ------------------------------------------------------------------ *)
+(* ELISION: what the redundant-guard pass buys the serving path        *)
+(* ------------------------------------------------------------------ *)
+
+(* A guard-heavy filter: a chain of constant bounds checks the elide pass
+   resolves statically, in front of a small amount of real packet work.
+   The same loaded handle is invoked with elision honoured and with every
+   guard evaluated dynamically; fuel and virtual clock charge identically
+   either way (an elided guard still retires), so the delta is pure
+   host-side dispatch cost — the honest analogue of compiling checks
+   out. *)
+let elision_exp ?(smoke = false) () =
+  let module Pipeline = Framework.Pipeline in
+  let module Invoke = Framework.Invoke in
+  print_string
+    (Report.section "ELISION: redundant-guard elision on the serving path");
+  let guards = 48 in
+  let open Ebpf.Asm in
+  let prog =
+    Ebpf.Program.of_items_exn ~name:"guard-heavy"
+      ~prog_type:Ebpf.Program.Socket_filter
+      ([ mov_i r6 4 ]
+      @ List.concat
+          (List.init guards (fun i ->
+               [ jgt_i r6 (10 + (i mod 7)) "drop" ]))
+      @ [ ldxw r0 r1 0; and_i r0 0xff; exit_; label "drop"; mov_i r0 0;
+          exit_ ])
+  in
+  let world = World.create_populated () in
+  let loaded =
+    match Pipeline.load_ebpf world prog with
+    | Ok l -> l
+    | Error e -> failwith (Format.asprintf "%a" Pipeline.pp_error e)
+  in
+  (match loaded with
+  | Pipeline.Ebpf_prog { analysis = Some a; _ } ->
+    Printf.printf "  %s: %d insns, %d of %d guards elided statically\n"
+      prog.Ebpf.Program.name (Ebpf.Program.length prog) a.Analysis.Driver.elided
+      guards
+  | _ -> failwith "analysis stage did not run");
+  let ictx = Invoke.create world in
+  let payload = Bytes.make 64 '\x2a' in
+  let count = if smoke then 3_000 else 100_000 in
+  let reps = if smoke then 3 else 2 in
+  let rate ~use_jit ~use_elision =
+    let opts =
+      { Invoke.default_opts with
+        skb_payload = Some payload; use_jit; use_elision }
+    in
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to count do
+        ignore (Invoke.run ~opts ~ictx world loaded)
+      done;
+      float_of_int count /. (Unix.gettimeofday () -. t0)
+    in
+    ignore (once ()) (* warm up *);
+    List.fold_left (fun acc _ -> Float.max acc (once ())) (once ())
+      (List.init (reps - 1) Fun.id)
+  in
+  let line engine ~use_jit =
+    let off = rate ~use_jit ~use_elision:false in
+    let on = rate ~use_jit ~use_elision:true in
+    Printf.printf
+      "  %-6s %d invocations: guards dynamic %9.0f/s, elided %9.0f/s  \
+       (%+.1f%%)\n"
+      engine count off on
+      ((on -. off) /. off *. 100.);
+    (off, on)
+  in
+  let ioff, ion = line "interp" ~use_jit:false in
+  ignore (line "jit" ~use_jit:true);
+  (* the acceptance bar is interp throughput: elision must never cost *)
+  Printf.printf
+    "  acceptance: interp throughput with elision >= without — %s\n"
+    (if ion >= ioff *. 0.98 then "MET" else "MISSED")
+
 let experiments =
   [ ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("tab1", tab1 ~run_demos:true);
     ("tab2", tab2); ("exp-safety", exp_safety); ("exp-term", exp_term);
     ("exp-retire", exp_retire); ("exp-vcost", exp_vcost); ("exp-s4", exp_s4);
     ("perf", perf); ("telemetry", fun () -> telemetry ());
-    ("throughput", fun () -> throughput ()); ("chaos", fun () -> chaos_exp ()) ]
+    ("throughput", fun () -> throughput ()); ("chaos", fun () -> chaos_exp ());
+    ("elision", fun () -> elision_exp ()) ]
 
 (* Not part of the default full run: a reduced-iteration variant for
    `make check`. *)
@@ -1054,6 +1132,7 @@ let extra_experiments =
   [ ("telemetry-smoke", fun () -> telemetry ~smoke:true ());
     ("throughput-smoke", fun () -> throughput ~smoke:true ());
     ("chaos-smoke", fun () -> chaos_exp ~smoke:true ());
+    ("elision-smoke", fun () -> elision_exp ~smoke:true ());
     ("tele-isolate", tele_isolate) ]
 
 let () =

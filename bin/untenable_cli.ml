@@ -13,6 +13,9 @@
      untenable-cli datasets                  the paper's static datasets
      untenable-cli stats [ID] [--format F]   telemetry snapshot (last demo or ID)
      untenable-cli trace ID [--fixed]        run a demo, print its trace timeline
+     untenable-cli lint [NAME]               run the static-analysis passes over
+                   [--no-resource]           the built-in lint corpus (or one
+                   [--no-lock] [--no-elide]  program) and print the findings
 *)
 
 open Untenable
@@ -402,6 +405,113 @@ let supervise_cmd =
           show per-extension supervision health")
     Term.(const run $ events $ policy $ chaos_rate $ no_crasher)
 
+(* ---- lint ---- *)
+
+(* A small fixed corpus exercising each pass: a resource leak, its clean
+   twin, a ringbuf leak, a lock-discipline violation, and a program whose
+   guard the elide pass can prove redundant.  Lint runs the analysis only —
+   no verifier — so the known-bad programs are linted even though the
+   verify gate would reject them. *)
+let lint_corpus () =
+  let open Ebpf.Asm in
+  let h = Helpers.Registry.id_of_name in
+  [ ( "sock-leak",
+      "acquires a socket and exits without releasing it",
+      [ mov_i r1 8080; call (h "bpf_sk_lookup_tcp"); mov_i r0 0; exit_ ] );
+    ( "sock-clean",
+      "acquires a socket and releases it on every path",
+      [ mov_i r1 8080; call (h "bpf_sk_lookup_tcp"); jeq_i r0 0 "out";
+        mov_r r1 r0; call (h "bpf_sk_release"); label "out"; mov_i r0 0;
+        exit_ ] );
+    ( "ringbuf-leak",
+      "reserves a ringbuf slot and never submits or discards it",
+      [ map_fd r1 1; mov_i r2 8; mov_i r3 0; call (h "bpf_ringbuf_reserve");
+        mov_i r0 0; exit_ ] );
+    ( "lock-sleep",
+      "calls a may-sleep helper while holding the spinlock",
+      [ mov_r r1 r10; add_i r1 (-8); call (h "bpf_spin_lock");
+        mov_r r1 r10; add_i r1 (-16); mov_i r2 8; mov_i r3 0;
+        call (h "bpf_probe_read_user");
+        mov_r r1 r10; add_i r1 (-8); call (h "bpf_spin_unlock");
+        mov_i r0 0; exit_ ] );
+    ( "redundant-guard",
+      "branches on a bound the preceding constant already proves",
+      [ mov_i r6 4; jgt_i r6 10 "oob"; mov_i r0 1; exit_; label "oob";
+        mov_i r0 0; exit_ ] );
+    (* the §2.2 probe-read vehicle: lints clean — the out-of-bounds copy
+       lives inside the helper, exactly the class of bug no program-side
+       static analysis (or verifier) can see *)
+    ( "probe-read-crasher",
+      "the exploit corpus crasher; helper-internal bugs are invisible here",
+      [ call (h "bpf_get_current_task"); mov_r r3 r0; mov_r r1 r10;
+        add_i r1 (-16); mov_i r2 16; call (h "bpf_probe_read_kernel");
+        mov_i r0 0; exit_ ] ) ]
+
+let lint_cmd =
+  let run name no_resource no_lock no_elide =
+    let config =
+      { Analysis.Driver.resource = not no_resource; lock = not no_lock;
+        elide = not no_elide }
+    in
+    let corpus =
+      match name with
+      | None -> lint_corpus ()
+      | Some n -> (
+        match List.filter (fun (id, _, _) -> String.equal id n) (lint_corpus ()) with
+        | [] ->
+          Printf.eprintf "unknown lint program %S; available: %s\n" n
+            (String.concat ", " (List.map (fun (id, _, _) -> id) (lint_corpus ())));
+          exit 1
+        | l -> l)
+    in
+    let rows = ref [] in
+    List.iter
+      (fun (id, blurb, items) ->
+        let prog =
+          Ebpf.Program.of_items_exn ~name:id
+            ~prog_type:Ebpf.Program.Socket_filter items
+        in
+        let report =
+          Analysis.Driver.analyze ~config prog.Ebpf.Program.insns
+        in
+        Printf.printf "%-16s %s\n" id blurb;
+        Format.printf "  %a@." Analysis.Driver.pp_report report;
+        List.iter
+          (fun (f : Analysis.Finding.t) ->
+            rows :=
+              [ id; f.Analysis.Finding.pass;
+                string_of_int f.Analysis.Finding.pc;
+                Analysis.Finding.severity_to_string f.Analysis.Finding.severity;
+                f.Analysis.Finding.message ]
+              :: !rows)
+          report.Analysis.Driver.findings)
+      corpus;
+    (match List.rev !rows with
+    | [] -> Printf.printf "\nno findings.\n"
+    | rows ->
+      print_newline ();
+      print_string
+        (Framework.Report.table
+           ~header:[ "program"; "pass"; "pc"; "severity"; "finding" ] rows))
+  in
+  let prog_name = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let no_resource =
+    Arg.(value & flag & info [ "no-resource" ] ~doc:"Skip the resource-obligation pass.")
+  in
+  let no_lock =
+    Arg.(value & flag & info [ "no-lock" ] ~doc:"Skip the lock-discipline pass.")
+  in
+  let no_elide =
+    Arg.(value & flag & info [ "no-elide" ] ~doc:"Skip the redundant-guard elision pass.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (resource obligations, lock \
+          discipline, guard elision) over the built-in lint corpus and print \
+          the findings")
+    Term.(const run $ prog_name $ no_resource $ no_lock $ no_elide)
+
 (* ---- rustlite source ---- *)
 
 let read_source path_or_inline =
@@ -481,6 +591,7 @@ let main =
     (Cmd.info "untenable-cli" ~version:Untenable.version
        ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
     [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; supervise_cmd;
-      matrix_cmd; datasets_cmd; rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
+      matrix_cmd; datasets_cmd; lint_cmd; rl_check_cmd; rl_run_cmd; stats_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -51,6 +51,30 @@ let () =
     [ Retirement.Retire; Retirement.Simplify; Retirement.Wrap ];
   Printf.printf "\npaper's taxonomy: %d retirable helpers" Retirement.retire_count;
   Printf.printf " (bpf_loop, bpf_strtol, bpf_strncmp are the worked examples)\n";
+  (* the safety/effect flags the static-analysis passes read *)
+  Printf.printf
+    "\nsafety-relevant helper flags (what lib/analysis reads from the \
+     prototypes):\n";
+  List.iter
+    (fun (d : Registry.def) ->
+      let p = d.Registry.proto in
+      let flags =
+        List.filter_map
+          (fun (set, tag) -> if set then Some tag else None)
+          [ (Helpers.Proto.may_sleep p, "may-sleep");
+            (Helpers.Proto.unbounded p, "unbounded");
+            (Helpers.Proto.acquires p, "acquires");
+            (Helpers.Proto.locks p, "locks");
+            (Helpers.Proto.unlocks p, "unlocks");
+            ( Helpers.Proto.releases p <> None,
+              match Helpers.Proto.releases p with
+              | Some i -> Printf.sprintf "releases(arg%d)" i
+              | None -> "releases" ) ]
+      in
+      if flags <> [] then
+        Printf.printf "  %3d %-28s %s\n" d.Registry.id d.Registry.name
+          (String.concat " " flags))
+    Registry.defs;
   (* growth, Figure 4 *)
   Printf.printf "\nhelper-count growth by kernel version (Fig. 4):\n";
   List.iter

@@ -1,0 +1,96 @@
+(* The pass driver: which passes run, what they produced, and the
+   configuration signature the verdict cache folds into its fingerprint so
+   toggling a pass (or changing a helper's safety flags) invalidates cached
+   results. *)
+
+module Cfg = Ebpf.Cfg
+module Insn = Ebpf.Insn
+
+type config = {
+  resource : bool;  (* acquire/release pairing *)
+  lock : bool;      (* spinlock discipline *)
+  elide : bool;     (* redundant-guard elision *)
+}
+
+let default_config = { resource = true; lock = true; elide = true }
+let all_off = { resource = false; lock = false; elide = false }
+
+type report = {
+  findings : Finding.t list;  (* all passes, worst first *)
+  elide : int array;  (* per-pc resolved jump target, -1 = keep the guard *)
+  elided : int;       (* how many guards the elide pass resolved *)
+  passes_run : string list;
+}
+
+let errors r =
+  List.filter (fun f -> f.Finding.severity = Finding.Error) r.findings
+
+(* The analysis-relevant configuration, serialized for cache fingerprints:
+   enabled passes plus every helper's effect/safety flags (the facts the
+   passes read from the registry — flip one and cached findings are
+   stale). *)
+let config_signature (c : config) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "passes:%b,%b,%b\n" c.resource c.lock c.elide);
+  List.iter
+    (fun (d : Helpers.Registry.def) ->
+      let p = d.Helpers.Registry.proto in
+      Buffer.add_string buf
+        (Printf.sprintf "helper:%d:%b:%b:%b:%b:%b:%s\n" d.Helpers.Registry.id
+           (Helpers.Proto.may_sleep p) (Helpers.Proto.unbounded p)
+           (Helpers.Proto.acquires p) (Helpers.Proto.locks p)
+           (Helpers.Proto.unlocks p)
+           (match Helpers.Proto.releases p with
+           | None -> "-"
+           | Some i -> string_of_int i)))
+    Helpers.Registry.defs;
+  Buffer.contents buf
+
+(* ---- telemetry ---- *)
+
+let tele_runs = Telemetry.Registry.counter "analysis.runs"
+let tele_passes = Telemetry.Registry.counter "analysis.passes"
+let tele_findings = Telemetry.Registry.counter "analysis.findings"
+let tele_errors = Telemetry.Registry.counter "analysis.errors"
+let tele_elisions = Telemetry.Registry.counter "analysis.elisions"
+
+let analyze ?(config = default_config) (insns : Insn.insn array) : report =
+  Telemetry.Registry.bump tele_runs;
+  let cfg = Cfg.build insns in
+  let passes = ref [] in
+  let run_pass name f =
+    passes := name :: !passes;
+    Telemetry.Registry.bump tele_passes;
+    f ()
+  in
+  let resource_findings =
+    if config.resource then run_pass Resource_pass.pass_name (fun () ->
+        Resource_pass.run insns cfg)
+    else []
+  in
+  let lock_findings =
+    if config.lock then run_pass Lock_pass.pass_name (fun () ->
+        Lock_pass.run insns cfg)
+    else []
+  in
+  let elide_findings, elide, elided =
+    if config.elide then
+      run_pass Elide_pass.pass_name (fun () ->
+          let r = Elide_pass.run insns cfg in
+          (r.Elide_pass.findings, r.Elide_pass.elide, r.Elide_pass.elided))
+    else ([], Array.make (Array.length insns) (-1), 0)
+  in
+  let findings =
+    Finding.sort (resource_findings @ lock_findings @ elide_findings)
+  in
+  Telemetry.Registry.incr tele_findings ~n:(List.length findings);
+  Telemetry.Registry.incr tele_errors
+    ~n:(List.length (List.filter (fun f -> f.Finding.severity = Finding.Error) findings));
+  Telemetry.Registry.incr tele_elisions ~n:elided;
+  { findings; elide; elided; passes_run = List.rev !passes }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d finding(s), %d guard(s) elided, passes: %s"
+    (List.length r.findings) r.elided
+    (String.concat "," r.passes_run)

@@ -1,0 +1,40 @@
+(* A single diagnostic produced by a lint pass: which pass, where, how bad,
+   and a human-readable message.  Findings never block a load by themselves
+   — the verify gate still decides — but the pipeline carries and caches
+   them so callers (CLI `lint`, dispatch policies) can act on them. *)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  pass : string;      (* "resource" | "lock" | "elide" *)
+  pc : int;           (* instruction the finding anchors to *)
+  severity : severity;
+  message : string;
+}
+
+let make ~pass ~pc ~severity message = { pass; pc; severity; message }
+
+(* Deterministic report order: worst first, then by location. *)
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match Stdlib.compare a.pc b.pc with
+    | 0 -> Stdlib.compare (a.pass, a.message) (b.pass, b.message)
+    | c -> c)
+  | c -> c
+
+let sort fs = List.sort_uniq compare fs
+
+let pp ppf f =
+  Format.fprintf ppf "%s: [%s] insn %d: %s"
+    (severity_to_string f.severity)
+    f.pass f.pc f.message
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,117 @@
+(* Lock-discipline analysis.
+
+   Forward may-analysis over a four-point lattice per block: can this point
+   be reached with the spinlock held, and can it be reached with it free?
+   With both bits the pass distinguishes "always held" from "held on some
+   path" without path enumeration.
+
+   Reported disciplines (all of which the kernel enforces for real
+   bpf_spin_lock regions):
+   - no may_sleep helper call while the lock may be held;
+   - no unbounded helper (bpf_loop-style) while the lock may be held —
+     lock hold time must be bounded by the program's own instructions;
+   - no lock held across a CFG back edge (unbounded hold time via looping);
+   - no lock still held at exit (the runtime would have to break it);
+   - taking the lock when it may already be held (double lock). *)
+
+module Cfg = Ebpf.Cfg
+module Insn = Ebpf.Insn
+module Proto = Helpers.Proto
+
+let pass_name = "lock"
+
+module L = struct
+  (* (may be reached unlocked, may be reached locked) *)
+  type fact = { unlocked : bool; locked : bool }
+
+  let bottom = { unlocked = false; locked = false }
+  let entry = { unlocked = true; locked = false }
+  let equal = ( = )
+  let join a b = { unlocked = a.unlocked || b.unlocked; locked = a.locked || b.locked }
+  let widen ~prev:_ next = next
+end
+
+module Solver = Dataflow.Make (L)
+
+let transfer_insn _pc insn (fact : L.fact) =
+  match insn with
+  | Insn.Call id -> (
+    match Helpers.Registry.find id with
+    | None -> fact
+    | Some def ->
+      let p = def.Helpers.Registry.proto in
+      if Proto.locks p then { L.unlocked = false; locked = fact.L.unlocked || fact.L.locked }
+      else if Proto.unlocks p then
+        { L.unlocked = fact.L.unlocked || fact.L.locked; locked = false }
+      else fact)
+  | _ -> fact
+
+let transfer insns (b : Cfg.block) fact =
+  Dataflow.fold_block insns b ~init:fact ~f:transfer_insn
+
+let run (insns : Insn.insn array) (cfg : Cfg.t) : Finding.t list =
+  let solved = Solver.solve cfg ~transfer:(transfer insns) in
+  let live = Cfg.reachable cfg in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  List.iter
+    (fun (b : Cfg.block) ->
+      if Hashtbl.mem live b.Cfg.start_pc then
+        ignore
+          (Dataflow.fold_block insns b
+             ~init:(Solver.in_fact solved b.Cfg.start_pc)
+             ~f:(fun pc insn (fact : L.fact) ->
+               match insn with
+               | Insn.Call id -> (
+                 match Helpers.Registry.find id with
+                 | None -> fact
+                 | Some def ->
+                   let p = def.Helpers.Registry.proto in
+                   let name = def.Helpers.Registry.name in
+                   if fact.L.locked && Proto.may_sleep p then
+                     emit
+                       (Finding.make ~pass:pass_name ~pc ~severity:Finding.Error
+                          (Printf.sprintf
+                             "%s may sleep while a spinlock may be held" name));
+                   if fact.L.locked && Proto.unbounded p then
+                     emit
+                       (Finding.make ~pass:pass_name ~pc ~severity:Finding.Error
+                          (Printf.sprintf
+                             "%s has unbounded runtime while a spinlock may \
+                              be held"
+                             name));
+                   if fact.L.locked && Proto.locks p then
+                     emit
+                       (Finding.make ~pass:pass_name ~pc
+                          ~severity:Finding.Warning
+                          "spinlock taken while it may already be held");
+                   if fact.L.unlocked && not fact.L.locked && Proto.unlocks p
+                   then
+                     emit
+                       (Finding.make ~pass:pass_name ~pc
+                          ~severity:Finding.Warning
+                          "spinlock released while not held");
+                   transfer_insn pc insn fact)
+               | Insn.Exit ->
+                 if fact.L.locked then
+                   emit
+                     (Finding.make ~pass:pass_name ~pc ~severity:Finding.Error
+                        "spinlock may still be held at exit");
+                 fact
+               | _ -> fact)))
+    (Cfg.blocks_sorted cfg);
+  (* lock held across a back edge: unbounded hold time *)
+  List.iter
+    (fun (from, into) ->
+      if Hashtbl.mem live from then
+        let out = Solver.out_fact solved from in
+        if out.L.locked then
+          let b = Hashtbl.find cfg.Cfg.blocks from in
+          emit
+            (Finding.make ~pass:pass_name ~pc:b.Cfg.end_pc
+               ~severity:Finding.Error
+               (Printf.sprintf
+                  "spinlock may be held across the loop back edge to insn %d"
+                  into)))
+    (Cfg.back_edges cfg);
+  Finding.sort !findings

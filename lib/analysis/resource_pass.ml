@@ -1,0 +1,269 @@
+(* Resource-obligation analysis: acquire/release pairing for the helper
+   families Helpers.Resources tracks at runtime — sk refcounts, ringbuf
+   reservations, spinlocks.
+
+   Forward may-analysis.  A fact is the set of obligations some path into
+   the program point still owes, each identified by the pc of the acquiring
+   call and its family, plus the registers that MUST still hold the
+   acquired pointer on every such path.  Join is union on obligations
+   (report if ANY path leaks — exactly the runtime ground truth: that path
+   leaks under Invoke and the §3.1 destructor list has to clean it) and
+   intersection on the holder registers (a register is a holder only if it
+   holds the pointer on all paths that owe the obligation).
+
+   The holder set is what makes the pass null-aware: the acquire helpers
+   return pointer-or-NULL, and the idiomatic clean program tests r0 and
+   skips the release on the NULL arm.  On an edge that proves a holder
+   register is zero, the acquiring call returned NULL on that path, so the
+   obligation is vacuous there and is dropped — the clean idiom produces no
+   finding, while an exit reachable with the pointer live still does.
+   Must-holders make the drop sound: a register only in the set when every
+   owing path agrees can never dismiss a real leak.
+
+   The lattice is finite (at most one obligation per call site, holder sets
+   bounded by the register file), so plain join converges without real
+   widening. *)
+
+module Cfg = Ebpf.Cfg
+module Insn = Ebpf.Insn
+module Proto = Helpers.Proto
+
+let pass_name = "resource"
+
+type family = Sock | Ringbuf | Lock
+
+let family_to_string = function
+  | Sock -> "sock ref"
+  | Ringbuf -> "ringbuf reservation"
+  | Lock -> "spinlock"
+
+(* Which family a helper's Acquires/Locks effect creates, from its
+   verifier-visible prototype alone. *)
+let acquired_family (p : Proto.t) =
+  if Proto.locks p then Some Lock
+  else if Proto.acquires p then
+    match p.Proto.ret with
+    | Proto.Ret_sock_or_null -> Some Sock
+    | Proto.Ret_mem_or_null _ -> Some Ringbuf
+    | _ -> Some Sock
+  else None
+
+(* Which family a Releases/Unlocks effect discharges, from the released
+   argument's type; also the argument's register (arg i lives in r{i+1}),
+   so the release can prefer the obligation actually passed to it. *)
+let released_family (p : Proto.t) =
+  if Proto.unlocks p then Some (Lock, None)
+  else
+    match Proto.releases p with
+    | None -> None
+    | Some i ->
+      let fam =
+        match List.nth_opt p.Proto.args i with
+        | Some Proto.Arg_sock -> Sock
+        | Some Proto.Arg_ringbuf_mem -> Ringbuf
+        | Some Proto.Arg_spin_lock -> Lock
+        | _ -> Sock
+      in
+      Some (fam, Some (i + 1))
+
+(* One outstanding obligation: where it was acquired, what it is, and which
+   registers are guaranteed to still hold the acquired pointer. *)
+type oblig = { apc : int; fam : family; regs : int list (* sorted *) }
+
+module L = struct
+  (* Sorted by (apc, fam); at most one entry per acquire site. *)
+  type fact = oblig list
+
+  let bottom = []
+  let entry = []
+  let equal = ( = )
+
+  let join a b =
+    let key o = (o.apc, o.fam) in
+    let merged = Hashtbl.create 8 in
+    List.iter (fun o -> Hashtbl.replace merged (key o) o) a;
+    List.iter
+      (fun o ->
+        match Hashtbl.find_opt merged (key o) with
+        | None -> Hashtbl.replace merged (key o) o
+        | Some o' ->
+          (* both paths owe it: a holder must hold on every path *)
+          Hashtbl.replace merged (key o)
+            { o with regs = List.filter (fun r -> List.mem r o'.regs) o.regs })
+      b;
+    Hashtbl.fold (fun _ o acc -> o :: acc) merged []
+    |> List.sort (fun x y -> compare (key x) (key y))
+
+  let widen ~prev:_ next = next
+end
+
+module Solver = Dataflow.Make (L)
+
+let clobber r (fact : L.fact) =
+  List.map (fun o -> { o with regs = List.filter (( <> ) r) o.regs }) fact
+
+let alias ~dst ~src (fact : L.fact) =
+  List.map
+    (fun o ->
+      if List.mem src o.regs then
+        { o with regs = List.sort_uniq compare (dst :: o.regs) }
+      else { o with regs = List.filter (( <> ) dst) o.regs })
+    fact
+
+let acquire pc fam (fact : L.fact) =
+  (* the acquired pointer lands in r0 (locks hold nothing in a register) *)
+  let regs = match fam with Lock -> [] | Sock | Ringbuf -> [ 0 ] in
+  List.sort
+    (fun x y -> compare (x.apc, x.fam) (y.apc, y.fam))
+    ({ apc = pc; fam; regs } :: clobber 0 fact)
+
+(* Discharge one obligation of the family: the one held in the released
+   argument's register if the analysis still tracks it there, otherwise the
+   most recent outstanding — LIFO, matching both Resources' cleanup order
+   and the common pairing idiom. *)
+let release ?reg fam (fact : L.fact) =
+  let candidates = List.filter (fun o -> o.fam = fam) fact in
+  match candidates with
+  | [] -> (fact, false)
+  | _ ->
+    let newest =
+      List.fold_left
+        (fun best o ->
+          match best with Some b when b.apc >= o.apc -> best | _ -> Some o)
+        None candidates
+    in
+    let chosen =
+      match reg with
+      | Some r -> (
+        match List.find_opt (fun o -> List.mem r o.regs) candidates with
+        | Some o -> Some o
+        | None -> newest)
+      | None -> newest
+    in
+    (match chosen with
+    | None -> (fact, false)
+    | Some c ->
+      ( List.filter (fun o -> not (o.apc = c.apc && o.fam = c.fam)) fact,
+        true ))
+
+let transfer_insn pc insn (fact : L.fact) =
+  match insn with
+  | Insn.Alu { op = Insn.Mov; width = Insn.W64; dst; src = Insn.Reg s } ->
+    alias ~dst ~src:s fact
+  | Insn.Alu { dst; _ } -> clobber dst fact
+  | Insn.Ld_imm64 (dst, _) | Insn.Ld_map_fd (dst, _) -> clobber dst fact
+  | Insn.Ldx { dst; _ } -> clobber dst fact
+  | Insn.Atomic { aop; src; fetch; _ } ->
+    let fact =
+      if fetch || aop = Insn.A_xchg then clobber src fact else fact
+    in
+    if aop = Insn.A_cmpxchg then clobber 0 fact else fact
+  | Insn.Call id -> (
+    match Helpers.Registry.find id with
+    | None -> clobber 0 fact
+    | Some def -> (
+      match acquired_family def.Helpers.Registry.proto with
+      | Some fam -> acquire pc fam fact
+      | None -> (
+        match released_family def.Helpers.Registry.proto with
+        | Some (fam, reg) -> clobber 0 (fst (release ?reg fam fact))
+        | None -> clobber 0 fact)))
+  | Insn.Call_sub _ -> clobber 0 fact
+  | Insn.St _ | Insn.Stx _ | Insn.Jmp _ | Insn.Ja _ | Insn.Exit -> fact
+
+let transfer insns (b : Cfg.block) fact =
+  Dataflow.fold_block insns b ~init:fact ~f:transfer_insn
+
+(* Null-awareness: the edge of a `if (rX == 0)` test that proves rX zero
+   carries no obligation whose pointer must be in rX — the acquire returned
+   NULL on that path. *)
+let edge_refine insns (cfg : Cfg.t) ~from ~into (fact : L.fact) =
+  match Hashtbl.find_opt cfg.Cfg.blocks from with
+  | None -> fact
+  | Some b -> (
+    match insns.(b.Cfg.end_pc) with
+    | Insn.Jmp
+        { cond = (Insn.Eq | Insn.Ne) as cond; width = Insn.W64; dst;
+          src = Insn.Imm 0; off } ->
+      let tpc = b.Cfg.end_pc + 1 + off and fpc = b.Cfg.end_pc + 1 in
+      if tpc = fpc then fact
+      else
+        let null_edge =
+          match cond with
+          | Insn.Eq -> into = tpc && into <> fpc
+          | _ -> into = fpc && into <> tpc
+        in
+        if null_edge then
+          List.filter
+            (fun o -> o.fam = Lock || not (List.mem dst o.regs))
+            fact
+        else fact
+    | _ -> fact)
+
+(* Replay each reachable block from its fixed in-fact and report:
+   - an obligation still outstanding when a path terminates (Exit, or a
+     block that falls off the end of the program) — the leak;
+   - a release with nothing outstanding to release — the double free the
+     runtime would refuse. *)
+let run (insns : Insn.insn array) (cfg : Cfg.t) : Finding.t list =
+  let solved =
+    Solver.solve cfg ~transfer:(transfer insns)
+      ~edge_refine:(edge_refine insns cfg)
+  in
+  let live = Cfg.reachable cfg in
+  let findings = ref [] in
+  let leaked = Hashtbl.create 8 in (* dedup by (acquire_pc, family) *)
+  let emit f = findings := f :: !findings in
+  let report_leaks ~at (fact : L.fact) =
+    List.iter
+      (fun o ->
+        if not (Hashtbl.mem leaked (o.apc, o.fam)) then begin
+          Hashtbl.replace leaked (o.apc, o.fam) ();
+          emit
+            (Finding.make ~pass:pass_name ~pc:at ~severity:Finding.Error
+               (Printf.sprintf
+                  "%s acquired at insn %d can reach exit without a release"
+                  (family_to_string o.fam) o.apc))
+        end)
+      fact
+  in
+  List.iter
+    (fun (b : Cfg.block) ->
+      if Hashtbl.mem live b.Cfg.start_pc then begin
+        let final =
+          Dataflow.fold_block insns b
+            ~init:(Solver.in_fact solved b.Cfg.start_pc)
+            ~f:(fun pc insn fact ->
+              (match insn with
+              | Insn.Call id -> (
+                match Helpers.Registry.find id with
+                | None -> ()
+                | Some def -> (
+                  match acquired_family def.Helpers.Registry.proto with
+                  | Some _ -> ()
+                  | None -> (
+                    match released_family def.Helpers.Registry.proto with
+                    | Some (fam, reg) ->
+                      let _, found = release ?reg fam fact in
+                      if not found then
+                        emit
+                          (Finding.make ~pass:pass_name ~pc
+                             ~severity:Finding.Warning
+                             (Printf.sprintf
+                                "release of a %s with none outstanding on \
+                                 some path"
+                                (family_to_string fam)))
+                    | None -> ())))
+              | Insn.Exit -> report_leaks ~at:pc fact
+              | _ -> ());
+              transfer_insn pc insn fact)
+        in
+        (* a block with no successors that does not end in Exit falls off
+           the end of the program: that path terminates too *)
+        if
+          Cfg.succs_of cfg b.Cfg.start_pc = []
+          && insns.(b.Cfg.end_pc) <> Insn.Exit
+        then report_leaks ~at:b.Cfg.end_pc final
+      end)
+    (Cfg.blocks_sorted cfg);
+  Finding.sort !findings

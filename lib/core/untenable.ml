@@ -14,6 +14,9 @@
     - {!Ebpf} — bytecode ISA, assembler, encoder, disassembler, CFG;
     - {!Bpf_verifier} — the in-kernel-style verifier with injectable
       historical bugs;
+    - {!Analysis} — the worklist dataflow engine and the static passes the
+      load pipeline runs between fixup and the verify gate (resource
+      obligations, lock discipline, redundant-guard elision);
     - {!Runtime} — interpreter, closure JIT, and the runtime guards
       (watchdog, fuel, stack guard, destructor-list termination);
     - {!Helpers} — the helper-function table with its own bug database;
@@ -45,6 +48,7 @@ module Kernel_sim = Kernel_sim
 module Maps = Maps
 module Ebpf = Ebpf
 module Bpf_verifier = Bpf_verifier
+module Analysis = Analysis
 module Runtime = Runtime
 module Helpers = Helpers
 module Callgraph = Callgraph

@@ -57,51 +57,129 @@ let block_count t = Hashtbl.length t.blocks
 
 let edge_count t = Hashtbl.fold (fun _ b acc -> acc + List.length b.succs) t.blocks 0
 
-(* Back edges w.r.t. a DFS from the entry: the loop detector. *)
-let back_edges t =
-  let visited = Hashtbl.create 16 in
+let blocks_sorted t =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks []
+  |> List.sort (fun a b -> compare a.start_pc b.start_pc)
+
+let succs_of t pc =
+  match Hashtbl.find_opt t.blocks pc with None -> [] | Some b -> b.succs
+
+(* Predecessor map: block start pc -> start pcs of blocks that jump to it. *)
+let preds t =
+  let tbl = Hashtbl.create (Hashtbl.length t.blocks) in
+  Hashtbl.iter
+    (fun start b ->
+      List.iter
+        (fun s ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl s) in
+          Hashtbl.replace tbl s (start :: cur))
+        b.succs)
+    t.blocks;
+  tbl
+
+(* Block start pcs reachable from the entry (iterative, so a pathological
+   one-insn-per-block chain cannot blow the OCaml stack). *)
+let reachable t =
+  let seen = Hashtbl.create 16 in
+  let stack = ref [ t.entry ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | pc :: tl ->
+      stack := tl;
+      if Hashtbl.mem t.blocks pc && not (Hashtbl.mem seen pc) then begin
+        Hashtbl.replace seen pc ();
+        stack := succs_of t pc @ !stack
+      end
+  done;
+  seen
+
+(* Back edges w.r.t. an iterative DFS forest: the loop detector.  Starting
+   the forest at the entry and then at every still-unvisited block (in
+   ascending start-pc order, for determinism) means loops confined to
+   unreachable code are still reported — a program is not loop-free just
+   because its loop is dead. *)
+let back_edges_from t ~visited ~backs root =
   let on_stack = Hashtbl.create 16 in
-  let backs = ref [] in
-  let rec dfs pc =
-    if not (Hashtbl.mem visited pc) then begin
+  if not (Hashtbl.mem visited root) && Hashtbl.mem t.blocks root then begin
+    let stack = ref [] in
+    let push pc =
       Hashtbl.replace visited pc ();
       Hashtbl.replace on_stack pc ();
-      (match Hashtbl.find_opt t.blocks pc with
-      | None -> ()
-      | Some b ->
-        List.iter
-          (fun s ->
-            if Hashtbl.mem on_stack s then backs := (pc, s) :: !backs
-            else dfs s)
-          b.succs);
-      Hashtbl.remove on_stack pc
-    end
-  in
-  if Hashtbl.mem t.blocks t.entry then dfs t.entry;
+      stack := (pc, ref (succs_of t pc)) :: !stack
+    in
+    push root;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (pc, rest) :: tl -> (
+        match !rest with
+        | [] ->
+          Hashtbl.remove on_stack pc;
+          stack := tl
+        | s :: more ->
+          rest := more;
+          if Hashtbl.mem on_stack s then backs := (pc, s) :: !backs
+          else if not (Hashtbl.mem visited s) && Hashtbl.mem t.blocks s then
+            push s)
+    done
+  end
+
+let back_edges t =
+  let visited = Hashtbl.create 16 in
+  let backs = ref [] in
+  back_edges_from t ~visited ~backs t.entry;
+  List.iter
+    (fun b -> back_edges_from t ~visited ~backs b.start_pc)
+    (blocks_sorted t);
   !backs
 
 let has_loop t = back_edges t <> []
 
 (* Number of distinct entry-to-exit paths, capped (the quantity that blows
-   up in path-sensitive verification).  On cyclic graphs returns the cap. *)
+   up in path-sensitive verification).  Counted over the subgraph reachable
+   from the entry: a cycle there returns the cap, while a cycle confined to
+   dead code cannot inflate the count of paths that actually exist.  A
+   block with no in-range successor (trailing [exit], or a final insn that
+   just falls off the end) terminates a path.  Iterative throughout, so
+   block-per-insn chains cannot overflow the stack. *)
 let path_count ?(cap = 1_000_000_000) t =
-  if has_loop t then cap
+  if t.n_insns = 0 || not (Hashtbl.mem t.blocks t.entry) then 0
   else begin
-    let memo = Hashtbl.create 16 in
-    let rec count pc =
-      match Hashtbl.find_opt memo pc with
-      | Some c -> c
-      | None ->
-        let c =
-          match Hashtbl.find_opt t.blocks pc with
-          | None -> 1
-          | Some b ->
-            if b.succs = [] then 1
-            else
-              List.fold_left (fun acc s -> min cap (acc + count s)) 0 b.succs
-        in
-        Hashtbl.replace memo pc c;
-        c
-    in
-    count t.entry
+    let live = reachable t in
+    let visited = Hashtbl.create 16 in
+    let backs = ref [] in
+    back_edges_from t ~visited ~backs t.entry;
+    if !backs <> [] then cap
+    else begin
+      let memo = Hashtbl.create 16 in
+      let stack = ref [ t.entry ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | pc :: tl ->
+          if Hashtbl.mem memo pc then stack := tl
+          else begin
+            let succs =
+              List.filter (fun s -> Hashtbl.mem live s) (succs_of t pc)
+            in
+            let pending =
+              List.filter (fun s -> not (Hashtbl.mem memo s)) succs
+            in
+            if pending = [] then begin
+              let c =
+                if succs = [] then 1
+                else
+                  List.fold_left
+                    (fun acc s -> min cap (acc + Hashtbl.find memo s))
+                    0 succs
+              in
+              Hashtbl.replace memo pc c;
+              stack := tl
+            end
+            else stack := pending @ !stack
+          end
+      done;
+      Hashtbl.find memo t.entry
+    end
   end

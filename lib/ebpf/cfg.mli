@@ -21,11 +21,32 @@ val build : Insn.insn array -> t
 val block_count : t -> int
 val edge_count : t -> int
 
+val blocks_sorted : t -> block list
+(** All blocks in ascending start-pc order — the deterministic view. *)
+
+val succs_of : t -> int -> int list
+(** Successor start pcs of the block starting at the given pc ([[]] if no
+    such block). *)
+
+val preds : t -> (int, int list) Hashtbl.t
+(** Predecessor map: block start pc -> start pcs of blocks with an edge to
+    it.  Blocks with no predecessors (the entry, unreachable blocks) have
+    no binding. *)
+
+val reachable : t -> (int, unit) Hashtbl.t
+(** Start pcs of blocks reachable from the entry. *)
+
 val back_edges : t -> (int * int) list
-(** DFS back edges (from-block, to-block): the loop detector. *)
+(** DFS-forest back edges (from-block, to-block): the loop detector.  The
+    forest covers unreachable blocks too, so a loop confined to dead code
+    is still reported; iterative, so deep block chains cannot overflow the
+    stack. *)
 
 val has_loop : t -> bool
 
 val path_count : ?cap:int -> t -> int
-(** Distinct entry-to-exit paths, capped (the quantity that explodes in
-    path-sensitive verification); returns the cap on cyclic graphs. *)
+(** Distinct entry-to-exit paths among blocks reachable from the entry,
+    capped (the quantity that explodes in path-sensitive verification);
+    returns the cap when the reachable subgraph is cyclic, 0 for an empty
+    program, and treats a block that falls off the end of the program as a
+    path terminator (it cannot undercount a trailing non-[exit] insn). *)

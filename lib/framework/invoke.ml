@@ -29,11 +29,13 @@ type run_opts = {
   ns_per_insn : int64;           (* simulated cost per instruction *)
   use_jit : bool;
   jit_branch_bug : bool;         (* inject the JIT branch-offset bug *)
+  use_elision : bool;            (* honour the elide pass's guard elisions *)
 }
 
 let default_opts =
   { skb_payload = None; fuel = None; wall_ns = None; max_depth = None;
-    ns_per_insn = 1L; use_jit = false; jit_branch_bug = false }
+    ns_per_insn = 1L; use_jit = false; jit_branch_bug = false;
+    use_elision = true }
 
 (* ---- reusable invocation context ---- *)
 
@@ -165,7 +167,8 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
   hctx.Hctx.skb <- skb;
   Kernel.snapshot_refs w.World.kernel;
   Telemetry.Registry.bump tele_runs;
-  let { fuel; wall_ns; max_depth; ns_per_insn; use_jit; jit_branch_bug; _ } =
+  let { fuel; wall_ns; max_depth; ns_per_insn; use_jit; jit_branch_bug;
+        use_elision; _ } =
     opts
   in
   let outcome =
@@ -173,7 +176,20 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
       ~clock:(fun () -> Kernel_sim.Vclock.now w.World.kernel.Kernel.clock)
       (fun () ->
     match loaded with
-    | Pipeline.Ebpf_prog { prog; _ } -> (
+    | Pipeline.Ebpf_prog { prog; analysis; _ } -> (
+      (* the elide pass's per-pc resolved branch targets, honoured only for
+         the program they were computed on (a tail-call target has its own
+         handle and its own analysis) *)
+      let elide0 =
+        if not use_elision then [||]
+        else
+          match analysis with
+          | Some a
+            when Array.length a.Analysis.Driver.elide
+                 = Array.length prog.Program.insns ->
+            a.Analysis.Driver.elide
+          | _ -> [||]
+      in
       let desc = Program.ctx_of_prog_type prog.Program.prog_type in
       let region =
         match ictx with
@@ -210,15 +226,16 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
               ignore (Runtime.Guard.terminate hctx reason))
           timers
       in
-      let rec go prog remaining_tail_calls =
+      let rec go prog elide remaining_tail_calls =
         match
           if use_jit then
             let compiled =
-              Runtime.Jit.compile ~bug_branch_off_by_one:jit_branch_bug hctx prog
+              Runtime.Jit.compile ~bug_branch_off_by_one:jit_branch_bug ~elide
+                hctx prog
             in
             Runtime.Jit.run ?fuel ~ns_per_insn hctx compiled ~ctx_addr:ctx.Kmem.base
           else
-            Runtime.Interp.run ?fuel ?wall_ns ?max_depth ~ns_per_insn ~hctx
+            Runtime.Interp.run ?fuel ?wall_ns ?max_depth ~ns_per_insn ~elide ~hctx
               ~prog ~ctx_addr:ctx.Kmem.base ()
         with
         | r ->
@@ -238,9 +255,9 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
           else
             match Hashtbl.find_opt w.World.progs prog_id with
             | None -> Finished (-22L)
-            | Some next -> go next (remaining_tail_calls - 1))
+            | Some next -> go next [||] (remaining_tail_calls - 1))
       in
-      go prog max_tail_calls)
+      go prog elide0 max_tail_calls)
     | Pipeline.Rustlite_ext { ext; map_ids } -> (
       let kctx = { Rustlite.Kcrate.hctx; map_ids } in
       match

@@ -14,10 +14,14 @@ type run_opts = {
   ns_per_insn : int64;           (** simulated cost per instruction *)
   use_jit : bool;
   jit_branch_bug : bool;         (** inject the JIT branch-offset bug *)
+  use_elision : bool;
+      (** honour the elide pass's guard elisions carried on the loaded
+          handle (no-op when the analysis did not run); off = always
+          evaluate every guard dynamically *)
 }
 
 val default_opts : run_opts
-(** No packet, no guards, 1ns/insn, interpreter. *)
+(** No packet, no guards, 1ns/insn, interpreter, elision honoured. *)
 
 type t
 (** A reusable invocation context bound to one world. *)

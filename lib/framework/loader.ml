@@ -10,7 +10,8 @@
 module Program = Ebpf.Program
 
 type loaded = Pipeline.loaded =
-  | Ebpf_prog of { prog_id : int; prog : Program.t; vstats : Bpf_verifier.Verifier.stats }
+  | Ebpf_prog of { prog_id : int; prog : Program.t; vstats : Bpf_verifier.Verifier.stats;
+                   analysis : Analysis.Driver.report option }
   | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
                       map_ids : (string * int) list }
 

@@ -16,7 +16,8 @@
 
 type loaded = Pipeline.loaded =
   | Ebpf_prog of { prog_id : int; prog : Ebpf.Program.t;
-                   vstats : Bpf_verifier.Verifier.stats }
+                   vstats : Bpf_verifier.Verifier.stats;
+                   analysis : Analysis.Driver.report option }
   | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
                       map_ids : (string * int) list }
 

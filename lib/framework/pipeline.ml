@@ -23,17 +23,19 @@ module Program = Ebpf.Program
 module Verifier = Bpf_verifier.Verifier
 
 type loaded =
-  | Ebpf_prog of { prog_id : int; prog : Program.t; vstats : Verifier.stats }
+  | Ebpf_prog of { prog_id : int; prog : Program.t; vstats : Verifier.stats;
+                   analysis : Analysis.Driver.report option }
   | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
                       map_ids : (string * int) list }
 
 (* ---- stages and their typed errors ---- *)
 
-type stage = Admission | Fixup | Gate | Link
+type stage = Admission | Fixup | Analyze | Gate | Link
 
 let stage_name = function
   | Admission -> "admission"
   | Fixup -> "fixup"
+  | Analyze -> "analyze"
   | Gate -> "gate"
   | Link -> "link"
 
@@ -72,6 +74,9 @@ let tele_validate_ns = Telemetry.Registry.histogram "loader.validate_ns"
 let tele_cache_hits = Telemetry.Registry.counter "pipeline.cache_hits"
 let tele_cache_misses = Telemetry.Registry.counter "pipeline.cache_misses"
 let tele_gate_ns = Telemetry.Registry.histogram "pipeline.gate_ns"
+let tele_analysis_hits = Telemetry.Registry.counter "pipeline.analysis_cache_hits"
+let tele_analysis_misses = Telemetry.Registry.counter "pipeline.analysis_cache_misses"
+let tele_analysis_ns = Telemetry.Registry.histogram "pipeline.analysis_ns"
 
 (* Loading happens before the simulated clock moves; host CPU time is the
    meaningful measure (it is dominated by verification on path A and by
@@ -116,6 +121,40 @@ let fixup (prog : Program.t) : (Program.t, error) result =
 let world_map_def (w : World.t) fd =
   Option.map (fun m -> m.Bpf_map.def) (Bpf_map.Registry.find w.World.maps fd)
 
+(* Analyze: the optional static-analysis stage between fixup and the verify
+   gate.  Findings never block a load — they are advisory (the verifier is
+   still the authority on safety) and the elision vector is a performance
+   fact — so this stage has no error arm; it decorates the eventual handle.
+   Reports are cached in the world's verdict cache under (program digest,
+   analysis-config signature), the only inputs the passes read. *)
+let analyze_ebpf ?(use_cache = true) (w : World.t) (prog : Program.t) :
+    Analysis.Driver.report option =
+  let config = w.World.aconfig in
+  if config = Analysis.Driver.all_off then None
+  else begin
+    let started = host_ns () in
+    let report =
+      if not use_cache then Analysis.Driver.analyze ~config prog.Program.insns
+      else begin
+        let key =
+          Verdict_cache.analysis_key ~digest:(Program.digest prog)
+            ~signature:(Analysis.Driver.config_signature config)
+        in
+        match Verdict_cache.find_analysis w.World.vcache key with
+        | Some r ->
+          Telemetry.Registry.bump tele_analysis_hits;
+          r
+        | None ->
+          Telemetry.Registry.bump tele_analysis_misses;
+          let r = Analysis.Driver.analyze ~config prog.Program.insns in
+          Verdict_cache.store_analysis w.World.vcache key r;
+          r
+      end
+    in
+    Telemetry.Registry.observe tele_analysis_ns (Int64.sub (host_ns ()) started);
+    Some report
+  end
+
 (* One full verifier run, with the verifier's own crash class converted into
    a typed gate error (and an oops on the simulated kernel: the verifier
    dying *is* a kernel bug). *)
@@ -142,7 +181,9 @@ let gate_verify ?(use_cache = true) (w : World.t) (prog : Program.t) :
     if not use_cache then verify_uncached w prog
     else begin
       let fingerprint =
-        Verdict_cache.fingerprint ~config:w.World.vconfig ~bugs:w.World.bugs
+        Verdict_cache.fingerprint
+          ~analysis:(Analysis.Driver.config_signature w.World.aconfig)
+          ~config:w.World.vconfig ~bugs:w.World.bugs
           ~map_def:(world_map_def w) prog
       in
       let key = Verdict_cache.key ~digest:(Program.digest prog) ~fingerprint in
@@ -170,11 +211,12 @@ let gate_verify ?(use_cache = true) (w : World.t) (prog : Program.t) :
 
 (* Link, path A: give the program an id and enter it into the world's
    program table (where tail calls resolve it). *)
-let link_ebpf (w : World.t) (prog : Program.t) (vstats : Verifier.stats) : loaded =
+let link_ebpf (w : World.t) (prog : Program.t) (vstats : Verifier.stats)
+    (analysis : Analysis.Driver.report option) : loaded =
   let prog_id = w.World.next_prog_id in
   w.World.next_prog_id <- prog_id + 1;
   Hashtbl.replace w.World.progs prog_id prog;
-  Ebpf_prog { prog_id; prog; vstats }
+  Ebpf_prog { prog_id; prog; vstats; analysis }
 
 let ( let* ) = Result.bind
 
@@ -184,8 +226,9 @@ let load_ebpf ?use_cache (w : World.t) (prog : Program.t) : (loaded, error) resu
   let result =
     let* prog = admit w prog in
     let* prog = fixup prog in
+    let analysis = analyze_ebpf ?use_cache w prog in
     let* vstats = gate_verify ?use_cache w prog in
-    Ok (link_ebpf w prog vstats)
+    Ok (link_ebpf w prog vstats analysis)
   in
   Telemetry.Registry.observe tele_load_ns (Int64.sub (host_ns ()) started);
   (match result with

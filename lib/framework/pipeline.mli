@@ -11,11 +11,13 @@
 
 type loaded =
   | Ebpf_prog of { prog_id : int; prog : Ebpf.Program.t;
-                   vstats : Bpf_verifier.Verifier.stats }
+                   vstats : Bpf_verifier.Verifier.stats;
+                   analysis : Analysis.Driver.report option
+                     (** [None] when every analysis pass is off *) }
   | Rustlite_ext of { ext : Rustlite.Toolchain.signed_extension;
                       map_ids : (string * int) list }
 
-type stage = Admission | Fixup | Gate | Link
+type stage = Admission | Fixup | Analyze | Gate | Link
 
 val stage_name : stage -> string
 
@@ -36,6 +38,16 @@ val admit : World.t -> Ebpf.Program.t -> (Ebpf.Program.t, error) result
 
 val fixup : Ebpf.Program.t -> (Ebpf.Program.t, error) result
 (** Fixup stage alone: resolve helper-name relocations to helper ids. *)
+
+val analyze_ebpf :
+  ?use_cache:bool -> World.t -> Ebpf.Program.t ->
+  Analysis.Driver.report option
+(** Analyze stage alone: run the static-analysis passes the world's
+    [aconfig] enables (resource obligations, lock discipline, guard
+    elision) on a fixed-up program.  Findings are advisory — they never
+    block a load — so the stage has no error arm; [None] means every pass
+    is off.  Reports are cached in the world's verdict cache under
+    (program digest, analysis-config signature). *)
 
 val gate_verify :
   ?use_cache:bool -> World.t -> Ebpf.Program.t ->

@@ -35,9 +35,17 @@ type t = {
   tbl : (string, verdict) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  (* static-analysis reports, cached alongside verdicts: same content
+     addressing, separate table and tallies so analysis caching cannot
+     perturb verdict hit-rate measurements *)
+  atbl : (string, Analysis.Driver.report) Hashtbl.t;
+  mutable ahits : int;
+  mutable amisses : int;
 }
 
-let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0 }
+let create () =
+  { tbl = Hashtbl.create 16; hits = 0; misses = 0;
+    atbl = Hashtbl.create 16; ahits = 0; amisses = 0 }
 
 let serialize_map_def (d : Bpf_map.def) =
   Printf.sprintf "(map %s %s %d %d %d %s)" d.Bpf_map.name
@@ -48,11 +56,14 @@ let serialize_map_def (d : Bpf_map.def) =
 (* Canonical fingerprint of everything besides program content that can
    change a verdict.  Built from live values, hashed to a fixed-size key
    component. *)
-let fingerprint ~(config : Verifier.config) ~(bugs : Bugdb.t)
+let fingerprint ?(analysis = "") ~(config : Verifier.config) ~(bugs : Bugdb.t)
     ~(map_def : int -> Bpf_map.def option) (prog : Program.t) : string =
   let b = Buffer.create 256 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   add "kver %s" (Kver.to_string config.Verifier.version);
+  (* the static-analysis configuration rides along: toggling a pass (or a
+     helper safety flag) must not replay load results computed without it *)
+  if analysis <> "" then add "analysis %s" (Hash.Sha256.hex_digest analysis);
   add "max_insns %d" config.Verifier.max_insns;
   add "insn_budget %d" config.Verifier.insn_budget;
   add "max_states %d" config.Verifier.max_states_per_point;
@@ -92,7 +103,28 @@ let find t k =
     None
 
 let store t k v = Hashtbl.replace t.tbl k v
-let clear t = Hashtbl.reset t.tbl
+
+(* Analysis reports are keyed by (program digest, analysis-config
+   signature): the passes read nothing else, so nothing else can
+   invalidate them. *)
+let analysis_key ~digest ~signature =
+  digest ^ ":" ^ Hash.Sha256.hex_digest signature
+
+let find_analysis t k =
+  match Hashtbl.find_opt t.atbl k with
+  | Some r ->
+    t.ahits <- t.ahits + 1;
+    Some r
+  | None ->
+    t.amisses <- t.amisses + 1;
+    None
+
+let store_analysis t k r = Hashtbl.replace t.atbl k r
+
+let clear t = Hashtbl.reset t.tbl; Hashtbl.reset t.atbl
 let size t = Hashtbl.length t.tbl
 let hits t = t.hits
 let misses t = t.misses
+let analysis_size t = Hashtbl.length t.atbl
+let analysis_hits t = t.ahits
+let analysis_misses t = t.amisses

@@ -16,12 +16,16 @@ type t
 val create : unit -> t
 
 val fingerprint :
+  ?analysis:string ->
   config:Bpf_verifier.Verifier.config ->
   bugs:Helpers.Bugdb.t ->
   map_def:(int -> Maps.Bpf_map.def option) ->
   Ebpf.Program.t ->
   string
-(** Hash of every verdict input besides program content. *)
+(** Hash of every verdict input besides program content.  [?analysis] is
+    the static-analysis configuration signature
+    ({!Analysis.Driver.config_signature}); when non-empty it is folded in,
+    so toggling an analysis pass invalidates cached load results. *)
 
 val key : digest:string -> fingerprint:string -> string
 
@@ -30,7 +34,23 @@ val find : t -> string -> verdict option
 
 val store : t -> string -> verdict -> unit
 
+(** {2 Cached static-analysis reports}
+
+    Stored alongside verdicts under (program digest, analysis-config
+    signature) — the only inputs the passes read — with separate hit/miss
+    tallies so analysis caching cannot perturb verdict measurements. *)
+
+val analysis_key : digest:string -> signature:string -> string
+
+val find_analysis : t -> string -> Analysis.Driver.report option
+(** Bumps the analysis hit/miss tallies as a side effect. *)
+
+val store_analysis : t -> string -> Analysis.Driver.report -> unit
+
 val clear : t -> unit
 val size : t -> int
 val hits : t -> int
 val misses : t -> int
+val analysis_size : t -> int
+val analysis_hits : t -> int
+val analysis_misses : t -> int

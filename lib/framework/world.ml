@@ -14,6 +14,10 @@ type t = {
   maps : Bpf_map.Registry.t;
   bugs : Bugdb.t;
   mutable vconfig : Bpf_verifier.Verifier.config;
+  (* which static-analysis passes the load pipeline runs; mutable for the
+     same reason vconfig is — experiments toggle passes on a live world and
+     the verdict-cache fingerprint must notice *)
+  mutable aconfig : Analysis.Driver.config;
   progs : (int, Ebpf.Program.t) Hashtbl.t;
   mutable next_prog_id : int;
   (* the BPF_MAP_TYPE_PROG_ARRAY stand-in: tail-call index -> prog id *)
@@ -23,14 +27,16 @@ type t = {
   vcache : Verdict_cache.t;
 }
 
-let create ?(version = Kver.V5_18) ?vconfig () =
+let create ?(version = Kver.V5_18) ?vconfig
+    ?(aconfig = Analysis.Driver.default_config) () =
   let vconfig =
     match vconfig with
     | Some c -> c
     | None -> { (Bpf_verifier.Verifier.default_config ()) with Bpf_verifier.Verifier.version }
   in
   { kernel = Kernel.create (); maps = Bpf_map.Registry.create ();
-    bugs = Bugdb.create ~version (); vconfig; progs = Hashtbl.create 4;
+    bugs = Bugdb.create ~version (); vconfig; aconfig;
+    progs = Hashtbl.create 4;
     next_prog_id = 1; prog_array = Hashtbl.create 4;
     vcache = Verdict_cache.create () }
 
@@ -73,4 +79,5 @@ let populate t =
   Kernel.snapshot_refs t.kernel;
   t
 
-let create_populated ?version ?vconfig () = populate (create ?version ?vconfig ())
+let create_populated ?version ?vconfig ?aconfig () =
+  populate (create ?version ?vconfig ?aconfig ())

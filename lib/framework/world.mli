@@ -14,15 +14,20 @@ type t = {
   maps : Bpf_map.Registry.t;
   bugs : Bugdb.t;
   mutable vconfig : Bpf_verifier.Verifier.config;
+  mutable aconfig : Analysis.Driver.config;
+      (** which static-analysis passes the load pipeline runs *)
   progs : (int, Ebpf.Program.t) Hashtbl.t;
   mutable next_prog_id : int;
   prog_array : (int, int) Hashtbl.t;  (** tail-call index -> prog id *)
   vcache : Verdict_cache.t;  (** content-addressed verify-gate verdicts *)
 }
 
-val create : ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config -> unit -> t
+val create :
+  ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config ->
+  ?aconfig:Analysis.Driver.config -> unit -> t
 (** A bare world at the given simulated kernel version (default v5.18,
-    which also selects the default helper-bug windows). *)
+    which also selects the default helper-bug windows).  [?aconfig]
+    defaults to {!Analysis.Driver.default_config} (all passes on). *)
 
 val register_map : t -> Bpf_map.def -> Bpf_map.t
 
@@ -50,4 +55,5 @@ val populate : t -> t
     snapshot refcounts so health reports only extension-caused leaks. *)
 
 val create_populated :
-  ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config -> unit -> t
+  ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config ->
+  ?aconfig:Analysis.Driver.config -> unit -> t

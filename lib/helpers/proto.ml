@@ -45,9 +45,14 @@ type t = {
   args : arg_type list;               (* at most 5 (r1..r5) *)
   ret : ret_type;
   effects : effect_ list;
+  may_sleep : bool;                   (* may block: illegal under a spinlock *)
+  unbounded : bool;                   (* runtime not bounded by own insns
+                                         (bpf_loop-style iteration) *)
 }
 
-let make ?(effects = []) ~args ~ret () = { args; ret; effects }
+let make ?(effects = []) ?(may_sleep = false) ?(unbounded = false) ~args ~ret
+    () =
+  { args; ret; effects; may_sleep; unbounded }
 
 let arg_count t = List.length t.args
 
@@ -55,3 +60,5 @@ let acquires t = List.mem Acquires t.effects
 let releases t = List.find_map (function Releases i -> Some i | _ -> None) t.effects
 let locks t = List.mem Locks t.effects
 let unlocks t = List.mem Unlocks t.effects
+let may_sleep t = t.may_sleep
+let unbounded t = t.unbounded

@@ -28,7 +28,8 @@ type def = {
   impl : Hctx.t -> int64 array -> int64;
 }
 
-let p ?effects args ret = Proto.make ?effects ~args ~ret ()
+let p ?effects ?may_sleep ?unbounded args ret =
+  Proto.make ?effects ?may_sleep ?unbounded ~args ~ret ()
 
 let defs =
   [
@@ -58,7 +59,8 @@ let defs =
       introduced = Kver.V4_20; callgraph_nodes = 41;
       disposition = Some Retirement.Retire; impl = Helpers_map.peek_elem };
     { id = 164; name = "bpf_for_each_map_elem";
-      proto = p [ Arg_map_handle; Arg_callback_pc; Arg_anything; Arg_scalar ] Ret_scalar;
+      proto = p ~unbounded:true
+          [ Arg_map_handle; Arg_callback_pc; Arg_anything; Arg_scalar ] Ret_scalar;
       introduced = Kver.V5_15; callgraph_nodes = 128;
       disposition = Some Retirement.Retire; impl = Helpers_map.for_each_map_elem };
     (* locks *)
@@ -178,7 +180,8 @@ let defs =
       introduced = Kver.V5_4; callgraph_nodes = 92; disposition = None;
       impl = Helpers_probe.probe_read_kernel };
     { id = 112; name = "bpf_probe_read_user";
-      proto = p [ Arg_mem_writable (Size_arg 1); Arg_scalar; Arg_anything ] Ret_scalar;
+      proto = p ~may_sleep:true
+          [ Arg_mem_writable (Size_arg 1); Arg_scalar; Arg_anything ] Ret_scalar;
       introduced = Kver.V5_4; callgraph_nodes = 97; disposition = None;
       impl = Helpers_probe.probe_read_user };
     { id = 115; name = "bpf_probe_read_kernel_str";
@@ -187,7 +190,8 @@ let defs =
       impl = Helpers_probe.probe_read_kernel_str };
     (* control flow *)
     { id = 181; name = "bpf_loop";
-      proto = p [ Arg_scalar; Arg_callback_pc; Arg_anything; Arg_scalar ] Ret_scalar;
+      proto = p ~unbounded:true
+          [ Arg_scalar; Arg_callback_pc; Arg_anything; Arg_scalar ] Ret_scalar;
       introduced = Kver.V5_15; callgraph_nodes = 15;
       disposition = Some Retirement.Retire; impl = Helpers_loop.loop };
     { id = 170; name = "bpf_timer_start";
@@ -234,7 +238,8 @@ let defs =
       impl = Helpers_misc.trace_printk };
     (* the big one *)
     { id = 166; name = "bpf_sys_bpf";
-      proto = p [ Arg_scalar; Arg_mem_readable (Size_arg 2); Arg_scalar ] Ret_scalar;
+      proto = p ~may_sleep:true ~unbounded:true
+          [ Arg_scalar; Arg_mem_readable (Size_arg 2); Arg_scalar ] Ret_scalar;
       introduced = Kver.V5_15; callgraph_nodes = 4845;
       disposition = Some Retirement.Wrap; impl = Helpers_sys.sys_bpf };
     { id = 58; name = "bpf_override_return";

@@ -1,0 +1,31 @@
+(** The lightweight runtime protection mechanisms of §3.1: watchdog/fuel
+    termination, stack protection, and safe termination that releases
+    acquired kernel resources by running the {e recorded} destructor list
+    instead of unwinding the stack (no user-defined Drop code runs, no
+    allocation is needed, and failures during unwinding cannot happen). *)
+
+type reason =
+  | Fuel_exhausted            (** instruction-count watchdog *)
+  | Watchdog_timeout          (** simulated wall-clock watchdog *)
+  | Stack_violation           (** stack guard tripped *)
+  | Language_panic of string  (** rustlite panic (checked arithmetic, bounds) *)
+
+val reason_to_string : reason -> string
+
+type termination = {
+  reason : reason;
+  cleaned_resources : int;  (** destructors run by the trusted cleanup list *)
+  at_ns : int64;
+}
+
+exception Terminate of reason
+(** Raised at a guard trip point; caught by the interpreter/JIT drivers,
+    which then call {!terminate}. *)
+
+val terminate : Helpers.Hctx.t -> reason -> termination
+(** Safe termination: run the recorded destructors (LIFO), leave any RCU
+    read-side sections, bump the guard telemetry, and report what was
+    cleaned.  This is the trusted, cannot-fail path the paper contrasts
+    with ABI unwinding. *)
+
+val pp_termination : Format.formatter -> termination -> unit

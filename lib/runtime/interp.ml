@@ -35,19 +35,23 @@ type t = {
   mutable insns_retired : int64;
   tele_on : bool;                  (* telemetry state, sampled once per run *)
   mutable pc_tally : int array;    (* per-run block-profile diff array, flushed at exit *)
+  elide : int array;               (* per-pc statically resolved jump target,
+                                      -1 = execute the guard; [||] = none *)
 }
 
 let max_call_depth = 8
 let stack_size = 512
 
 let create ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_insn = 1L)
-    ?(max_depth = max_call_depth) ?(rcu_check_interval = 4096) (hctx : Hctx.t) =
+    ?(max_depth = max_call_depth) ?(rcu_check_interval = 4096) ?(elide = [||])
+    (hctx : Hctx.t) =
   let wall_deadline =
     if Int64.compare wall_ns 0L < 0 then -1L
     else Int64.add (Vclock.now hctx.kernel.clock) wall_ns
   in
   { hctx; fuel; wall_deadline; ns_per_insn; max_depth; rcu_check_interval;
-    insns_retired = 0L; tele_on = Telemetry.Registry.enabled (); pc_tally = [||] }
+    insns_retired = 0L; tele_on = Telemetry.Registry.enabled (); pc_tally = [||];
+    elide }
 
 let frame t depth = Hctx.stack_frame t.hctx depth
 
@@ -181,6 +185,23 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
       Oops.raise_oops ~kind:Oops.Control_flow_hijack
         ~context:(Printf.sprintf "pc=%d out of program" !pc)
         ~time_ns:(Vclock.now t.hctx.kernel.clock) ();
+    if !pc < Array.length t.elide && Array.unsafe_get t.elide !pc >= 0 then begin
+      (* a guard the static analysis proved one-way: take the resolved edge
+         without evaluating the condition.  The instruction still retires
+         (fuel and clock charge as usual) so the simulated cost model is
+         identical with elision on or off — elision saves host-side decode
+         and condition evaluation, never simulated budget, which is what
+         keeps Chaos fuel-pressure outcomes bit-identical either way. *)
+      tick t;
+      let next = Array.unsafe_get t.elide !pc in
+      if tele_on && next <> !pc + 1 then begin
+        Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
+        Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1);
+        bs := next
+      end;
+      pc := next
+    end
+    else begin
     let insn = insns.(!pc) in
     tick t;
     (match insn with
@@ -360,6 +381,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
       end;
       retval := regs.(0);
       running := false)
+    end
   done
   with e ->
     (* an instruction that raised never completed: commit [bs, pc - 1] *)
@@ -369,8 +391,10 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
 
 (* Run a program whose context struct lives at [ctx_addr]. *)
 let run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
-    ~(hctx : Hctx.t) ~(prog : Program.t) ~ctx_addr () : outcome * int64 =
-  let t = create ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval hctx in
+    ?elide ~(hctx : Hctx.t) ~(prog : Program.t) ~ctx_addr () : outcome * int64 =
+  let t =
+    create ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ?elide hctx
+  in
   (* charge clock via the helpers' charge hook too *)
   hctx.charge <- (fun ns -> Vclock.advance hctx.kernel.clock ns);
   Telemetry.Registry.bump tele_runs;
@@ -395,8 +419,8 @@ let run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
   flush_tallies t prog.Program.insns;
   (outcome, t.insns_retired)
 
-let run ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ~hctx ~prog
-    ~ctx_addr () =
+let run ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ?elide ~hctx
+    ~prog ~ctx_addr () =
   fst
-    (run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ~hctx
-       ~prog ~ctx_addr ())
+    (run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
+       ?elide ~hctx ~prog ~ctx_addr ())

@@ -50,8 +50,8 @@ let op_counter = function
   | Insn.Call _ | Insn.Call_sub _ -> tele_op_call
   | Insn.Exit -> tele_op_exit
 
-let compile ?(bug_branch_off_by_one = false) (hctx : Hctx.t) (prog : Program.t) :
-    compiled =
+let compile ?(bug_branch_off_by_one = false) ?(elide = [||]) (hctx : Hctx.t)
+    (prog : Program.t) : compiled =
   Telemetry.Registry.bump tele_compiles;
   let mem = hctx.kernel.mem in
   let branch_target pc off =
@@ -62,6 +62,16 @@ let compile ?(bug_branch_off_by_one = false) (hctx : Hctx.t) (prog : Program.t) 
   let compile_one pc insn : jstate -> unit =
     let ctx_str = Printf.sprintf "bpf_jit+%d" pc in
     match insn with
+    | Insn.Jmp _
+      when (not bug_branch_off_by_one)
+           && pc < Array.length elide
+           && elide.(pc) >= 0 ->
+      (* a guard the static analysis proved one-way compiles to an
+         unconditional jump.  Suppressed under the CVE-2021-29154 branch
+         bug: elision would bypass the miscomputed backward target and
+         silently mask the modelled JIT bug. *)
+      let t = elide.(pc) in
+      fun st -> st.jpc <- t
     | Insn.Alu { op; width; dst; src } ->
       let get_s =
         match src with

@@ -1,0 +1,107 @@
+(** Per-register abstract state, after Linux's [struct bpf_reg_state]: a
+    register type, a fixed offset (for pointers), a tnum for the variable
+    part, and signed/unsigned 64-bit bounds kept mutually consistent by
+    {!bounds_sync}.  The ALU transfer functions are simplified ports of
+    [adjust_scalar_min_max_vals].  The {!join}/{!widen} pair makes the
+    state a (widened) join-semilattice for the dataflow engine in
+    [lib/analysis]. *)
+
+type rtype =
+  | Not_init
+  | Scalar
+  | Ptr_ctx
+  | Ptr_stack
+  | Ptr_map_value of { map_id : int }
+  | Ptr_map_value_or_null of { map_id : int }
+  | Ptr_mem of { mem_size : int }
+  | Ptr_mem_or_null of { mem_size : int }
+  | Ptr_sock
+  | Ptr_sock_or_null
+  | Ptr_task
+  | Ptr_task_or_null
+  | Map_handle of { map_id : int }
+
+type t = {
+  rtype : rtype;
+  off : int;         (** fixed offset component for pointers *)
+  var_off : Tnum.t;  (** scalar value / variable offset *)
+  smin : int64;
+  smax : int64;
+  umin : int64;
+  umax : int64;
+  id : int;          (** non-zero: null-check propagation group *)
+  ref_obj_id : int;  (** non-zero: carries a reference obligation *)
+}
+
+(** {2 Int64 comparison helpers} *)
+
+val u_le : int64 -> int64 -> bool
+val u_lt : int64 -> int64 -> bool
+val u_min : int64 -> int64 -> int64
+val u_max : int64 -> int64 -> int64
+val s_min : int64 -> int64 -> int64
+val s_max : int64 -> int64 -> int64
+
+(** {2 Constructors} *)
+
+val not_init : t
+val unknown_scalar : t
+val const_scalar : int64 -> t
+val pointer : ?off:int -> ?id:int -> ?ref_obj_id:int -> rtype -> t
+
+(** {2 Predicates} *)
+
+val is_pointer : t -> bool
+val is_maybe_null : t -> bool
+val is_scalar : t -> bool
+val is_init : t -> bool
+val is_const : t -> bool
+val const_value : t -> int64 option
+
+(** {2 Bounds maintenance} *)
+
+val bounds_sync : t -> t
+(** Keep tnum and the four bounds mutually consistent (the kernel's
+    [__update_reg_bounds] / [__reg_deduce_bounds] / [__reg_bound_offset]
+    trio). *)
+
+val mark_unknown : t -> t
+val zext32 : t -> t
+(** 32-bit destination: zero-extend (the eBPF ALU32 semantics). *)
+
+val signed_add_overflows : int64 -> int64 -> bool
+val signed_sub_overflows : int64 -> int64 -> bool
+val unsigned_add_overflows : int64 -> int64 -> bool
+
+(** {2 Scalar transfer functions (64-bit)} *)
+
+val scalar_add : t -> t -> t
+val scalar_sub : t -> t -> t
+val scalar_mul : t -> t -> t
+val scalar_and : t -> t -> t
+val scalar_or : t -> t -> t
+val scalar_xor : t -> t -> t
+
+val scalar_shift_const : [ `Lsh | `Rsh | `Arsh ] -> t -> int -> t
+
+val scalar_div_const : t -> int64 -> t
+(** Unsigned division by a constant.  Sound for [Div] only: callers
+    modelling [Mod] must not reuse these bounds (9 mod 5 = 4 exceeds
+    9 / 5 = 1). *)
+
+val scalar_neg : t -> t
+
+(** {2 Printing} *)
+
+val pp_rtype : Format.formatter -> rtype -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {2 Join / widening (for the abstract-interpretation engine)} *)
+
+val join : t -> t -> t
+(** Least upper bound.  Where the types disagree the result is [Not_init]
+    — unusable, so any later use rejects (sound over-approximation). *)
+
+val widen : prev:t -> t -> t
+(** Standard widening: any bound that moved since the previous iterate
+    jumps to its extreme, guaranteeing termination of the fixpoint. *)

@@ -204,6 +204,44 @@ let test_cfg_path_explosion () =
   let cfg = Cfg.build (assemble_exn items) in
   Alcotest.(check int) "2^10 paths" 1024 (Cfg.path_count cfg)
 
+(* hardening: a loop confined to dead code must still be reported (the
+   pre-5.3 rejection is syntactic, not reachability-based) *)
+let test_cfg_unreachable_loop () =
+  let open Asm in
+  let prog =
+    assemble_exn
+      [ mov_i r0 0; exit_;
+        (* dead: *) label "dead"; add_i r1 1; ja "dead" ]
+  in
+  let cfg = Cfg.build prog in
+  Alcotest.(check bool) "dead-code loop still detected" true (Cfg.has_loop cfg);
+  Alcotest.(check bool) "dead block not reachable" false
+    (Hashtbl.mem (Cfg.reachable cfg) 2);
+  (* the cyclic part is unreachable: path counting ignores it *)
+  Alcotest.(check int) "one live path" 1 (Cfg.path_count cfg)
+
+let test_cfg_no_trailing_exit () =
+  let open Asm in
+  (* both arms fall off the end of the program — each is a terminator, so
+     two paths, no divergence *)
+  let prog =
+    assemble_exn [ jeq_i r1 0 "else"; mov_i r0 1; label "else"; mov_i r0 2 ]
+  in
+  let cfg = Cfg.build prog in
+  Alcotest.(check bool) "no loop" false (Cfg.has_loop cfg);
+  Alcotest.(check int) "fall-off-end paths counted" 2 (Cfg.path_count cfg)
+
+let test_cfg_self_loop () =
+  let open Asm in
+  let prog = assemble_exn [ mov_i r0 0; label "spin"; ja "spin" ] in
+  let cfg = Cfg.build prog in
+  Alcotest.(check bool) "self-loop detected" true (Cfg.has_loop cfg);
+  Alcotest.(check bool) "self back edge reported" true
+    (List.mem (1, 1) (Cfg.back_edges cfg));
+  (* cyclic reachable subgraph: the count saturates at the cap instead of
+     diverging *)
+  Alcotest.(check int) "path count caps" 7 (Cfg.path_count ~cap:7 cfg)
+
 let test_program_referenced_maps () =
   let open Asm in
   let prog =
@@ -240,6 +278,9 @@ let suite =
     Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
     Alcotest.test_case "cfg loop" `Quick test_cfg_loop;
     Alcotest.test_case "cfg path explosion" `Quick test_cfg_path_explosion;
+    Alcotest.test_case "cfg unreachable loop" `Quick test_cfg_unreachable_loop;
+    Alcotest.test_case "cfg no trailing exit" `Quick test_cfg_no_trailing_exit;
+    Alcotest.test_case "cfg self-loop" `Quick test_cfg_self_loop;
     Alcotest.test_case "referenced maps" `Quick test_program_referenced_maps;
     Alcotest.test_case "ctx descriptors" `Quick test_ctx_descriptors;
     QCheck_alcotest.to_alcotest roundtrip_property;

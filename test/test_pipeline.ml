@@ -249,6 +249,53 @@ let test_invalidation_bugdb () =
   Alcotest.(check int) "restoring the bug set hits again" (hits_before + 1)
     (Verdict_cache.hits world.World.vcache)
 
+(* aconfig is the same footgun: the analysis configuration is a mutable
+   world field the verdict fingerprint folds in, so toggling a lint pass
+   must invalidate cached verdicts exactly like a vconfig mutation. *)
+let test_invalidation_aconfig () =
+  let world = World.create_populated () in
+  let prog = trivial_prog () in
+  ignore (Pipeline.load_ebpf world prog);
+  let misses_before = Verdict_cache.misses world.World.vcache in
+  world.World.aconfig <-
+    { world.World.aconfig with Analysis.Driver.elide = false };
+  ignore (Pipeline.load_ebpf world prog);
+  Alcotest.(check int) "analysis config change forces a verdict miss"
+    (misses_before + 1)
+    (Verdict_cache.misses world.World.vcache);
+  world.World.aconfig <-
+    { world.World.aconfig with Analysis.Driver.elide = true };
+  let hits_before = Verdict_cache.hits world.World.vcache in
+  ignore (Pipeline.load_ebpf world prog);
+  Alcotest.(check int) "restored analysis config hits again" (hits_before + 1)
+    (Verdict_cache.hits world.World.vcache)
+
+let test_analysis_report_cached () =
+  let world = World.create_populated () in
+  let prog = trivial_prog () in
+  (match Pipeline.load_ebpf world prog with
+  | Ok (Pipeline.Ebpf_prog { analysis = Some _; _ }) -> ()
+  | Ok _ -> Alcotest.fail "expected an analysis report on the handle"
+  | Error _ -> Alcotest.fail "load failed");
+  Alcotest.(check int) "one analysis miss" 1
+    (Verdict_cache.analysis_misses world.World.vcache);
+  (match Pipeline.load_ebpf world prog with
+  | Ok (Pipeline.Ebpf_prog { analysis = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "second load failed");
+  Alcotest.(check int) "second load hits the analysis table" 1
+    (Verdict_cache.analysis_hits world.World.vcache);
+  Alcotest.(check int) "one analysis entry" 1
+    (Verdict_cache.analysis_size world.World.vcache);
+  (* all_off skips the stage entirely: no report on the handle and no
+     further analysis-table traffic *)
+  world.World.aconfig <- Analysis.Driver.all_off;
+  match Pipeline.load_ebpf world prog with
+  | Ok (Pipeline.Ebpf_prog { analysis = None; _ }) ->
+    Alcotest.(check int) "skipped stage leaves the table alone" 1
+      (Verdict_cache.analysis_misses world.World.vcache)
+  | Ok _ -> Alcotest.fail "all_off must skip the analysis stage"
+  | Error _ -> Alcotest.fail "load failed"
+
 (* qcheck: for random helper-free ALU programs, a cache-hit load is
    observationally identical to a fresh verification — same verdict, same
    stats, same run outcome. *)
@@ -442,6 +489,10 @@ let suite =
     Alcotest.test_case "invalidation: vconfig mutation" `Quick test_invalidation_vconfig;
     Alcotest.test_case "invalidation: vbug toggle" `Quick test_invalidation_vbug;
     Alcotest.test_case "invalidation: bugdb injection" `Quick test_invalidation_bugdb;
+    Alcotest.test_case "invalidation: analysis config" `Quick
+      test_invalidation_aconfig;
+    Alcotest.test_case "analysis reports cached beside verdicts" `Quick
+      test_analysis_report_cached;
     QCheck_alcotest.to_alcotest cache_equivalence_property;
     Alcotest.test_case "pooled run matches one-shot" `Quick test_reuse_matches_fresh;
     Alcotest.test_case "pooled run keeps address space flat" `Quick
