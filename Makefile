@@ -3,7 +3,8 @@
 # regressions, not a precision measurement; use `make bench-telemetry` for
 # the real numbers).
 
-.PHONY: all build test check bench bench-telemetry lint-smoke clean
+.PHONY: all build test check bench bench-telemetry bench-profile lint-smoke \
+        trace-smoke profile-smoke clean
 
 all: build
 
@@ -21,6 +22,8 @@ check:
 	dune exec bench/main.exe -- chaos-smoke
 	dune exec bench/main.exe -- elision-smoke
 	$(MAKE) lint-smoke
+	$(MAKE) trace-smoke
+	$(MAKE) profile-smoke
 
 # The three analysis passes over the lint corpus (which includes the §2.2
 # probe-read exploit vehicle): every known-bad program must be flagged,
@@ -40,11 +43,37 @@ lint-smoke:
 	grep -q 'clean: .*OK' /tmp/lint_demo.out
 	@echo "lint-smoke: OK"
 
+# Causal-trace round trip: a seeded dispatch run exports a Chrome
+# trace-event file, the exporter self-validates it (balanced B/E per lane,
+# monotonic timestamps), and the standalone parser re-validates from disk.
+trace-smoke:
+	dune build @all
+	dune exec bin/untenable_cli.exe -- dispatch --events 200 \
+	  --trace /tmp/untenable-trace.json > /tmp/trace_smoke.out
+	grep -q 'perfetto-valid' /tmp/trace_smoke.out
+	test -s /tmp/untenable-trace.json
+	dune exec bin/untenable_cli.exe -- trace-check /tmp/untenable-trace.json
+	@echo "trace-smoke: OK"
+
+# Sampling-profiler wiring: samples land while armed and the on/off ratio
+# stays bounded.  3 reps is too noisy for the <5% target — that number
+# comes from the full `make bench-profile` run.
+profile-smoke:
+	dune build @all
+	dune exec bench/main.exe -- profile-smoke > /tmp/profile_smoke.out
+	grep -q 'samples taken while armed' /tmp/profile_smoke.out
+	! grep -q 'samples taken while armed: 0 ' /tmp/profile_smoke.out
+	grep -q 'smoke bound: .* MET' /tmp/profile_smoke.out
+	@echo "profile-smoke: OK"
+
 bench:
 	dune exec bench/main.exe
 
 bench-telemetry:
 	dune exec bench/main.exe -- telemetry
+
+bench-profile:
+	dune exec bench/main.exe -- profile
 
 clean:
 	dune clean

@@ -6,9 +6,18 @@
      untenable-cli demo ID [--fixed]         run one exploit demo
      untenable-cli dispatch [--filters N]    attach a filter population and
                    [--events N] [--jit]      drive a synthetic packet stream
+                   [--trace FILE]            (optionally writing a Perfetto trace)
      untenable-cli supervise [--events N]    serve a stream with a crasher in
                    [--policy P]              the population; per-extension
                    [--chaos-rate R]          breaker/quarantine health
+     untenable-cli profile [--period NS]     sampled block-level profile plus
+                   [--events N] [--jit]      per-helper latency histograms
+     untenable-cli flame [--samples]         folded stacks (span self-time or
+                                             profiler samples) for flamegraph.pl
+     untenable-cli top [--events N]          per-extension health scorecard:
+                   [--chaos-rate R]          p50/p99, crash/exhaust rates,
+                                             breaker state, cache hit ratio
+     untenable-cli trace-check FILE          validate a Chrome trace-event file
      untenable-cli matrix                    executable Table 2
      untenable-cli datasets                  the paper's static datasets
      untenable-cli stats [ID] [--format F]   telemetry snapshot (last demo or ID)
@@ -217,31 +226,71 @@ let datasets_cmd =
 
 (* ---- dispatch ---- *)
 
+(* The rotating filter population shared by dispatch / profile / flame:
+   length, parity-of-length, first byte — plus (when [with_helper]) a
+   kprobe that calls a helper, so the per-helper latency histograms have
+   something to show. *)
+let attach_filters ?(with_helper = false) engine ~filters =
+  let open Ebpf.Asm in
+  let bodies =
+    [| ("len", [ ldxw r0 r1 0; exit_ ]);
+       ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]);
+       ("proto", [ ldxw r0 r1 4; exit_ ]) |]
+  in
+  let world = engine.Framework.Dispatch.world in
+  let load name prog_type items =
+    let prog = Ebpf.Program.of_items_exn ~name ~prog_type items in
+    match Framework.Pipeline.load_ebpf world prog with
+    | Ok loaded ->
+      ignore (Framework.Attach.attach engine.Framework.Dispatch.attach ~hook:"xdp" loaded)
+    | Error e ->
+      Format.eprintf "load failed: %a@." Framework.Pipeline.pp_error e;
+      exit 1
+  in
+  for i = 0 to filters - 1 do
+    let name, items = bodies.(i mod Array.length bodies) in
+    load (Printf.sprintf "%s%d" name i) Ebpf.Program.Socket_filter items
+  done;
+  if with_helper then begin
+    let h = Helpers.Registry.id_of_name in
+    load "ktime" Ebpf.Program.Kprobe
+      [ call (h "bpf_ktime_get_ns"); mov_i r0 0; exit_ ]
+  end
+
+(* Write the retained span tree as Chrome trace-event JSON and prove it
+   Perfetto-loadable before declaring success: an unbalanced file (e.g.
+   from ring overflow) is worse than no file. *)
+let write_chrome_trace path =
+  let text = Telemetry.Export.to_chrome_trace (Telemetry.Registry.snapshot ()) in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  match Telemetry.Trace_check.validate text with
+  | Ok st ->
+    Printf.printf
+      "trace: %s — %d events, %d spans, %d instants, %d lanes, max depth %d \
+       (perfetto-valid)\n"
+      path st.Telemetry.Trace_check.events st.Telemetry.Trace_check.spans
+      st.Telemetry.Trace_check.instants st.Telemetry.Trace_check.traces
+      st.Telemetry.Trace_check.max_depth
+  | Error msg ->
+    Printf.eprintf "trace: %s is NOT a valid trace-event file: %s\n" path msg;
+    exit 1
+
 let dispatch_cmd =
-  let run filters events size seed jit =
+  let run filters events size seed jit trace_out =
+    (* tracing to a file needs every Enter matched by a retained Exit, so
+       size the ring for the whole stream instead of the default window *)
+    (match trace_out with
+    | Some _ ->
+      Telemetry.Registry.set_trace_capacity
+        (max Telemetry.Registry.default_trace_capacity
+           ((events * ((filters * 8) + 8)) + 256))
+    | None -> ());
     let world = Framework.World.create_populated () in
     let opts = { Framework.Invoke.default_opts with Framework.Invoke.use_jit = jit } in
     let engine = Framework.Dispatch.create ~opts world in
-    let open Ebpf.Asm in
-    (* a small rotating population: length, parity-of-length, first byte *)
-    let bodies =
-      [| ("len", [ ldxw r0 r1 0; exit_ ]);
-         ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]);
-         ("proto", [ ldxw r0 r1 4; exit_ ]) |]
-    in
-    for i = 0 to filters - 1 do
-      let name, items = bodies.(i mod Array.length bodies) in
-      let prog =
-        Ebpf.Program.of_items_exn ~name:(Printf.sprintf "%s%d" name i)
-          ~prog_type:Ebpf.Program.Socket_filter items
-      in
-      match Framework.Pipeline.load_ebpf world prog with
-      | Ok loaded ->
-        ignore (Framework.Attach.attach engine.Framework.Dispatch.attach ~hook:"xdp" loaded)
-      | Error e ->
-        Format.eprintf "load failed: %a@." Framework.Pipeline.pp_error e;
-        exit 1
-    done;
+    attach_filters engine ~filters;
     Printf.printf "loaded programs:\n";
     List.iter
       (fun (id, (p : Ebpf.Program.t)) ->
@@ -265,6 +314,7 @@ let dispatch_cmd =
       Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count:events ()
     in
     Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    (match trace_out with None -> () | Some path -> write_chrome_trace path);
     save_snapshot ();
     Printf.printf "(telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
   in
@@ -281,10 +331,17 @@ let dispatch_cmd =
     Arg.(value & opt int64 0x9e3779b97f4a7c15L & info [ "seed" ] ~doc:"Packet-stream seed.")
   in
   let jit = Arg.(value & flag & info [ "jit" ] ~doc:"Run filters through the JIT.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the causal trace as Chrome trace-event JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "dispatch"
        ~doc:"Load and attach a filter population, then drive a synthetic packet stream")
-    Term.(const run $ filters $ events $ size $ seed $ jit)
+    Term.(const run $ filters $ events $ size $ seed $ jit $ trace_out)
 
 (* ---- supervise ---- *)
 
@@ -404,6 +461,263 @@ let supervise_cmd =
          "Serve a packet stream with a crashing extension in the population and \
           show per-extension supervision health")
     Term.(const run $ events $ policy $ chaos_rate $ no_crasher)
+
+(* ---- profile / flame ---- *)
+
+(* Shared workload for the profiling views: the dispatch population (plus a
+   helper-calling kprobe) under a seeded stream, with the Vclock sampler
+   armed for the duration. *)
+let run_profiled ~filters ~events ~size ~seed ~jit ~period_ns =
+  let world = Framework.World.create_populated () in
+  let opts = { Framework.Invoke.default_opts with Framework.Invoke.use_jit = jit } in
+  let engine = Framework.Dispatch.create ~opts world in
+  attach_filters ~with_helper:true engine ~filters;
+  Telemetry.Profiler.reset ();
+  Telemetry.Profiler.set_period period_ns;
+  let gen = Framework.Dispatch.synthetic_packets ~seed ~size () in
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Profiler.set_period 0L)
+      (fun () -> Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count:events ())
+  in
+  (stats, world)
+
+let period_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "period" ] ~docv:"NS"
+        ~doc:"Sampling period in simulated nanoseconds (0 disables).")
+
+let profile_cmd =
+  let run filters events size seed jit period =
+    let stats, _world =
+      run_profiled ~filters ~events ~size ~seed ~jit ~period_ns:(Int64.of_int period)
+    in
+    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    let total = Telemetry.Profiler.total () in
+    Printf.printf "\nsamples: %d (period %dns, vclock-driven)\n" total period;
+    if total > 0 then
+      print_string
+        (Framework.Report.table
+           ~header:[ "stack (prog;engine;block)"; "samples"; "share" ]
+           (List.map
+              (fun (stack, n) ->
+                [ stack; string_of_int n;
+                  Printf.sprintf "%.1f%%" (100. *. float_of_int n /. float_of_int total) ])
+              (Telemetry.Profiler.sample_list ())));
+    (* the per-helper latency scorecard, read back from the interned
+       helper.ns.* histograms *)
+    let s = Telemetry.Registry.snapshot () in
+    let prefix = "helper.ns." in
+    let plen = String.length prefix in
+    let helpers =
+      List.filter
+        (fun (name, h) ->
+          String.length name > plen
+          && String.equal (String.sub name 0 plen) prefix
+          && Telemetry.Histogram.count h > 0)
+        s.Telemetry.Registry.histograms
+    in
+    if helpers <> [] then begin
+      Printf.printf "\nhelper latency (simulated ns):\n";
+      print_string
+        (Framework.Report.table
+           ~header:[ "helper"; "calls"; "mean"; "p50"; "p99"; "max" ]
+           (List.map
+              (fun (name, h) ->
+                [ String.sub name plen (String.length name - plen);
+                  string_of_int (Telemetry.Histogram.count h);
+                  Printf.sprintf "%.0f" (Telemetry.Histogram.mean h);
+                  Int64.to_string (Telemetry.Histogram.quantile h 0.50);
+                  Int64.to_string (Telemetry.Histogram.quantile h 0.99);
+                  Int64.to_string (Telemetry.Histogram.max_value h) ])
+              helpers))
+    end
+  in
+  let filters =
+    Arg.(value & opt int 3 & info [ "filters" ] ~doc:"Number of filters to attach.")
+  in
+  let events =
+    Arg.(value & opt int 2_000 & info [ "events" ] ~doc:"Number of synthetic packets.")
+  in
+  let size = Arg.(value & opt int 64 & info [ "size" ] ~doc:"Packet size in bytes.") in
+  let seed =
+    Arg.(value & opt int64 0x9e3779b97f4a7c15L & info [ "seed" ] ~doc:"Packet-stream seed.")
+  in
+  let jit = Arg.(value & flag & info [ "jit" ] ~doc:"Run filters through the JIT.") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Drive a seeded stream with the sampling profiler armed and print \
+          block-level sample attribution plus per-helper latency histograms")
+    Term.(const run $ filters $ events $ size $ seed $ jit $ period_arg)
+
+let flame_cmd =
+  let run filters events size seed jit period samples =
+    let _stats, _world =
+      run_profiled ~filters ~events ~size ~seed ~jit ~period_ns:(Int64.of_int period)
+    in
+    (* both outputs are flamegraph-collapse lines, ready for
+       flamegraph.pl / speedscope *)
+    if samples then print_string (Telemetry.Profiler.to_folded ())
+    else print_string (Telemetry.Export.to_folded (Telemetry.Registry.snapshot ()))
+  in
+  let filters =
+    Arg.(value & opt int 3 & info [ "filters" ] ~doc:"Number of filters to attach.")
+  in
+  let events =
+    Arg.(value & opt int 2_000 & info [ "events" ] ~doc:"Number of synthetic packets.")
+  in
+  let size = Arg.(value & opt int 64 & info [ "size" ] ~doc:"Packet size in bytes.") in
+  let seed =
+    Arg.(value & opt int64 0x9e3779b97f4a7c15L & info [ "seed" ] ~doc:"Packet-stream seed.")
+  in
+  let jit = Arg.(value & flag & info [ "jit" ] ~doc:"Run filters through the JIT.") in
+  let samples =
+    Arg.(
+      value & flag
+      & info [ "samples" ]
+          ~doc:"Fold profiler samples instead of span self-time.")
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Run the profile workload and print folded stacks (span self-time, \
+          or profiler samples with --samples) in flamegraph-collapse format")
+    Term.(const run $ filters $ events $ size $ seed $ jit $ period_arg $ samples)
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let run events chaos_rate no_crasher jit =
+    let world = Framework.World.create_populated () in
+    let policy =
+      Framework.Dispatch.Supervise
+        { Framework.Supervisor.default_config with
+          Framework.Supervisor.cooldown_ns = 100L;
+          max_cooldown_ns = 1_000L }
+    in
+    let opts = { Framework.Invoke.default_opts with Framework.Invoke.use_jit = jit } in
+    let engine = Framework.Dispatch.create ~policy ~opts world in
+    let open Ebpf.Asm in
+    let h = Helpers.Registry.id_of_name in
+    let attach name ~prog_type items =
+      let prog = Ebpf.Program.of_items_exn ~name ~prog_type items in
+      match Framework.Pipeline.load_ebpf world prog with
+      | Ok loaded ->
+        ignore
+          (Framework.Attach.attach engine.Framework.Dispatch.attach ~hook:"xdp" loaded)
+      | Error e ->
+        Format.eprintf "load failed: %a@." Framework.Pipeline.pp_error e;
+        exit 1
+    in
+    if not no_crasher then begin
+      Helpers.Bugdb.force_on world.Framework.World.bugs
+        "hbug:probe-read-size-unchecked";
+      attach "crasher" ~prog_type:Ebpf.Program.Kprobe
+        [ call (h "bpf_get_current_task"); mov_r r3 r0; mov_r r1 r10;
+          add_i r1 (-16); mov_i r2 16; call (h "bpf_probe_read_kernel");
+          mov_i r0 0; exit_ ]
+    end;
+    List.iter
+      (fun (name, items) -> attach name ~prog_type:Ebpf.Program.Socket_filter items)
+      [ ("len", [ ldxw r0 r1 0; exit_ ]);
+        ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]);
+        ("proto", [ ldxw r0 r1 4; exit_ ]);
+        (* a second copy of len: same image, so its load is a verdict-cache
+           hit and the hit-ratio line below has something to show *)
+        ("len", [ ldxw r0 r1 0; exit_ ]) ];
+    let chaos =
+      if chaos_rate <= 0. then None
+      else
+        Some
+          { Framework.Chaos.default_config with Framework.Chaos.fault_rate = chaos_rate }
+    in
+    let stats =
+      Framework.Dispatch.run_stream ?chaos engine ~hook:"xdp"
+        ~gen:(Framework.Dispatch.synthetic_packets ~size:64 ())
+        ~count:events ()
+    in
+    let pct r = Printf.sprintf "%.1f%%" (100. *. r) in
+    print_string
+      (Framework.Report.table
+         ~header:[ "#"; "extension"; "state"; "inv"; "p50ns"; "p99ns"; "crash";
+                   "exhaust"; "skip"; "trips" ]
+         (List.map
+            (fun (x : Framework.Supervisor.health) ->
+              [ string_of_int x.Framework.Supervisor.attach_id;
+                x.Framework.Supervisor.name;
+                Framework.Supervisor.state_to_string x.Framework.Supervisor.state;
+                string_of_int x.Framework.Supervisor.invocations;
+                Int64.to_string x.Framework.Supervisor.p50_ns;
+                Int64.to_string x.Framework.Supervisor.p99_ns;
+                pct x.Framework.Supervisor.crash_rate;
+                pct x.Framework.Supervisor.exhaust_rate;
+                string_of_int x.Framework.Supervisor.skipped;
+                string_of_int x.Framework.Supervisor.trips ])
+            stats.Framework.Dispatch.per_ext));
+    let vc = world.Framework.World.vcache in
+    let hits = Framework.Verdict_cache.hits vc in
+    let misses = Framework.Verdict_cache.misses vc in
+    let lookups = hits + misses in
+    Printf.printf
+      "verdict cache: %d hits / %d misses (%d invalidated), hit ratio %.1f%%\n"
+      hits misses
+      (Framework.Verdict_cache.invalidations vc)
+      (if lookups = 0 then 0.
+       else 100. *. float_of_int hits /. float_of_int lookups);
+    Printf.printf "events: %d dispatched, %d faults absorbed, kernel %s\n"
+      stats.Framework.Dispatch.events stats.Framework.Dispatch.faults_absorbed
+      (if Kernel_sim.Kernel.is_dead world.Framework.World.kernel then "DEAD"
+       else "alive")
+  in
+  let events =
+    Arg.(value & opt int 2_000 & info [ "events" ] ~doc:"Number of synthetic packets.")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-rate" ] ~docv:"RATE"
+          ~doc:"Chaos injection probability per event (0 disables).")
+  in
+  let no_crasher =
+    Arg.(
+      value & flag
+      & info [ "no-crasher" ]
+          ~doc:"Attach only healthy filters (skip the probe-read crasher).")
+  in
+  let jit = Arg.(value & flag & info [ "jit" ] ~doc:"Run filters through the JIT.") in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Serve a stream and print the per-extension health scorecard: latency \
+          quantiles, crash/exhaustion rates, breaker state and the \
+          verdict-cache hit ratio")
+    Term.(const run $ events $ chaos_rate $ no_crasher $ jit)
+
+(* ---- trace-check ---- *)
+
+let trace_check_cmd =
+  let run path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Telemetry.Trace_check.validate text with
+    | Ok st ->
+      Printf.printf "%s: %d events, %d spans, %d instants, %d lanes, max depth %d — OK\n"
+        path st.Telemetry.Trace_check.events st.Telemetry.Trace_check.spans
+        st.Telemetry.Trace_check.instants st.Telemetry.Trace_check.traces
+        st.Telemetry.Trace_check.max_depth
+    | Error msg ->
+      Printf.eprintf "%s: INVALID: %s\n" path msg;
+      exit 1
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace-event JSON file (as written by dispatch --trace)")
+    Term.(const run $ path)
 
 (* ---- lint ---- *)
 
@@ -591,7 +905,7 @@ let main =
     (Cmd.info "untenable-cli" ~version:Untenable.version
        ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
     [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; supervise_cmd;
-      matrix_cmd; datasets_cmd; lint_cmd; rl_check_cmd; rl_run_cmd; stats_cmd;
-      trace_cmd ]
+      profile_cmd; flame_cmd; top_cmd; trace_check_cmd; matrix_cmd;
+      datasets_cmd; lint_cmd; rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -87,6 +87,7 @@ let tele_exhausted = Telemetry.Registry.counter "dispatch.exhausted"
 let tele_skipped = Telemetry.Registry.counter "dispatch.skipped"
 let tele_absorbed = Telemetry.Registry.counter "dispatch.faults_absorbed"
 let tele_event_ns = Telemetry.Registry.histogram "dispatch.event_ns"
+let tele_event_span_ns = Telemetry.Registry.histogram "dispatch.event.ns"
 let tele_rate = Telemetry.Registry.counter "dispatch.events_per_sec"
 
 let host_ns () = Int64.of_float (Sys.time () *. 1e9)
@@ -170,11 +171,21 @@ let run_stream ?chaos e ~hook ~gen ~count () =
       | Supervisor.Tripped _ | Supervisor.No_change -> ()
     end
   in
+  (* Each event runs under a fresh causal trace on the simulated clock:
+     dispatch.event > dispatch.<ext> > loader.run > interp/jit.run, with
+     supervisor and chaos points landing inside whichever span was open
+     when they fired. *)
+  let vnow () = Vclock.now kernel.Kernel.clock in
   (try
      for i = 0 to count - 1 do
        Telemetry.Registry.bump tele_events;
        let ev_started = host_ns () in
        incr events;
+       (Telemetry.Registry.with_trace (Telemetry.Registry.fresh_trace ())
+       @@ fun () ->
+       Telemetry.Registry.with_span "dispatch.event" ~hist:tele_event_span_ns
+         ~clock:vnow
+       @@ fun () ->
        let inj =
          match chaos with
          | None -> Chaos.Calm
@@ -189,9 +200,9 @@ let run_stream ?chaos e ~hook ~gen ~count () =
        @@ fun () ->
        List.iter
          (fun (a : Attach.attachment) ->
+           let name = Attach.name a in
            let ext =
-             Supervisor.ext e.sup ~attach_id:a.Attach.attach_id
-               ~name:(Attach.name a)
+             Supervisor.ext e.sup ~attach_id:a.Attach.attach_id ~name
            in
            let decision =
              if supervised then
@@ -199,14 +210,24 @@ let run_stream ?chaos e ~hook ~gen ~count () =
                  ~now_ns:(Vclock.now kernel.Kernel.clock)
              else Supervisor.Execute
            in
+           Telemetry.Registry.with_span ("dispatch." ^ name) ~clock:vnow
+           @@ fun () ->
            match decision with
            | Supervisor.Skip ->
+             (* breaker open / quarantined: fast-fail, span still closes *)
+             Telemetry.Registry.point "dispatch.skip"
+               ~value:(Int64.of_int a.Attach.attach_id);
              Supervisor.observe_skip ext;
              incr skipped;
              Telemetry.Registry.bump tele_skipped
            | Supervisor.Execute | Supervisor.Probe ->
              Telemetry.Registry.bump tele_invocations;
+             let inv_started = Vclock.now kernel.Kernel.clock in
              let r = Invoke.run ~opts ~ictx:e.ictx e.world a.Attach.loaded in
+             (* scorecard latency: Vclock cost of this invocation,
+                recorded whether or not tracing retained the spans *)
+             Telemetry.Registry.observe ext.Supervisor.lat
+               (Int64.sub (Vclock.now kernel.Kernel.clock) inv_started);
              incr invocations;
              ext.Supervisor.invocations <- ext.Supervisor.invocations + 1;
              checksum := checksum_add !checksum r.Invoke.outcome;
@@ -243,7 +264,7 @@ let run_stream ?chaos e ~hook ~gen ~count () =
                (match e.policy with
                | Fail_fast -> ()  (* guards cleaned up; keep serving *)
                | Isolate | Supervise _ -> contained_fault ext)))
-         (Attach.attached e.attach ~hook);
+         (Attach.attached e.attach ~hook));
        Telemetry.Registry.observe tele_event_ns
          (Int64.sub (host_ns ()) ev_started)
      done

@@ -83,6 +83,14 @@ let tele_analysis_ns = Telemetry.Registry.histogram "pipeline.analysis_ns"
    signature validation on path B). *)
 let host_ns () = Int64.of_float (Sys.time () *. 1e9)
 
+(* Every load runs under a fresh causal trace, with one span per pipeline
+   stage, so the exported trace tree shows exactly where a given load spent
+   its time (and whether the gate was a cache hit).  Stage spans are timed
+   on the host clock, like the load histograms — the simulated clock has
+   not started moving yet. *)
+let stage_span stage f =
+  Telemetry.Registry.with_span ~clock:host_ns ("pipeline." ^ stage_name stage) f
+
 (* ------------------------------------------------------------------ *)
 (* path A stages                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -190,12 +198,15 @@ let gate_verify ?(use_cache = true) (w : World.t) (prog : Program.t) :
       match Verdict_cache.find w.World.vcache key with
       | Some (Ok vstats) ->
         Telemetry.Registry.bump tele_cache_hits;
+        Telemetry.Registry.point ~clock:host_ns "pipeline.cache_hit";
         Ok vstats
       | Some (Error r) ->
         Telemetry.Registry.bump tele_cache_hits;
+        Telemetry.Registry.point ~clock:host_ns "pipeline.cache_hit";
         Error (Verifier_rejected r)
       | None -> (
         Telemetry.Registry.bump tele_cache_misses;
+        Telemetry.Registry.point ~clock:host_ns "pipeline.cache_miss";
         match verify_uncached w prog with
         | Ok vstats as ok ->
           Verdict_cache.store w.World.vcache key (Ok vstats);
@@ -224,11 +235,13 @@ let load_ebpf ?use_cache (w : World.t) (prog : Program.t) : (loaded, error) resu
   Telemetry.Registry.bump tele_ebpf_loads;
   let started = host_ns () in
   let result =
-    let* prog = admit w prog in
-    let* prog = fixup prog in
-    let analysis = analyze_ebpf ?use_cache w prog in
-    let* vstats = gate_verify ?use_cache w prog in
-    Ok (link_ebpf w prog vstats analysis)
+    Telemetry.Registry.with_trace (Telemetry.Registry.fresh_trace ()) (fun () ->
+        Telemetry.Registry.with_span ~clock:host_ns "pipeline.load" (fun () ->
+            let* prog = stage_span Admission (fun () -> admit w prog) in
+            let* prog = stage_span Fixup (fun () -> fixup prog) in
+            let analysis = stage_span Analyze (fun () -> analyze_ebpf ?use_cache w prog) in
+            let* vstats = stage_span Gate (fun () -> gate_verify ?use_cache w prog) in
+            Ok (stage_span Link (fun () -> link_ebpf w prog vstats analysis))))
   in
   Telemetry.Registry.observe tele_load_ns (Int64.sub (host_ns ()) started);
   (match result with
@@ -280,8 +293,10 @@ let load_rustlite (w : World.t) (ext : Rustlite.Toolchain.signed_extension) :
     (loaded, error) result =
   Telemetry.Registry.bump tele_rustlite_loads;
   let result =
-    let* () = gate_validate ext in
-    link_rustlite w ext
+    Telemetry.Registry.with_trace (Telemetry.Registry.fresh_trace ()) (fun () ->
+        Telemetry.Registry.with_span ~clock:host_ns "pipeline.load" (fun () ->
+            let* () = stage_span Gate (fun () -> gate_validate ext) in
+            stage_span Link (fun () -> link_rustlite w ext)))
   in
   (match result with
   | Error _ -> Telemetry.Registry.bump tele_load_errors

@@ -65,6 +65,10 @@ type ext = {
   mutable skipped : int;
   mutable ret_checksum : int64;
   mutable quarantined_at_ns : int64 option;
+  (* per-extension invocation latency (Vclock ns), observed by dispatch;
+     interned in the registry as "ext.<name>.ns" so it shows up in
+     snapshots and feeds the health scorecard's p50/p99 *)
+  lat : Telemetry.Histogram.t;
 }
 
 type t = {
@@ -82,7 +86,8 @@ let ext t ~attach_id ~name =
     let e =
       { attach_id; name; state = Closed; trips = 0; seq = 0; fault_seqs = [];
         invocations = 0; finished = 0; stopped = 0; crashed = 0; exhausted = 0;
-        skipped = 0; ret_checksum = 0L; quarantined_at_ns = None }
+        skipped = 0; ret_checksum = 0L; quarantined_at_ns = None;
+        lat = Telemetry.Registry.histogram ("ext." ^ name ^ ".ns") }
     in
     Hashtbl.add t.exts attach_id e;
     e
@@ -203,9 +208,14 @@ type health = {
   skipped : int;
   ret_checksum : int64;
   quarantined : bool;
+  p50_ns : int64;        (* median invocation latency (Vclock ns) *)
+  p99_ns : int64;        (* tail invocation latency (Vclock ns) *)
+  crash_rate : float;    (* crashed / invocations *)
+  exhaust_rate : float;  (* exhausted / invocations *)
 }
 
 let health_of_ext (e : ext) =
+  let rate n = if e.invocations = 0 then 0.0 else float_of_int n /. float_of_int e.invocations in
   {
     attach_id = e.attach_id;
     name = e.name;
@@ -219,6 +229,10 @@ let health_of_ext (e : ext) =
     skipped = e.skipped;
     ret_checksum = e.ret_checksum;
     quarantined = (e.state = Quarantined);
+    p50_ns = Telemetry.Histogram.quantile e.lat 0.50;
+    p99_ns = Telemetry.Histogram.quantile e.lat 0.99;
+    crash_rate = rate e.crashed;
+    exhaust_rate = rate e.exhausted;
   }
 
 let healths t = List.map health_of_ext (exts t)
@@ -226,6 +240,7 @@ let healths t = List.map health_of_ext (exts t)
 let pp_health ppf h =
   Format.fprintf ppf
     "#%d %-16s %-10s inv=%d ok=%d stop=%d crash=%d exhaust=%d skip=%d \
-     trips=%d checksum=%016Lx"
+     trips=%d p50=%Ldns p99=%Ldns checksum=%016Lx"
     h.attach_id h.name (state_to_string h.state) h.invocations h.finished
-    h.stopped h.crashed h.exhausted h.skipped h.trips h.ret_checksum
+    h.stopped h.crashed h.exhausted h.skipped h.trips h.p50_ns h.p99_ns
+    h.ret_checksum

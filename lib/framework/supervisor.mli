@@ -51,6 +51,9 @@ type ext = {
   mutable skipped : int;
   mutable ret_checksum : int64;
   mutable quarantined_at_ns : int64 option;
+  lat : Telemetry.Histogram.t;
+      (** invocation latency (Vclock ns), interned as ["ext.<name>.ns"];
+          observed by {!Dispatch}, read back as the scorecard's p50/p99 *)
 }
 (** Mutable per-extension record; the serving tallies are filled in by
     {!Dispatch}. *)
@@ -105,8 +108,13 @@ type health = {
   skipped : int;
   ret_checksum : int64;
   quarantined : bool;
+  p50_ns : int64;        (** median invocation latency (Vclock ns) *)
+  p99_ns : int64;        (** tail invocation latency (Vclock ns) *)
+  crash_rate : float;    (** crashed / invocations *)
+  exhaust_rate : float;  (** exhausted / invocations *)
 }
-(** Immutable snapshot of one extension's serving health. *)
+(** Immutable snapshot of one extension's serving health: the scorecard
+    row rendered by the CLI's [top] subcommand. *)
 
 val health_of_ext : ext -> health
 val healths : t -> health list

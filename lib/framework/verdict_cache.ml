@@ -41,11 +41,21 @@ type t = {
   atbl : (string, Analysis.Driver.report) Hashtbl.t;
   mutable ahits : int;
   mutable amisses : int;
+  (* digest -> fingerprint of the last lookup, to distinguish a cold miss
+     (never saw this program) from an invalidation (same program, changed
+     config/bug-set/map shapes) *)
+  last_fp : (string, string) Hashtbl.t;
+  mutable invalidations : int;
 }
 
 let create () =
   { tbl = Hashtbl.create 16; hits = 0; misses = 0;
-    atbl = Hashtbl.create 16; ahits = 0; amisses = 0 }
+    atbl = Hashtbl.create 16; ahits = 0; amisses = 0;
+    last_fp = Hashtbl.create 16; invalidations = 0 }
+
+let tele_hit = Telemetry.Registry.counter "cache.hit"
+let tele_miss = Telemetry.Registry.counter "cache.miss"
+let tele_invalidated = Telemetry.Registry.counter "cache.invalidated"
 
 let serialize_map_def (d : Bpf_map.def) =
   Printf.sprintf "(map %s %s %d %d %d %s)" d.Bpf_map.name
@@ -93,14 +103,33 @@ let fingerprint ?(analysis = "") ~(config : Verifier.config) ~(bugs : Bugdb.t)
 
 let key ~digest ~fingerprint = digest ^ ":" ^ fingerprint
 
+let split_key k =
+  match String.index_opt k ':' with
+  | Some i -> (String.sub k 0 i, String.sub k (i + 1) (String.length k - i - 1))
+  | None -> (k, "")
+
 let find t k =
-  match Hashtbl.find_opt t.tbl k with
-  | Some v ->
-    t.hits <- t.hits + 1;
-    Some v
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  let digest, fp = split_key k in
+  let r =
+    match Hashtbl.find_opt t.tbl k with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      Telemetry.Registry.bump tele_hit;
+      Some v
+    | None ->
+      t.misses <- t.misses + 1;
+      Telemetry.Registry.bump tele_miss;
+      (* a miss for a digest whose previous lookup used a different
+         fingerprint means some fingerprinted input changed under us *)
+      (match Hashtbl.find_opt t.last_fp digest with
+      | Some prev when prev <> fp ->
+        t.invalidations <- t.invalidations + 1;
+        Telemetry.Registry.bump tele_invalidated
+      | _ -> ());
+      None
+  in
+  Hashtbl.replace t.last_fp digest fp;
+  r
 
 let store t k v = Hashtbl.replace t.tbl k v
 
@@ -121,10 +150,11 @@ let find_analysis t k =
 
 let store_analysis t k r = Hashtbl.replace t.atbl k r
 
-let clear t = Hashtbl.reset t.tbl; Hashtbl.reset t.atbl
+let clear t = Hashtbl.reset t.tbl; Hashtbl.reset t.atbl; Hashtbl.reset t.last_fp
 let size t = Hashtbl.length t.tbl
 let hits t = t.hits
 let misses t = t.misses
+let invalidations t = t.invalidations
 let analysis_size t = Hashtbl.length t.atbl
 let analysis_hits t = t.ahits
 let analysis_misses t = t.amisses

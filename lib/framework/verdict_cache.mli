@@ -30,7 +30,11 @@ val fingerprint :
 val key : digest:string -> fingerprint:string -> string
 
 val find : t -> string -> verdict option
-(** Bumps the hit/miss tallies as a side effect. *)
+(** Bumps the hit/miss tallies (and the registry's [cache.hit] /
+    [cache.miss] / [cache.invalidated] counters) as a side effect.  A miss
+    for a digest whose previous lookup used a different fingerprint counts
+    as an invalidation: the program is known, but a fingerprinted input
+    changed. *)
 
 val store : t -> string -> verdict -> unit
 
@@ -51,6 +55,11 @@ val clear : t -> unit
 val size : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val invalidations : t -> int
+(** Misses that replaced an existing digest's fingerprint (config, bug-set
+    or map-shape churn), as opposed to never-seen programs. *)
+
 val analysis_size : t -> int
 val analysis_hits : t -> int
 val analysis_misses : t -> int

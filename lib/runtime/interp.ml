@@ -37,6 +37,10 @@ type t = {
   mutable pc_tally : int array;    (* per-run block-profile diff array, flushed at exit *)
   elide : int array;               (* per-pc statically resolved jump target,
                                       -1 = execute the guard; [||] = none *)
+  mutable prof_armed : bool;       (* sampling on for this run *)
+  mutable prof_next : int64;       (* next sampling deadline (simulated ns) *)
+  mutable prof_leaders : int array; (* pc -> containing CFG-block start pc *)
+  mutable prof_prefix : string;    (* "<prog>;interp;block:" sample-key prefix *)
 }
 
 let max_call_depth = 8
@@ -51,7 +55,8 @@ let create ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_insn = 1L)
   in
   { hctx; fuel; wall_deadline; ns_per_insn; max_depth; rcu_check_interval;
     insns_retired = 0L; tele_on = Telemetry.Registry.enabled (); pc_tally = [||];
-    elide }
+    elide; prof_armed = false; prof_next = Int64.max_int;
+    prof_leaders = [||]; prof_prefix = "" }
 
 let frame t depth = Hctx.stack_frame t.hctx depth
 
@@ -91,6 +96,75 @@ let op_counters =
      tele_op_call; tele_op_exit |]
 
 let tele_run_ns = Telemetry.Registry.histogram "interp.run.ns"
+
+(* ---- sampling profiler support ----
+
+   Attribution is pc -> CFG-block start -> program name, computed from the
+   same [Cfg] the analyses use.  The map is built only when sampling is
+   armed, so the profiler costs nothing at rest: a disarmed run skips the
+   check behind the same kind of [prof_on] test the tallies use.
+
+   Even when armed, the deadline is checked only at control transfers
+   (taken branches, calls, exit) — never per instruction: a clock read
+   plus boxed Int64 compare per instruction costs more than the entire
+   <5% overhead budget, while a check per transfer amortises over the
+   block.  Attribution is per CFG block anyway, so checking at block
+   boundaries loses nothing; every loop iteration contains a taken
+   backward branch, so a hot loop is still sampled on period. *)
+
+(* pc -> start pc of the containing CFG block.  One-slot memo on physical
+   equality (same trick as [tally_pool]): the common case is the same
+   program run back to back, and rebuilding the CFG per run costs more
+   than the entire sampling budget. *)
+let leader_cache : (Insn.insn array * int array) ref = ref ([||], [||])
+
+let block_leader_map (insns : Insn.insn array) =
+  let cached_insns, cached = !leader_cache in
+  if cached_insns == insns then cached
+  else begin
+    let cfg = Cfg.build insns in
+    let n = Array.length insns in
+    let out = Array.make n 0 in
+    List.iter
+      (fun (b : Cfg.block) ->
+        for pc = b.start_pc to min b.end_pc (n - 1) do
+          out.(pc) <- b.start_pc
+        done)
+      (Cfg.blocks_sorted cfg);
+    leader_cache := (insns, out);
+    out
+  end
+
+(* Arm sampling for one run of [prog]; no-op unless both telemetry and the
+   profiler are enabled. *)
+let arm_profiler t (prog : Program.t) =
+  if t.tele_on && Telemetry.Profiler.enabled () then begin
+    (* aim at the next global period boundary, not now+period: runs shorter
+       than one period would otherwise push the deadline ahead of
+       themselves forever and never take a sample *)
+    let now = Vclock.now t.hctx.kernel.clock in
+    t.prof_armed <- true;
+    t.prof_next <- Telemetry.Profiler.next_deadline ~now;
+    t.prof_leaders <- block_leader_map prog.Program.insns;
+    t.prof_prefix <- prog.Program.name ^ ";interp;block:"
+  end
+
+(* Take one sample attributed to the block containing [pc] and schedule the
+   next deadline.  Cold by construction: called at most once per sampling
+   period, never per instruction. *)
+let prof_sample t pc =
+  let now = Vclock.now t.hctx.kernel.clock in
+  t.prof_next <- Telemetry.Profiler.next_deadline ~now;
+  let block =
+    if pc >= 0 && pc < Array.length t.prof_leaders then t.prof_leaders.(pc)
+    else pc
+  in
+  Telemetry.Profiler.record (t.prof_prefix ^ string_of_int block)
+
+(* Deadline check, placed at control transfers only (see above). *)
+let[@inline] prof_check t pc =
+  if Int64.compare (Vclock.now t.hctx.kernel.clock) t.prof_next >= 0 then
+    prof_sample t pc
 
 (* One-slot pool for the diff array: the common case is the same program run
    back to back, and recycling avoids an alloc + zeroing per run.  Single
@@ -179,6 +253,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
   let pc = ref entry in
   let running = ref true in
   let retval = ref 0L in
+  let prof_on = t.prof_armed in
   (try
   while !running do
     if !pc < 0 || !pc >= Array.length insns then
@@ -193,6 +268,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
          and condition evaluation, never simulated budget, which is what
          keeps Chaos fuel-pressure outcomes bit-identical either way. *)
       tick t;
+      if prof_on then prof_check t !pc;
       let next = Array.unsafe_get t.elide !pc in
       if tele_on && next <> !pc + 1 then begin
         Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
@@ -309,6 +385,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
         regs.(0) <- old);
       incr pc
     | Insn.Ja off ->
+      if prof_on then prof_check t !pc;
       if tele_on && off <> 0 then begin
         Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
         Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1);
@@ -342,6 +419,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
         | Insn.Sle -> Int64.compare ds ss <= 0
       in
       let next = if taken then !pc + 1 + off else !pc + 1 in
+      if prof_on then prof_check t !pc;
       if tele_on && next <> !pc + 1 then begin
         Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
         Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1);
@@ -365,6 +443,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
           Some (fun cb_pc cb_args ->
               exec_insns t insns ~entry:cb_pc ~depth:(depth + 1) ~args:cb_args);
         regs.(0) <- Helpers.Registry.invoke def t.hctx args;
+        if prof_on then prof_check t !pc;
         incr pc)
     | Insn.Call_sub off ->
       (* BPF-to-BPF call: fresh frame, args in r1..r5, result in r0;
@@ -375,6 +454,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
           ~args:[| regs.(1); regs.(2); regs.(3); regs.(4); regs.(5) |];
       incr pc
     | Insn.Exit ->
+      if prof_on then prof_check t !pc;
       if tele_on then begin
         Array.unsafe_set tally !bs (Array.unsafe_get tally !bs + 1);
         Array.unsafe_set tally (!pc + 1) (Array.unsafe_get tally (!pc + 1) - 1)
@@ -397,6 +477,7 @@ let run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
   in
   (* charge clock via the helpers' charge hook too *)
   hctx.charge <- (fun ns -> Vclock.advance hctx.kernel.clock ns);
+  arm_profiler t prog;
   Telemetry.Registry.bump tele_runs;
   let outcome =
     Telemetry.Registry.with_span "interp.run" ~hist:tele_run_ns

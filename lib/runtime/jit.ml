@@ -222,6 +222,7 @@ let compile ?(bug_branch_off_by_one = false) ?(elide = [||]) (hctx : Hctx.t)
       let target = pc + 1 + off in
       fun st ->
         let interp = Interp.create hctx in
+        Interp.arm_profiler interp prog;
         st.regs.(0) <-
           Interp.exec_insns interp prog.Program.insns ~entry:target ~depth:1
             ~args:[| st.regs.(1); st.regs.(2); st.regs.(3); st.regs.(4); st.regs.(5) |];
@@ -251,6 +252,30 @@ let run ?(fuel = -1L) ?(ns_per_insn = 1L) (hctx : Hctx.t) (c : compiled) ~ctx_ad
   (* executed-instruction count is kept in a local and flushed once; a
      registry call per op costs measurably on the jit loop (see compile) *)
   let executed = ref 0 in
+  (* Sampling profiler: armed per run like the interpreter's; disabled cost
+     is one predictable branch per op. *)
+  let prof_on = Telemetry.Registry.enabled () && Telemetry.Profiler.enabled () in
+  (* The closure array erases block structure, so there is no control-
+     transfer site to hang the deadline check on as the interpreter does;
+     instead the clock compare runs every 16th op (gated by an int mask on
+     the op counter), bounding both the check cost and the sampling skew. *)
+  let prof_next =
+    ref
+      (if prof_on then
+         Telemetry.Profiler.next_deadline ~now:(Vclock.now hctx.kernel.clock)
+       else Int64.max_int)
+  in
+  let prof_leaders =
+    ref (if prof_on then Interp.block_leader_map c.prog.Program.insns else [||])
+  in
+  let prof_sample jpc =
+    prof_next :=
+      Telemetry.Profiler.next_deadline ~now:(Vclock.now hctx.kernel.clock);
+    let leaders = !prof_leaders in
+    let block = if jpc >= 0 && jpc < Array.length leaders then leaders.(jpc) else jpc in
+    Telemetry.Profiler.record
+      (c.prog.Program.name ^ ";jit;block:" ^ string_of_int block)
+  in
   let result =
     Telemetry.Registry.with_span "jit.run" ~hist:tele_run_ns
       ~clock:(fun () -> Vclock.now hctx.kernel.clock)
@@ -271,8 +296,12 @@ let run ?(fuel = -1L) ?(ns_per_insn = 1L) (hctx : Hctx.t) (c : compiled) ~ctx_ad
                 raise (Guard.Terminate Guard.Fuel_exhausted);
               fuel_left := Int64.sub !fuel_left 1L
             end;
-            incr executed;
+            let e = !executed + 1 in
+            executed := e;
             Vclock.advance hctx.kernel.clock ns_per_insn;
+            if prof_on && e land 15 = 0
+               && Int64.compare (Vclock.now hctx.kernel.clock) !prof_next >= 0
+            then prof_sample st.jpc;
             c.ops.(st.jpc) st
           done
         with

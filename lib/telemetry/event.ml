@@ -8,6 +8,7 @@ type t = {
   seq : int;          (* global attempt sequence; gaps reveal drops *)
   time_ns : int64;    (* simulated (Vclock) time when recorded *)
   depth : int;        (* span nesting depth at emission *)
+  trace : int;        (* causal trace id (0 = outside any trace) *)
   kind : kind;
   name : string;
   value : int64;

@@ -15,6 +15,7 @@ type snapshot = Registry.snapshot = {
   histograms : (string * Histogram.t) list;
   events : Event.t list;
   dropped_events : int;
+  trace_capacity : int;
 }
 
 (* ---- JSON ---- *)
@@ -53,13 +54,15 @@ let to_json (s : snapshot) =
         (Histogram.nonzero_buckets h);
       add "] }")
     s.histograms;
-  add "\n  },\n  \"trace\": { \"retained\": %d, \"dropped\": %d, \"events\": ["
-    (List.length s.events) s.dropped_events;
+  add "\n  },\n  \"trace\": { \"retained\": %d, \"dropped\": %d, \"capacity\": %d, \"events\": ["
+    (List.length s.events) s.dropped_events s.trace_capacity;
   List.iteri
     (fun i (e : Event.t) ->
-      add "%s\n    { \"seq\": %d, \"t\": %Ld, \"depth\": %d, \"kind\": \"%s\", \"name\": \"%s\", \"value\": %Ld }"
+      add
+        "%s\n    { \"seq\": %d, \"t\": %Ld, \"depth\": %d, \"trace\": %d, \"kind\": \"%s\", \"name\": \"%s\", \"value\": %Ld }"
         (if i = 0 then "" else ",")
-        e.seq e.time_ns e.depth (Event.kind_to_string e.kind) (json_escape e.name) e.value)
+        e.seq e.time_ns e.depth e.trace (Event.kind_to_string e.kind) (json_escape e.name)
+        e.value)
     s.events;
   add "\n  ] }\n}\n";
   Buffer.contents buf
@@ -69,6 +72,21 @@ let to_json (s : snapshot) =
 let prom_name name =
   "untenable_"
   ^ String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_') name
+
+(* Label VALUES keep the raw name (unlike metric names, which are mangled
+   by [prom_name]) and so need the exposition-format escapes: backslash,
+   double quote and newline.  Everything else passes through untouched. *)
+let prom_label_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let to_prometheus (s : snapshot) =
   let buf = Buffer.create 1024 in
@@ -91,6 +109,22 @@ let to_prometheus (s : snapshot) =
       add "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h);
       add "%s_sum %Ld\n%s_count %d\n" n (Histogram.sum h) n (Histogram.count h))
     s.histograms;
+  (* Retained trace events per span/point name, with the raw (escaped)
+     name as a label — the one place arbitrary names reach label values. *)
+  (if s.events <> [] then begin
+     let by_name = Hashtbl.create 16 in
+     List.iter
+       (fun (e : Event.t) ->
+         Hashtbl.replace by_name e.name (1 + Option.value ~default:0 (Hashtbl.find_opt by_name e.name)))
+       s.events;
+     add "# TYPE untenable_trace_events_total counter\n";
+     Hashtbl.fold (fun name n acc -> (name, n) :: acc) by_name []
+     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+     |> List.iter (fun (name, n) ->
+            add "untenable_trace_events_total{name=\"%s\"} %d\n" (prom_label_escape name) n)
+   end);
+  add "# TYPE untenable_trace_ring_capacity gauge\nuntenable_trace_ring_capacity %d\n"
+    s.trace_capacity;
   add "# TYPE untenable_trace_events_dropped counter\nuntenable_trace_events_dropped %d\n"
     s.dropped_events;
   Buffer.contents buf
@@ -123,17 +157,103 @@ let pp_table ?(all = false) ppf (s : snapshot) =
           (Histogram.mean h) (Histogram.max_value h))
       histograms
   end;
-  Format.fprintf ppf "@.== trace ==@.  %d events retained, %d dropped@." (List.length s.events)
-    s.dropped_events
+  Format.fprintf ppf "@.== trace ==@.  %d events retained (capacity %d), %d dropped@."
+    (List.length s.events) s.trace_capacity s.dropped_events
 
 let pp_timeline ppf (s : snapshot) =
   List.iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) s.events;
   if s.dropped_events > 0 then
     Format.fprintf ppf "... %d further events dropped (ring full)@." s.dropped_events
 
+(* ---- Chrome trace-event JSON (Perfetto / chrome://tracing) ---- *)
+
+(* Each causal trace becomes a lane: pid 1, tid = trace id, so Perfetto
+   renders one swim-lane per load/invocation with spans nested inside.
+   Enter/Exit map to the duration-event pair ph "B"/"E"; points become
+   thread-scoped instants ("i").  Timestamps are microseconds (floats), so
+   simulated-nanosecond resolution survives as fractional µs. *)
+let to_chrome_trace (s : snapshot) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* A lane can mix clock domains: pipeline spans are timed on the host
+     clock while points emitted from inside them (verifier internals) read
+     the registry's simulated clock.  Trace-event consumers require
+     monotone per-lane timestamps, so clamp each event to its lane's high-
+     water mark — event order (the causal truth) is preserved. *)
+  let floor_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  add "{\"traceEvents\": [";
+  List.iteri
+    (fun i (e : Event.t) ->
+      let ts = Int64.to_float e.time_ns /. 1000.0 in
+      let ts =
+        match Hashtbl.find_opt floor_ts e.trace with
+        | Some prev when ts < prev -> prev
+        | _ -> ts
+      in
+      Hashtbl.replace floor_ts e.trace ts;
+      let common =
+        Printf.sprintf "\"name\": \"%s\", \"cat\": \"untenable\", \"ts\": %.3f, \"pid\": 1, \"tid\": %d"
+          (json_escape e.name) ts e.trace
+      in
+      let sep = if i = 0 then "" else "," in
+      match e.kind with
+      | Event.Enter -> add "%s\n  { %s, \"ph\": \"B\" }" sep common
+      | Event.Exit -> add "%s\n  { %s, \"ph\": \"E\" }" sep common
+      | Event.Point ->
+        add "%s\n  { %s, \"ph\": \"i\", \"s\": \"t\", \"args\": { \"value\": %Ld } }" sep common
+          e.value)
+    s.events;
+  add "\n], \"displayTimeUnit\": \"ns\"}\n";
+  Buffer.contents buf
+
+(* ---- folded stacks (flamegraph collapse format) ---- *)
+
+(* Self-time folded stacks from the span events: each Exit attributes its
+   duration minus its children's durations to the stack of open span names
+   at that point.  Lanes (trace ids) fold together, so the output answers
+   "where does time go under this span path" across the whole snapshot. *)
+let to_folded (s : snapshot) =
+  let acc : (string, int64) Hashtbl.t = Hashtbl.create 32 in
+  let stacks : (int, (string * int64 ref) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of trace =
+    match Hashtbl.find_opt stacks trace with
+    | Some st -> st
+    | None ->
+      let st = ref [] in
+      Hashtbl.add stacks trace st;
+      st
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      let stack = stack_of e.trace in
+      match e.kind with
+      | Event.Enter -> stack := (e.name, ref 0L) :: !stack
+      | Event.Exit -> (
+        match !stack with
+        | [] -> () (* exit without enter: ring dropped the opening event *)
+        | (name, children_ns) :: rest ->
+          stack := rest;
+          (match rest with
+          | (_, parent_children) :: _ ->
+            parent_children := Int64.add !parent_children e.value
+          | [] -> ());
+          let self = Int64.sub e.value !children_ns in
+          let self = if Int64.compare self 0L < 0 then 0L else self in
+          let key = String.concat ";" (List.rev_map fst ((name, children_ns) :: rest)) in
+          let prev = Option.value ~default:0L (Hashtbl.find_opt acc key) in
+          Hashtbl.replace acc key (Int64.add prev self))
+      | Event.Point -> ())
+    s.events;
+  let buf = Buffer.create 256 in
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (k, v) ->
+         if Int64.compare v 0L > 0 then Buffer.add_string buf (Printf.sprintf "%s %Ld\n" k v));
+  Buffer.contents buf
+
 (* ---- snapshot file round-trip ---- *)
 
-let file_magic = "untenable-telemetry v1"
+let file_magic = "untenable-telemetry v2"
 
 let save_file (s : snapshot) path =
   let oc = open_out path in
@@ -155,10 +275,11 @@ let save_file (s : snapshot) path =
         s.histograms;
       List.iter
         (fun (e : Event.t) ->
-          Printf.fprintf oc "event %d %Ld %d %s %Ld %s\n" e.seq e.time_ns e.depth
+          Printf.fprintf oc "event %d %Ld %d %d %s %Ld %s\n" e.seq e.time_ns e.depth e.trace
             (Event.kind_to_string e.kind) e.value e.name)
         s.events;
-      Printf.fprintf oc "dropped %d\n" s.dropped_events)
+      Printf.fprintf oc "dropped %d\n" s.dropped_events;
+      Printf.fprintf oc "capacity %d\n" s.trace_capacity)
 
 let parse_error line = failwith (Printf.sprintf "telemetry snapshot: cannot parse %S" line)
 
@@ -167,7 +288,8 @@ let load_file path : snapshot =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let counters = ref [] and histograms = ref [] and events = ref [] and dropped = ref 0 in
+      let counters = ref [] and histograms = ref [] and events = ref [] in
+      let dropped = ref 0 and capacity = ref Registry.default_trace_capacity in
       (match input_line ic with
       | magic when magic = file_magic -> ()
       | magic -> failwith (Printf.sprintf "telemetry snapshot: bad magic %S" magic)
@@ -198,7 +320,7 @@ let load_file path : snapshot =
                 in
                 histograms := (name, h) :: !histograms
               with Failure _ -> parse_error line)
-           | "event" :: seq :: time_ns :: depth :: kind :: value :: name_parts -> (
+           | "event" :: seq :: time_ns :: depth :: trace :: kind :: value :: name_parts -> (
              match (Event.kind_of_string kind, String.concat " " name_parts) with
              | Some kind, name -> (
                try
@@ -207,6 +329,7 @@ let load_file path : snapshot =
                      Event.seq = int_of_string seq;
                      time_ns = Int64.of_string time_ns;
                      depth = int_of_string depth;
+                     trace = int_of_string trace;
                      kind;
                      name;
                      value = Int64.of_string value;
@@ -218,6 +341,10 @@ let load_file path : snapshot =
              match int_of_string_opt n with
              | Some n -> dropped := n
              | None -> parse_error line)
+           | [ "capacity"; n ] -> (
+             match int_of_string_opt n with
+             | Some n -> capacity := n
+             | None -> parse_error line)
            | [ "" ] -> ()
            | _ -> parse_error line
          done
@@ -227,4 +354,5 @@ let load_file path : snapshot =
         histograms = List.rev !histograms;
         events = List.rev !events;
         dropped_events = !dropped;
+        trace_capacity = !capacity;
       })

@@ -50,6 +50,30 @@ let nonzero_buckets t =
   done;
   !acc
 
+(* Approximate quantile from the log2 buckets: the inclusive upper bound of
+   the bucket holding the q-th observation, clamped to the observed max so
+   p99 of a tight distribution cannot exceed the largest value seen.  Good
+   to a factor of two — the same fidelity the kernel's exported latency
+   histograms give, and enough to rank extensions against each other. *)
+let quantile t q =
+  if t.count = 0 then 0L
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let cum = ref 0 and idx = ref 0 in
+    (try
+       for i = 0 to bucket_count - 1 do
+         cum := !cum + t.buckets.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let bound = bucket_bound !idx in
+    if Int64.compare bound t.max > 0 then t.max else bound
+  end
+
 let copy t =
   { name = t.name; buckets = Array.copy t.buckets; count = t.count; sum = t.sum; max = t.max }
 

@@ -1,0 +1,58 @@
+(* Vclock-driven sampling profiler.
+
+   The run loops (interpreter, JIT) call [deadline]/[next_deadline] to turn
+   the global period into a per-run threshold, and compare the simulated
+   clock against it once per instruction.  When sampling is off the
+   deadline is [Int64.max_int], so the disabled cost is a single always-
+   false 64-bit compare — the same trick the interpreter's block-profile
+   tallies use to stay off the flame graph themselves.
+
+   Samples are keyed by a folded-stack string ("prog;block:12") so the
+   aggregate is already in flamegraph-collapse format; attribution from pc
+   to CFG block happens at the sampling site, which owns the program. *)
+
+let period = ref 0L
+let samples : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+(* [set_period 0] disables sampling; any positive period is the simulated
+   nanoseconds between samples. *)
+let set_period ns = period := if Int64.compare ns 0L < 0 then 0L else ns
+let period_ns () = !period
+let enabled () = Int64.compare !period 0L > 0
+
+(* Deadline for a run (or following a sample) at simulated time [now]: the
+   next global period boundary after [now].  Boundaries are absolute —
+   multiples of the period on the shared Vclock — so runs shorter than one
+   period still accumulate toward a sample instead of re-arming a sliding
+   now+period deadline they can never reach; and skipping forward keeps the
+   sample rate bounded when one instruction advances the clock by many
+   periods. *)
+let next_deadline ~now =
+  if enabled () then
+    let p = !period in
+    Int64.add now (Int64.sub p (Int64.rem now p))
+  else Int64.max_int
+
+let record key =
+  match Hashtbl.find_opt samples key with
+  | Some r -> incr r
+  | None -> Hashtbl.add samples key (ref 1)
+
+let total () = Hashtbl.fold (fun _ r acc -> acc + !r) samples 0
+
+(* (stack, count), heaviest first; ties broken by name for determinism. *)
+let sample_list () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) samples []
+  |> List.sort (fun (ka, ca) (kb, cb) ->
+         match compare cb ca with 0 -> String.compare ka kb | c -> c)
+
+(* Flamegraph collapse format: one "stack count" line per distinct stack,
+   sorted by stack so the output is diffable. *)
+let to_folded () =
+  let buf = Buffer.create 256 in
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) samples []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (k, c) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" k c));
+  Buffer.contents buf
+
+let reset () = Hashtbl.reset samples

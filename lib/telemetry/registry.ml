@@ -24,6 +24,26 @@ let default_trace_capacity = 4096
 let ring = ref (Ring.create ~capacity:default_trace_capacity)
 let depth = ref 0
 
+(* Causal trace ids.  A trace groups the spans and points of one logical
+   unit of work (one pipeline load, one dispatched packet); 0 means
+   "outside any trace".  Allocation is a plain counter so two loads never
+   share an id, and [with_trace] scopes the ambient id dynamically, so
+   instrumentation sites deep in the runtime inherit the right trace
+   without any argument threading. *)
+let next_trace = ref 0
+let cur_trace = ref 0
+
+let fresh_trace () =
+  incr next_trace;
+  !next_trace
+
+let current_trace () = !cur_trace
+
+let with_trace id f =
+  let saved = !cur_trace in
+  cur_trace := id;
+  Fun.protect ~finally:(fun () -> cur_trace := saved) f
+
 let enabled () = !on
 let set_enabled b = on := b
 let set_clock f = clock_src := f
@@ -57,9 +77,10 @@ let incr_name ?(n = 1) name = if !on then Counter.incr ~n (counter name)
 let observe h v = if !on then Histogram.observe h v
 let observe_name name v = if !on then Histogram.observe (histogram name) v
 
-let point ?value name =
+let point ?clock ?value name =
   if !on then
-    Ring.push !ring ~time_ns:(now ()) ~depth:!depth ~kind:Event.Point ~name
+    let t = match clock with Some c -> c () | None -> now () in
+    Ring.push !ring ~time_ns:t ~depth:!depth ~trace:!cur_trace ~kind:Event.Point ~name
       ~value:(Option.value value ~default:0L)
 
 (* A span emits Enter/Exit trace events and feeds a "<name>.ns" duration
@@ -72,13 +93,13 @@ let with_span ?clock ?hist name f =
   else begin
     let now = match clock with Some c -> c | None -> !clock_src in
     let t0 = now () in
-    Ring.push !ring ~time_ns:t0 ~depth:!depth ~kind:Event.Enter ~name ~value:0L;
+    Ring.push !ring ~time_ns:t0 ~depth:!depth ~trace:!cur_trace ~kind:Event.Enter ~name ~value:0L;
     depth := !depth + 1;
     let finish () =
       depth := !depth - 1;
       let t1 = now () in
       let dt = Int64.sub t1 t0 in
-      Ring.push !ring ~time_ns:t1 ~depth:!depth ~kind:Event.Exit ~name ~value:dt;
+      Ring.push !ring ~time_ns:t1 ~depth:!depth ~trace:!cur_trace ~kind:Event.Exit ~name ~value:dt;
       let h = match hist with Some h -> h | None -> histogram (name ^ ".ns") in
       Histogram.observe h dt
     in
@@ -98,6 +119,7 @@ type snapshot = {
   histograms : (string * Histogram.t) list; (* sorted by name; copies *)
   events : Event.t list;                    (* oldest first *)
   dropped_events : int;
+  trace_capacity : int;                     (* ring capacity at snapshot time *)
 }
 
 let sorted_bindings tbl f =
@@ -110,6 +132,7 @@ let snapshot () =
     histograms = sorted_bindings histograms Histogram.copy;
     events = Ring.events !ring;
     dropped_events = Ring.dropped !ring;
+    trace_capacity = Ring.capacity !ring;
   }
 
 (* Zero all values but keep interned objects alive, so module-level counter
@@ -118,4 +141,6 @@ let reset () =
   Hashtbl.iter (fun _ c -> Counter.reset c) counters;
   Hashtbl.iter (fun _ h -> Histogram.reset h) histograms;
   Ring.reset !ring;
-  depth := 0
+  depth := 0;
+  next_trace := 0;
+  cur_trace := 0

@@ -16,12 +16,12 @@ type t = {
 
 let create ~capacity = { capacity; rev_events = []; len = 0; dropped = 0; next_seq = 0 }
 
-let push t ~time_ns ~depth ~kind ~name ~value =
+let push t ~time_ns ~depth ~trace ~kind ~name ~value =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   if t.len >= t.capacity then t.dropped <- t.dropped + 1
   else begin
-    t.rev_events <- { Event.seq; time_ns; depth; kind; name; value } :: t.rev_events;
+    t.rev_events <- { Event.seq; time_ns; depth; trace; kind; name; value } :: t.rev_events;
     t.len <- t.len + 1
   end
 

@@ -1,0 +1,275 @@
+(* Validator for exported Chrome trace-event JSON.
+
+   [Export.to_chrome_trace] is only useful if Perfetto actually loads what
+   it writes, so the smoke target and the round-trip test re-parse the
+   exported bytes with this independent parser instead of trusting the
+   writer.  The parser is a minimal recursive-descent JSON reader — enough
+   for the trace-event schema; it is not a general-purpose JSON library. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c at byte %d, got %c" c !pos c'
+    | None -> fail "expected %c at byte %d, got end of input" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' ->
+          Buffer.add_char buf '"';
+          advance ();
+          go ()
+        | Some '\\' ->
+          Buffer.add_char buf '\\';
+          advance ();
+          go ()
+        | Some '/' ->
+          Buffer.add_char buf '/';
+          advance ();
+          go ()
+        | Some 'n' ->
+          Buffer.add_char buf '\n';
+          advance ();
+          go ()
+        | Some 't' ->
+          Buffer.add_char buf '\t';
+          advance ();
+          go ()
+        | Some 'r' ->
+          Buffer.add_char buf '\r';
+          advance ();
+          go ()
+        | Some 'b' ->
+          Buffer.add_char buf '\b';
+          advance ();
+          go ()
+        | Some 'f' ->
+          Buffer.add_char buf '\012';
+          advance ();
+          go ()
+        | Some 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape %S" hex
+          in
+          (* Non-ASCII code points round-trip as '?' — the validator only
+             needs structure, not exact text. *)
+          Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+          pos := !pos + 5;
+          go ()
+        | _ -> fail "bad escape at byte %d" !pos)
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail "bad number %S" lit
+  in
+  let parse_lit lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal at byte %d" !pos
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> Str (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some 't' -> parse_lit "true" (Bool true)
+    | Some 'f' -> parse_lit "false" (Bool false)
+    | Some 'n' -> parse_lit "null" Null
+    | Some c -> fail "unexpected %c at byte %d" c !pos
+    | None -> fail "unexpected end of input"
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws ();
+        let key = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          go ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected , or } at byte %d" !pos
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = parse_value () in
+        items := v :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          go ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected , or ] at byte %d" !pos
+      in
+      go ();
+      Arr (List.rev !items)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes after JSON value at byte %d" !pos;
+  v
+
+(* ---- trace-event validation ---- *)
+
+type stats = {
+  events : int;      (* total trace events *)
+  spans : int;       (* matched begin/end pairs *)
+  instants : int;    (* "i" events *)
+  traces : int;      (* distinct (pid, tid) lanes *)
+  max_depth : int;   (* deepest span nesting observed *)
+}
+
+let field name = function
+  | Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> fail "event missing %S field" name)
+  | _ -> fail "trace event is not an object"
+
+let str_field name ev = match field name ev with Str s -> s | _ -> fail "%S not a string" name
+let num_field name ev = match field name ev with Num f -> f | _ -> fail "%S not a number" name
+
+(* Validate exported trace JSON: well-formed JSON, a traceEvents array,
+   and per (pid, tid) lane a proper span tree — every "E" closes the most
+   recent open "B" of the same name, timestamps never go backwards, and
+   (by stack discipline plus monotone time) every child interval nests
+   inside its parent's.  Returns aggregate stats or [Error reason]. *)
+let validate (text : string) : (stats, string) result =
+  match
+    let root = parse text in
+    let events =
+      match field "traceEvents" root with
+      | Arr evs -> evs
+      | _ -> fail "traceEvents is not an array"
+    in
+    let lanes : (float * float, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (float * float, float) Hashtbl.t = Hashtbl.create 8 in
+    let lane ev = (num_field "pid" ev, num_field "tid" ev) in
+    let spans = ref 0 and instants = ref 0 and max_depth = ref 0 in
+    List.iter
+      (fun ev ->
+        let key = lane ev in
+        let name = str_field "name" ev in
+        let ts = num_field "ts" ev in
+        (match Hashtbl.find_opt last_ts key with
+        | Some prev when ts < prev -> fail "timestamp goes backwards in lane for %S" name
+        | _ -> ());
+        Hashtbl.replace last_ts key ts;
+        let stack =
+          match Hashtbl.find_opt lanes key with
+          | Some st -> st
+          | None ->
+            let st = ref [] in
+            Hashtbl.add lanes key st;
+            st
+        in
+        match str_field "ph" ev with
+        | "B" ->
+          stack := (name, ts) :: !stack;
+          if List.length !stack > !max_depth then max_depth := List.length !stack
+        | "E" -> (
+          match !stack with
+          | [] -> fail "end event %S with no open span" name
+          | (open_name, open_ts) :: rest ->
+            if open_name <> name then
+              fail "end event %S does not match open span %S" name open_name;
+            if ts < open_ts then fail "span %S ends before it begins" name;
+            stack := rest;
+            incr spans)
+        | "i" -> incr instants
+        | ph -> fail "unsupported phase %S" ph)
+      events;
+    Hashtbl.iter
+      (fun _ st ->
+        match !st with
+        | [] -> ()
+        | (name, _) :: _ -> fail "span %S never closed" name)
+      lanes;
+    {
+      events = List.length events;
+      spans = !spans;
+      instants = !instants;
+      traces = Hashtbl.length lanes;
+      max_depth = !max_depth;
+    }
+  with
+  | stats -> Ok stats
+  | exception Bad reason -> Error reason

@@ -17,6 +17,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("analysis", Test_analysis.suite);
       ("supervisor", Test_supervisor.suite);
+      ("observability", Test_observability.suite);
       ("data", Test_data.suite);
       ("integration", Test_integration.suite);
       ("section4", Test_section4.suite);
