@@ -21,6 +21,7 @@ check:
 	dune exec bench/main.exe -- throughput-smoke
 	dune exec bench/main.exe -- chaos-smoke
 	dune exec bench/main.exe -- elision-smoke
+	dune exec bench/main.exe -- reload-smoke
 	$(MAKE) lint-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke

@@ -1148,6 +1148,220 @@ let elision_exp ?(smoke = false) () =
     "  acceptance: interp throughput with elision >= without — %s\n"
     (if ion >= ioff *. 0.98 then "MET" else "MISSED")
 
+(* ------------------------------------------------------------------ *)
+(* RELOAD: epoch swaps under live dispatch                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving core's hot-reload claim, measured.  An epoch swap is one
+   pointer publish, so a stream that reloads mid-flight should serve at
+   the same rate as one that never does.  Part 1 drives a scripted
+   reload schedule through a live stream and reports swap latency, grace
+   periods and the transition log; part 2 compares throughput at 0, 1
+   and 1-per-10k reloads (the acceptance bar: 1 reload per 10k events
+   costs < 5%). *)
+let reload_exp ?(smoke = false) () =
+  let module Dispatch = Framework.Dispatch in
+  let module Attach = Framework.Attach in
+  let module Epoch = Framework.Epoch in
+  let module Pipeline = Framework.Pipeline in
+  print_string (Report.section "RELOAD: epoch swaps under live dispatch");
+  let open Ebpf.Asm in
+  let h = Helpers.Registry.id_of_name in
+  let load world name ~prog_type items =
+    match
+      Pipeline.load_ebpf world (Ebpf.Program.of_items_exn ~name ~prog_type items)
+    with
+    | Ok l -> l
+    | Error e -> failwith (Format.asprintf "%a" Pipeline.pp_error e)
+  in
+  let prog_id = function
+    | Pipeline.Ebpf_prog { prog_id; _ } -> prog_id
+    | Pipeline.Rustlite_ext _ -> assert false
+  in
+  (* a tail-calling caller plus two switchable targets: each reload
+     rewires slot 0, so every swap has a per-event observable effect *)
+  let build () =
+    let world = World.create_populated () in
+    let engine = Framework.Dispatch.create world in
+    let b1 =
+      prog_id (load world "b1" ~prog_type:Ebpf.Program.Kprobe [ mov_i r0 55; exit_ ])
+    in
+    let b2 =
+      prog_id (load world "b2" ~prog_type:Ebpf.Program.Kprobe [ mov_i r0 77; exit_ ])
+    in
+    World.set_tail_call world ~index:0 ~prog_id:b1;
+    ignore
+      (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+         (load world "caller" ~prog_type:Ebpf.Program.Kprobe
+            [ mov_r r1 r1; mov_i r2 0; mov_i r3 0; call (h "bpf_tail_call");
+              mov_i r0 1; exit_ ]));
+    ignore
+      (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+         (load world "len" ~prog_type:Ebpf.Program.Socket_filter
+            [ ldxw r0 r1 0; exit_ ]));
+    (engine, b1, b2)
+  in
+  let schedule ~count ~reloads (b1, b2) =
+    List.init reloads (fun k ->
+        ( (k + 1) * count / (reloads + 1),
+          fun _e b ->
+            Epoch.set_tail_call b ~index:0
+              ~prog_id:(if k mod 2 = 0 then b2 else b1) ))
+  in
+  (* -- part 1: a scripted schedule; swap latency and grace periods -- *)
+  let count1 = if smoke then 2_000 else 20_000 in
+  let engine, b1, b2 = build () in
+  let world = engine.Dispatch.world in
+  let reload = schedule ~count:count1 ~reloads:4 (b1, b2) in
+  let r =
+    Dispatch.run_stream ~reload engine ~hook:"xdp"
+      ~gen:(Dispatch.synthetic_packets ~size:64 ())
+      ~count:count1 ()
+  in
+  Printf.printf "  scripted stream, %d events, %d reloads applied:\n    %s\n"
+    count1 r.Dispatch.reloads
+    (Format.asprintf "%a" Dispatch.pp_stream_result r);
+  Printf.printf "  events per epoch: %s\n"
+    (String.concat "  "
+       (List.map (fun (e, n) -> Printf.sprintf "e%d:%d" e n) r.Dispatch.per_epoch));
+  Printf.printf "  transition log:\n";
+  List.iter
+    (fun tr -> Printf.printf "    %s\n" (Format.asprintf "%a" Epoch.pp_transition tr))
+    (Epoch.transitions world.World.epochs);
+  let swap = Telemetry.Registry.histogram "epoch.swap_ns" in
+  let grace = Telemetry.Registry.histogram "epoch.grace_ns" in
+  Printf.printf "  swap latency (host ns):    count=%d mean=%.0f p99=%Ld max=%Ld\n"
+    (Telemetry.Histogram.count swap)
+    (Telemetry.Histogram.mean swap)
+    (Telemetry.Histogram.quantile swap 0.99)
+    (Telemetry.Histogram.max_value swap);
+  Printf.printf
+    "  grace periods (vclock ns): count=%d mean=%.0f max=%Ld (pending %d)\n\n"
+    (Telemetry.Histogram.count grace)
+    (Telemetry.Histogram.mean grace)
+    (Telemetry.Histogram.max_value grace)
+    (Epoch.grace_pending world.World.epochs);
+  (* -- part 2: throughput at 0 / 1 / 1-per-10k reloads -- *)
+  let count2 = if smoke then 10_000 else 100_000 in
+  let reps = if smoke then 3 else 5 in
+  let rate ~reloads =
+    let once () =
+      let engine, b1, b2 = build () in
+      let reload = schedule ~count:count2 ~reloads (b1, b2) in
+      (Dispatch.run_stream ~reload engine ~hook:"xdp"
+         ~gen:(Dispatch.synthetic_packets ~size:64 ())
+         ~count:count2 ())
+        .Dispatch.events_per_sec
+    in
+    ignore (once ()) (* warm up *);
+    List.fold_left
+      (fun acc _ -> Float.max acc (once ()))
+      (once ())
+      (List.init (reps - 1) Fun.id)
+  in
+  let dense_n = max 1 (count2 / 10_000) in
+  let base = rate ~reloads:0 in
+  let one = rate ~reloads:1 in
+  let dense = if dense_n = 1 then one else rate ~reloads:dense_n in
+  let pct x = (x -. base) /. base *. 100. in
+  Printf.printf
+    "  throughput, %d events:\n\
+    \    0 reloads  %9.0f ev/s\n\
+    \    1 reload   %9.0f ev/s (%+.1f%%)\n\
+    \    %d reloads %9.0f ev/s (%+.1f%%)\n"
+    count2 base one (pct one) dense_n dense (pct dense);
+  let degradation = -.pct dense in
+  Printf.printf
+    "  acceptance: 1 reload per 10k events costs < 5%% throughput — %s (%.1f%%)\n"
+    (if degradation < 5. then "MET" else "MISSED")
+    degradation;
+  degradation < 5.
+
+(* The CI smoke: the reduced run above, plus hard assertions — a seeded
+   mid-stream swap must be byte-identical to stopping the world at the
+   same boundary (no torn reads), and every superseded epoch must have
+   quiesced by the time the stream ends. *)
+let reload_smoke () =
+  let module Dispatch = Framework.Dispatch in
+  let module Attach = Framework.Attach in
+  let module Epoch = Framework.Epoch in
+  let module Pipeline = Framework.Pipeline in
+  ignore (reload_exp ~smoke:true ());
+  let open Ebpf.Asm in
+  let h = Helpers.Registry.id_of_name in
+  let build () =
+    let world = World.create_populated () in
+    let engine = Framework.Dispatch.create world in
+    let load name ~prog_type items =
+      match
+        Pipeline.load_ebpf world
+          (Ebpf.Program.of_items_exn ~name ~prog_type items)
+      with
+      | Ok l -> l
+      | Error e -> failwith (Format.asprintf "%a" Pipeline.pp_error e)
+    in
+    let b1 =
+      match load "b1" ~prog_type:Ebpf.Program.Kprobe [ mov_i r0 55; exit_ ] with
+      | Pipeline.Ebpf_prog { prog_id; _ } -> prog_id
+      | _ -> assert false
+    in
+    let b2 =
+      match load "b2" ~prog_type:Ebpf.Program.Kprobe [ mov_i r0 77; exit_ ] with
+      | Pipeline.Ebpf_prog { prog_id; _ } -> prog_id
+      | _ -> assert false
+    in
+    World.set_tail_call world ~index:0 ~prog_id:b1;
+    ignore
+      (Attach.attach engine.Dispatch.attach ~hook:"xdp"
+         (load "caller" ~prog_type:Ebpf.Program.Kprobe
+            [ mov_r r1 r1; mov_i r2 0; mov_i r3 0; call (h "bpf_tail_call");
+              mov_i r0 1; exit_ ]));
+    (engine, b2)
+  in
+  let count = 1_000 and boundary = 500 in
+  (* live: one epoch swap in the middle of the stream *)
+  let engine, b2 = build () in
+  let live =
+    Dispatch.run_stream
+      ~reload:[ (boundary, fun _e b -> Epoch.set_tail_call b ~index:0 ~prog_id:b2) ]
+      ~record_checksums:true engine ~hook:"xdp"
+      ~gen:(Dispatch.synthetic_packets ~size:64 ())
+      ~count ()
+  in
+  (* oracle: same world shape, stream stopped at the boundary, the same
+     change published stop-the-world, stream resumed.  The generator is
+     shared so both halves draw the same xorshift sequence. *)
+  let engine2, b2' = build () in
+  let g = Dispatch.synthetic_packets ~size:64 () in
+  let first =
+    Dispatch.run_stream ~record_checksums:true engine2 ~hook:"xdp" ~gen:g
+      ~count:boundary ()
+  in
+  World.set_tail_call engine2.Dispatch.world ~index:0 ~prog_id:b2';
+  let second =
+    Dispatch.run_stream ~record_checksums:true engine2 ~hook:"xdp"
+      ~gen:(fun i -> g (i + boundary))
+      ~count:(count - boundary) ()
+  in
+  let oracle =
+    Array.append first.Dispatch.event_checksums second.Dispatch.event_checksums
+  in
+  let fail msg =
+    Printf.eprintf "reload-smoke: FAILED — %s\n" msg;
+    exit 1
+  in
+  if live.Dispatch.reloads <> 1 then fail "expected exactly one applied reload";
+  if live.Dispatch.event_checksums <> oracle then
+    fail "torn read: live swap diverged from the stop-the-world oracle";
+  if Epoch.grace_pending engine.Dispatch.world.World.epochs <> 0 then
+    fail "superseded epoch still pending after the stream quiesced";
+  if List.length live.Dispatch.per_epoch <> 2 then
+    fail "expected the stream to span exactly two epochs";
+  Printf.printf
+    "reload-smoke: OK — %d events, swap at %d, checksums match the \
+     stop-the-world oracle, all epochs quiesced\n"
+    count boundary
+
 let experiments =
   [ ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("tab1", tab1 ~run_demos:true);
     ("tab2", tab2); ("exp-safety", exp_safety); ("exp-term", exp_term);
@@ -1155,7 +1369,8 @@ let experiments =
     ("perf", perf); ("telemetry", fun () -> telemetry ());
     ("profile", fun () -> profile_exp ());
     ("throughput", fun () -> throughput ()); ("chaos", fun () -> chaos_exp ());
-    ("elision", fun () -> elision_exp ()) ]
+    ("elision", fun () -> elision_exp ());
+    ("reload", fun () -> ignore (reload_exp ())) ]
 
 (* Not part of the default full run: a reduced-iteration variant for
    `make check`. *)
@@ -1220,6 +1435,7 @@ let extra_experiments =
     ("throughput-smoke", fun () -> throughput ~smoke:true ());
     ("chaos-smoke", fun () -> chaos_exp ~smoke:true ());
     ("elision-smoke", fun () -> elision_exp ~smoke:true ());
+    ("reload-smoke", reload_smoke);
     ("tele-isolate", tele_isolate) ]
 
 let () =

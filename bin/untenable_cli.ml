@@ -7,6 +7,10 @@
      untenable-cli dispatch [--filters N]    attach a filter population and
                    [--events N] [--jit]      drive a synthetic packet stream
                    [--trace FILE]            (optionally writing a Perfetto trace)
+     untenable-cli serve [--events N]        serve a stream with scripted
+                   [--reloads N]             mid-stream hot reloads: epoch
+                   [--filters N]             swaps under live dispatch, then
+                                             the epoch-transition table
      untenable-cli supervise [--events N]    serve a stream with a crasher in
                    [--policy P]              the population; per-extension
                    [--chaos-rate R]          breaker/quarantine health
@@ -462,6 +466,117 @@ let supervise_cmd =
           show per-extension supervision health")
     Term.(const run $ events $ policy $ chaos_rate $ no_crasher)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run events reloads filters size seed =
+    let world = Framework.World.create_populated () in
+    let engine = Framework.Dispatch.create world in
+    attach_filters engine ~filters;
+    (* the scripted reload schedule: at evenly spaced event boundaries,
+       alternately hot-load + attach a fresh filter (verified inside the
+       swap, staged on the epoch builder) and unload + detach the previous
+       hot one — both publish exactly one epoch *)
+    let last_hot = ref None in
+    let plan k (e : Framework.Dispatch.engine) b =
+      match !last_hot with
+      | Some (attach_id, prog_id) when k mod 2 = 1 ->
+        ignore (Framework.Attach.detach e.Framework.Dispatch.attach ~attach_id);
+        ignore (Framework.Epoch.unload b ~prog_id);
+        last_hot := None
+      | _ -> (
+        let name = Printf.sprintf "hot%d" k in
+        let prog =
+          Ebpf.Asm.(
+            Ebpf.Program.of_items_exn ~name
+              ~prog_type:Ebpf.Program.Socket_filter
+              [ mov_i r0 (100 + k); exit_ ])
+        in
+        match Framework.Pipeline.load_ebpf ~into:b world prog with
+        | Ok (Framework.Pipeline.Ebpf_prog { prog_id; _ } as loaded) ->
+          let a =
+            Framework.Attach.attach e.Framework.Dispatch.attach ~hook:"xdp" loaded
+          in
+          last_hot := Some (a.Framework.Attach.attach_id, prog_id)
+        | Ok _ -> ()
+        | Error err ->
+          Format.eprintf "hot load failed: %a@." Framework.Pipeline.pp_error err)
+    in
+    let reload =
+      List.init reloads (fun k -> (((k + 1) * events) / (reloads + 1), plan k))
+    in
+    Printf.printf "serving %d events with %d scripted reloads...\n" events reloads;
+    let gen = Framework.Dispatch.synthetic_packets ~seed ~size () in
+    let stats =
+      Framework.Dispatch.run_stream ~reload engine ~hook:"xdp" ~gen ~count:events ()
+    in
+    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    Printf.printf "\nevents served per epoch:\n";
+    print_string
+      (Framework.Report.table
+         ~header:[ "epoch"; "events" ]
+         (List.map
+            (fun (e, n) -> [ string_of_int e; string_of_int n ])
+            stats.Framework.Dispatch.per_epoch));
+    let store = world.Framework.World.epochs in
+    Printf.printf "\nepoch transitions:\n";
+    print_string
+      (Framework.Report.table
+         ~header:[ "epoch"; "at (vclock ns)"; "loads"; "unloads"; "tail-calls";
+                   "vconfig"; "aconfig"; "grace" ]
+         (List.map
+            (fun (t : Framework.Epoch.transition) ->
+              [ string_of_int t.Framework.Epoch.epoch;
+                Int64.to_string t.Framework.Epoch.at_ns;
+                string_of_int t.Framework.Epoch.loads;
+                string_of_int t.Framework.Epoch.unloads;
+                string_of_int t.Framework.Epoch.tail_call_updates;
+                (if t.Framework.Epoch.vconfig_changed then "changed" else "-");
+                (if t.Framework.Epoch.aconfig_changed then "changed" else "-");
+                (match t.Framework.Epoch.grace_ns with
+                | Some g -> Printf.sprintf "%Ldns" g
+                | None -> "pending") ])
+            (Framework.Epoch.transitions store)));
+    let swap = Telemetry.Registry.histogram "epoch.swap_ns" in
+    Printf.printf
+      "epochs: %d published, %d retired, %d pending grace; swap latency \
+       mean=%.0fns max=%Ldns (host clock)\n"
+      (Framework.Epoch.published store)
+      (Framework.Epoch.retired store)
+      (Framework.Epoch.grace_pending store)
+      (Telemetry.Histogram.mean swap)
+      (Telemetry.Histogram.max_value swap);
+    let vc = world.Framework.World.vcache in
+    Printf.printf "verdict cache: %d hits (%d cross-epoch), %d misses\n"
+      (Framework.Verdict_cache.hits vc)
+      (Framework.Verdict_cache.cross_epoch_reuse vc)
+      (Framework.Verdict_cache.misses vc);
+    save_snapshot ();
+    Printf.printf "(telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
+  in
+  let events =
+    Arg.(value & opt int 10_000 & info [ "events" ] ~doc:"Number of synthetic packets.")
+  in
+  let reloads =
+    Arg.(
+      value & opt int 3
+      & info [ "reloads" ]
+          ~doc:"Scripted hot reloads, spread evenly across the stream.")
+  in
+  let filters =
+    Arg.(value & opt int 3 & info [ "filters" ] ~doc:"Number of filters to attach.")
+  in
+  let size = Arg.(value & opt int 64 & info [ "size" ] ~doc:"Packet size in bytes.") in
+  let seed =
+    Arg.(value & opt int64 0x9e3779b97f4a7c15L & info [ "seed" ] ~doc:"Packet-stream seed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a packet stream with scripted mid-stream hot reloads (epoch \
+          swaps under live dispatch) and print the epoch-transition table")
+    Term.(const run $ events $ reloads $ filters $ size $ seed)
+
 (* ---- profile / flame ---- *)
 
 (* Shared workload for the profiling views: the dispatch population (plus a
@@ -904,7 +1019,8 @@ let main =
   Cmd.group
     (Cmd.info "untenable-cli" ~version:Untenable.version
        ~doc:"Explore the 'Kernel extension verification is untenable' reproduction")
-    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; supervise_cmd;
+    [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; serve_cmd;
+      supervise_cmd;
       profile_cmd; flame_cmd; top_cmd; trace_check_cmd; matrix_cmd;
       datasets_cmd; lint_cmd; rl_check_cmd; rl_run_cmd; stats_cmd; trace_cmd ]
 

@@ -53,8 +53,8 @@ let ebpf_filter ~ports =
 
 let run_ebpf ~budget ~ports ~packets =
   let world = World.create_populated () in
-  world.World.vconfig <-
-    { world.World.vconfig with Bpf_verifier.Verifier.insn_budget = budget };
+  World.set_vconfig world
+    { (World.vconfig world) with Bpf_verifier.Verifier.insn_budget = budget };
   let prog = ebpf_filter ~ports in
   Printf.printf "  program: %d insns, verifier budget %d\n" (Program.length prog) budget;
   match Loader.load_ebpf world prog with

@@ -53,6 +53,15 @@ let name a =
   | Pipeline.Rustlite_ext { ext; _ } ->
     ext.Rustlite.Toolchain.src.Rustlite.Toolchain.name
 
+(* The extension's content digest — the identity that survives reloads:
+   re-attaching the same image after an epoch swap produces a new attach id
+   but the same digest, which is how the supervisor carries breaker and
+   quarantine history across epochs. *)
+let digest a =
+  match a.loaded with
+  | Pipeline.Ebpf_prog { prog; _ } -> Ebpf.Program.digest prog
+  | Pipeline.Rustlite_ext { ext; _ } -> Rustlite.Toolchain.artifact_digest ext
+
 (* Attachments on [hook], in attach order. *)
 let attached t ~hook =
   List.rev (Option.value ~default:[] (Hashtbl.find_opt t.hooks hook))
@@ -70,8 +79,8 @@ let describe a =
   | Pipeline.Ebpf_prog { prog_id; prog; _ } ->
     Printf.sprintf "#%d %s prog_id=%d %s" a.attach_id prog.Ebpf.Program.name
       prog_id
-      (String.sub (Ebpf.Program.digest prog) 0 12)
+      (String.sub (digest a) 0 12)
   | Pipeline.Rustlite_ext { ext; _ } ->
     Printf.sprintf "#%d %s (rustlite) %s" a.attach_id
       ext.Rustlite.Toolchain.src.Rustlite.Toolchain.name
-      (String.sub (Rustlite.Toolchain.artifact_digest ext) 0 12)
+      (String.sub (digest a) 0 12)

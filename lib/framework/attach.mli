@@ -23,6 +23,11 @@ val find : t -> attach_id:int -> attachment option
 val name : attachment -> string
 (** The extension's own (program / crate) name, for health reports. *)
 
+val digest : attachment -> string
+(** The extension's full content digest — the identity that survives
+    reloads (a re-attached image gets a new attach id, same digest).
+    {!Supervisor} keys breaker/quarantine history by it. *)
+
 val attached : t -> hook:string -> attachment list
 (** In attach order. *)
 

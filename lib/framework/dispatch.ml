@@ -45,6 +45,13 @@ let create ?(opts = Invoke.default_opts) ?(policy = Isolate) (w : World.t) =
   { world = w; attach = Attach.create (); ictx = Invoke.create w; opts; policy;
     sup = Supervisor.create ~config () }
 
+(* A scheduled hot reload: stage epoch changes on the builder (loads,
+   unloads, tail-call rewires, config changes) and/or rewire the engine's
+   attachments; the engine publishes the builder when the plan returns.
+   Runs at an event boundary — in-flight events hold their pinned epoch, so
+   the swap is torn-read-free by construction. *)
+type reload_plan = engine -> Epoch.builder -> unit
+
 type stream_result = {
   events : int;
   invocations : int;
@@ -60,6 +67,10 @@ type stream_result = {
   host_ns : int64;        (* wall time for the whole stream *)
   events_per_sec : float;
   per_ext : Supervisor.health list;  (* per-extension health, attach order *)
+  reloads : int;          (* reload plans applied (epoch swaps published) *)
+  per_epoch : (int * int) list;  (* epoch -> events served under it *)
+  event_checksums : int64 array;
+      (* per-event outcome folds ([record_checksums] only, else empty) *)
 }
 
 let all_healthy r =
@@ -69,10 +80,11 @@ let all_healthy r =
 let pp_stream_result ppf r =
   Format.fprintf ppf
     "events=%d invocations=%d finished=%d stopped=%d crashed=%d exhausted=%d \
-     skipped=%d absorbed=%d quarantined=%d injected=%d checksum=%016Lx \
-     rate=%.0f ev/s"
+     skipped=%d absorbed=%d quarantined=%d injected=%d reloads=%d \
+     checksum=%016Lx rate=%.0f ev/s"
     r.events r.invocations r.finished r.stopped r.crashed r.exhausted r.skipped
-    r.faults_absorbed r.quarantined r.injected r.ret_checksum r.events_per_sec
+    r.faults_absorbed r.quarantined r.injected r.reloads r.ret_checksum
+    r.events_per_sec
 
 let pp_per_ext ppf r =
   List.iter (fun h -> Format.fprintf ppf "%a@." Supervisor.pp_health h) r.per_ext
@@ -89,6 +101,8 @@ let tele_absorbed = Telemetry.Registry.counter "dispatch.faults_absorbed"
 let tele_event_ns = Telemetry.Registry.histogram "dispatch.event_ns"
 let tele_event_span_ns = Telemetry.Registry.histogram "dispatch.event.ns"
 let tele_rate = Telemetry.Registry.counter "dispatch.events_per_sec"
+let tele_reloads = Telemetry.Registry.counter "dispatch.reloads"
+let tele_swap_ns = Telemetry.Registry.histogram "epoch.swap_ns"
 
 let host_ns () = Int64.of_float (Sys.time () *. 1e9)
 
@@ -147,14 +161,38 @@ let dispatch_event e ~hook payload =
   reports
 
 (* Drive [count] events from [gen] through [hook] under the engine's
-   policy, optionally with chaos injection. *)
-let run_stream ?chaos e ~hook ~gen ~count () =
+   policy, optionally with chaos injection and a hot-reload schedule. *)
+let run_stream ?chaos ?(reload = []) ?(record_checksums = false) e ~hook ~gen
+    ~count () =
   let started = host_ns () in
   let invocations = ref 0 and finished = ref 0 and stopped = ref 0 in
   let crashed = ref 0 and exhausted = ref 0 and skipped = ref 0 in
   let faults_absorbed = ref 0 and quarantined = ref 0 and injected = ref 0 in
   let checksum = ref 0L in
   let events = ref 0 in
+  let reloads = ref 0 in
+  let epoch_counts : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let event_checksums =
+    if record_checksums then Array.make (max count 0) 0L else [||]
+  in
+  (* Apply every reload plan scheduled for event boundary [i]: stage on a
+     fresh builder, publish atomically, measure the swap on the host
+     clock.  In-flight pins are impossible here (we are between events),
+     but the grace-period machinery still runs — a superseded epoch held
+     by an explicit pin outlives the swap untouched. *)
+  let apply_reloads i =
+    List.iter
+      (fun (_, plan) ->
+        let swap_started = host_ns () in
+        let b = Epoch.begin_ e.world.World.epochs in
+        plan e b;
+        ignore (Epoch.publish b);
+        Telemetry.Registry.observe tele_swap_ns
+          (Int64.sub (host_ns ()) swap_started);
+        Telemetry.Registry.bump tele_reloads;
+        incr reloads)
+      (List.filter (fun (idx, _) -> idx = i) reload)
+  in
   let kernel = e.world.World.kernel in
   let supervised = match e.policy with Supervise _ -> true | _ -> false in
   (* A contained fault: revive already happened (crash) or was unnecessary
@@ -178,9 +216,15 @@ let run_stream ?chaos e ~hook ~gen ~count () =
   let vnow () = Vclock.now kernel.Kernel.clock in
   (try
      for i = 0 to count - 1 do
+       apply_reloads i;
        Telemetry.Registry.bump tele_events;
        let ev_started = host_ns () in
        incr events;
+       (let ep = (World.current e.world).Epoch.epoch in
+        match Hashtbl.find_opt epoch_counts ep with
+        | Some r -> incr r
+        | None -> Hashtbl.add epoch_counts ep (ref 1));
+       let ev_checksum = ref 0L in
        (Telemetry.Registry.with_trace (Telemetry.Registry.fresh_trace ())
        @@ fun () ->
        Telemetry.Registry.with_span "dispatch.event" ~hist:tele_event_span_ns
@@ -202,7 +246,10 @@ let run_stream ?chaos e ~hook ~gen ~count () =
          (fun (a : Attach.attachment) ->
            let name = Attach.name a in
            let ext =
-             Supervisor.ext e.sup ~attach_id:a.Attach.attach_id ~name
+             (* digest-keyed: the same image keeps its breaker history
+                across detach/re-attach and epoch swaps *)
+             Supervisor.ext e.sup ~digest:(Attach.digest a)
+               ~attach_id:a.Attach.attach_id ~name
            in
            let decision =
              if supervised then
@@ -231,6 +278,7 @@ let run_stream ?chaos e ~hook ~gen ~count () =
              incr invocations;
              ext.Supervisor.invocations <- ext.Supervisor.invocations + 1;
              checksum := checksum_add !checksum r.Invoke.outcome;
+             ev_checksum := checksum_add !ev_checksum r.Invoke.outcome;
              ext.Supervisor.ret_checksum <-
                checksum_add ext.Supervisor.ret_checksum r.Invoke.outcome;
              (match r.Invoke.outcome with
@@ -265,6 +313,7 @@ let run_stream ?chaos e ~hook ~gen ~count () =
                | Fail_fast -> ()  (* guards cleaned up; keep serving *)
                | Isolate | Supervise _ -> contained_fault ext)))
          (Attach.attached e.attach ~hook));
+       if record_checksums then event_checksums.(i) <- !ev_checksum;
        Telemetry.Registry.observe tele_event_ns
          (Int64.sub (host_ns ()) ev_started)
      done
@@ -293,4 +342,9 @@ let run_stream ?chaos e ~hook ~gen ~count () =
     host_ns = elapsed;
     events_per_sec = rate;
     per_ext = Supervisor.healths e.sup;
+    reloads = !reloads;
+    per_epoch =
+      Hashtbl.fold (fun ep r acc -> (ep, !r) :: acc) epoch_counts []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    event_checksums;
   }

@@ -30,6 +30,13 @@ val create : ?opts:Invoke.run_opts -> ?policy:policy -> World.t -> engine
 (** [opts] applies to every invocation (its [skb_payload] is overridden per
     event).  [policy] defaults to {!Isolate}. *)
 
+type reload_plan = engine -> Epoch.builder -> unit
+(** A scheduled hot reload: stage epoch changes on the builder (loads via
+    [Pipeline.load_ebpf ~into], unloads, tail-call rewires, config
+    changes) and/or rewire the engine's attachments.  The engine publishes
+    the builder when the plan returns and measures the swap as
+    [epoch.swap_ns]. *)
+
 type stream_result = {
   events : int;
   invocations : int;
@@ -47,6 +54,11 @@ type stream_result = {
   events_per_sec : float;
   per_ext : Supervisor.health list;
       (** per-extension health, attach order, quarantined included *)
+  reloads : int;  (** reload plans applied (epoch swaps published) *)
+  per_epoch : (int * int) list;
+      (** events served under each epoch, ascending epoch order *)
+  event_checksums : int64 array;
+      (** per-event outcome folds; empty unless [record_checksums] *)
 }
 
 val all_healthy : stream_result -> bool
@@ -67,12 +79,22 @@ val dispatch_event : engine -> hook:string -> Bytes.t -> Invoke.run_report list
 
 val run_stream :
   ?chaos:Chaos.config ->
+  ?reload:(int * reload_plan) list ->
+  ?record_checksums:bool ->
   engine -> hook:string -> gen:(int -> Bytes.t) -> count:int -> unit ->
   stream_result
 (** Drive [count] events from [gen] through [hook] under the engine's
     policy.  With [chaos], each event may get a fault injected on the
     deterministic schedule.  Updates the [dispatch.*] telemetry counters
     and exports the stream's throughput as [dispatch.events_per_sec].
+
+    [?reload] schedules hot reloads: each [(i, plan)] runs at the boundary
+    {e before} event [i] (plans sharing an index apply in list order) and
+    publishes one epoch swap; events keep pinning whichever epoch is
+    current when they start, so no event observes a half-applied world.
+    [?record_checksums] fills [event_checksums] with a per-event outcome
+    fold — the observable the epoch-swap ≡ stop-the-world equivalence
+    property compares.
 
     Engine supervision state (breakers, per-extension tallies) accumulates
     across successive [run_stream] calls on the same engine. *)

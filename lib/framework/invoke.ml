@@ -142,19 +142,31 @@ let fill_ctx (w : World.t) (prog : Program.t) (skb : Kobject.sk_buff option) reg
 
 let max_tail_calls = 33
 
-let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
-    run_report =
+let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
+    (loaded : Pipeline.loaded) : run_report =
   (match ictx with
   | Some i when i.world != w ->
     invalid_arg "Invoke.run: invocation context belongs to a different world"
   | _ -> ());
+  (* Pin one epoch for the whole invocation, RCU-style: every tail-call and
+     hctx prog-array lookup resolves against this snapshot, so a reload
+     published mid-stream can never tear the event's world view.  The pin
+     is released (and superseded epochs get to retire) on every exit
+     path. *)
+  let snap =
+    match snap with
+    | Some s -> Epoch.retain w.World.epochs s
+    | None -> World.pin w
+  in
+  Fun.protect ~finally:(fun () -> Epoch.release w.World.epochs snap)
+  @@ fun () ->
   let hctx =
     match ictx with
     | Some i ->
       Hctx.reset i.hctx;
-      World.sync_hctx w i.hctx;
+      World.sync_hctx ~snap w i.hctx;
       i.hctx
-    | None -> World.new_hctx w
+    | None -> World.new_hctx ~snap w
   in
   let skb =
     Option.map
@@ -253,7 +265,10 @@ let run ?(opts = default_opts) ?ictx (w : World.t) (loaded : Pipeline.loaded) :
           Kernel_sim.Rcu.read_unlock w.World.kernel.Kernel.rcu ~context:"tail_call";
           if remaining_tail_calls = 0 then Finished 0L
           else
-            match Hashtbl.find_opt w.World.progs prog_id with
+            (* resolve against the pinned snapshot, never the live world:
+               an unload published since this invocation began must not be
+               observable half-way through a chain *)
+            match Epoch.find_prog snap prog_id with
             | None -> Finished (-22L)
             | Some next -> go next [||] (remaining_tail_calls - 1))
       in

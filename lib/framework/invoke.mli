@@ -58,10 +58,15 @@ type run_report = {
 val max_tail_calls : int
 (** MAX_TAIL_CALL_CNT: the kernel's cap on chained tail calls. *)
 
-val run : ?opts:run_opts -> ?ictx:t -> World.t -> Pipeline.loaded -> run_report
-(** One invocation: builds (or reuses) the attach context, snapshots
-    refcounts for leak attribution, executes under the requested guards,
-    chases tail calls (up to {!max_tail_calls}), fires armed timers (the
-    simulated softirq), and reports the outcome with the kernel's health.
-    Raises [Invalid_argument] if [ictx] was created for a different
-    world. *)
+val run :
+  ?opts:run_opts -> ?ictx:t -> ?snap:Epoch.snapshot -> World.t ->
+  Pipeline.loaded -> run_report
+(** One invocation: pins one epoch snapshot for its whole duration
+    (RCU-style — [?snap] to pin an explicitly retained older epoch,
+    default the current one), builds (or reuses) the attach context,
+    snapshots refcounts for leak attribution, executes under the requested
+    guards, chases tail calls (up to {!max_tail_calls}) {e against the
+    pinned snapshot}, fires armed timers (the simulated softirq), and
+    reports the outcome with the kernel's health.  The pin is released on
+    every exit path, letting superseded epochs retire.  Raises
+    [Invalid_argument] if [ictx] was created for a different world. *)

@@ -69,11 +69,3 @@ type run_report = Invoke.run_report = {
 }
 
 let max_tail_calls = Invoke.max_tail_calls
-
-let run ?skb_payload ?fuel ?wall_ns ?(ns_per_insn = 1L) ?use_jit
-    ?(jit_branch_bug = false) (w : World.t) (loaded : loaded) : run_report =
-  let opts =
-    { Invoke.default_opts with Invoke.skb_payload; fuel; wall_ns; ns_per_insn;
-      use_jit = Option.value ~default:false use_jit; jit_branch_bug }
-  in
-  Invoke.run ~opts w loaded

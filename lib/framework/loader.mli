@@ -63,20 +63,8 @@ type run_report = Invoke.run_report = {
 }
 
 val max_tail_calls : int
-(** MAX_TAIL_CALL_CNT: the kernel's cap on chained tail calls. *)
+(** MAX_TAIL_CALL_CNT: the kernel's cap on chained tail calls.
 
-val run :
-  ?skb_payload:Bytes.t ->
-  ?fuel:int64 ->
-  ?wall_ns:int64 ->
-  ?ns_per_insn:int64 ->
-  ?use_jit:bool ->
-  ?jit_branch_bug:bool ->
-  World.t -> loaded -> run_report
-  [@@ocaml.deprecated
-    "Build an Invoke.run_opts record ({ Invoke.default_opts with ... }) and \
-     call Invoke.run ~opts instead."]
-(** @deprecated The optional-argument pile stopped scaling once invocation
-    gained more knobs (pooled contexts, call-depth caps).  Build an
-    {!Invoke.run_opts} record — [{ Invoke.default_opts with fuel = ... }] —
-    and call {!Invoke.run}[ ~opts], which is what this facade does. *)
+    The deprecated [Loader.run] optional-argument facade is gone: build an
+    {!Invoke.run_opts} record — [{ Invoke.default_opts with fuel = ... }]
+    — and call {!Invoke.run}[ ~opts]. *)

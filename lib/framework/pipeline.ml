@@ -98,10 +98,13 @@ let stage_span stage f =
 (* Admission: the cheap structural checks that gate entry to the pipeline,
    before any per-instruction work.  The size cap mirrors the verifier's own
    BPF_MAXINSNS check so rejected programs see the identical verdict they
-   always did — they just see it without paying for fixup first. *)
-let admit (w : World.t) (prog : Program.t) : (Program.t, error) result =
+   always did — they just see it without paying for fixup first.  Reads the
+   builder's staged vconfig: a load riding an epoch that also changes the
+   cap is admitted under the cap it will be published with. *)
+let admit ~(vconfig : Verifier.config) (prog : Program.t) :
+    (Program.t, error) result =
   let count = Array.length prog.Program.insns in
-  let max = w.World.vconfig.Verifier.max_insns in
+  let max = vconfig.Verifier.max_insns in
   if count > max then Error (Too_many_insns { count; max }) else Ok prog
 
 (* Fixup: resolve helper-name relocations to helper ids — the "load-time
@@ -135,9 +138,9 @@ let world_map_def (w : World.t) fd =
    fact — so this stage has no error arm; it decorates the eventual handle.
    Reports are cached in the world's verdict cache under (program digest,
    analysis-config signature), the only inputs the passes read. *)
-let analyze_ebpf ?(use_cache = true) (w : World.t) (prog : Program.t) :
+let analyze_ebpf ?(use_cache = true) ~aconfig (w : World.t) (prog : Program.t) :
     Analysis.Driver.report option =
-  let config = w.World.aconfig in
+  let config = aconfig in
   if config = Analysis.Driver.all_off then None
   else begin
     let started = host_ns () in
@@ -166,8 +169,8 @@ let analyze_ebpf ?(use_cache = true) (w : World.t) (prog : Program.t) :
 (* One full verifier run, with the verifier's own crash class converted into
    a typed gate error (and an oops on the simulated kernel: the verifier
    dying *is* a kernel bug). *)
-let verify_uncached (w : World.t) (prog : Program.t) : (Verifier.stats, error) result =
-  let config = w.World.vconfig in
+let verify_uncached ~config (w : World.t) (prog : Program.t) :
+    (Verifier.stats, error) result =
   match Verifier.verify_with_registry ~config ~registry:w.World.maps prog with
   | Ok vstats -> Ok vstats
   | Error r -> Error (Verifier_rejected r)
@@ -182,20 +185,21 @@ let verify_uncached (w : World.t) (prog : Program.t) : (Verifier.stats, error) r
    cache.  The fingerprint is recomputed from live mutable state on every
    load, so config/bug-set mutation invalidates by construction; crashes are
    never cached (each crashing load must oops the kernel again). *)
-let gate_verify ?(use_cache = true) (w : World.t) (prog : Program.t) :
-    (Verifier.stats, error) result =
+let gate_verify ?(use_cache = true) ~vconfig ~aconfig (w : World.t)
+    (prog : Program.t) : (Verifier.stats, error) result =
   let started = host_ns () in
   let result =
-    if not use_cache then verify_uncached w prog
+    if not use_cache then verify_uncached ~config:vconfig w prog
     else begin
+      let epoch = Epoch.current_epoch w.World.epochs in
       let fingerprint =
         Verdict_cache.fingerprint
-          ~analysis:(Analysis.Driver.config_signature w.World.aconfig)
-          ~config:w.World.vconfig ~bugs:w.World.bugs
+          ~analysis:(Analysis.Driver.config_signature aconfig)
+          ~config:vconfig ~bugs:w.World.bugs
           ~map_def:(world_map_def w) prog
       in
       let key = Verdict_cache.key ~digest:(Program.digest prog) ~fingerprint in
-      match Verdict_cache.find w.World.vcache key with
+      match Verdict_cache.find ~epoch w.World.vcache key with
       | Some (Ok vstats) ->
         Telemetry.Registry.bump tele_cache_hits;
         Telemetry.Registry.point ~clock:host_ns "pipeline.cache_hit";
@@ -207,12 +211,12 @@ let gate_verify ?(use_cache = true) (w : World.t) (prog : Program.t) :
       | None -> (
         Telemetry.Registry.bump tele_cache_misses;
         Telemetry.Registry.point ~clock:host_ns "pipeline.cache_miss";
-        match verify_uncached w prog with
+        match verify_uncached ~config:vconfig w prog with
         | Ok vstats as ok ->
-          Verdict_cache.store w.World.vcache key (Ok vstats);
+          Verdict_cache.store ~epoch w.World.vcache key (Ok vstats);
           ok
         | Error (Verifier_rejected r) as e ->
-          Verdict_cache.store w.World.vcache key (Error r);
+          Verdict_cache.store ~epoch w.World.vcache key (Error r);
           e
         | Error _ as e -> e)
     end
@@ -220,29 +224,46 @@ let gate_verify ?(use_cache = true) (w : World.t) (prog : Program.t) :
   Telemetry.Registry.observe tele_gate_ns (Int64.sub (host_ns ()) started);
   result
 
-(* Link, path A: give the program an id and enter it into the world's
-   program table (where tail calls resolve it). *)
-let link_ebpf (w : World.t) (prog : Program.t) (vstats : Verifier.stats)
+(* Link, path A: allocate a prog id and stage the program into the epoch
+   builder's table (where tail calls will resolve it once published). *)
+let link_ebpf (b : Epoch.builder) (prog : Program.t) (vstats : Verifier.stats)
     (analysis : Analysis.Driver.report option) : loaded =
-  let prog_id = w.World.next_prog_id in
-  w.World.next_prog_id <- prog_id + 1;
-  Hashtbl.replace w.World.progs prog_id prog;
+  let prog_id = Epoch.add_prog b prog in
   Ebpf_prog { prog_id; prog; vstats; analysis }
 
 let ( let* ) = Result.bind
 
-let load_ebpf ?use_cache (w : World.t) (prog : Program.t) : (loaded, error) result =
+(* With [?into] the stages emit into the caller's epoch builder — the load
+   rides a larger transaction and publishes when the caller publishes.
+   Without it, a successful load opens a one-shot builder and publishes the
+   new epoch itself; a failed load publishes nothing (no epoch churn). *)
+let load_ebpf ?use_cache ?into (w : World.t) (prog : Program.t) :
+    (loaded, error) result =
   Telemetry.Registry.bump tele_ebpf_loads;
   let started = host_ns () in
+  let b, own_builder =
+    match into with
+    | Some b -> (b, false)
+    | None -> (Epoch.begin_ w.World.epochs, true)
+  in
+  let vconfig = Epoch.vconfig b and aconfig = Epoch.aconfig b in
   let result =
     Telemetry.Registry.with_trace (Telemetry.Registry.fresh_trace ()) (fun () ->
         Telemetry.Registry.with_span ~clock:host_ns "pipeline.load" (fun () ->
-            let* prog = stage_span Admission (fun () -> admit w prog) in
+            let* prog = stage_span Admission (fun () -> admit ~vconfig prog) in
             let* prog = stage_span Fixup (fun () -> fixup prog) in
-            let analysis = stage_span Analyze (fun () -> analyze_ebpf ?use_cache w prog) in
-            let* vstats = stage_span Gate (fun () -> gate_verify ?use_cache w prog) in
-            Ok (stage_span Link (fun () -> link_ebpf w prog vstats analysis))))
+            let analysis =
+              stage_span Analyze (fun () -> analyze_ebpf ?use_cache ~aconfig w prog)
+            in
+            let* vstats =
+              stage_span Gate (fun () ->
+                  gate_verify ?use_cache ~vconfig ~aconfig w prog)
+            in
+            Ok (stage_span Link (fun () -> link_ebpf b prog vstats analysis))))
   in
+  (match result with
+  | Ok _ when own_builder -> ignore (Epoch.publish b)
+  | Ok _ | Error _ -> ());
   Telemetry.Registry.observe tele_load_ns (Int64.sub (host_ns ()) started);
   (match result with
   | Error _ -> Telemetry.Registry.bump tele_load_errors

@@ -33,36 +33,51 @@ type error =
 val stage_of_error : error -> stage
 val pp_error : Format.formatter -> error -> unit
 
-val admit : World.t -> Ebpf.Program.t -> (Ebpf.Program.t, error) result
-(** Admission stage alone: cheap structural caps, before per-insn work. *)
+val admit :
+  vconfig:Bpf_verifier.Verifier.config ->
+  Ebpf.Program.t -> (Ebpf.Program.t, error) result
+(** Admission stage alone: cheap structural caps, before per-insn work,
+    under the (staged) verifier configuration the load will publish with. *)
 
 val fixup : Ebpf.Program.t -> (Ebpf.Program.t, error) result
 (** Fixup stage alone: resolve helper-name relocations to helper ids. *)
 
 val analyze_ebpf :
-  ?use_cache:bool -> World.t -> Ebpf.Program.t ->
-  Analysis.Driver.report option
-(** Analyze stage alone: run the static-analysis passes the world's
-    [aconfig] enables (resource obligations, lock discipline, guard
-    elision) on a fixed-up program.  Findings are advisory — they never
-    block a load — so the stage has no error arm; [None] means every pass
-    is off.  Reports are cached in the world's verdict cache under
-    (program digest, analysis-config signature). *)
+  ?use_cache:bool -> aconfig:Analysis.Driver.config -> World.t ->
+  Ebpf.Program.t -> Analysis.Driver.report option
+(** Analyze stage alone: run the static-analysis passes [aconfig] enables
+    (resource obligations, lock discipline, guard elision) on a fixed-up
+    program.  Findings are advisory — they never block a load — so the
+    stage has no error arm; [None] means every pass is off.  Reports are
+    cached in the world's verdict cache under (program digest,
+    analysis-config signature). *)
 
 val gate_verify :
-  ?use_cache:bool -> World.t -> Ebpf.Program.t ->
+  ?use_cache:bool ->
+  vconfig:Bpf_verifier.Verifier.config ->
+  aconfig:Analysis.Driver.config ->
+  World.t -> Ebpf.Program.t ->
   (Bpf_verifier.Verifier.stats, error) result
 (** Gate stage, path A: the verifier behind the verdict cache (default on).
-    The cache key fingerprints every verdict input, so mutating the world's
-    vconfig or bug sets invalidates; verifier crashes are never cached. *)
+    The cache key fingerprints every verdict input, so a changed config or
+    bug set invalidates; verifier crashes are never cached.  Cached entries
+    are epoch-tagged: a hit stored under an earlier epoch counts as a
+    cross-epoch reuse ([cache.cross_epoch_reuse]). *)
 
 val gate_validate :
   Rustlite.Toolchain.signed_extension -> (unit, error) result
 (** Gate stage, path B: toolchain signature validation only. *)
 
 val load_ebpf :
-  ?use_cache:bool -> World.t -> Ebpf.Program.t -> (loaded, error) result
-(** Path A end to end: admission -> fixup -> cached verify gate -> link. *)
+  ?use_cache:bool -> ?into:Epoch.builder -> World.t -> Ebpf.Program.t ->
+  (loaded, error) result
+(** Path A end to end: admission -> fixup -> cached verify gate -> link.
+
+    With [?into], the stages read the builder's staged vconfig/aconfig and
+    the link stage emits into it — the load rides the caller's epoch
+    transaction and becomes visible when the caller publishes.  Without
+    it, a successful load publishes its own epoch; a failed load publishes
+    nothing. *)
 
 val load_rustlite :
   World.t -> Rustlite.Toolchain.signed_extension -> (loaded, error) result

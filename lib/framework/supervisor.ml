@@ -50,7 +50,9 @@ let state_to_string = function
   | Quarantined -> "quarantined"
 
 type ext = {
-  attach_id : int;
+  (* last-seen attach id: a re-attach of the same image after an epoch
+     swap rebinds the record to the new id while keeping all history *)
+  mutable attach_id : int;
   name : string;
   mutable state : state;
   mutable trips : int;           (* times the breaker opened, cumulative *)
@@ -73,15 +75,26 @@ type ext = {
 
 type t = {
   config : config;
-  exts : (int, ext) Hashtbl.t; (* attach_id -> ext *)
+  (* keyed by extension content digest when the caller has one (dispatch
+     always does), so breaker/quarantine history survives detach/re-attach
+     across epochs; attach-id keyed otherwise (unit-test convenience) *)
+  exts : (string, ext) Hashtbl.t;
 }
 
 let create ?(config = default_config) () =
   { config; exts = Hashtbl.create 8 }
 
-let ext t ~attach_id ~name =
-  match Hashtbl.find_opt t.exts attach_id with
-  | Some e -> e
+let key ?digest ~attach_id () =
+  match digest with
+  | Some d -> "digest:" ^ d
+  | None -> "attach:" ^ string_of_int attach_id
+
+let ext ?digest t ~attach_id ~name =
+  let k = key ?digest ~attach_id () in
+  match Hashtbl.find_opt t.exts k with
+  | Some e ->
+    e.attach_id <- attach_id;
+    e
   | None ->
     let e =
       { attach_id; name; state = Closed; trips = 0; seq = 0; fault_seqs = [];
@@ -89,7 +102,7 @@ let ext t ~attach_id ~name =
         skipped = 0; ret_checksum = 0L; quarantined_at_ns = None;
         lat = Telemetry.Registry.histogram ("ext." ^ name ^ ".ns") }
     in
-    Hashtbl.add t.exts attach_id e;
+    Hashtbl.add t.exts k e;
     e
 
 let exts t =

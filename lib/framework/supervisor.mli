@@ -37,7 +37,8 @@ type state = Closed | Open of { until_ns : int64 } | Half_open | Quarantined
 val state_to_string : state -> string
 
 type ext = {
-  attach_id : int;
+  mutable attach_id : int;
+      (** last-seen attach id; rebound when the same image re-attaches *)
   name : string;
   mutable state : state;
   mutable trips : int;            (** times the breaker opened, cumulative *)
@@ -62,8 +63,14 @@ type t
 
 val create : ?config:config -> unit -> t
 
-val ext : t -> attach_id:int -> name:string -> ext
-(** Find-or-create the record for one attachment. *)
+val ext : ?digest:string -> t -> attach_id:int -> name:string -> ext
+(** Find-or-create the record for one attachment.  With [?digest] (the
+    extension's content digest, {!Attach.digest}) the record is keyed by
+    digest, so breaker state, trip counts and quarantine survive
+    detach/re-attach across epochs — the same image keeps its history, a
+    genuinely new image starts clean.  Without a digest the record is
+    keyed by attach id (unit-test convenience).  [attach_id] is rebound to
+    the latest value on every lookup. *)
 
 val exts : t -> ext list
 (** All tracked extensions, in attach order. *)

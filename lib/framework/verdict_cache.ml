@@ -32,9 +32,13 @@ module Program = Ebpf.Program
 type verdict = (Verifier.stats, Verifier.reject) result
 
 type t = {
-  tbl : (string, verdict) Hashtbl.t;
+  (* verdict plus the epoch it was stored under: a hit from an earlier
+     epoch is a *cross-epoch reuse* — the payoff of content-addressed
+     caching under hot reload (same image, new epoch, no re-verify) *)
+  tbl : (string, verdict * int) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable cross_epoch : int;
   (* static-analysis reports, cached alongside verdicts: same content
      addressing, separate table and tallies so analysis caching cannot
      perturb verdict hit-rate measurements *)
@@ -49,13 +53,14 @@ type t = {
 }
 
 let create () =
-  { tbl = Hashtbl.create 16; hits = 0; misses = 0;
+  { tbl = Hashtbl.create 16; hits = 0; misses = 0; cross_epoch = 0;
     atbl = Hashtbl.create 16; ahits = 0; amisses = 0;
     last_fp = Hashtbl.create 16; invalidations = 0 }
 
 let tele_hit = Telemetry.Registry.counter "cache.hit"
 let tele_miss = Telemetry.Registry.counter "cache.miss"
 let tele_invalidated = Telemetry.Registry.counter "cache.invalidated"
+let tele_cross_epoch = Telemetry.Registry.counter "cache.cross_epoch_reuse"
 
 let serialize_map_def (d : Bpf_map.def) =
   Printf.sprintf "(map %s %s %d %d %d %s)" d.Bpf_map.name
@@ -108,13 +113,17 @@ let split_key k =
   | Some i -> (String.sub k 0 i, String.sub k (i + 1) (String.length k - i - 1))
   | None -> (k, "")
 
-let find t k =
+let find ?(epoch = 0) t k =
   let digest, fp = split_key k in
   let r =
     match Hashtbl.find_opt t.tbl k with
-    | Some v ->
+    | Some (v, stored_epoch) ->
       t.hits <- t.hits + 1;
       Telemetry.Registry.bump tele_hit;
+      if stored_epoch < epoch then begin
+        t.cross_epoch <- t.cross_epoch + 1;
+        Telemetry.Registry.bump tele_cross_epoch
+      end;
       Some v
     | None ->
       t.misses <- t.misses + 1;
@@ -131,7 +140,7 @@ let find t k =
   Hashtbl.replace t.last_fp digest fp;
   r
 
-let store t k v = Hashtbl.replace t.tbl k v
+let store ?(epoch = 0) t k v = Hashtbl.replace t.tbl k (v, epoch)
 
 (* Analysis reports are keyed by (program digest, analysis-config
    signature): the passes read nothing else, so nothing else can
@@ -155,6 +164,7 @@ let size t = Hashtbl.length t.tbl
 let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations
+let cross_epoch_reuse t = t.cross_epoch
 let analysis_size t = Hashtbl.length t.atbl
 let analysis_hits t = t.ahits
 let analysis_misses t = t.amisses

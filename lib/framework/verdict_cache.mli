@@ -29,14 +29,20 @@ val fingerprint :
 
 val key : digest:string -> fingerprint:string -> string
 
-val find : t -> string -> verdict option
+val find : ?epoch:int -> t -> string -> verdict option
 (** Bumps the hit/miss tallies (and the registry's [cache.hit] /
     [cache.miss] / [cache.invalidated] counters) as a side effect.  A miss
     for a digest whose previous lookup used a different fingerprint counts
     as an invalidation: the program is known, but a fingerprinted input
-    changed. *)
+    changed.
 
-val store : t -> string -> verdict -> unit
+    [?epoch] is the caller's current {!Epoch} number: a hit on an entry
+    stored under an earlier epoch additionally counts as a cross-epoch
+    reuse ([cache.cross_epoch_reuse]) — the same image re-admitted after a
+    hot reload without re-verification. *)
+
+val store : ?epoch:int -> t -> string -> verdict -> unit
+(** Record a verdict, tagged with the epoch it was computed under. *)
 
 (** {2 Cached static-analysis reports}
 
@@ -59,6 +65,9 @@ val misses : t -> int
 val invalidations : t -> int
 (** Misses that replaced an existing digest's fingerprint (config, bug-set
     or map-shape churn), as opposed to never-seen programs. *)
+
+val cross_epoch_reuse : t -> int
+(** Hits whose entry was stored under an earlier epoch than the lookup's. *)
 
 val analysis_size : t -> int
 val analysis_hits : t -> int

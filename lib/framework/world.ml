@@ -1,7 +1,20 @@
-(* A complete testbed: one simulated kernel plus the map registry, the
-   helper bug database, the verifier configuration, and the table of loaded
-   programs (for tail calls).  Every experiment builds a fresh world, so
-   failures cannot contaminate each other. *)
+(* A complete testbed: the long-lived registry half of the serving core.
+
+   A world is split in two:
+
+   - the *registry* (this record): the simulated kernel, the map registry,
+     the helper bug database and the verdict cache — state that outlives
+     any individual extension and deliberately straddles epochs (fault
+     injection, health history, memoized verdicts).
+
+   - the *epoch chain* ([epochs]): immutable snapshots of everything an
+     in-flight invocation reads — the loaded-program table, the tail-call
+     index, vconfig/aconfig.  All mutation flows through an Epoch.builder
+     and lands as an atomically published epoch N+1; see Epoch for the
+     RCU-style grace-period machinery.
+
+   Every experiment builds a fresh world, so failures cannot contaminate
+   each other. *)
 
 module Kernel = Kernel_sim.Kernel
 module Kver = Kerndata.Kver
@@ -13,15 +26,7 @@ type t = {
   kernel : Kernel.t;
   maps : Bpf_map.Registry.t;
   bugs : Bugdb.t;
-  mutable vconfig : Bpf_verifier.Verifier.config;
-  (* which static-analysis passes the load pipeline runs; mutable for the
-     same reason vconfig is — experiments toggle passes on a live world and
-     the verdict-cache fingerprint must notice *)
-  mutable aconfig : Analysis.Driver.config;
-  progs : (int, Ebpf.Program.t) Hashtbl.t;
-  mutable next_prog_id : int;
-  (* the BPF_MAP_TYPE_PROG_ARRAY stand-in: tail-call index -> prog id *)
-  prog_array : (int, int) Hashtbl.t;
+  epochs : Epoch.store;
   (* content-addressed verdicts for the verify gate (Pipeline); per world,
      because a world *is* one kernel instance *)
   vcache : Verdict_cache.t;
@@ -34,38 +39,68 @@ let create ?(version = Kver.V5_18) ?vconfig
     | Some c -> c
     | None -> { (Bpf_verifier.Verifier.default_config ()) with Bpf_verifier.Verifier.version }
   in
-  { kernel = Kernel.create (); maps = Bpf_map.Registry.create ();
-    bugs = Bugdb.create ~version (); vconfig; aconfig;
-    progs = Hashtbl.create 4;
-    next_prog_id = 1; prog_array = Hashtbl.create 4;
+  let kernel = Kernel.create () in
+  { kernel; maps = Bpf_map.Registry.create ();
+    bugs = Bugdb.create ~version ();
+    epochs =
+      Epoch.create_store ~clock:kernel.Kernel.clock ~rcu:kernel.Kernel.rcu
+        ~vconfig ~aconfig;
     vcache = Verdict_cache.create () }
 
 let register_map t (def : Bpf_map.def) = Bpf_map.Registry.register t.maps t.kernel def
 
-(* Re-point an existing hctx's tail-call table at this world's current
-   state (used when a pooled invocation context is reused across runs). *)
-let sync_hctx t (hctx : Hctx.t) =
+(* ---- epoch facade ---- *)
+
+let current t = Epoch.current t.epochs
+let pin t = Epoch.pin t.epochs
+let unpin t snap = Epoch.release t.epochs snap
+let vconfig t = (Epoch.current t.epochs).Epoch.vconfig
+let aconfig t = (Epoch.current t.epochs).Epoch.aconfig
+
+(* The generic mutation entry point: stage changes on a builder, publish
+   the next epoch.  Everything below is sugar over this. *)
+let reconfigure t f =
+  let b = Epoch.begin_ t.epochs in
+  f b;
+  Epoch.publish b
+
+let set_vconfig t c = ignore (reconfigure t (fun b -> Epoch.set_vconfig b c))
+let set_aconfig t c = ignore (reconfigure t (fun b -> Epoch.set_aconfig b c))
+
+(* Wire a loaded program into the tail-call table at [index] — publishes
+   the epoch carrying the rewired table. *)
+let set_tail_call t ~index ~prog_id =
+  ignore (reconfigure t (fun b -> Epoch.set_tail_call b ~index ~prog_id))
+
+(* Unload a program.  Publishes only when the id was actually loaded. *)
+let unload t ~prog_id =
+  let b = Epoch.begin_ t.epochs in
+  if Epoch.unload b ~prog_id then begin
+    ignore (Epoch.publish b);
+    true
+  end
+  else false
+
+(* Deterministic views of the current snapshot's tables, for printing. *)
+let progs_sorted t = Epoch.progs_sorted (Epoch.current t.epochs)
+let tail_calls_sorted t = Epoch.tail_calls_sorted (Epoch.current t.epochs)
+
+(* ---- helper contexts ---- *)
+
+(* Re-point an existing hctx's tail-call table at [snap] (the invocation's
+   pinned epoch; defaults to current).  Used when a pooled invocation
+   context is reused across runs. *)
+let sync_hctx ?snap t (hctx : Hctx.t) =
+  let snap = match snap with Some s -> s | None -> Epoch.current t.epochs in
   Hashtbl.reset hctx.Hctx.prog_array;
-  Hashtbl.iter (fun k v -> Hashtbl.replace hctx.Hctx.prog_array k v) t.prog_array
+  Epoch.Int_map.iter
+    (fun k v -> Hashtbl.replace hctx.Hctx.prog_array k v)
+    snap.Epoch.prog_array
 
-let new_hctx ?(owner = "bpf_prog") t =
+let new_hctx ?(owner = "bpf_prog") ?snap t =
   let hctx = Hctx.create ~owner ~kernel:t.kernel ~maps:t.maps ~bugs:t.bugs () in
-  Hashtbl.iter (fun k v -> Hashtbl.replace hctx.Hctx.prog_array k v) t.prog_array;
+  sync_hctx ?snap t hctx;
   hctx
-
-(* Wire a loaded program into the tail-call table at [index]. *)
-let set_tail_call t ~index ~prog_id = Hashtbl.replace t.prog_array index prog_id
-
-(* Deterministic views of the two Hashtbl-backed tables, for printing:
-   raw Hashtbl order depends on insertion history and hashing, so anything
-   user-visible iterates these instead. *)
-let progs_sorted t =
-  Hashtbl.fold (fun id p acc -> (id, p) :: acc) t.progs []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-
-let tail_calls_sorted t =
-  Hashtbl.fold (fun idx pid acc -> (idx, pid) :: acc) t.prog_array []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* Populate a default environment: a couple of tasks and sockets for the
    task/sock helpers to find. *)

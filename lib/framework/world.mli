@@ -1,7 +1,20 @@
-(** A complete testbed: one simulated kernel plus the map registry, the
-    helper-bug database, the verifier configuration, the loaded-program
-    table (for tail calls), and the tail-call index.  Every experiment
-    builds a fresh world, so failures cannot contaminate each other. *)
+(** A complete testbed, split registry/epochs.
+
+    The record is the long-lived {e registry}: one simulated kernel, the
+    map registry, the helper-bug database and the verdict cache — state
+    that outlives any individual extension.  Everything an in-flight
+    invocation reads (loaded programs, the tail-call index, the verifier
+    and analysis configurations) lives in the immutable epoch chain
+    ({!Epoch}) and is only reachable through the facade below.
+
+    The type is [private]: every field is readable, but construction and
+    mutation happen only through this interface — all serving-state
+    mutation flows through an {!Epoch.builder} (directly, or via the
+    {!set_vconfig} / {!set_tail_call} / {!unload} sugar), so a published
+    epoch can never be torn.
+
+    Every experiment builds a fresh world, so failures cannot contaminate
+    each other. *)
 
 module Kernel = Kernel_sim.Kernel
 module Kver = Kerndata.Kver
@@ -9,16 +22,11 @@ module Bpf_map = Maps.Bpf_map
 module Hctx = Helpers.Hctx
 module Bugdb = Helpers.Bugdb
 
-type t = {
+type t = private {
   kernel : Kernel.t;
   maps : Bpf_map.Registry.t;
   bugs : Bugdb.t;
-  mutable vconfig : Bpf_verifier.Verifier.config;
-  mutable aconfig : Analysis.Driver.config;
-      (** which static-analysis passes the load pipeline runs *)
-  progs : (int, Ebpf.Program.t) Hashtbl.t;
-  mutable next_prog_id : int;
-  prog_array : (int, int) Hashtbl.t;  (** tail-call index -> prog id *)
+  epochs : Epoch.store;  (** the immutable-snapshot chain (see {!Epoch}) *)
   vcache : Verdict_cache.t;  (** content-addressed verify-gate verdicts *)
 }
 
@@ -31,23 +39,57 @@ val create :
 
 val register_map : t -> Bpf_map.def -> Bpf_map.t
 
-val new_hctx : ?owner:string -> t -> Hctx.t
-(** A fresh helper execution context wired to this world (including the
-    tail-call table). *)
+(** {2 Epoch facade} *)
 
-val sync_hctx : t -> Hctx.t -> unit
-(** Re-point an existing hctx's tail-call table at this world's current
-    state (used when reusing a pooled invocation context). *)
+val current : t -> Epoch.snapshot
+(** The currently published snapshot. *)
+
+val pin : t -> Epoch.snapshot
+(** Pin the current snapshot for one invocation; pair with {!unpin}. *)
+
+val unpin : t -> Epoch.snapshot -> unit
+(** Release a pin; superseded snapshots retire once unpinned and the
+    kernel's RCU read side is quiescent. *)
+
+val vconfig : t -> Bpf_verifier.Verifier.config
+(** The current snapshot's verifier configuration.  (The {!Vbug} toggles
+    nested inside it are live injection state shared across epochs.) *)
+
+val aconfig : t -> Analysis.Driver.config
+
+val reconfigure : t -> (Epoch.builder -> unit) -> Epoch.snapshot
+(** Stage arbitrary changes on a fresh builder and publish them as the
+    next epoch; returns the published snapshot. *)
+
+val set_vconfig : t -> Bpf_verifier.Verifier.config -> unit
+(** Publish an epoch carrying the new verifier configuration. *)
+
+val set_aconfig : t -> Analysis.Driver.config -> unit
 
 val set_tail_call : t -> index:int -> prog_id:int -> unit
-(** Wire a loaded program into the tail-call table. *)
+(** Publish an epoch whose tail-call table maps [index] to [prog_id]. *)
+
+val unload : t -> prog_id:int -> bool
+(** Publish an epoch without [prog_id]; [false] (and no epoch swap) if the
+    id was not loaded. *)
 
 val progs_sorted : t -> (int * Ebpf.Program.t) list
-(** The loaded-program table in ascending prog-id order — the deterministic
-    view any printed output must use instead of raw [Hashtbl] order. *)
+(** The current snapshot's program table in ascending prog-id order — the
+    deterministic view any printed output must use. *)
 
 val tail_calls_sorted : t -> (int * int) list
-(** The tail-call table as (index, prog id), ascending by index. *)
+(** The current snapshot's tail-call table as (index, prog id). *)
+
+(** {2 Helper contexts} *)
+
+val new_hctx : ?owner:string -> ?snap:Epoch.snapshot -> t -> Hctx.t
+(** A fresh helper execution context wired to this world, with its
+    tail-call table taken from [snap] (default: the current snapshot). *)
+
+val sync_hctx : ?snap:Epoch.snapshot -> t -> Hctx.t -> unit
+(** Re-point an existing hctx's tail-call table at [snap] (default: the
+    current snapshot) — used when reusing a pooled invocation context,
+    so each run reads its own pinned epoch. *)
 
 val populate : t -> t
 (** Add the standard task/socket population (nginx pid 1234 as current,

@@ -250,6 +250,59 @@ let test_verdict_cache_counters () =
       Alcotest.(check int) "cache.invalidated counter" 1
         (counter_value s "cache.invalidated"))
 
+(* ---------------- epoch counters ---------------- *)
+
+(* The hot-reload observables: epoch.published / epoch.retired counters,
+   the epoch.grace_ns histogram (present in both JSON and Prometheus),
+   and cache.cross_epoch_reuse when a verdict survives a swap. *)
+let test_epoch_counters () =
+  with_fresh (fun () ->
+      let world = World.create_populated () in
+      let prog =
+        Ebpf.Program.of_items_exn ~name:"ep" ~prog_type:Ebpf.Program.Socket_filter
+          [ mov_i r0 0; exit_ ]
+      in
+      (match Pipeline.load_ebpf world prog with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "load: %a" Pipeline.pp_error e);
+      (* hold the current epoch across a swap so the grace period is
+         nonzero on the virtual clock *)
+      let pinned = World.pin world in
+      World.set_tail_call world ~index:0 ~prog_id:1;
+      Kernel_sim.Vclock.advance world.World.kernel.Kernel_sim.Kernel.clock 300L;
+      World.unpin world pinned;
+      (* reload the same image after the swap: a cross-epoch cache hit *)
+      (match Pipeline.load_ebpf world prog with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "reload: %a" Pipeline.pp_error e);
+      let s = Registry.snapshot () in
+      Alcotest.(check int) "epoch.published" 3
+        (counter_value s "epoch.published");
+      Alcotest.(check int) "epoch.retired" 3 (counter_value s "epoch.retired");
+      Alcotest.(check int) "cache.cross_epoch_reuse" 1
+        (counter_value s "cache.cross_epoch_reuse");
+      let grace =
+        match List.assoc_opt "epoch.grace_ns" s.Registry.histograms with
+        | Some h -> h
+        | None -> Alcotest.fail "epoch.grace_ns histogram missing"
+      in
+      Alcotest.(check int) "every retirement observed a grace period" 3
+        (Telemetry.Histogram.count grace);
+      Alcotest.(check bool) "pinned swap shows >= 300ns of grace" true
+        (Telemetry.Histogram.max_value grace >= 300L);
+      let json = Export.to_json s in
+      Alcotest.(check bool) "json exports the histogram" true
+        (contains json "\"epoch.grace_ns\"");
+      Alcotest.(check bool) "json exports the counter" true
+        (contains json "\"epoch.published\": 3");
+      let prom = Export.to_prometheus s in
+      Alcotest.(check bool) "prometheus exports the histogram" true
+        (contains prom "untenable_epoch_grace_ns_count 3");
+      Alcotest.(check bool) "prometheus exports the counters" true
+        (contains prom "untenable_epoch_published 3"
+        && contains prom "untenable_epoch_retired 3"
+        && contains prom "untenable_cache_cross_epoch_reuse 1"))
+
 (* ---------------- sampling profiler ---------------- *)
 
 let tight_loop =
@@ -331,6 +384,7 @@ let suite =
     Alcotest.test_case "label escaping in exports" `Quick test_label_escaping;
     Alcotest.test_case "folded stacks from spans" `Quick test_folded_stacks;
     Alcotest.test_case "verdict-cache counters" `Quick test_verdict_cache_counters;
+    Alcotest.test_case "epoch lifecycle counters" `Quick test_epoch_counters;
     Alcotest.test_case "profiler samples the interpreter" `Quick
       test_profiler_samples_interp;
     Alcotest.test_case "short runs accumulate to a sample" `Quick

@@ -68,7 +68,7 @@ let test_artifact_digest () =
 
 let test_admission_error () =
   let world = World.create_populated () in
-  world.World.vconfig <- { world.World.vconfig with Vconfig.max_insns = 3 };
+  World.set_vconfig world { (World.vconfig world) with Vconfig.max_insns = 3 };
   let prog =
     Program.of_items_exn ~name:"big" ~prog_type:Program.Kprobe
       [ mov_i r0 0; mov_i r1 0; mov_i r2 0; mov_i r3 0; exit_ ]
@@ -113,7 +113,7 @@ let test_gate_reject_error () =
 
 let test_gate_crash_not_cached () =
   let world = World.create_populated () in
-  world.World.vconfig.Vconfig.bugs.Bpf_verifier.Vbug.loop_inline_uaf <- true;
+  (World.vconfig world).Vconfig.bugs.Bpf_verifier.Vbug.loop_inline_uaf <- true;
   let prog =
     Program.of_items_exn ~name:"loop" ~prog_type:Program.Kprobe
       [ mov_i r1 4; mov_label r2 "cb"; mov_i r3 0; mov_i r4 0;
@@ -208,14 +208,15 @@ let test_invalidation_vconfig () =
   (match Pipeline.load_ebpf world prog with
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "load failed");
-  world.World.vconfig <- { world.World.vconfig with Vconfig.allow_loops = false };
+  World.set_vconfig world
+    { (World.vconfig world) with Vconfig.allow_loops = false };
   (match Pipeline.load_ebpf world prog with
   | Error (Pipeline.Verifier_rejected _) -> ()
   | Ok _ -> Alcotest.fail "STALE VERDICT: config mutation replayed the old accept"
   | Error e ->
     Alcotest.failf "unexpected: %s" (Format.asprintf "%a" Pipeline.pp_error e));
   (* and back: restoring the config accepts again (and hits the old entry) *)
-  world.World.vconfig <- { world.World.vconfig with Vconfig.allow_loops = true };
+  World.set_vconfig world { (World.vconfig world) with Vconfig.allow_loops = true };
   let hits_before = Verdict_cache.hits world.World.vcache in
   (match Pipeline.load_ebpf world prog with
   | Ok _ -> ()
@@ -229,7 +230,7 @@ let test_invalidation_vbug () =
   let prog = trivial_prog () in
   ignore (Pipeline.load_ebpf world prog);
   let misses_before = Verdict_cache.misses world.World.vcache in
-  world.World.vconfig.Vconfig.bugs.Bpf_verifier.Vbug.ptr_arith_or_null <- true;
+  (World.vconfig world).Vconfig.bugs.Bpf_verifier.Vbug.ptr_arith_or_null <- true;
   ignore (Pipeline.load_ebpf world prog);
   Alcotest.(check int) "vbug toggle forces a miss" (misses_before + 1)
     (Verdict_cache.misses world.World.vcache)
@@ -257,14 +258,14 @@ let test_invalidation_aconfig () =
   let prog = trivial_prog () in
   ignore (Pipeline.load_ebpf world prog);
   let misses_before = Verdict_cache.misses world.World.vcache in
-  world.World.aconfig <-
-    { world.World.aconfig with Analysis.Driver.elide = false };
+  World.set_aconfig world
+    { (World.aconfig world) with Analysis.Driver.elide = false };
   ignore (Pipeline.load_ebpf world prog);
   Alcotest.(check int) "analysis config change forces a verdict miss"
     (misses_before + 1)
     (Verdict_cache.misses world.World.vcache);
-  world.World.aconfig <-
-    { world.World.aconfig with Analysis.Driver.elide = true };
+  World.set_aconfig world
+    { (World.aconfig world) with Analysis.Driver.elide = true };
   let hits_before = Verdict_cache.hits world.World.vcache in
   ignore (Pipeline.load_ebpf world prog);
   Alcotest.(check int) "restored analysis config hits again" (hits_before + 1)
@@ -288,7 +289,7 @@ let test_analysis_report_cached () =
     (Verdict_cache.analysis_size world.World.vcache);
   (* all_off skips the stage entirely: no report on the handle and no
      further analysis-table traffic *)
-  world.World.aconfig <- Analysis.Driver.all_off;
+  World.set_aconfig world Analysis.Driver.all_off;
   match Pipeline.load_ebpf world prog with
   | Ok (Pipeline.Ebpf_prog { analysis = None; _ }) ->
     Alcotest.(check int) "skipped stage leaves the table alone" 1

@@ -15,6 +15,7 @@ let () =
       ("rustlite", Test_rustlite.suite);
       ("framework", Test_framework.suite);
       ("pipeline", Test_pipeline.suite);
+      ("epoch", Test_epoch.suite);
       ("analysis", Test_analysis.suite);
       ("supervisor", Test_supervisor.suite);
       ("observability", Test_observability.suite);
