@@ -4,7 +4,7 @@
 # the real numbers).
 
 .PHONY: all build test check bench bench-telemetry bench-profile lint-smoke \
-        trace-smoke profile-smoke clean
+        trace-smoke profile-smoke parallel-smoke clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	dune exec bench/main.exe -- chaos-smoke
 	dune exec bench/main.exe -- elision-smoke
 	dune exec bench/main.exe -- reload-smoke
+	$(MAKE) parallel-smoke
 	$(MAKE) lint-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke
@@ -66,6 +67,16 @@ profile-smoke:
 	! grep -q 'samples taken while armed: 0 ' /tmp/profile_smoke.out
 	grep -q 'smoke bound: .* MET' /tmp/profile_smoke.out
 	@echo "profile-smoke: OK"
+
+# Sharded-serving determinism gate: a 4-domain run (coordinator, bounded
+# queues, shard worlds, checksum reconstruction) must agree with the
+# sequential loop event for event, calm and across mid-stream reloads.
+# Speedup is NOT gated here — wall-clock scaling needs real cores and is
+# reported by `dune exec bench/main.exe -- parallel`.
+parallel-smoke:
+	dune build @all
+	dune exec bench/main.exe -- parallel-smoke
+	@echo "parallel-smoke: OK"
 
 bench:
 	dune exec bench/main.exe

@@ -15,6 +15,7 @@ module Exploits = Framework.Exploits
 module Loader = Framework.Loader
 module World = Framework.World
 module Vconfig = Bpf_verifier.Verifier
+module Serve = Framework.Serve
 module Kver = Kerndata.Kver
 
 (* ------------------------------------------------------------------ *)
@@ -931,25 +932,22 @@ let throughput ?(smoke = false) () =
     engine
   in
   let count = if smoke then 500 else 10_000 in
-  let gen = Framework.Dispatch.synthetic_packets ~size:64 () in
   let engine = build_engine () in
   let stats =
-    Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count ()
+    (Serve.run engine (Serve.plan ~size:64 ~hook:"xdp" ~count ())).Serve.totals
   in
   Printf.printf "  dispatch %d events x %d attached filters:\n    %s\n" count
     (Framework.Attach.count engine.Framework.Dispatch.attach)
-    (Format.asprintf "%a" Framework.Dispatch.pp_stream_result stats);
+    (Format.asprintf "%a" Serve.pp_totals stats);
   (* determinism: a second engine, same seed, must match checksum-for-checksum *)
   let stats' =
-    Framework.Dispatch.run_stream (build_engine ()) ~hook:"xdp"
-      ~gen:(Framework.Dispatch.synthetic_packets ~size:64 ())
-      ~count ()
+    (Serve.run (build_engine ()) (Serve.plan ~size:64 ~hook:"xdp" ~count ()))
+      .Serve.totals
   in
   Printf.printf "  deterministic replay (fresh world, same seed): %s\n"
     (if
-       Int64.equal stats.Framework.Dispatch.ret_checksum
-         stats'.Framework.Dispatch.ret_checksum
-       && stats.Framework.Dispatch.invocations = stats'.Framework.Dispatch.invocations
+       Int64.equal stats.Serve.ret_checksum stats'.Serve.ret_checksum
+       && stats.Serve.invocations = stats'.Serve.invocations
      then "MATCH"
      else "MISMATCH");
   let cval name = Telemetry.Counter.value (Telemetry.Registry.counter name) in
@@ -1012,10 +1010,9 @@ let chaos_exp ?(smoke = false) () =
     engine
   in
   let run ?chaos ~count engine =
-    Dispatch.run_stream ?chaos engine ~hook:"xdp"
-      ~gen:(Dispatch.synthetic_packets ~size:64 ())
-      ~count ()
+    Serve.run engine (Serve.plan ?chaos ~size:64 ~hook:"xdp" ~count ())
   in
+  let eps (s : Serve.stats) = s.Serve.totals.Serve.events_per_sec in
   (* -- part 1: a crasher in the population, supervised -- *)
   let count1 = if smoke then 300 else 3_000 in
   let sup_config =
@@ -1028,10 +1025,15 @@ let chaos_exp ?(smoke = false) () =
   Printf.printf
     "  crasher + 3 healthy filters, Supervise policy, %d events:\n    %s\n"
     count1
-    (Format.asprintf "%a" Dispatch.pp_stream_result r);
-  print_string (Format.asprintf "%a" Dispatch.pp_per_ext r);
+    (Format.asprintf "%a" Serve.pp_stats r);
+  List.iter
+    (fun h -> Format.printf "%a@." Supervisor.pp_health h)
+    r.Serve.per_ext;
   Printf.printf "  acceptance: every event served, offender quarantined — %s\n\n"
-    (if r.Dispatch.events = count1 && r.Dispatch.quarantined = 1 then "MET"
+    (if
+       r.Serve.totals.Serve.events = count1
+       && r.Serve.totals.Serve.quarantined = 1
+     then "MET"
      else "MISSED");
   (* -- part 2: throughput cost of a 1% chaos schedule -- *)
   let count2 = if smoke then 5_000 else 20_000 in
@@ -1043,19 +1045,14 @@ let chaos_exp ?(smoke = false) () =
   let reps = if smoke then 3 else 2 in
   let best ?chaos () =
     List.fold_left
-      (fun acc r ->
-        if r.Dispatch.events_per_sec > acc.Dispatch.events_per_sec then r
-        else acc)
+      (fun acc r -> if eps r > eps acc then r else acc)
       (run ?chaos ~count:count2 (build ~crasher:false ()))
       (List.init (reps - 1) (fun _ ->
            run ?chaos ~count:count2 (build ~crasher:false ())))
   in
   let base = best () in
   let noisy = best ~chaos () in
-  let degradation =
-    (base.Dispatch.events_per_sec -. noisy.Dispatch.events_per_sec)
-    /. base.Dispatch.events_per_sec *. 100.
-  in
+  let degradation = (eps base -. eps noisy) /. eps base *. 100. in
   Printf.printf
     "  healthy population, %d events, chaos fault rate %.1f%% (%d planned):\n\
     \    calm  %s\n\
@@ -1064,8 +1061,8 @@ let chaos_exp ?(smoke = false) () =
     count2
     (chaos.Chaos.fault_rate *. 100.)
     (Chaos.planned chaos ~count:count2)
-    (Format.asprintf "%a" Dispatch.pp_stream_result base)
-    (Format.asprintf "%a" Dispatch.pp_stream_result noisy)
+    (Format.asprintf "%a" Serve.pp_stats base)
+    (Format.asprintf "%a" Serve.pp_stats noisy)
     degradation;
   Printf.printf
     "  acceptance: <15%% throughput degradation at 1%% fault rate — %s\n"
@@ -1214,16 +1211,17 @@ let reload_exp ?(smoke = false) () =
   let world = engine.Dispatch.world in
   let reload = schedule ~count:count1 ~reloads:4 (b1, b2) in
   let r =
-    Dispatch.run_stream ~reload engine ~hook:"xdp"
-      ~gen:(Dispatch.synthetic_packets ~size:64 ())
-      ~count:count1 ()
+    Serve.run engine
+      (Serve.plan ~size:64 ~reloads:reload ~hook:"xdp" ~count:count1 ())
   in
   Printf.printf "  scripted stream, %d events, %d reloads applied:\n    %s\n"
-    count1 r.Dispatch.reloads
-    (Format.asprintf "%a" Dispatch.pp_stream_result r);
+    count1 r.Serve.totals.Serve.reloads
+    (Format.asprintf "%a" Serve.pp_stats r);
   Printf.printf "  events per epoch: %s\n"
     (String.concat "  "
-       (List.map (fun (e, n) -> Printf.sprintf "e%d:%d" e n) r.Dispatch.per_epoch));
+       (List.map
+          (fun (e, n) -> Printf.sprintf "e%d:%d" e n)
+          r.Serve.totals.Serve.per_epoch));
   Printf.printf "  transition log:\n";
   List.iter
     (fun tr -> Printf.printf "    %s\n" (Format.asprintf "%a" Epoch.pp_transition tr))
@@ -1248,10 +1246,9 @@ let reload_exp ?(smoke = false) () =
     let once () =
       let engine, b1, b2 = build () in
       let reload = schedule ~count:count2 ~reloads (b1, b2) in
-      (Dispatch.run_stream ~reload engine ~hook:"xdp"
-         ~gen:(Dispatch.synthetic_packets ~size:64 ())
-         ~count:count2 ())
-        .Dispatch.events_per_sec
+      (Serve.run engine
+         (Serve.plan ~size:64 ~reloads:reload ~hook:"xdp" ~count:count2 ()))
+        .Serve.totals.Serve.events_per_sec
     in
     ignore (once ()) (* warm up *);
     List.fold_left
@@ -1322,45 +1319,189 @@ let reload_smoke () =
   (* live: one epoch swap in the middle of the stream *)
   let engine, b2 = build () in
   let live =
-    Dispatch.run_stream
-      ~reload:[ (boundary, fun _e b -> Epoch.set_tail_call b ~index:0 ~prog_id:b2) ]
-      ~record_checksums:true engine ~hook:"xdp"
-      ~gen:(Dispatch.synthetic_packets ~size:64 ())
-      ~count ()
+    Serve.run engine
+      (Serve.plan
+         ~reloads:
+           [ (boundary, fun _e b -> Epoch.set_tail_call b ~index:0 ~prog_id:b2) ]
+         ~record_checksums:true ~size:64 ~hook:"xdp" ~count ())
   in
   (* oracle: same world shape, stream stopped at the boundary, the same
      change published stop-the-world, stream resumed.  The generator is
      shared so both halves draw the same xorshift sequence. *)
   let engine2, b2' = build () in
-  let g = Dispatch.synthetic_packets ~size:64 () in
+  let g = Serve.synthetic_packets ~size:64 () in
   let first =
-    Dispatch.run_stream ~record_checksums:true engine2 ~hook:"xdp" ~gen:g
-      ~count:boundary ()
+    Serve.run engine2
+      (Serve.plan ~gen:g ~record_checksums:true ~hook:"xdp" ~count:boundary ())
   in
   World.set_tail_call engine2.Dispatch.world ~index:0 ~prog_id:b2';
   let second =
-    Dispatch.run_stream ~record_checksums:true engine2 ~hook:"xdp"
-      ~gen:(fun i -> g (i + boundary))
-      ~count:(count - boundary) ()
+    Serve.run engine2
+      (Serve.plan
+         ~gen:(fun i -> g (i + boundary))
+         ~record_checksums:true ~hook:"xdp"
+         ~count:(count - boundary) ())
   in
   let oracle =
-    Array.append first.Dispatch.event_checksums second.Dispatch.event_checksums
+    Array.append first.Serve.event_checksums second.Serve.event_checksums
   in
   let fail msg =
     Printf.eprintf "reload-smoke: FAILED — %s\n" msg;
     exit 1
   in
-  if live.Dispatch.reloads <> 1 then fail "expected exactly one applied reload";
-  if live.Dispatch.event_checksums <> oracle then
+  if live.Serve.totals.Serve.reloads <> 1 then
+    fail "expected exactly one applied reload";
+  if live.Serve.event_checksums <> oracle then
     fail "torn read: live swap diverged from the stop-the-world oracle";
   if Epoch.grace_pending engine.Dispatch.world.World.epochs <> 0 then
     fail "superseded epoch still pending after the stream quiesced";
-  if List.length live.Dispatch.per_epoch <> 2 then
+  if List.length live.Serve.totals.Serve.per_epoch <> 2 then
     fail "expected the stream to span exactly two epochs";
   Printf.printf
     "reload-smoke: OK — %d events, swap at %d, checksums match the \
      stop-the-world oracle, all epochs quiesced\n"
     count boundary
+
+(* ------------------------------------------------------------------ *)
+(* PARALLEL: sharded serving over epoch snapshots                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The Serve plan API measured at 1, 2, 4 and 8 domains over the same
+   seeded stream.  Every sharded run must reconstruct the sequential
+   run's checksum exactly, event for event (the determinism oracle) —
+   that gate is unconditional.  The speedup column is honest wall clock,
+   so the >= 2.5x-at-4-domains acceptance bar is only judged when the
+   host actually has 4 cores to run on; on smaller hosts it reports
+   SKIPPED with the core count. *)
+
+let parallel_engine () =
+  let world = World.create_populated () in
+  let engine = Framework.Dispatch.create world in
+  let open Ebpf.Asm in
+  let h = Helpers.Registry.id_of_name in
+  let filter name items =
+    Ebpf.Program.of_items_exn ~name ~prog_type:Ebpf.Program.Socket_filter items
+  in
+  List.iter
+    (fun p ->
+      match Framework.Pipeline.load_ebpf world p with
+      | Ok loaded ->
+        ignore (Framework.Attach.attach engine.Framework.Dispatch.attach ~hook:"xdp" loaded)
+      | Error e -> failwith (Format.asprintf "%a" Framework.Pipeline.pp_error e))
+    [ filter "len" [ ldxw r0 r1 0; exit_ ];
+      filter "parity" [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ];
+      filter "port"
+        [ stdw r10 (-8) 0; mov_i r1 16; mov_r r2 r10; add_i r2 (-8);
+          mov_i r3 2; call (h "bpf_skb_load_bytes"); ldxb r6 r10 (-8);
+          lsh_i r6 8; ldxb r7 r10 (-7); or_r r6 r7; mov_r r0 r6; exit_ ] ];
+  engine
+
+(* One mid-stream hot reload both legs of every comparison share: stage a
+   fresh filter on the epoch builder and attach it, so the sharded path
+   exercises segment capture, snapshot retention and the swap publish. *)
+let parallel_reload k (e : Serve.engine) b =
+  let name = Printf.sprintf "hot%d" k in
+  let prog =
+    Ebpf.Asm.(
+      Ebpf.Program.of_items_exn ~name ~prog_type:Ebpf.Program.Socket_filter
+        [ mov_i r0 (200 + k); exit_ ])
+  in
+  match Framework.Pipeline.load_ebpf ~into:b e.Serve.world prog with
+  | Ok loaded -> ignore (Framework.Attach.attach e.Serve.attach ~hook:"xdp" loaded)
+  | Error err -> failwith (Format.asprintf "%a" Framework.Pipeline.pp_error err)
+
+let parallel_exp ?(smoke = false) () =
+  print_string (Report.section "PARALLEL: sharded serving over epoch snapshots");
+  let count = if smoke then 2_000 else 50_000 in
+  let reloads = [ (count / 2, parallel_reload 0) ] in
+  let run ~domains =
+    let engine = parallel_engine () in
+    let plan =
+      Serve.plan ~size:64 ~domains ~reloads ~record_checksums:true ~hook:"xdp"
+        ~count ()
+    in
+    if domains = 1 then Serve.run engine plan else Serve.sharded engine plan
+  in
+  let seq = run ~domains:1 in
+  let seq_rate = seq.Serve.totals.Serve.events_per_sec in
+  Printf.printf "  %d events x %d filters, one mid-stream reload:\n" count 3;
+  let speedups =
+    List.map
+      (fun domains ->
+        let r = if domains = 1 then seq else run ~domains in
+        let ok =
+          Int64.equal r.Serve.totals.Serve.ret_checksum
+            seq.Serve.totals.Serve.ret_checksum
+          && r.Serve.event_checksums = seq.Serve.event_checksums
+        in
+        if not ok then begin
+          Printf.eprintf
+            "parallel: FAILED — %d-domain run diverged from the sequential \
+             checksum\n"
+            domains;
+          exit 1
+        end;
+        let rate = r.Serve.totals.Serve.events_per_sec in
+        let speedup = rate /. seq_rate in
+        Printf.printf "    %d domain%s %9.0f ev/s  %.2fx%s\n" domains
+          (if domains = 1 then " " else "s")
+          rate speedup
+          (if domains = 1 then " (sequential baseline)"
+           else "  checksum MATCH");
+        (domains, speedup))
+      [ 1; 2; 4; 8 ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  let at4 = List.assoc 4 speedups in
+  if cores >= 4 then
+    Printf.printf "  acceptance: >= 2.5x speedup at 4 domains — %s (%.2fx)\n"
+      (if at4 >= 2.5 then "MET" else "MISSED")
+      at4
+  else
+    Printf.printf
+      "  acceptance: >= 2.5x speedup at 4 domains — SKIPPED (host has %d \
+       core%s; determinism oracle still enforced)\n"
+      cores
+      (if cores = 1 then "" else "s")
+
+(* The CI smoke: a 4-domain sharded run (forced through the coordinator,
+   queues, shard worlds and checksum reconstruction) must agree with the
+   sequential loop event for event, with and without a mid-stream
+   reload. *)
+let parallel_smoke () =
+  let count = 1_500 in
+  let fail msg =
+    Printf.eprintf "parallel-smoke: FAILED — %s\n" msg;
+    exit 1
+  in
+  let leg ~reloads label =
+    let seq =
+      Serve.run (parallel_engine ())
+        (Serve.plan ~size:64 ~reloads ~record_checksums:true ~hook:"xdp" ~count ())
+    in
+    let par =
+      Serve.sharded (parallel_engine ())
+        (Serve.plan ~size:64 ~domains:4 ~reloads ~record_checksums:true
+           ~hook:"xdp" ~count ())
+    in
+    if par.Serve.totals.Serve.events <> count then
+      fail (label ^ ": sharded run lost events");
+    if
+      not
+        (Int64.equal seq.Serve.totals.Serve.ret_checksum
+           par.Serve.totals.Serve.ret_checksum)
+    then fail (label ^ ": stream checksum diverged");
+    if seq.Serve.event_checksums <> par.Serve.event_checksums then
+      fail (label ^ ": per-event checksums diverged");
+    if par.Serve.totals.Serve.reloads <> List.length reloads then
+      fail (label ^ ": reload count wrong")
+  in
+  leg ~reloads:[] "calm";
+  leg ~reloads:[ (count / 3, parallel_reload 0); (2 * count / 3, parallel_reload 1) ]
+    "reloading";
+  Printf.printf
+    "parallel-smoke: OK — 4-domain sharded serving matches the sequential \
+     loop event for event (calm and mid-stream-reload legs)\n"
 
 let experiments =
   [ ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("tab1", tab1 ~run_demos:true);
@@ -1370,7 +1511,8 @@ let experiments =
     ("profile", fun () -> profile_exp ());
     ("throughput", fun () -> throughput ()); ("chaos", fun () -> chaos_exp ());
     ("elision", fun () -> elision_exp ());
-    ("reload", fun () -> ignore (reload_exp ())) ]
+    ("reload", fun () -> ignore (reload_exp ()));
+    ("parallel", fun () -> parallel_exp ()) ]
 
 (* Not part of the default full run: a reduced-iteration variant for
    `make check`. *)
@@ -1436,6 +1578,8 @@ let extra_experiments =
     ("chaos-smoke", fun () -> chaos_exp ~smoke:true ());
     ("elision-smoke", fun () -> elision_exp ~smoke:true ());
     ("reload-smoke", reload_smoke);
+    ("parallel-smoke", parallel_smoke);
+    ("parallel-quick", fun () -> parallel_exp ~smoke:true ());
     ("tele-isolate", tele_isolate) ]
 
 let () =

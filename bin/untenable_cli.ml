@@ -10,7 +10,9 @@
      untenable-cli serve [--events N]        serve a stream with scripted
                    [--reloads N]             mid-stream hot reloads: epoch
                    [--filters N]             swaps under live dispatch, then
-                                             the epoch-transition table
+                   [--domains N]             the epoch-transition table (with
+                                             --domains > 1, sharded across
+                                             OCaml domains; per-shard table)
      untenable-cli supervise [--events N]    serve a stream with a crasher in
                    [--policy P]              the population; per-extension
                    [--chaos-rate R]          breaker/quarantine health
@@ -33,6 +35,7 @@
 
 open Untenable
 open Cmdliner
+module Serve = Framework.Serve
 
 let version_arg =
   let parse s =
@@ -158,7 +161,14 @@ let stats_cmd =
            demo ID to `stats`)\n";
         exit 1
       | exception Failure msg ->
-        Printf.eprintf "%s\n" msg;
+        Printf.eprintf "telemetry snapshot %s is unreadable: %s\n" snapshot_file
+          msg;
+        exit 1
+      | exception e ->
+        Printf.eprintf
+          "telemetry snapshot %s is truncated or corrupt (%s); re-run a demo to \
+           regenerate it\n"
+          snapshot_file (Printexc.to_string e);
         exit 1)
   in
   let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID") in
@@ -313,11 +323,10 @@ let dispatch_cmd =
           (fun a -> Printf.printf "  %s\n" (Framework.Attach.describe a))
           (Framework.Attach.attached engine.Framework.Dispatch.attach ~hook))
       (Framework.Attach.hooks engine.Framework.Dispatch.attach);
-    let gen = Framework.Dispatch.synthetic_packets ~seed ~size () in
     let stats =
-      Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count:events ()
+      Serve.run engine (Serve.plan ~seed ~size ~hook:"xdp" ~count:events ())
     in
-    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    Format.printf "%a@." Serve.pp_stats stats;
     (match trace_out with None -> () | Some path -> write_chrome_trace path);
     save_snapshot ();
     Printf.printf "(telemetry snapshot saved; inspect with `untenable-cli stats`)\n"
@@ -404,11 +413,9 @@ let supervise_cmd =
         events
     | None -> ());
     let stats =
-      Framework.Dispatch.run_stream ?chaos engine ~hook:"xdp"
-        ~gen:(Framework.Dispatch.synthetic_packets ~size:64 ())
-        ~count:events ()
+      Serve.run engine (Serve.plan ?chaos ~size:64 ~hook:"xdp" ~count:events ())
     in
-    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    Format.printf "%a@." Serve.pp_stats stats;
     print_string
       (Framework.Report.table
          ~header:[ "#"; "extension"; "state"; "inv"; "ok"; "stop"; "crash";
@@ -426,7 +433,7 @@ let supervise_cmd =
                 string_of_int x.Framework.Supervisor.skipped;
                 string_of_int x.Framework.Supervisor.trips;
                 Printf.sprintf "%016Lx" x.Framework.Supervisor.ret_checksum ])
-            stats.Framework.Dispatch.per_ext));
+            stats.Serve.per_ext));
     Printf.printf "kernel at end: %s\n"
       (if Kernel_sim.Kernel.is_dead world.Framework.World.kernel then "DEAD"
        else "alive");
@@ -469,7 +476,7 @@ let supervise_cmd =
 (* ---- serve ---- *)
 
 let serve_cmd =
-  let run events reloads filters size seed =
+  let run events reloads filters size seed domains =
     let world = Framework.World.create_populated () in
     let engine = Framework.Dispatch.create world in
     attach_filters engine ~filters;
@@ -505,19 +512,41 @@ let serve_cmd =
     let reload =
       List.init reloads (fun k -> (((k + 1) * events) / (reloads + 1), plan k))
     in
-    Printf.printf "serving %d events with %d scripted reloads...\n" events reloads;
-    let gen = Framework.Dispatch.synthetic_packets ~seed ~size () in
+    Printf.printf "serving %d events with %d scripted reloads over %d domain%s...\n"
+      events reloads domains
+      (if domains = 1 then "" else "s");
     let stats =
-      Framework.Dispatch.run_stream ~reload engine ~hook:"xdp" ~gen ~count:events ()
+      Serve.run engine
+        (Serve.plan ~seed ~size ~domains ~reloads:reload ~hook:"xdp" ~count:events ())
     in
-    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    Format.printf "%a@." Serve.pp_stats stats;
+    (match stats.Serve.per_shard with
+    | [] -> ()
+    | shards ->
+      Printf.printf "\nper-shard:\n";
+      print_string
+        (Framework.Report.table
+           ~header:[ "shard"; "events"; "inv"; "ok"; "crash"; "skip"; "drop";
+                     "qpeak"; "waits" ]
+           (List.map
+              (fun (sh : Serve.shard_stats) ->
+                [ string_of_int sh.Serve.shard;
+                  string_of_int sh.Serve.s_events;
+                  string_of_int sh.Serve.s_invocations;
+                  string_of_int sh.Serve.s_finished;
+                  string_of_int sh.Serve.s_crashed;
+                  string_of_int sh.Serve.s_skipped;
+                  string_of_int sh.Serve.s_dropped;
+                  string_of_int sh.Serve.s_queue_peak;
+                  string_of_int sh.Serve.s_backpressure_waits ])
+              shards)));
     Printf.printf "\nevents served per epoch:\n";
     print_string
       (Framework.Report.table
          ~header:[ "epoch"; "events" ]
          (List.map
             (fun (e, n) -> [ string_of_int e; string_of_int n ])
-            stats.Framework.Dispatch.per_epoch));
+            stats.Serve.totals.Serve.per_epoch));
     let store = world.Framework.World.epochs in
     Printf.printf "\nepoch transitions:\n";
     print_string
@@ -570,12 +599,21 @@ let serve_cmd =
   let seed =
     Arg.(value & opt int64 0x9e3779b97f4a7c15L & info [ "seed" ] ~doc:"Packet-stream seed.")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Serving domains: 1 runs the historical sequential loop, >1 shards \
+             the stream across $(docv) OCaml domains over shared epoch \
+             snapshots.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a packet stream with scripted mid-stream hot reloads (epoch \
           swaps under live dispatch) and print the epoch-transition table")
-    Term.(const run $ events $ reloads $ filters $ size $ seed)
+    Term.(const run $ events $ reloads $ filters $ size $ seed $ domains)
 
 (* ---- profile / flame ---- *)
 
@@ -589,11 +627,11 @@ let run_profiled ~filters ~events ~size ~seed ~jit ~period_ns =
   attach_filters ~with_helper:true engine ~filters;
   Telemetry.Profiler.reset ();
   Telemetry.Profiler.set_period period_ns;
-  let gen = Framework.Dispatch.synthetic_packets ~seed ~size () in
   let stats =
     Fun.protect
       ~finally:(fun () -> Telemetry.Profiler.set_period 0L)
-      (fun () -> Framework.Dispatch.run_stream engine ~hook:"xdp" ~gen ~count:events ())
+      (fun () ->
+        Serve.run engine (Serve.plan ~seed ~size ~hook:"xdp" ~count:events ()))
   in
   (stats, world)
 
@@ -608,7 +646,7 @@ let profile_cmd =
     let stats, _world =
       run_profiled ~filters ~events ~size ~seed ~jit ~period_ns:(Int64.of_int period)
     in
-    Format.printf "%a@." Framework.Dispatch.pp_stream_result stats;
+    Format.printf "%a@." Serve.pp_stats stats;
     let total = Telemetry.Profiler.total () in
     Printf.printf "\nsamples: %d (period %dns, vclock-driven)\n" total period;
     if total > 0 then
@@ -749,9 +787,7 @@ let top_cmd =
           { Framework.Chaos.default_config with Framework.Chaos.fault_rate = chaos_rate }
     in
     let stats =
-      Framework.Dispatch.run_stream ?chaos engine ~hook:"xdp"
-        ~gen:(Framework.Dispatch.synthetic_packets ~size:64 ())
-        ~count:events ()
+      Serve.run engine (Serve.plan ?chaos ~size:64 ~hook:"xdp" ~count:events ())
     in
     let pct r = Printf.sprintf "%.1f%%" (100. *. r) in
     print_string
@@ -770,7 +806,7 @@ let top_cmd =
                 pct x.Framework.Supervisor.exhaust_rate;
                 string_of_int x.Framework.Supervisor.skipped;
                 string_of_int x.Framework.Supervisor.trips ])
-            stats.Framework.Dispatch.per_ext));
+            stats.Serve.per_ext));
     let vc = world.Framework.World.vcache in
     let hits = Framework.Verdict_cache.hits vc in
     let misses = Framework.Verdict_cache.misses vc in
@@ -782,7 +818,7 @@ let top_cmd =
       (if lookups = 0 then 0.
        else 100. *. float_of_int hits /. float_of_int lookups);
     Printf.printf "events: %d dispatched, %d faults absorbed, kernel %s\n"
-      stats.Framework.Dispatch.events stats.Framework.Dispatch.faults_absorbed
+      stats.Serve.totals.Serve.events stats.Serve.totals.Serve.faults_absorbed
       (if Kernel_sim.Kernel.is_dead world.Framework.World.kernel then "DEAD"
        else "alive")
   in
@@ -814,10 +850,16 @@ let top_cmd =
 
 let trace_check_cmd =
   let run path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
+    let text =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "trace-check: cannot read %s: %s\n" path msg;
+        exit 1
+    in
     match Telemetry.Trace_check.validate text with
     | Ok st ->
       Printf.printf "%s: %d events, %d spans, %d instants, %d lanes, max depth %d — OK\n"

@@ -11,6 +11,7 @@ open Untenable
 module World = Framework.World
 module Loader = Framework.Loader
 module Dispatch = Framework.Dispatch
+module Serve = Framework.Serve
 module Attach = Framework.Attach
 module Supervisor = Framework.Supervisor
 module Verdict_cache = Framework.Verdict_cache
@@ -53,11 +54,10 @@ let () =
     Fun.protect
       ~finally:(fun () -> Profiler.set_period 0L)
       (fun () ->
-        Dispatch.run_stream engine ~hook:"xdp"
-          ~gen:(Dispatch.synthetic_packets ~seed:42L ~size:64 ())
-          ~count:events ())
+        Serve.run engine
+          (Serve.plan ~seed:42L ~size:64 ~hook:"xdp" ~count:events ()))
   in
-  Format.printf "stream: %a@." Dispatch.pp_stream_result r;
+  Format.printf "stream: %a@." Serve.pp_stats r;
 
   (* 1. causal trace: export, then re-validate from the exported text *)
   let trace = Export.to_chrome_trace (Registry.snapshot ()) in
@@ -79,7 +79,7 @@ let () =
     (fun (h : Supervisor.health) ->
       Printf.printf "  %-8s %4d inv  p50 %Ldns  p99 %Ldns\n" h.Supervisor.name
         h.Supervisor.invocations h.Supervisor.p50_ns h.Supervisor.p99_ns)
-    r.Dispatch.per_ext;
+    r.Serve.per_ext;
   let vc = world.World.vcache in
   Printf.printf "verdict cache: %d hits / %d misses (%d invalidated)\n"
     (Verdict_cache.hits vc) (Verdict_cache.misses vc)

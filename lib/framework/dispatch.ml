@@ -1,35 +1,19 @@
-(* The event-driven dispatch loop: the serving side of the study.
+(* Dispatch: the historical face of the serving loop, now a thin facade
+   over Serve.
 
-   A real kernel does not load an extension, run it once, and throw the
-   world away — it drives packet/event streams through whole populations of
-   attached extensions.  The engine owns a pooled invocation context
-   (Invoke.t), so a 10k-event stream reuses one helper context and one skb
-   buffer instead of allocating per event.
+   The engine, policy and reload types ARE Serve's (re-exported with
+   equations, so values flow freely between the two modules), and
+   [run_stream] is a deprecated shim that assembles a one-domain
+   Serve.plan and re-shapes Serve.stats into the old [stream_result].
+   New code should build a [Serve.plan] and call [Serve.run]; this module
+   keeps one PR's worth of compatibility for out-of-tree callers. *)
 
-   Fault handling is a policy, not a boolean.  Under [Fail_fast] the first
-   kernel crash aborts the stream (the kernel stays dead, the old
-   stop_on_crash behaviour).  Under [Isolate] a crash is contained to the
-   invocation that caused it: the kernel is revived and the stream carries
-   on, with the fault charged to the offending extension.  [Supervise]
-   additionally runs each extension behind a circuit breaker (Supervisor)
-   and detaches — quarantines — extensions that keep re-tripping it.
-
-   Determinism: the synthetic packet generator is a seeded xorshift, the
-   simulated clock only moves by instruction cost, dispatch order is attach
-   order, and chaos injection (Chaos) is a pure function of (seed, event
-   index) — two engines fed the same seed produce identical results
-   (checksums included), which the tests assert. *)
-
-module Kernel = Kernel_sim.Kernel
-module Vclock = Kernel_sim.Vclock
-
-type policy =
-  | Fail_fast             (* first crash aborts the stream, kernel stays dead *)
-  | Isolate               (* contain crashes per invocation, keep serving *)
+type policy = Serve.policy =
+  | Fail_fast
+  | Isolate
   | Supervise of Supervisor.config
-                          (* isolate + circuit breakers + quarantine *)
 
-type engine = {
+type engine = Serve.engine = {
   world : World.t;
   attach : Attach.t;
   ictx : Invoke.t;
@@ -38,19 +22,9 @@ type engine = {
   sup : Supervisor.t;
 }
 
-let create ?(opts = Invoke.default_opts) ?(policy = Isolate) (w : World.t) =
-  let config =
-    match policy with Supervise c -> c | Fail_fast | Isolate -> Supervisor.default_config
-  in
-  { world = w; attach = Attach.create (); ictx = Invoke.create w; opts; policy;
-    sup = Supervisor.create ~config () }
+let create = Serve.create
 
-(* A scheduled hot reload: stage epoch changes on the builder (loads,
-   unloads, tail-call rewires, config changes) and/or rewire the engine's
-   attachments; the engine publishes the builder when the plan returns.
-   Runs at an event boundary — in-flight events hold their pinned epoch, so
-   the swap is torn-read-free by construction. *)
-type reload_plan = engine -> Epoch.builder -> unit
+type reload_plan = Serve.reload
 
 type stream_result = {
   events : int;
@@ -89,53 +63,18 @@ let pp_stream_result ppf r =
 let pp_per_ext ppf r =
   List.iter (fun h -> Format.fprintf ppf "%a@." Supervisor.pp_health h) r.per_ext
 
-(* ---- telemetry ---- *)
+let synthetic_packets = Serve.synthetic_packets
+
+(* ---- one-event fan-out (unsupervised) ---- *)
 
 let tele_events = Telemetry.Registry.counter "dispatch.events"
 let tele_invocations = Telemetry.Registry.counter "dispatch.invocations"
 let tele_crashes = Telemetry.Registry.counter "dispatch.crashes"
 let tele_stops = Telemetry.Registry.counter "dispatch.stops"
 let tele_exhausted = Telemetry.Registry.counter "dispatch.exhausted"
-let tele_skipped = Telemetry.Registry.counter "dispatch.skipped"
-let tele_absorbed = Telemetry.Registry.counter "dispatch.faults_absorbed"
 let tele_event_ns = Telemetry.Registry.histogram "dispatch.event_ns"
-let tele_event_span_ns = Telemetry.Registry.histogram "dispatch.event.ns"
-let tele_rate = Telemetry.Registry.counter "dispatch.events_per_sec"
-let tele_reloads = Telemetry.Registry.counter "dispatch.reloads"
-let tele_swap_ns = Telemetry.Registry.histogram "epoch.swap_ns"
 
 let host_ns () = Int64.of_float (Sys.time () *. 1e9)
-
-(* ---- synthetic events ---- *)
-
-(* Deterministic packet stream: xorshift64* seeded per stream, byte [0] of
-   each packet carries the low bits of the event index so attached filters
-   can discriminate. *)
-let synthetic_packets ?(seed = 0x9e3779b97f4a7c15L) ~size () =
-  let state = ref (if Int64.equal seed 0L then 1L else seed) in
-  let next () =
-    let x = !state in
-    let x = Int64.logxor x (Int64.shift_left x 13) in
-    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
-    let x = Int64.logxor x (Int64.shift_left x 17) in
-    state := x;
-    x
-  in
-  fun i ->
-    let b = Bytes.create size in
-    for off = 0 to size - 1 do
-      Bytes.set b off (Char.chr (Int64.to_int (next ()) land 0xff))
-    done;
-    if size > 0 then Bytes.set b 0 (Char.chr (i land 0xff));
-    b
-
-(* ---- dispatch ---- *)
-
-let checksum_add acc = function
-  | Invoke.Finished v -> Int64.add (Int64.mul acc 31L) v
-  | Invoke.Stopped _ -> Int64.add (Int64.mul acc 31L) (-1L)
-  | Invoke.Crashed _ -> Int64.add (Int64.mul acc 31L) (-2L)
-  | Invoke.Exhausted _ -> Int64.add (Int64.mul acc 31L) (-3L)
 
 (* One event through every extension attached to [hook], in attach order,
    with no supervision — the raw fan-out.  Returns the per-attachment
@@ -160,191 +99,31 @@ let dispatch_event e ~hook payload =
   Telemetry.Registry.observe tele_event_ns (Int64.sub (host_ns ()) started);
   reports
 
-(* Drive [count] events from [gen] through [hook] under the engine's
-   policy, optionally with chaos injection and a hot-reload schedule. *)
+(* ---- deprecated stream shim ---- *)
+
 let run_stream ?chaos ?(reload = []) ?(record_checksums = false) e ~hook ~gen
     ~count () =
-  let started = host_ns () in
-  let invocations = ref 0 and finished = ref 0 and stopped = ref 0 in
-  let crashed = ref 0 and exhausted = ref 0 and skipped = ref 0 in
-  let faults_absorbed = ref 0 and quarantined = ref 0 and injected = ref 0 in
-  let checksum = ref 0L in
-  let events = ref 0 in
-  let reloads = ref 0 in
-  let epoch_counts : (int, int ref) Hashtbl.t = Hashtbl.create 4 in
-  let event_checksums =
-    if record_checksums then Array.make (max count 0) 0L else [||]
+  let p =
+    Serve.plan ?chaos ~gen ~reloads:reload ~record_checksums ~hook ~count ()
   in
-  (* Apply every reload plan scheduled for event boundary [i]: stage on a
-     fresh builder, publish atomically, measure the swap on the host
-     clock.  In-flight pins are impossible here (we are between events),
-     but the grace-period machinery still runs — a superseded epoch held
-     by an explicit pin outlives the swap untouched. *)
-  let apply_reloads i =
-    List.iter
-      (fun (_, plan) ->
-        let swap_started = host_ns () in
-        let b = Epoch.begin_ e.world.World.epochs in
-        plan e b;
-        ignore (Epoch.publish b);
-        Telemetry.Registry.observe tele_swap_ns
-          (Int64.sub (host_ns ()) swap_started);
-        Telemetry.Registry.bump tele_reloads;
-        incr reloads)
-      (List.filter (fun (idx, _) -> idx = i) reload)
-  in
-  let kernel = e.world.World.kernel in
-  let supervised = match e.policy with Supervise _ -> true | _ -> false in
-  (* A contained fault: revive already happened (crash) or was unnecessary
-     (exhaustion); charge the breaker and quarantine on its verdict. *)
-  let contained_fault ext =
-    incr faults_absorbed;
-    Telemetry.Registry.bump tele_absorbed;
-    if supervised then begin
-      let now = Vclock.now kernel.Kernel.clock in
-      match Supervisor.observe_fault e.sup ext ~now_ns:now with
-      | Supervisor.Quarantine ->
-        ignore (Attach.detach e.attach ~attach_id:ext.Supervisor.attach_id);
-        incr quarantined
-      | Supervisor.Tripped _ | Supervisor.No_change -> ()
-    end
-  in
-  (* Each event runs under a fresh causal trace on the simulated clock:
-     dispatch.event > dispatch.<ext> > loader.run > interp/jit.run, with
-     supervisor and chaos points landing inside whichever span was open
-     when they fired. *)
-  let vnow () = Vclock.now kernel.Kernel.clock in
-  (try
-     for i = 0 to count - 1 do
-       apply_reloads i;
-       Telemetry.Registry.bump tele_events;
-       let ev_started = host_ns () in
-       incr events;
-       (let ep = (World.current e.world).Epoch.epoch in
-        match Hashtbl.find_opt epoch_counts ep with
-        | Some r -> incr r
-        | None -> Hashtbl.add epoch_counts ep (ref 1));
-       let ev_checksum = ref 0L in
-       (Telemetry.Registry.with_trace (Telemetry.Registry.fresh_trace ())
-       @@ fun () ->
-       Telemetry.Registry.with_span "dispatch.event" ~hist:tele_event_span_ns
-         ~clock:vnow
-       @@ fun () ->
-       let inj =
-         match chaos with
-         | None -> Chaos.Calm
-         | Some c -> Chaos.injection c ~event:i
-       in
-       if inj <> Chaos.Calm then incr injected;
-       let opts =
-         Chaos.apply_opts inj { e.opts with Invoke.skb_payload = Some (gen i) }
-       in
-       Chaos.arm inj e.world.World.bugs;
-       Fun.protect ~finally:(fun () -> Chaos.disarm inj e.world.World.bugs)
-       @@ fun () ->
-       List.iter
-         (fun (a : Attach.attachment) ->
-           let name = Attach.name a in
-           let ext =
-             (* digest-keyed: the same image keeps its breaker history
-                across detach/re-attach and epoch swaps *)
-             Supervisor.ext e.sup ~digest:(Attach.digest a)
-               ~attach_id:a.Attach.attach_id ~name
-           in
-           let decision =
-             if supervised then
-               Supervisor.decide e.sup ext
-                 ~now_ns:(Vclock.now kernel.Kernel.clock)
-             else Supervisor.Execute
-           in
-           Telemetry.Registry.with_span ("dispatch." ^ name) ~clock:vnow
-           @@ fun () ->
-           match decision with
-           | Supervisor.Skip ->
-             (* breaker open / quarantined: fast-fail, span still closes *)
-             Telemetry.Registry.point "dispatch.skip"
-               ~value:(Int64.of_int a.Attach.attach_id);
-             Supervisor.observe_skip ext;
-             incr skipped;
-             Telemetry.Registry.bump tele_skipped
-           | Supervisor.Execute | Supervisor.Probe ->
-             Telemetry.Registry.bump tele_invocations;
-             let inv_started = Vclock.now kernel.Kernel.clock in
-             let r = Invoke.run ~opts ~ictx:e.ictx e.world a.Attach.loaded in
-             (* scorecard latency: Vclock cost of this invocation,
-                recorded whether or not tracing retained the spans *)
-             Telemetry.Registry.observe ext.Supervisor.lat
-               (Int64.sub (Vclock.now kernel.Kernel.clock) inv_started);
-             incr invocations;
-             ext.Supervisor.invocations <- ext.Supervisor.invocations + 1;
-             checksum := checksum_add !checksum r.Invoke.outcome;
-             ev_checksum := checksum_add !ev_checksum r.Invoke.outcome;
-             ext.Supervisor.ret_checksum <-
-               checksum_add ext.Supervisor.ret_checksum r.Invoke.outcome;
-             (match r.Invoke.outcome with
-             | Invoke.Finished _ ->
-               incr finished;
-               ext.Supervisor.finished <- ext.Supervisor.finished + 1;
-               if supervised then
-                 Supervisor.observe_ok e.sup ext
-                   ~now_ns:(Vclock.now kernel.Kernel.clock)
-             | Invoke.Stopped _ ->
-               (* a language panic is a clean self-stop, not a fault *)
-               Telemetry.Registry.bump tele_stops;
-               incr stopped;
-               ext.Supervisor.stopped <- ext.Supervisor.stopped + 1;
-               if supervised then
-                 Supervisor.observe_ok e.sup ext
-                   ~now_ns:(Vclock.now kernel.Kernel.clock)
-             | Invoke.Crashed _ -> (
-               Telemetry.Registry.bump tele_crashes;
-               incr crashed;
-               ext.Supervisor.crashed <- ext.Supervisor.crashed + 1;
-               match e.policy with
-               | Fail_fast -> raise Exit
-               | Isolate | Supervise _ ->
-                 ignore (Kernel.revive kernel);
-                 contained_fault ext)
-             | Invoke.Exhausted _ ->
-               Telemetry.Registry.bump tele_exhausted;
-               incr exhausted;
-               ext.Supervisor.exhausted <- ext.Supervisor.exhausted + 1;
-               (match e.policy with
-               | Fail_fast -> ()  (* guards cleaned up; keep serving *)
-               | Isolate | Supervise _ -> contained_fault ext)))
-         (Attach.attached e.attach ~hook));
-       if record_checksums then event_checksums.(i) <- !ev_checksum;
-       Telemetry.Registry.observe tele_event_ns
-         (Int64.sub (host_ns ()) ev_started)
-     done
-   with Exit -> ());
-  let elapsed = Int64.sub (host_ns ()) started in
-  let rate =
-    if Int64.compare elapsed 0L > 0 then
-      float_of_int !events /. (Int64.to_float elapsed /. 1e9)
-    else 0.
-  in
-  (* export the latest stream's throughput (counter-as-gauge) *)
-  Telemetry.Counter.reset tele_rate;
-  Telemetry.Registry.incr tele_rate ~n:(int_of_float rate);
+  let s = Serve.run e p in
+  let t = s.Serve.totals in
   {
-    events = !events;
-    invocations = !invocations;
-    finished = !finished;
-    stopped = !stopped;
-    crashed = !crashed;
-    exhausted = !exhausted;
-    skipped = !skipped;
-    faults_absorbed = !faults_absorbed;
-    quarantined = !quarantined;
-    injected = !injected;
-    ret_checksum = !checksum;
-    host_ns = elapsed;
-    events_per_sec = rate;
-    per_ext = Supervisor.healths e.sup;
-    reloads = !reloads;
-    per_epoch =
-      Hashtbl.fold (fun ep r acc -> (ep, !r) :: acc) epoch_counts []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
-    event_checksums;
+    events = t.Serve.events;
+    invocations = t.Serve.invocations;
+    finished = t.Serve.finished;
+    stopped = t.Serve.stopped;
+    crashed = t.Serve.crashed;
+    exhausted = t.Serve.exhausted;
+    skipped = t.Serve.skipped;
+    faults_absorbed = t.Serve.faults_absorbed;
+    quarantined = t.Serve.quarantined;
+    injected = t.Serve.injected;
+    ret_checksum = t.Serve.ret_checksum;
+    host_ns = t.Serve.host_ns;
+    events_per_sec = t.Serve.events_per_sec;
+    per_ext = s.Serve.per_ext;
+    reloads = t.Serve.reloads;
+    per_epoch = t.Serve.per_epoch;
+    event_checksums = s.Serve.event_checksums;
   }

@@ -1,12 +1,12 @@
-(** Event-driven dispatch: drive simulated packet/event streams through all
-    extensions attached to a hook, in attach order, over a pooled
-    invocation context — under an explicit fault-handling {!policy}.
+(** Dispatch: the historical face of the serving loop, now a thin facade
+    over {!Serve}.
 
-    Fully deterministic for a fixed seed: two engines built the same way
-    produce identical {!stream_result}s (checksums included), and chaos
-    injection is a pure function of [(seed, event index)]. *)
+    The engine, policy and reload types are {!Serve}'s, re-exported with
+    type equations so values flow freely between the two modules.
+    {!run_stream} survives one more release as a deprecated shim; new
+    code builds a {!Serve.plan} and calls {!Serve.run}. *)
 
-type policy =
+type policy = Serve.policy =
   | Fail_fast
       (** the first kernel crash aborts the stream and the kernel stays
           dead (the historical [stop_on_crash:true] behaviour) *)
@@ -17,7 +17,7 @@ type policy =
   | Supervise of Supervisor.config
       (** isolate + per-extension circuit breakers + quarantine *)
 
-type engine = {
+type engine = Serve.engine = {
   world : World.t;
   attach : Attach.t;
   ictx : Invoke.t;
@@ -30,12 +30,8 @@ val create : ?opts:Invoke.run_opts -> ?policy:policy -> World.t -> engine
 (** [opts] applies to every invocation (its [skb_payload] is overridden per
     event).  [policy] defaults to {!Isolate}. *)
 
-type reload_plan = engine -> Epoch.builder -> unit
-(** A scheduled hot reload: stage epoch changes on the builder (loads via
-    [Pipeline.load_ebpf ~into], unloads, tail-call rewires, config
-    changes) and/or rewire the engine's attachments.  The engine publishes
-    the builder when the plan returns and measures the swap as
-    [epoch.swap_ns]. *)
+type reload_plan = Serve.reload
+(** A scheduled hot reload — see {!Serve.reload}. *)
 
 type stream_result = {
   events : int;
@@ -70,8 +66,7 @@ val pp_per_ext : Format.formatter -> stream_result -> unit
 (** One {!Supervisor.pp_health} line per extension. *)
 
 val synthetic_packets : ?seed:int64 -> size:int -> unit -> int -> Bytes.t
-(** Deterministic packet generator: [synthetic_packets ~size () i] is the
-    [i]th packet (byte 0 carries [i land 0xff]). *)
+(** Alias of {!Serve.synthetic_packets}. *)
 
 val dispatch_event : engine -> hook:string -> Bytes.t -> Invoke.run_report list
 (** One event through every extension on [hook], in attach order, with no
@@ -83,18 +78,10 @@ val run_stream :
   ?record_checksums:bool ->
   engine -> hook:string -> gen:(int -> Bytes.t) -> count:int -> unit ->
   stream_result
-(** Drive [count] events from [gen] through [hook] under the engine's
-    policy.  With [chaos], each event may get a fault injected on the
-    deterministic schedule.  Updates the [dispatch.*] telemetry counters
-    and exports the stream's throughput as [dispatch.events_per_sec].
-
-    [?reload] schedules hot reloads: each [(i, plan)] runs at the boundary
-    {e before} event [i] (plans sharing an index apply in list order) and
-    publishes one epoch swap; events keep pinning whichever epoch is
-    current when they start, so no event observes a half-applied world.
-    [?record_checksums] fills [event_checksums] with a per-event outcome
-    fold — the observable the epoch-swap ≡ stop-the-world equivalence
-    property compares.
-
-    Engine supervision state (breakers, per-extension tallies) accumulates
-    across successive [run_stream] calls on the same engine. *)
+  [@@ocaml.deprecated
+    "Build a Serve.plan and call Serve.run instead; this shim assembles a \
+     one-domain plan and re-shapes the stats."]
+(** Deprecated one-domain shim over {!Serve.run}: identical behaviour to
+    the historical loop (supervision state accumulates across calls on
+    one engine; [?reload] boundaries, chaos and checksum recording all
+    preserved). *)

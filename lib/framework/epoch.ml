@@ -69,6 +69,12 @@ type transition = {
 type store = {
   clock : Vclock.t;
   rcu : Rcu.t;
+  (* One lock serialises every store mutation (pin/release bookkeeping,
+     publish, prog-id allocation) and every multi-field read.  Sharded
+     serving (Framework.Serve) pins and releases from N domains against
+     one shared store; the critical sections are a handful of field
+     updates, so contention is negligible next to an invocation. *)
+  lock : Mutex.t;
   mutable current : snapshot;
   mutable next_prog_id : int;
   (* superseded snapshots still waiting out their grace period *)
@@ -77,6 +83,8 @@ type store = {
   mutable published : int;  (* swaps since genesis (genesis excluded) *)
   mutable retired : int;
 }
+
+let locked store f = Mutex.protect store.lock f
 
 (* ---- telemetry ---- *)
 
@@ -92,15 +100,15 @@ let create_store ~clock ~rcu ~vconfig ~aconfig =
       vconfig; aconfig; published_at_ns = Vclock.now clock; pins = 0;
       superseded_at_ns = None; retired_at_ns = None }
   in
-  { clock; rcu; current = genesis; next_prog_id = 1; retiring = [];
-    transitions = []; published = 0; retired = 0 }
+  { clock; rcu; lock = Mutex.create (); current = genesis; next_prog_id = 1;
+    retiring = []; transitions = []; published = 0; retired = 0 }
 
-let current store = store.current
-let current_epoch store = store.current.epoch
-let published store = store.published
-let retired store = store.retired
-let grace_pending store = List.length store.retiring
-let transitions store = List.rev store.transitions
+let current store = locked store (fun () -> store.current)
+let current_epoch store = locked store (fun () -> store.current.epoch)
+let published store = locked store (fun () -> store.published)
+let retired store = locked store (fun () -> store.retired)
+let grace_pending store = locked store (fun () -> List.length store.retiring)
+let transitions store = locked store (fun () -> List.rev store.transitions)
 
 (* ---- snapshot reads ---- *)
 
@@ -114,7 +122,7 @@ let tail_calls_sorted snap = Int_map.bindings snap.prog_array
 (* Retire every superseded snapshot nobody can still read: no pins, and the
    kernel's RCU read-side tracking reports no open critical section.  The
    grace period is supersession -> retirement on the virtual clock. *)
-let quiesce store =
+let quiesce_locked store =
   if not (Rcu.in_critical_section store.rcu) then begin
     let now = Vclock.now store.clock in
     let still_held, done_ = List.partition (fun s -> s.pins > 0) store.retiring in
@@ -140,18 +148,23 @@ let quiesce store =
   end
 
 let retain store snap =
-  (match snap.retired_at_ns with
-  | Some _ -> invalid_arg "Epoch.retain: snapshot already retired"
-  | None -> ());
-  ignore store;
-  snap.pins <- snap.pins + 1;
-  snap
+  locked store (fun () ->
+      (match snap.retired_at_ns with
+      | Some _ -> invalid_arg "Epoch.retain: snapshot already retired"
+      | None -> ());
+      snap.pins <- snap.pins + 1;
+      snap)
 
 let release store snap =
-  snap.pins <- (if snap.pins > 0 then snap.pins - 1 else 0);
-  quiesce store
+  locked store (fun () ->
+      snap.pins <- (if snap.pins > 0 then snap.pins - 1 else 0);
+      quiesce_locked store)
 
-let pin store = retain store store.current
+let pin store =
+  locked store (fun () ->
+      let snap = store.current in
+      snap.pins <- snap.pins + 1;
+      snap)
 
 (* ---- the builder: the only mutation path ---- *)
 
@@ -170,7 +183,7 @@ type builder = {
 }
 
 let begin_ store =
-  let base = store.current in
+  let base = locked store (fun () -> store.current) in
   { store; b_progs = base.progs; b_prog_array = base.prog_array;
     b_vconfig = base.vconfig; b_aconfig = base.aconfig; b_loads = 0;
     b_unloads = 0; b_tc_updates = 0; b_vconfig_changed = false;
@@ -181,8 +194,12 @@ let check_open b =
 
 let add_prog b prog =
   check_open b;
-  let prog_id = b.store.next_prog_id in
-  b.store.next_prog_id <- prog_id + 1;
+  let prog_id =
+    locked b.store (fun () ->
+        let id = b.store.next_prog_id in
+        b.store.next_prog_id <- id + 1;
+        id)
+  in
   b.b_progs <- Int_map.add prog_id prog b.b_progs;
   b.b_loads <- b.b_loads + 1;
   prog_id
@@ -230,26 +247,28 @@ let publish b =
   check_open b;
   b.b_published <- true;
   let store = b.store in
-  let old = store.current in
-  let now = Vclock.now store.clock in
-  let snap =
-    { epoch = old.epoch + 1; progs = b.b_progs; prog_array = b.b_prog_array;
-      vconfig = b.b_vconfig; aconfig = b.b_aconfig; published_at_ns = now;
-      pins = 0; superseded_at_ns = None; retired_at_ns = None }
-  in
-  old.superseded_at_ns <- Some now;
-  store.retiring <- old :: store.retiring;
-  store.current <- snap;
-  store.published <- store.published + 1;
-  Telemetry.Registry.bump tele_published;
-  store.transitions <-
-    { epoch = snap.epoch; at_ns = now; loads = b.b_loads;
-      unloads = b.b_unloads; tail_call_updates = b.b_tc_updates;
-      vconfig_changed = b.b_vconfig_changed;
-      aconfig_changed = b.b_aconfig_changed; grace_ns = None }
-    :: store.transitions;
-  quiesce store;
-  snap
+  locked store (fun () ->
+      let old = store.current in
+      let now = Vclock.now store.clock in
+      let snap =
+        { epoch = old.epoch + 1; progs = b.b_progs;
+          prog_array = b.b_prog_array; vconfig = b.b_vconfig;
+          aconfig = b.b_aconfig; published_at_ns = now; pins = 0;
+          superseded_at_ns = None; retired_at_ns = None }
+      in
+      old.superseded_at_ns <- Some now;
+      store.retiring <- old :: store.retiring;
+      store.current <- snap;
+      store.published <- store.published + 1;
+      Telemetry.Registry.bump tele_published;
+      store.transitions <-
+        { epoch = snap.epoch; at_ns = now; loads = b.b_loads;
+          unloads = b.b_unloads; tail_call_updates = b.b_tc_updates;
+          vconfig_changed = b.b_vconfig_changed;
+          aconfig_changed = b.b_aconfig_changed; grace_ns = None }
+        :: store.transitions;
+      quiesce_locked store;
+      snap)
 
 let pp_transition ppf tr =
   Format.fprintf ppf

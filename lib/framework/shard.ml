@@ -1,0 +1,98 @@
+(* Bounded coordinator -> worker event queues for the sharded serving
+   engine (Serve).
+
+   One queue per shard, single producer (the coordinator walking the
+   event stream in order) and single consumer (the shard's domain).  The
+   bound is the serving engine's admission control: under [Block] a full
+   queue makes the producer wait — deterministic, nothing is lost, the
+   stream just applies backpressure — while under [Drop_newest] the
+   incoming event is dropped and counted, mirroring the BPF ring buffer's
+   producer-fails contract (and [Telemetry.Ring]'s).
+
+   The counters ([peak] occupancy, [backpressure_waits], [dropped]) are
+   surfaced per shard in [Serve.stats] so a lossy or contended run is
+   visible, never silent. *)
+
+type overflow = Block | Drop_newest
+
+let overflow_to_string = function
+  | Block -> "block"
+  | Drop_newest -> "drop-newest"
+
+type 'a t = {
+  capacity : int;
+  overflow : overflow;
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  buf : 'a Queue.t;
+  mutable closed : bool;
+  mutable peak : int;                (* max occupancy observed *)
+  mutable backpressure_waits : int;  (* producer waits under Block *)
+  mutable dropped : int;             (* events lost under Drop_newest *)
+}
+
+let create ~capacity overflow =
+  if capacity < 1 then invalid_arg "Shard.create: capacity must be >= 1";
+  { capacity; overflow; lock = Mutex.create ();
+    not_full = Condition.create (); not_empty = Condition.create ();
+    buf = Queue.create (); closed = false; peak = 0; backpressure_waits = 0;
+    dropped = 0 }
+
+let enqueue_locked t v =
+  Queue.push v t.buf;
+  let len = Queue.length t.buf in
+  if len > t.peak then t.peak <- len;
+  Condition.signal t.not_empty
+
+(* [true] if the event was accepted; [false] only under [Drop_newest]
+   overflow (the drop is counted).  Under [Block] the call waits for the
+   consumer instead of failing. *)
+let push t v =
+  Mutex.protect t.lock @@ fun () ->
+  if t.closed then invalid_arg "Shard.push: queue closed";
+  match t.overflow with
+  | Drop_newest ->
+    if Queue.length t.buf >= t.capacity then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      enqueue_locked t v;
+      true
+    end
+  | Block ->
+    while Queue.length t.buf >= t.capacity && not t.closed do
+      t.backpressure_waits <- t.backpressure_waits + 1;
+      Condition.wait t.not_full t.lock
+    done;
+    if t.closed then invalid_arg "Shard.push: queue closed";
+    enqueue_locked t v;
+    true
+
+(* Blocking pop; [None] once the queue is closed AND drained — the
+   consumer's termination signal. *)
+let pop t =
+  Mutex.protect t.lock @@ fun () ->
+  while Queue.is_empty t.buf && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  if Queue.is_empty t.buf then None
+  else begin
+    let v = Queue.pop t.buf in
+    Condition.signal t.not_full;
+    Some v
+  end
+
+let close t =
+  Mutex.protect t.lock @@ fun () ->
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.buf)
+let peak t = Mutex.protect t.lock (fun () -> t.peak)
+let backpressure_waits t = Mutex.protect t.lock (fun () -> t.backpressure_waits)
+let dropped t = Mutex.protect t.lock (fun () -> t.dropped)
+let capacity t = t.capacity
+let overflow t = t.overflow

@@ -1,0 +1,50 @@
+(** Bounded coordinator -> worker event queues for the sharded serving
+    engine ({!Serve}).
+
+    One queue per shard: single producer (the coordinator walking the
+    event stream in original order), single consumer (the shard domain).
+    The bound is admission control; the {!overflow} policy decides what a
+    full queue means:
+
+    - {!Block}: the producer waits for the consumer — deterministic
+      backpressure, no event is ever lost (the mode the determinism
+      oracle requires);
+    - {!Drop_newest}: the incoming event is dropped and counted,
+      mirroring the BPF ring buffer's producer-fails contract.
+
+    Occupancy peak, producer waits and drops are all counted, so a lossy
+    or contended run is visible in {!Serve.stats}, never silent. *)
+
+type overflow = Block | Drop_newest
+
+val overflow_to_string : overflow -> string
+
+type 'a t
+
+val create : capacity:int -> overflow -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> bool
+(** [true] if accepted.  Under {!Block} waits while full (never [false]);
+    under {!Drop_newest} returns [false] and counts the drop.  Raises
+    [Invalid_argument] if the queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocking; [None] once the queue is closed and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes all waiters; subsequent {!push} raises, {!pop}
+    drains the remaining events then returns [None]. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val overflow : 'a t -> overflow
+
+val peak : 'a t -> int
+(** Maximum occupancy observed. *)
+
+val backpressure_waits : 'a t -> int
+(** Times the producer waited on a full queue ({!Block} only). *)
+
+val dropped : 'a t -> int
+(** Events rejected on overflow ({!Drop_newest} only). *)

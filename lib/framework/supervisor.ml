@@ -54,6 +54,8 @@ type ext = {
      swap rebinds the record to the new id while keeping all history *)
   mutable attach_id : int;
   name : string;
+  (* content digest the record is keyed by; "" when attach-id keyed *)
+  digest : string;
   mutable state : state;
   mutable trips : int;           (* times the breaker opened, cumulative *)
   mutable seq : int;             (* observations (executions + skips) *)
@@ -97,7 +99,8 @@ let ext ?digest t ~attach_id ~name =
     e
   | None ->
     let e =
-      { attach_id; name; state = Closed; trips = 0; seq = 0; fault_seqs = [];
+      { attach_id; name; digest = Option.value digest ~default:"";
+        state = Closed; trips = 0; seq = 0; fault_seqs = [];
         invocations = 0; finished = 0; stopped = 0; crashed = 0; exhausted = 0;
         skipped = 0; ret_checksum = 0L; quarantined_at_ns = None;
         lat = Telemetry.Registry.histogram ("ext." ^ name ^ ".ns") }
@@ -211,6 +214,7 @@ let observe_skip e =
 type health = {
   attach_id : int;
   name : string;
+  digest : string;  (* "" when the record was attach-id keyed *)
   state : state;
   trips : int;
   invocations : int;
@@ -232,6 +236,7 @@ let health_of_ext (e : ext) =
   {
     attach_id = e.attach_id;
     name = e.name;
+    digest = e.digest;
     state = e.state;
     trips = e.trips;
     invocations = e.invocations;
@@ -249,6 +254,81 @@ let health_of_ext (e : ext) =
   }
 
 let healths t = List.map health_of_ext (exts t)
+
+(* ---- merging (sharded serving) ----
+
+   Each shard runs its own supervisor over the same attached extensions;
+   at the barrier the per-shard scorecards fold into one, keyed by content
+   digest — the same identity that makes breaker history survive
+   re-attach.  Records without a digest (attach-id keyed, unit tests)
+   merge by name + attach id instead.
+
+   Tallies sum exactly.  [ret_checksum] is combined by Int64 addition —
+   order-insensitive, so the merged value is shard-count independent, but
+   it is NOT the sequential stream checksum (Serve reconstructs that one
+   exactly from per-event records).  Latency quantiles merge as max — the
+   conservative bound available once shards have reduced their histograms
+   to two points.  State merges to the worst across shards
+   (Quarantined > Open > Half_open > Closed), trips sum, and the rates are
+   recomputed from the merged tallies. *)
+
+let state_severity = function
+  | Closed -> 0
+  | Half_open -> 1
+  | Open _ -> 2
+  | Quarantined -> 3
+
+let worst_state a b = if state_severity b > state_severity a then b else a
+
+let merge_two (a : health) (b : health) =
+  let invocations = a.invocations + b.invocations in
+  let crashed = a.crashed + b.crashed in
+  let exhausted = a.exhausted + b.exhausted in
+  let rate n =
+    if invocations = 0 then 0.0 else float_of_int n /. float_of_int invocations
+  in
+  let state = worst_state a.state b.state in
+  {
+    attach_id = max a.attach_id b.attach_id;
+    name = a.name;
+    digest = a.digest;
+    state;
+    trips = a.trips + b.trips;
+    invocations;
+    finished = a.finished + b.finished;
+    stopped = a.stopped + b.stopped;
+    crashed;
+    exhausted;
+    skipped = a.skipped + b.skipped;
+    ret_checksum = Int64.add a.ret_checksum b.ret_checksum;
+    quarantined = (state = Quarantined);
+    p50_ns = (if Int64.compare a.p50_ns b.p50_ns > 0 then a.p50_ns else b.p50_ns);
+    p99_ns = (if Int64.compare a.p99_ns b.p99_ns > 0 then a.p99_ns else b.p99_ns);
+    crash_rate = rate crashed;
+    exhaust_rate = rate exhausted;
+  }
+
+let merge_key (h : health) =
+  if h.digest <> "" then "digest:" ^ h.digest
+  else "attach:" ^ string_of_int h.attach_id ^ ":" ^ h.name
+
+let merge_healths (per_shard : health list list) =
+  let merged : (string, health) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun h ->
+         let k = merge_key h in
+         match Hashtbl.find_opt merged k with
+         | Some prev -> Hashtbl.replace merged k (merge_two prev h)
+         | None ->
+           order := k :: !order;
+           Hashtbl.replace merged k h))
+    per_shard;
+  List.rev_map (fun k -> Hashtbl.find merged k) !order
+  |> List.sort (fun a b ->
+         match compare a.attach_id b.attach_id with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
 
 let pp_health ppf h =
   Format.fprintf ppf

@@ -40,6 +40,8 @@ type ext = {
   mutable attach_id : int;
       (** last-seen attach id; rebound when the same image re-attaches *)
   name : string;
+  digest : string;
+      (** content digest the record is keyed by; [""] when attach-id keyed *)
   mutable state : state;
   mutable trips : int;            (** times the breaker opened, cumulative *)
   mutable seq : int;              (** observations (executions + skips) *)
@@ -105,6 +107,7 @@ val cooldown_for : config -> trip:int -> int64
 type health = {
   attach_id : int;
   name : string;
+  digest : string;  (** [""] when the record was attach-id keyed *)
   state : state;
   trips : int;
   invocations : int;
@@ -126,5 +129,15 @@ type health = {
 val health_of_ext : ext -> health
 val healths : t -> health list
 (** Snapshots in attach order (quarantined extensions included). *)
+
+val merge_healths : health list list -> health list
+(** Fold per-shard scorecards into one, keyed by content digest (records
+    without a digest merge by attach id + name).  Tallies and trips sum;
+    [ret_checksum] combines by order-insensitive Int64 addition (NOT the
+    sequential stream checksum — {!Serve} reconstructs that exactly);
+    p50/p99 take the max across shards (the conservative bound once each
+    shard has reduced its histogram to quantiles); state merges to the
+    worst (Quarantined > Open > Half-open > Closed); rates are recomputed
+    from the merged tallies.  Result sorted by attach id, then name. *)
 
 val pp_health : Format.formatter -> health -> unit

@@ -30,6 +30,7 @@ type t = {
   (* content-addressed verdicts for the verify gate (Pipeline); per world,
      because a world *is* one kernel instance *)
   vcache : Verdict_cache.t;
+  mutable populated : bool;
 }
 
 let create ?(version = Kver.V5_18) ?vconfig
@@ -45,7 +46,7 @@ let create ?(version = Kver.V5_18) ?vconfig
     epochs =
       Epoch.create_store ~clock:kernel.Kernel.clock ~rcu:kernel.Kernel.rcu
         ~vconfig ~aconfig;
-    vcache = Verdict_cache.create () }
+    vcache = Verdict_cache.create (); populated = false }
 
 let register_map t (def : Bpf_map.def) = Bpf_map.Registry.register t.maps t.kernel def
 
@@ -112,7 +113,38 @@ let populate t =
   ignore (Kernel.add_sock t.kernel ~port:8443 ~state:Kernel_sim.Kobject.Request);
   (* baseline the refcounts so health reports only extension-caused leaks *)
   Kernel.snapshot_refs t.kernel;
+  t.populated <- true;
   t
 
 let create_populated ?version ?vconfig ?aconfig () =
   populate (create ?version ?vconfig ?aconfig ())
+
+(* ---- shard worlds ----
+
+   One per serving domain (Framework.Serve): the *program* state is shared
+   — the epoch chain (and verdict cache) is the [base] world's, so every
+   shard reads the same published snapshots and pins count against the
+   same grace periods — while the *machine* state is private: a fresh
+   simulated kernel (own Vclock, own memory, own RCU bookkeeping), the map
+   topology recreated with the same ids but empty shard-local storage
+   (per-CPU map semantics writ large), and a copy of the bug database so
+   chaos injection arms per shard without racing.
+
+   Two consequences to know about:
+   - map contents do not flow between shards; extensions that need
+     cross-flow state see per-shard views, exactly like per-CPU maps;
+   - the shared store's RCU read-side tracking follows the base kernel;
+     shard read-side protection is carried entirely by snapshot pins,
+     which every invocation takes ([Invoke.run ?snap]). *)
+let shard_of (base : t) =
+  let kernel = Kernel.create () in
+  let t =
+    { kernel;
+      maps = Bpf_map.Registry.clone base.maps ~kernel;
+      bugs = { base.bugs with Bugdb.version = base.bugs.Bugdb.version };
+      epochs = base.epochs;
+      vcache = base.vcache;
+      populated = false }
+  in
+  if base.populated then ignore (populate t);
+  t

@@ -28,6 +28,8 @@ type t = private {
   bugs : Bugdb.t;
   epochs : Epoch.store;  (** the immutable-snapshot chain (see {!Epoch}) *)
   vcache : Verdict_cache.t;  (** content-addressed verify-gate verdicts *)
+  mutable populated : bool;
+      (** whether {!populate} ran; shard worlds replay it (see {!shard_of}) *)
 }
 
 val create :
@@ -99,3 +101,13 @@ val populate : t -> t
 val create_populated :
   ?version:Kver.t -> ?vconfig:Bpf_verifier.Verifier.config ->
   ?aconfig:Analysis.Driver.config -> unit -> t
+
+val shard_of : t -> t
+(** A per-domain shard view of [base] for parallel serving
+    ({!Serve.run}): shares the epoch chain and verdict cache (every shard
+    reads the same published snapshots; pins count against the same grace
+    periods) but owns a private simulated kernel, the map topology
+    recreated with the same ids and empty shard-local storage, and a copy
+    of the bug database.  If [base] was {!populate}d the shard kernel is
+    populated too.  Shard map contents never flow between shards —
+    per-CPU map semantics writ large. *)

@@ -281,13 +281,41 @@ type tele = {
   t_event : string;
 }
 
-let tele_calls = Telemetry.Registry.counter "helper.calls"
-let tele_errors = Telemetry.Registry.counter "helper.errors"
+(* The memo is domain-local and pinned to the registry it was built
+   against: a shard worker that installs its private registry
+   (Telemetry.Registry.using) must intern fresh handles there, not reuse
+   handles interned in another shard's tables.  A registry swap on the
+   same domain invalidates the whole cache. *)
+type tele_cache = {
+  tc_reg : Telemetry.Registry.t;
+  tc_by_id : (int, tele) Hashtbl.t;
+  tc_calls : Telemetry.Counter.t;
+  tc_errors : Telemetry.Counter.t;
+}
 
-let tele_by_id : (int, tele) Hashtbl.t = Hashtbl.create 64
+let cache_for reg =
+  {
+    tc_reg = reg;
+    tc_by_id = Hashtbl.create 64;
+    tc_calls = Telemetry.Registry.counter "helper.calls";
+    tc_errors = Telemetry.Registry.counter "helper.errors";
+  }
 
-let tele_of def =
-  match Hashtbl.find_opt tele_by_id def.id with
+let tele_cache : tele_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> cache_for (Telemetry.Registry.current ()))
+
+let current_cache () =
+  let c = Domain.DLS.get tele_cache in
+  let reg = Telemetry.Registry.current () in
+  if c.tc_reg == reg then c
+  else begin
+    let c = cache_for reg in
+    Domain.DLS.set tele_cache c;
+    c
+  end
+
+let tele_of cache def =
+  match Hashtbl.find_opt cache.tc_by_id def.id with
   | Some t -> t
   | None ->
     let t =
@@ -297,7 +325,7 @@ let tele_of def =
         t_event = "helper." ^ def.name;
       }
     in
-    Hashtbl.replace tele_by_id def.id t;
+    Hashtbl.replace cache.tc_by_id def.id t;
     t
 
 (* Kernel convention (IS_ERR_VALUE): returns in [-4095, -1] are errnos. *)
@@ -310,8 +338,9 @@ let max_errno = -4095L
 let invoke def (hctx : Hctx.t) args =
   if not (Telemetry.Registry.enabled ()) then def.impl hctx args
   else begin
-    let tele = tele_of def in
-    Telemetry.Registry.bump tele_calls;
+    let cache = current_cache () in
+    let tele = tele_of cache def in
+    Telemetry.Registry.bump cache.tc_calls;
     Telemetry.Registry.bump tele.t_calls;
     let clock = hctx.kernel.Kernel_sim.Kernel.clock in
     let t0 = Kernel_sim.Vclock.now clock in
@@ -319,7 +348,7 @@ let invoke def (hctx : Hctx.t) args =
     Telemetry.Registry.observe tele.t_latency (Int64.sub (Kernel_sim.Vclock.now clock) t0);
     Telemetry.Registry.point tele.t_event ~value:ret;
     if Int64.compare ret 0L < 0 && Int64.compare ret max_errno >= 0 then begin
-      Telemetry.Registry.bump tele_errors;
+      Telemetry.Registry.bump cache.tc_errors;
       Telemetry.Registry.incr_name ("helper.errno." ^ Errno.name ret)
     end;
     ret

@@ -291,4 +291,19 @@ module Registry = struct
 
   let find reg id = Hashtbl.find_opt reg.by_id id
   let all reg = Hashtbl.fold (fun _ m acc -> m :: acc) reg.by_id []
+
+  (* Re-create every map of [reg] in [kernel], keeping the SAME ids (so
+     programs compiled against the original fd table resolve identically)
+     but with fresh, empty storage in the new kernel's memory.  This is
+     the per-shard world constructor's view of "same topology, private
+     state" — shard-local map contents are an isolation feature, matching
+     per-CPU map semantics writ large.  [next_id] carries over so ids
+     allocated after the clone never collide across worlds. *)
+  let clone reg ~kernel =
+    let fresh = { next_id = reg.next_id; by_id = Hashtbl.create 8 } in
+    Hashtbl.iter
+      (fun id (m : map) ->
+        Hashtbl.replace fresh.by_id id (create_map kernel ~id m.def))
+      reg.by_id;
+    fresh
 end

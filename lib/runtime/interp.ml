@@ -116,9 +116,14 @@ let tele_run_ns = Telemetry.Registry.histogram "interp.run.ns"
    equality (same trick as [tally_pool]): the common case is the same
    program run back to back, and rebuilding the CFG per run costs more
    than the entire sampling budget. *)
-let leader_cache : (Insn.insn array * int array) ref = ref ([||], [||])
+(* Domain-local: each serving shard runs the interpreter on its own domain,
+   and a shared one-slot memo would ping-pong (and cross-pollute) between
+   them. *)
+let leader_cache : (Insn.insn array * int array) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref ([||], [||]))
 
 let block_leader_map (insns : Insn.insn array) =
+  let leader_cache = Domain.DLS.get leader_cache in
   let cached_insns, cached = !leader_cache in
   if cached_insns == insns then cached
   else begin
@@ -169,14 +174,16 @@ let[@inline] prof_check t pc =
 (* One-slot pool for the diff array: the common case is the same program run
    back to back, and recycling avoids an alloc + zeroing per run.  Single
    simulated CPU, so no contention; flush zeroes before returning. *)
-let tally_pool : int array ref = ref [||]
-
-let per_class_scratch = Array.make 7 0
+(* Domain-local like [leader_cache]: two shards flushing tallies at once
+   must not share the diff pool or the per-class scratch. *)
+let tally_pool : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+let per_class_scratch : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make 7 0)
 
 let flush_tallies t (insns : Insn.insn array) =
   if t.tele_on && Array.length t.pc_tally > 0 then begin
     let diff = t.pc_tally in
-    let per_class = per_class_scratch in
+    let per_class = Domain.DLS.get per_class_scratch in
     Array.fill per_class 0 (Array.length per_class) 0;
     let running = ref 0 in
     let total = ref 0 in
@@ -193,7 +200,7 @@ let flush_tallies t (insns : Insn.insn array) =
       (fun i n -> if n > 0 then Telemetry.Registry.add op_counters.(i) n)
       per_class;
     Array.fill diff 0 (Array.length diff) 0;
-    tally_pool := diff;
+    Domain.DLS.get tally_pool := diff;
     t.pc_tally <- [||]
   end
 
@@ -229,9 +236,10 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
   regs.(10) <- Int64.add stack.Kmem.base (Int64.of_int stack.Kmem.size);
   let mem = t.hctx.kernel.mem in
   if t.tele_on && Array.length t.pc_tally <> Array.length insns + 1 then begin
-    if Array.length !tally_pool = Array.length insns + 1 then begin
-      t.pc_tally <- !tally_pool;
-      tally_pool := [||]
+    let pool = Domain.DLS.get tally_pool in
+    if Array.length !pool = Array.length insns + 1 then begin
+      t.pc_tally <- !pool;
+      pool := [||]
     end
     else t.pc_tally <- Array.make (Array.length insns + 1) 0
   end;

@@ -91,3 +91,15 @@ let reset t =
   t.count <- 0;
   t.sum <- 0L;
   t.max <- 0L
+
+(* Fold [src] into [dst]: bucket-wise count addition, sums added, max of
+   maxes.  Exact for everything the log2 representation keeps — merging
+   per-shard histograms then reading a quantile equals observing the union
+   of the samples. *)
+let merge_into ~src ~dst =
+  for i = 0 to bucket_count - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- Int64.add dst.sum src.sum;
+  if Int64.compare src.max dst.max > 0 then dst.max <- src.max

@@ -12,7 +12,14 @@
    to CFG block happens at the sampling site, which owns the program. *)
 
 let period = ref 0L
+
+(* One process-wide sample store, shared by every domain: samples are rare
+   by construction (at most one per period), so a mutex on the record/read
+   path costs nothing while keeping the table safe when sharded serving
+   (Framework.Serve) runs the interpreter on several domains at once. *)
 let samples : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let samples_mutex = Mutex.create ()
+let locked f = Mutex.protect samples_mutex f
 
 (* [set_period 0] disables sampling; any positive period is the simulated
    nanoseconds between samples. *)
@@ -34,15 +41,16 @@ let next_deadline ~now =
   else Int64.max_int
 
 let record key =
+  locked @@ fun () ->
   match Hashtbl.find_opt samples key with
   | Some r -> incr r
   | None -> Hashtbl.add samples key (ref 1)
 
-let total () = Hashtbl.fold (fun _ r acc -> acc + !r) samples 0
+let total () = locked (fun () -> Hashtbl.fold (fun _ r acc -> acc + !r) samples 0)
 
 (* (stack, count), heaviest first; ties broken by name for determinism. *)
 let sample_list () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) samples []
+  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) samples [])
   |> List.sort (fun (ka, ca) (kb, cb) ->
          match compare cb ca with 0 -> String.compare ka kb | c -> c)
 
@@ -50,9 +58,9 @@ let sample_list () =
    sorted by stack so the output is diffable. *)
 let to_folded () =
   let buf = Buffer.create 256 in
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) samples []
+  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) samples [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.iter (fun (k, c) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" k c));
   Buffer.contents buf
 
-let reset () = Hashtbl.reset samples
+let reset () = locked (fun () -> Hashtbl.reset samples)

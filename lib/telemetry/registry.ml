@@ -1,75 +1,125 @@
-(* The process-global metric registry and trace sink.
+(* The metric registry and trace sink — now a first-class value.
 
    Every instrumented subsystem interns its counters/histograms here by
-   dotted name ("interp.insns", "helper.ns.bpf_loop", ...).  The registry
-   is deliberately global: instrumentation sites are scattered across
-   libraries that share no common context object, and threading one through
-   would be most of the cost of the feature.
+   dotted name ("interp.insns", "helper.ns.bpf_loop", ...).  Historically
+   the registry was a single process-global; the sharded serving engine
+   (Framework.Serve) needs one registry *per shard* so that N domains can
+   record telemetry without sharing mutable tables, and a [merge] at the
+   barrier so the per-shard registries fold into one export.
+
+   The scheme:
+
+   - [type t] reifies everything that used to be module-global: the
+     counter/histogram tables, the trace ring, the span depth, the ambient
+     trace id and the injected clock.
+
+   - [global] is the default instance; every pre-existing call site keeps
+     its exact behaviour.
+
+   - the *current* registry is domain-local ([Domain.DLS]), defaulting to
+     [global].  All name-based entry points (interning, spans, points,
+     snapshots, resets) resolve against the current registry, so a shard
+     that installs its private registry with [using] captures every
+     instrumentation site that runs on its domain — including ones deep in
+     the interpreter and helper layer that know nothing about shards —
+     with no argument threading.
+
+   - handle-based entry points ([bump]/[add]/[observe] on an interned
+     object) mutate that object wherever it was interned.  Module-level
+     handles interned at init time belong to [global]; concurrent bumps
+     from several domains are benign int races (increments may be lost
+     under contention, never torn or unsafe).
+
+   Trace-id allocation stays global (one atomic), so two shards never mint
+   the same causal trace id.
 
    Disabling ([set_enabled false]) turns every recording entry point into a
    no-op sink — one flag load on the hot path — which is what the bench's
-   overhead experiment compares against.
-
-   Time comes from an injected clock so this library stays dependency-free
-   while spans are still timed on the simulated [Vclock]: [Kernel.create]
-   points the clock at its world's Vclock.  Call sites that hold a specific
-   kernel can pass [?clock] explicitly to be robust to multiple worlds. *)
+   overhead experiment compares against. *)
 
 let on = ref true
-let clock_src : (unit -> int64) ref = ref (fun () -> 0L)
-
-let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 64
-let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
 let default_trace_capacity = 4096
-let ring = ref (Ring.create ~capacity:default_trace_capacity)
-let depth = ref 0
+
+type t = {
+  label : string;
+  counters : (string, Counter.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  mutable ring : Ring.t;
+  mutable depth : int;
+  mutable cur_trace : int;
+  mutable clock : unit -> int64;
+}
+
+let create ?(label = "registry") ?(trace_capacity = default_trace_capacity) () =
+  {
+    label;
+    counters = Hashtbl.create 64;
+    histograms = Hashtbl.create 32;
+    ring = Ring.create ~capacity:trace_capacity;
+    depth = 0;
+    cur_trace = 0;
+    clock = (fun () -> 0L);
+  }
+
+let global = create ~label:"global" ()
+let label t = t.label
+
+(* The ambient registry for this domain.  [global] unless a scope installed
+   a private one ([using]) — which is exactly what shard workers do. *)
+let dls_current : t Domain.DLS.key = Domain.DLS.new_key (fun () -> global)
+let current () = Domain.DLS.get dls_current
+
+let using r f =
+  let saved = Domain.DLS.get dls_current in
+  Domain.DLS.set dls_current r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_current saved) f
 
 (* Causal trace ids.  A trace groups the spans and points of one logical
    unit of work (one pipeline load, one dispatched packet); 0 means
-   "outside any trace".  Allocation is a plain counter so two loads never
-   share an id, and [with_trace] scopes the ambient id dynamically, so
-   instrumentation sites deep in the runtime inherit the right trace
-   without any argument threading. *)
-let next_trace = ref 0
-let cur_trace = ref 0
-
-let fresh_trace () =
-  incr next_trace;
-  !next_trace
-
-let current_trace () = !cur_trace
+   "outside any trace".  Allocation is a process-wide atomic so two
+   domains never share an id, and [with_trace] scopes the ambient id on
+   the *current registry* (hence per domain), so instrumentation sites
+   deep in the runtime inherit the right trace without argument
+   threading. *)
+let next_trace = Atomic.make 0
+let fresh_trace () = Atomic.fetch_and_add next_trace 1 + 1
+let current_trace () = (current ()).cur_trace
 
 let with_trace id f =
-  let saved = !cur_trace in
-  cur_trace := id;
-  Fun.protect ~finally:(fun () -> cur_trace := saved) f
+  let r = current () in
+  let saved = r.cur_trace in
+  r.cur_trace <- id;
+  Fun.protect ~finally:(fun () -> r.cur_trace <- saved) f
 
 let enabled () = !on
 let set_enabled b = on := b
-let set_clock f = clock_src := f
-let now () = !clock_src ()
+let set_clock f = (current ()).clock <- f
+let now () = (current ()).clock ()
 
-(* Replaces the ring: existing events are discarded. *)
-let set_trace_capacity n = ring := Ring.create ~capacity:n
+(* Replaces the current registry's ring: existing events are discarded. *)
+let set_trace_capacity n = (current ()).ring <- Ring.create ~capacity:n
 
-(* Interning returns the same [Counter.t] for the same name, so hot call
-   sites can hold the counter directly and skip the hash lookup. *)
-let counter name =
-  match Hashtbl.find_opt counters name with
+(* Interning returns the same [Counter.t] for the same name within one
+   registry, so hot call sites can hold the counter directly and skip the
+   hash lookup. *)
+let counter_in r name =
+  match Hashtbl.find_opt r.counters name with
   | Some c -> c
   | None ->
     let c = Counter.make name in
-    Hashtbl.add counters name c;
+    Hashtbl.add r.counters name c;
     c
 
-let histogram name =
-  match Hashtbl.find_opt histograms name with
+let histogram_in r name =
+  match Hashtbl.find_opt r.histograms name with
   | Some h -> h
   | None ->
     let h = Histogram.make name in
-    Hashtbl.add histograms name h;
+    Hashtbl.add r.histograms name h;
     h
 
+let counter name = counter_in (current ()) name
+let histogram name = histogram_in (current ()) name
 let incr ?(n = 1) c = if !on then Counter.incr ~n c
 let[@inline] bump c = if !on then Counter.bump c
 let[@inline] add c n = if !on then Counter.add c n
@@ -78,29 +128,35 @@ let observe h v = if !on then Histogram.observe h v
 let observe_name name v = if !on then Histogram.observe (histogram name) v
 
 let point ?clock ?value name =
-  if !on then
-    let t = match clock with Some c -> c () | None -> now () in
-    Ring.push !ring ~time_ns:t ~depth:!depth ~trace:!cur_trace ~kind:Event.Point ~name
+  if !on then begin
+    let r = current () in
+    let t = match clock with Some c -> c () | None -> r.clock () in
+    Ring.push r.ring ~time_ns:t ~depth:r.depth ~trace:r.cur_trace
+      ~kind:Event.Point ~name
       ~value:(Option.value value ~default:0L)
+  end
 
 (* A span emits Enter/Exit trace events and feeds a "<name>.ns" duration
-   histogram.  Durations are measured on [?clock] (default: the injected
-   registry clock).  Hot call sites should pre-intern the histogram and
-   pass it as [?hist]; resolving "<name>.ns" costs a string concatenation
-   plus a hash lookup per span. *)
+   histogram, all on the current registry.  Durations are measured on
+   [?clock] (default: the registry's injected clock).  Hot call sites
+   should pre-intern the histogram and pass it as [?hist]; resolving
+   "<name>.ns" costs a string concatenation plus a hash lookup per span. *)
 let with_span ?clock ?hist name f =
   if not !on then f ()
   else begin
-    let now = match clock with Some c -> c | None -> !clock_src in
+    let r = current () in
+    let now = match clock with Some c -> c | None -> r.clock in
     let t0 = now () in
-    Ring.push !ring ~time_ns:t0 ~depth:!depth ~trace:!cur_trace ~kind:Event.Enter ~name ~value:0L;
-    depth := !depth + 1;
+    Ring.push r.ring ~time_ns:t0 ~depth:r.depth ~trace:r.cur_trace
+      ~kind:Event.Enter ~name ~value:0L;
+    r.depth <- r.depth + 1;
     let finish () =
-      depth := !depth - 1;
+      r.depth <- r.depth - 1;
       let t1 = now () in
       let dt = Int64.sub t1 t0 in
-      Ring.push !ring ~time_ns:t1 ~depth:!depth ~trace:!cur_trace ~kind:Event.Exit ~name ~value:dt;
-      let h = match hist with Some h -> h | None -> histogram (name ^ ".ns") in
+      Ring.push r.ring ~time_ns:t1 ~depth:r.depth ~trace:r.cur_trace
+        ~kind:Event.Exit ~name ~value:dt;
+      let h = match hist with Some h -> h | None -> histogram_in r (name ^ ".ns") in
       Histogram.observe h dt
     in
     match f () with
@@ -111,6 +167,33 @@ let with_span ?clock ?hist name f =
       finish ();
       raise e
   end
+
+(* ---- merging ----
+
+   Folding one registry into another — the per-shard -> one-export path:
+
+   - counters: summed by name (missing names interned in [into]);
+   - log2 histograms: bucket-wise count addition, sums added, max of
+     maxes — exact for everything the representation keeps;
+   - trace rings: [src]'s events appended to [into]'s ring oldest-first
+     (re-sequenced by the destination), events past capacity dropped and
+     counted, and [src]'s own drop count carried over.
+
+   [merge] does not clear [src]; it can be inspected (or re-merged —
+   don't) afterwards. *)
+let merge src ~into =
+  if src == into then invalid_arg "Registry.merge: src and into are the same registry";
+  Hashtbl.iter
+    (fun name c ->
+      let v = Counter.value c in
+      if v <> 0 then Counter.add (counter_in into name) v)
+    src.counters;
+  Hashtbl.iter
+    (fun name h ->
+      if Histogram.count h > 0 then
+        Histogram.merge_into ~src:h ~dst:(histogram_in into name))
+    src.histograms;
+  Ring.merge_into ~src:src.ring ~dst:into.ring
 
 (* ---- snapshots ---- *)
 
@@ -126,21 +209,26 @@ let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let snapshot () =
+let snapshot_of (r : t) =
   {
-    counters = sorted_bindings counters Counter.value;
-    histograms = sorted_bindings histograms Histogram.copy;
-    events = Ring.events !ring;
-    dropped_events = Ring.dropped !ring;
-    trace_capacity = Ring.capacity !ring;
+    counters = sorted_bindings r.counters Counter.value;
+    histograms = sorted_bindings r.histograms Histogram.copy;
+    events = Ring.events r.ring;
+    dropped_events = Ring.dropped r.ring;
+    trace_capacity = Ring.capacity r.ring;
   }
 
+let snapshot () = snapshot_of (current ())
+
 (* Zero all values but keep interned objects alive, so module-level counter
-   references held by instrumentation sites survive a reset. *)
+   references held by instrumentation sites survive a reset.  Resets the
+   *current* registry; the global trace-id allocator resets only when the
+   global registry is the current one (tests depend on fresh ids). *)
 let reset () =
-  Hashtbl.iter (fun _ c -> Counter.reset c) counters;
-  Hashtbl.iter (fun _ h -> Histogram.reset h) histograms;
-  Ring.reset !ring;
-  depth := 0;
-  next_trace := 0;
-  cur_trace := 0
+  let r = current () in
+  Hashtbl.iter (fun _ c -> Counter.reset c) r.counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) r.histograms;
+  Ring.reset r.ring;
+  r.depth <- 0;
+  r.cur_trace <- 0;
+  if r == global then Atomic.set next_trace 0

@@ -35,3 +35,15 @@ let reset t =
   t.len <- 0;
   t.dropped <- 0;
   t.next_seq <- 0
+
+(* Fold [src]'s events into [dst], oldest first, re-sequenced by [dst] —
+   the per-shard -> merged-export path.  Capacity overflow follows the
+   normal push contract (new events dropped and counted), and [src]'s own
+   drop count carries over so no loss is hidden by the merge. *)
+let merge_into ~src ~dst =
+  List.iter
+    (fun (e : Event.t) ->
+      push dst ~time_ns:e.Event.time_ns ~depth:e.Event.depth ~trace:e.Event.trace
+        ~kind:e.Event.kind ~name:e.Event.name ~value:e.Event.value)
+    (events src);
+  dst.dropped <- dst.dropped + src.dropped

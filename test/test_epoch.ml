@@ -12,6 +12,7 @@ module Pipeline = Framework.Pipeline
 module Invoke = Framework.Invoke
 module Attach = Framework.Attach
 module Dispatch = Framework.Dispatch
+module Serve = Framework.Serve
 module Verdict_cache = Framework.Verdict_cache
 module Vclock = Kernel_sim.Vclock
 module Kernel = Kernel_sim.Kernel
@@ -204,11 +205,12 @@ let run_with_reloads ~count indices =
             Epoch.set_tail_call b ~index:0 ~prog_id:(target_for ~b1 ~b2 k) ))
       indices
   in
-  let r =
-    Dispatch.run_stream ~reload ~record_checksums:true engine ~hook:"xdp"
-      ~gen:pure_gen ~count ()
+  let s =
+    Serve.run engine
+      (Serve.plan ~gen:pure_gen ~reloads:reload ~record_checksums:true
+         ~hook:"xdp" ~count ())
   in
-  (r.Dispatch.event_checksums, r.Dispatch.reloads)
+  (s.Serve.event_checksums, s.Serve.totals.Serve.reloads)
 
 (* The oracle: stop the stream entirely at each reload boundary, publish
    the same change, resume on the next segment. *)
@@ -218,12 +220,13 @@ let run_stop_the_world ~count indices =
   let checksums = Array.make count 0L in
   let run_segment ~from ~until =
     if until > from then begin
-      let r =
-        Dispatch.run_stream ~record_checksums:true engine ~hook:"xdp"
-          ~gen:(fun i -> pure_gen (i + from))
-          ~count:(until - from) ()
+      let s =
+        Serve.run engine
+          (Serve.plan ~record_checksums:true ~hook:"xdp"
+             ~gen:(fun i -> pure_gen (i + from))
+             ~count:(until - from) ())
       in
-      Array.blit r.Dispatch.event_checksums 0 checksums from (until - from)
+      Array.blit s.Serve.event_checksums 0 checksums from (until - from)
     end
   in
   let pos = ref 0 in
@@ -260,14 +263,15 @@ let test_stream_per_epoch_counts () =
   let reload =
     [ (10, fun _e b -> Epoch.set_tail_call b ~index:0 ~prog_id:b2) ]
   in
-  let r =
-    Dispatch.run_stream ~reload engine ~hook:"xdp" ~gen:pure_gen ~count:30 ()
+  let s =
+    Serve.run engine
+      (Serve.plan ~reloads:reload ~gen:pure_gen ~hook:"xdp" ~count:30 ())
   in
-  Alcotest.(check int) "one reload applied" 1 r.Dispatch.reloads;
+  Alcotest.(check int) "one reload applied" 1 s.Serve.totals.Serve.reloads;
   (* setup published five epochs (three loads, the rewire, one more
      load), so the stream starts on epoch 6 and the reload publishes 7 *)
   Alcotest.(check (list (pair int int))) "events split across the swap"
-    [ (6, 10); (7, 20) ] r.Dispatch.per_epoch
+    [ (6, 10); (7, 20) ] s.Serve.totals.Serve.per_epoch
 
 let suite =
   [

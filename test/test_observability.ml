@@ -19,6 +19,7 @@ module World = Framework.World
 module Loader = Framework.Loader
 module Pipeline = Framework.Pipeline
 module Dispatch = Framework.Dispatch
+module Serve = Framework.Serve
 module Attach = Framework.Attach
 module Supervisor = Framework.Supervisor
 module Verdict_cache = Framework.Verdict_cache
@@ -90,9 +91,8 @@ let build_engine ?policy ~with_crasher () =
   engine
 
 let run ~count engine =
-  Dispatch.run_stream engine ~hook:"xdp"
-    ~gen:(Dispatch.synthetic_packets ~seed:7L ~size:32 ())
-    ~count ()
+  (Serve.run engine (Serve.plan ~seed:7L ~size:32 ~hook:"xdp" ~count ()))
+    .Serve.totals
 
 (* ---------------- causal-trace round-trip ---------------- *)
 
@@ -100,7 +100,7 @@ let test_dispatch_trace_roundtrip () =
   with_fresh (fun () ->
       let engine = build_engine ~with_crasher:false () in
       let r = run ~count:30 engine in
-      Alcotest.(check int) "all events served" 30 r.Dispatch.events;
+      Alcotest.(check int) "all events served" 30 r.Serve.events;
       let text = Export.to_chrome_trace (Registry.snapshot ()) in
       match Trace_check.validate text with
       | Error reason -> Alcotest.failf "trace failed validation: %s" reason
@@ -120,8 +120,8 @@ let test_breaker_open_spans_close () =
       in
       let r = run ~count:30 engine in
       Alcotest.(check bool) "breaker-open fast-fails happened" true
-        (r.Dispatch.skipped > 0);
-      Alcotest.(check bool) "crashes happened" true (r.Dispatch.crashed > 0);
+        (r.Serve.skipped > 0);
+      Alcotest.(check bool) "crashes happened" true (r.Serve.crashed > 0);
       let s = Registry.snapshot () in
       Alcotest.(check int) "nothing dropped from the ring" 0 s.Registry.dropped_events;
       let count kind =

@@ -10,6 +10,7 @@ module Pipeline = Framework.Pipeline
 module Invoke = Framework.Invoke
 module Attach = Framework.Attach
 module Dispatch = Framework.Dispatch
+module Serve = Framework.Serve
 module Loader = Framework.Loader
 module Verdict_cache = Framework.Verdict_cache
 module Vconfig = Bpf_verifier.Verifier
@@ -447,26 +448,22 @@ let test_dispatch_order () =
 
 let test_dispatch_deterministic () =
   let run_once () =
-    Dispatch.run_stream (build_engine ()) ~hook:"xdp"
-      ~gen:(Dispatch.synthetic_packets ~seed:42L ~size:48 ())
-      ~count:300 ()
+    (Serve.run (build_engine ())
+       (Serve.plan ~seed:42L ~size:48 ~hook:"xdp" ~count:300 ()))
+      .Serve.totals
   in
-  let s1 = run_once () and s2 = run_once () in
-  Alcotest.(check int) "events" 300 s1.Dispatch.events;
-  Alcotest.(check int) "invocations" 900 s1.Dispatch.invocations;
-  Alcotest.(check int) "all finished" 900 s1.Dispatch.finished;
-  Alcotest.(check int64) "checksums match" s1.Dispatch.ret_checksum
-    s2.Dispatch.ret_checksum;
-  Alcotest.(check bool) "positive rate" true (s1.Dispatch.events_per_sec > 0.)
+  let t1 = run_once () and t2 = run_once () in
+  Alcotest.(check int) "events" 300 t1.Serve.events;
+  Alcotest.(check int) "invocations" 900 t1.Serve.invocations;
+  Alcotest.(check int) "all finished" 900 t1.Serve.finished;
+  Alcotest.(check int64) "checksums match" t1.Serve.ret_checksum
+    t2.Serve.ret_checksum;
+  Alcotest.(check bool) "positive rate" true (t1.Serve.events_per_sec > 0.)
 
 let test_dispatch_telemetry () =
   Telemetry.Registry.reset ();
   let engine = build_engine () in
-  let _ =
-    Dispatch.run_stream engine ~hook:"xdp"
-      ~gen:(Dispatch.synthetic_packets ~size:16 ())
-      ~count:50 ()
-  in
+  let _ = Serve.run engine (Serve.plan ~size:16 ~hook:"xdp" ~count:50 ()) in
   let cval name = Telemetry.Counter.value (Telemetry.Registry.counter name) in
   Alcotest.(check int) "dispatch.events" 50 (cval "dispatch.events");
   Alcotest.(check int) "dispatch.invocations" 150 (cval "dispatch.invocations");

@@ -1,0 +1,272 @@
+(* Serve tests: the sharded determinism oracle (N-domain sharded ≡
+   1-domain sharded ≡ sequential ≡ the deprecated run_stream shim, for
+   stateless filter populations under Isolate), plan validation, queue
+   overflow accounting, cross-domain epoch grace, and the telemetry
+   registry merge the shard barrier relies on. *)
+
+open Untenable
+module World = Framework.World
+module Dispatch = Framework.Dispatch
+module Serve = Framework.Serve
+module Shard = Framework.Shard
+module Attach = Framework.Attach
+module Epoch = Framework.Epoch
+module Pipeline = Framework.Pipeline
+module Chaos = Framework.Chaos
+module Supervisor = Framework.Supervisor
+open Ebpf.Asm
+
+let h = Helpers.Registry.id_of_name
+
+(* A stateless population — per-event outcomes depend only on the payload,
+   the scope the determinism contract is stated for. *)
+let build_engine () =
+  let world = World.create_populated () in
+  let engine = Serve.create world in
+  let filter name items =
+    Ebpf.Program.of_items_exn ~name ~prog_type:Ebpf.Program.Socket_filter items
+  in
+  List.iter
+    (fun p ->
+      match Pipeline.load_ebpf world p with
+      | Ok loaded -> ignore (Attach.attach engine.Serve.attach ~hook:"xdp" loaded)
+      | Error e -> failwith (Format.asprintf "%a" Pipeline.pp_error e))
+    [ filter "len" [ ldxw r0 r1 0; exit_ ];
+      filter "parity" [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ];
+      filter "port"
+        [ stdw r10 (-8) 0; mov_i r1 16; mov_r r2 r10; add_i r2 (-8);
+          mov_i r3 2; call (h "bpf_skb_load_bytes"); ldxb r6 r10 (-8);
+          lsh_i r6 8; ldxb r7 r10 (-7); or_r r6 r7; mov_r r0 r6; exit_ ] ];
+  engine
+
+(* A hot reload: stage a fresh filter on the epoch builder and attach it —
+   segment capture, snapshot retention and the swap publish all engage. *)
+let hot_reload k (e : Serve.engine) b =
+  let name = Printf.sprintf "hot%d" k in
+  let prog =
+    Ebpf.Program.of_items_exn ~name ~prog_type:Ebpf.Program.Socket_filter
+      [ mov_i r0 (300 + k); exit_ ]
+  in
+  match Pipeline.load_ebpf ~into:b e.Serve.world prog with
+  | Ok loaded -> ignore (Attach.attach e.Serve.attach ~hook:"xdp" loaded)
+  | Error err -> failwith (Format.asprintf "%a" Pipeline.pp_error err)
+
+let reload_schedule ~count ~reloads =
+  List.init reloads (fun k -> ((k + 1) * count / (reloads + 1), hot_reload k))
+
+(* ---------------- the determinism oracle ---------------- *)
+
+let determinism_oracle =
+  QCheck.Test.make ~count:12
+    ~name:"sharded run reconstructs the sequential checksum exactly"
+    QCheck.(quad (int_range 1 5) (int_range 1 120) bool (int_range 0 2))
+    (fun (domains, count, with_chaos, reloads) ->
+      let chaos =
+        if with_chaos then
+          Some { Chaos.default_config with Chaos.fault_rate = 0.05 }
+        else None
+      in
+      let partition =
+        if count mod 2 = 0 then Serve.Flow_hash else Serve.Round_robin
+      in
+      let mk () =
+        Serve.plan ?chaos ~domains
+          ~reloads:(reload_schedule ~count ~reloads)
+          ~record_checksums:true ~partition ~size:48 ~hook:"xdp" ~count ()
+      in
+      (* sequential reference on a fresh engine *)
+      let seq =
+        Serve.run (build_engine ())
+          (Serve.plan ?chaos
+             ~reloads:(reload_schedule ~count ~reloads)
+             ~record_checksums:true ~size:48 ~hook:"xdp" ~count ())
+      in
+      (* the same stream forced through the sharded machinery *)
+      let par = Serve.sharded (build_engine ()) (mk ()) in
+      (* and through the deprecated one-domain shim *)
+      let shim =
+        (Dispatch.run_stream [@alert "-deprecated"]) ?chaos
+          ~reload:(reload_schedule ~count ~reloads)
+          ~record_checksums:true (build_engine ()) ~hook:"xdp"
+          ~gen:(Serve.synthetic_packets ~size:48 ())
+          ~count ()
+      in
+      par.Serve.totals.Serve.events = count
+      && par.Serve.totals.Serve.reloads = reloads
+      && Int64.equal par.Serve.totals.Serve.ret_checksum
+           seq.Serve.totals.Serve.ret_checksum
+      && par.Serve.event_checksums = seq.Serve.event_checksums
+      && Int64.equal shim.Dispatch.ret_checksum seq.Serve.totals.Serve.ret_checksum
+      && shim.Dispatch.event_checksums = seq.Serve.event_checksums)
+
+(* ---------------- plan validation ---------------- *)
+
+let test_plan_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "count < 0 rejected" true
+    (raises (fun () -> Serve.plan ~hook:"xdp" ~count:(-1) ()));
+  Alcotest.(check bool) "domains < 1 rejected" true
+    (raises (fun () -> Serve.plan ~domains:0 ~hook:"xdp" ~count:1 ()));
+  Alcotest.(check bool) "queue_capacity < 1 rejected" true
+    (raises (fun () -> Serve.plan ~queue_capacity:0 ~hook:"xdp" ~count:1 ()));
+  Alcotest.(check bool) "seed with gen rejected" true
+    (raises (fun () ->
+         Serve.plan ~seed:1L ~gen:(fun _ -> Bytes.create 8) ~hook:"xdp" ~count:1 ()));
+  let p = Serve.default ~hook:"xdp" ~count:5 in
+  Alcotest.(check int) "default domains" 1 p.Serve.domains;
+  Alcotest.(check int) "default queue" 256 p.Serve.queue_capacity
+
+(* ---------------- bounded queues ---------------- *)
+
+let test_shard_queue_drop_newest () =
+  let q = Shard.create ~capacity:2 Shard.Drop_newest in
+  Alcotest.(check bool) "push 1" true (Shard.push q 1);
+  Alcotest.(check bool) "push 2" true (Shard.push q 2);
+  Alcotest.(check bool) "push 3 dropped" false (Shard.push q 3);
+  Alcotest.(check int) "dropped counted" 1 (Shard.dropped q);
+  Alcotest.(check int) "peak" 2 (Shard.peak q);
+  Shard.close q;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Shard.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Shard.pop q);
+  Alcotest.(check (option int)) "drained" None (Shard.pop q)
+
+(* Sharded Drop_newest: every generated event is either served or counted
+   as dropped, and drops leave the reconstructed checksum untouched for
+   the events that were served. *)
+let test_drop_newest_accounting () =
+  let count = 400 in
+  let r =
+    Serve.sharded (build_engine ())
+      (Serve.plan ~domains:3 ~queue_capacity:1 ~overflow:Shard.Drop_newest
+         ~record_checksums:true ~size:48 ~hook:"xdp" ~count ())
+  in
+  let t = r.Serve.totals in
+  Alcotest.(check int) "served + dropped = generated" count
+    (t.Serve.events + t.Serve.dropped);
+  let shard_drops =
+    List.fold_left (fun a s -> a + s.Serve.s_dropped) 0 r.Serve.per_shard
+  in
+  Alcotest.(check int) "per-shard drops sum to the total" t.Serve.dropped
+    shard_drops;
+  (* a dropped event's slot stays at the fold-identity, so the recorded
+     array still has one entry per generated event *)
+  Alcotest.(check int) "one checksum slot per event" count
+    (Array.length r.Serve.event_checksums)
+
+(* ---------------- cross-domain epoch grace ---------------- *)
+
+let test_multi_domain_grace () =
+  let world = World.create_populated () in
+  let store = world.World.epochs in
+  let snap = Epoch.current store in
+  (* two shard-like domains each retain the snapshot, as segment capture
+     does; the pins must be visible across domains *)
+  let d1 = Domain.spawn (fun () -> ignore (Epoch.retain store snap)) in
+  let d2 = Domain.spawn (fun () -> ignore (Epoch.retain store snap)) in
+  Domain.join d1;
+  Domain.join d2;
+  (* publish epoch 2: the genesis snapshot is superseded but still pinned *)
+  let b = Epoch.begin_ store in
+  ignore
+    (Epoch.add_prog b
+       (Ebpf.Program.of_items_exn ~name:"noop"
+          ~prog_type:Ebpf.Program.Socket_filter [ mov_i r0 0; exit_ ]));
+  ignore (Epoch.publish b);
+  Alcotest.(check int) "grace pending while both shards pin" 1
+    (Epoch.grace_pending store);
+  Epoch.release store snap;
+  Alcotest.(check int) "still pending after one shard unpins" 1
+    (Epoch.grace_pending store);
+  let d3 = Domain.spawn (fun () -> Epoch.release store snap) in
+  Domain.join d3;
+  Alcotest.(check int) "retired once every shard unpins" 0
+    (Epoch.grace_pending store);
+  Alcotest.(check int) "retired count" 1 (Epoch.retired store)
+
+(* ---------------- registry merge ---------------- *)
+
+let test_registry_merge () =
+  let open Telemetry in
+  let a = Registry.create ~label:"shard-a" () in
+  let b = Registry.create ~label:"shard-b" () in
+  Registry.using a (fun () ->
+      Counter.incr ~n:3 (Registry.counter "m.count");
+      Histogram.observe (Registry.histogram "m.ns") 8L;
+      Histogram.observe (Registry.histogram "m.ns") 64L;
+      Counter.incr (Registry.counter "m.only_a"));
+  Registry.using b (fun () ->
+      Counter.incr ~n:4 (Registry.counter "m.count");
+      Histogram.observe (Registry.histogram "m.ns") 8L);
+  Registry.merge a ~into:b;
+  Registry.using b (fun () ->
+      Alcotest.(check int) "counters sum" 7
+        (Counter.value (Registry.counter "m.count"));
+      Alcotest.(check int) "absent counters materialize" 1
+        (Counter.value (Registry.counter "m.only_a"));
+      let hist = Registry.histogram "m.ns" in
+      Alcotest.(check int) "histogram counts sum" 3 (Histogram.count hist);
+      Alcotest.(check int64) "histogram sums add" 80L (Histogram.sum hist);
+      Alcotest.(check int64) "histogram max is max" 64L
+        (Histogram.max_value hist));
+  (* the source registry is left untouched *)
+  Registry.using a (fun () ->
+      Alcotest.(check int) "src counters unchanged" 3
+        (Counter.value (Registry.counter "m.count")))
+
+let test_ring_merge_drops () =
+  let open Telemetry in
+  let src = Ring.create ~capacity:4 in
+  let dst = Ring.create ~capacity:2 in
+  for i = 0 to 2 do
+    Ring.push src ~time_ns:(Int64.of_int i) ~depth:0 ~trace:0 ~kind:Event.Point
+      ~name:"x" ~value:0L
+  done;
+  Ring.push dst ~time_ns:99L ~depth:0 ~trace:0 ~kind:Event.Point ~name:"y"
+    ~value:0L;
+  Ring.merge_into ~src ~dst;
+  (* dst held 1 of 2; one src event fits, two overflow and are counted *)
+  Alcotest.(check int) "dst full" 2 (Ring.length dst);
+  Alcotest.(check int) "overflow counted" 2 (Ring.dropped dst)
+
+(* ---------------- scorecard merge ---------------- *)
+
+let test_merge_healths () =
+  let mk ~digest ~name ~finished ~crashed state =
+    { Supervisor.attach_id = 1; digest; name;
+      state; invocations = finished + crashed; finished; stopped = 0;
+      crashed; exhausted = 0; skipped = 0; trips = 0; quarantined = false;
+      crash_rate = 0.; exhaust_rate = 0.;
+      p50_ns = 10L; p99_ns = 20L;
+      ret_checksum = Int64.of_int (finished + crashed) }
+  in
+  let a = mk ~digest:"d1" ~name:"len" ~finished:5 ~crashed:0 Supervisor.Closed in
+  let b =
+    mk ~digest:"d1" ~name:"len" ~finished:3 ~crashed:2
+      (Supervisor.Open { until_ns = 5L })
+  in
+  match Supervisor.merge_healths [ [ a ]; [ b ] ] with
+  | [ m ] ->
+    Alcotest.(check int) "invocations sum" 10 m.Supervisor.invocations;
+    Alcotest.(check int) "finished sum" 8 m.Supervisor.finished;
+    Alcotest.(check int) "crashed sum" 2 m.Supervisor.crashed;
+    Alcotest.(check bool) "worst state wins" true
+      (match m.Supervisor.state with Supervisor.Open _ -> true | _ -> false);
+    Alcotest.(check int64) "checksums add" 10L m.Supervisor.ret_checksum
+  | l -> Alcotest.failf "expected one merged row, got %d" (List.length l)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest determinism_oracle;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "shard queue Drop_newest" `Quick test_shard_queue_drop_newest;
+    Alcotest.test_case "sharded Drop_newest accounting" `Quick
+      test_drop_newest_accounting;
+    Alcotest.test_case "cross-domain epoch grace" `Quick test_multi_domain_grace;
+    Alcotest.test_case "registry merge" `Quick test_registry_merge;
+    Alcotest.test_case "ring merge drop accounting" `Quick test_ring_merge_drops;
+    Alcotest.test_case "scorecard merge" `Quick test_merge_healths;
+  ]

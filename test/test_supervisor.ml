@@ -8,6 +8,7 @@ module World = Framework.World
 module Loader = Framework.Loader
 module Invoke = Framework.Invoke
 module Dispatch = Framework.Dispatch
+module Serve = Framework.Serve
 module Supervisor = Framework.Supervisor
 module Chaos = Framework.Chaos
 module Attach = Framework.Attach
@@ -194,16 +195,38 @@ let build_engine ?policy ~with_crasher () =
     healthy_filters;
   engine
 
-let run ?chaos ~count engine =
-  Dispatch.run_stream ?chaos engine ~hook:"xdp"
-    ~gen:(Dispatch.synthetic_packets ~seed:7L ~size:32 ())
-    ~count ()
+(* A compact view of a one-domain Serve run: just the fields these tests
+   assert on, so the call sites stay readable. *)
+type run_result = {
+  events : int;
+  invocations : int;
+  crashed : int;
+  faults_absorbed : int;
+  quarantined : int;
+  injected : int;
+  ret_checksum : int64;
+  per_ext : Supervisor.health list;
+}
 
-let health_by name (r : Dispatch.stream_result) =
+let run ?chaos ~count engine =
+  let s =
+    Serve.run engine (Serve.plan ?chaos ~seed:7L ~size:32 ~hook:"xdp" ~count ())
+  in
+  let t = s.Serve.totals in
+  { events = t.Serve.events;
+    invocations = t.Serve.invocations;
+    crashed = t.Serve.crashed;
+    faults_absorbed = t.Serve.faults_absorbed;
+    quarantined = t.Serve.quarantined;
+    injected = t.Serve.injected;
+    ret_checksum = t.Serve.ret_checksum;
+    per_ext = s.Serve.per_ext }
+
+let health_by name (r : run_result) =
   match
     List.find_opt
       (fun (h : Supervisor.health) -> String.equal h.Supervisor.name name)
-      r.Dispatch.per_ext
+      r.per_ext
   with
   | Some h -> h
   | None -> Alcotest.failf "no per-ext health for %s" name
@@ -211,11 +234,11 @@ let health_by name (r : Dispatch.stream_result) =
 let test_isolate_contains () =
   let engine = build_engine ~with_crasher:true () in
   let r = run ~count:25 engine in
-  Alcotest.(check int) "all events served" 25 r.Dispatch.events;
-  Alcotest.(check int) "every invocation ran" 75 r.Dispatch.invocations;
-  Alcotest.(check int) "crasher crashed every time" 25 r.Dispatch.crashed;
-  Alcotest.(check int) "every fault absorbed" 25 r.Dispatch.faults_absorbed;
-  Alcotest.(check int) "no quarantine under Isolate" 0 r.Dispatch.quarantined;
+  Alcotest.(check int) "all events served" 25 r.events;
+  Alcotest.(check int) "every invocation ran" 75 r.invocations;
+  Alcotest.(check int) "crasher crashed every time" 25 r.crashed;
+  Alcotest.(check int) "every fault absorbed" 25 r.faults_absorbed;
+  Alcotest.(check int) "no quarantine under Isolate" 0 r.quarantined;
   Alcotest.(check int) "crasher tally" 25 (health_by "crasher" r).Supervisor.crashed;
   Alcotest.(check int) "healthy tally" 25 (health_by "len" r).Supervisor.finished;
   Alcotest.(check bool) "kernel alive at end" false
@@ -233,8 +256,8 @@ let test_supervise_quarantines () =
   let count = 60 in
   let r = run ~count engine in
   let baseline = run ~count (build_engine ~with_crasher:false ()) in
-  Alcotest.(check int) "all events served" count r.Dispatch.events;
-  Alcotest.(check int) "offender quarantined" 1 r.Dispatch.quarantined;
+  Alcotest.(check int) "all events served" count r.events;
+  Alcotest.(check int) "offender quarantined" 1 r.quarantined;
   let c = health_by "crasher" r in
   Alcotest.(check bool) "crasher marked quarantined" true c.Supervisor.quarantined;
   Alcotest.(check int) "trip budget spent" config.Supervisor.quarantine_after
@@ -262,9 +285,9 @@ let test_supervise_quarantines () =
 let test_fail_fast_aborts () =
   let engine = build_engine ~policy:Dispatch.Fail_fast ~with_crasher:true () in
   let r = run ~count:10 engine in
-  Alcotest.(check int) "stream aborted on first crash" 1 r.Dispatch.events;
-  Alcotest.(check int) "one crash" 1 r.Dispatch.crashed;
-  Alcotest.(check int) "nothing absorbed" 0 r.Dispatch.faults_absorbed;
+  Alcotest.(check int) "stream aborted on first crash" 1 r.events;
+  Alcotest.(check int) "one crash" 1 r.crashed;
+  Alcotest.(check int) "nothing absorbed" 0 r.faults_absorbed;
   Alcotest.(check bool) "kernel stays dead" true
     (Kernel.is_dead engine.Dispatch.world.World.kernel)
 
@@ -272,11 +295,11 @@ let test_chaos_dispatch_deterministic () =
   let chaos = { Chaos.default_config with Chaos.fault_rate = 0.2 } in
   let go () = run ~chaos ~count:120 (build_engine ~with_crasher:false ()) in
   let r1 = go () and r2 = go () in
-  Alcotest.(check int) "same injections" r1.Dispatch.injected r2.Dispatch.injected;
-  Alcotest.(check bool) "chaos actually landed" true (r1.Dispatch.injected > 0);
-  Alcotest.(check int64) "identical checksums" r1.Dispatch.ret_checksum
-    r2.Dispatch.ret_checksum;
-  Alcotest.(check int) "all events served" 120 r1.Dispatch.events
+  Alcotest.(check int) "same injections" r1.injected r2.injected;
+  Alcotest.(check bool) "chaos actually landed" true (r1.injected > 0);
+  Alcotest.(check int64) "identical checksums" r1.ret_checksum
+    r2.ret_checksum;
+  Alcotest.(check int) "all events served" 120 r1.events
 
 (* Property: under Isolate, an always-crashing extension is invisible to the
    healthy population — their per-extension checksums match a crasher-free
@@ -287,7 +310,7 @@ let isolate_equivalence_property =
     (fun (count, _salt) ->
       let with_c = run ~count (build_engine ~with_crasher:true ()) in
       let without = run ~count (build_engine ~with_crasher:false ()) in
-      with_c.Dispatch.events = count
+      with_c.events = count
       && List.for_all
            (fun (name, _) ->
              Int64.equal

@@ -18,6 +18,7 @@ let () =
       ("epoch", Test_epoch.suite);
       ("analysis", Test_analysis.suite);
       ("supervisor", Test_supervisor.suite);
+      ("serve", Test_serve.suite);
       ("observability", Test_observability.suite);
       ("data", Test_data.suite);
       ("integration", Test_integration.suite);
