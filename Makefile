@@ -4,7 +4,7 @@
 # the real numbers).
 
 .PHONY: all build test check bench bench-telemetry bench-profile lint-smoke \
-        trace-smoke profile-smoke parallel-smoke clean
+        bound-smoke trace-smoke profile-smoke parallel-smoke clean
 
 all: build
 
@@ -24,6 +24,7 @@ check:
 	dune exec bench/main.exe -- reload-smoke
 	$(MAKE) parallel-smoke
 	$(MAKE) lint-smoke
+	$(MAKE) bound-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke
 
@@ -44,6 +45,23 @@ lint-smoke:
 	grep -q 'leaky: .*OK' /tmp/lint_demo.out
 	grep -q 'clean: .*OK' /tmp/lint_demo.out
 	@echo "lint-smoke: OK"
+
+# Cost & termination analysis: the known-bounded corpus programs get
+# finite bounds that dominate their observed retired counts, the §2.2
+# hang shapes stay unbounded, and a reduced-iteration run of the
+# fuel-batching bench asserts batching changes no outcome or retired
+# count (throughput deltas in the smoke run are informational; the >=5%
+# acceptance number comes from `dune exec bench/main.exe -- bound`).
+bound-smoke:
+	dune build @all
+	dune exec bin/untenable_cli.exe -- bound > /tmp/bound.out
+	grep -Eq '^straight-line +0 +- +4 +4' /tmp/bound.out
+	grep -Eq '^alu-loop +1 +65 +328 ' /tmp/bound.out
+	grep -Eq '^nested-counted +2 +9,17 +489 ' /tmp/bound.out
+	grep -Eq '^data-loop +1 +\? +unbounded ' /tmp/bound.out
+	grep -Eq '^bpf-loop-hang +0 +- +unbounded ' /tmp/bound.out
+	dune exec bench/main.exe -- bound-smoke
+	@echo "bound-smoke: OK"
 
 # Causal-trace round trip: a seeded dispatch run exports a Chrome
 # trace-event file, the exporter self-validates it (balanced B/E per lane,

@@ -1146,6 +1146,99 @@ let elision_exp ?(smoke = false) () =
     (if ion >= ioff *. 0.98 then "MET" else "MISSED")
 
 (* ------------------------------------------------------------------ *)
+(* BOUND: static cost bounds and fuel-check batching                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The bound pass's hot-path payoff, measured: a loop-heavy program the
+   pass proves Bounded serves under a fuel guard with the per-insn fuel
+   check hoisted to straight-line-window entry.  Fuel is still charged
+   per retired instruction, so outcomes and retired counts must be
+   bit-identical with batching on or off — asserted below before the
+   throughput legs. *)
+let bound_exp ?(smoke = false) () =
+  let module Pipeline = Framework.Pipeline in
+  let module Invoke = Framework.Invoke in
+  print_string
+    (Report.section "BOUND: static cost bounds and fuel-check batching");
+  let open Ebpf.Asm in
+  let body =
+    List.concat
+      (List.init 8 (fun _ -> [ add_i r0 7; xor_i r0 3; add_i r0 1 ]))
+  in
+  let prog =
+    Ebpf.Program.of_items_exn ~name:"alu-loop-heavy"
+      ~prog_type:Ebpf.Program.Socket_filter
+      ([ mov_i r0 0; mov_i r6 32; label "loop" ]
+      @ body
+      @ [ sub_i r6 1; jne_i r6 0 "loop"; exit_ ])
+  in
+  let world = World.create_populated () in
+  let loaded =
+    match Pipeline.load_ebpf world prog with
+    | Ok l -> l
+    | Error e -> failwith (Format.asprintf "%a" Pipeline.pp_error e)
+  in
+  (match loaded with
+  | Pipeline.Ebpf_prog { analysis = Some a; _ } -> (
+    match a.Analysis.Driver.cost with
+    | Some c ->
+      Format.printf "  %s: %d insns, static bound %a@." prog.Ebpf.Program.name
+        (Ebpf.Program.length prog) Analysis.Bound_pass.pp_bound
+        c.Analysis.Bound_pass.bound
+    | None -> failwith "bound pass did not run")
+  | _ -> failwith "analysis stage did not run");
+  let ictx = Invoke.create world in
+  let payload = Bytes.make 64 '\x2a' in
+  let opts_of ~use_jit ~use_bound_batching =
+    { Invoke.default_opts with
+      skb_payload = Some payload; fuel = Some 100_000L; use_jit;
+      use_bound_batching }
+  in
+  (* identity: batching must not change the outcome or the retired count *)
+  List.iter
+    (fun use_jit ->
+      let once b =
+        let r =
+          Invoke.run ~opts:(opts_of ~use_jit ~use_bound_batching:b) ~ictx
+            world loaded
+        in
+        (r.Invoke.outcome, r.Invoke.insns_retired)
+      in
+      if once true <> once false then
+        failwith "fuel-check batching changed an outcome or retired count")
+    [ false; true ];
+  let count = if smoke then 2_000 else 50_000 in
+  let reps = if smoke then 3 else 2 in
+  let rate ~use_jit ~use_bound_batching =
+    let opts = opts_of ~use_jit ~use_bound_batching in
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to count do
+        ignore (Invoke.run ~opts ~ictx world loaded)
+      done;
+      float_of_int count /. (Unix.gettimeofday () -. t0)
+    in
+    ignore (once ()) (* warm up *);
+    List.fold_left (fun acc _ -> Float.max acc (once ())) (once ())
+      (List.init (reps - 1) Fun.id)
+  in
+  let line engine ~use_jit =
+    let off = rate ~use_jit ~use_bound_batching:false in
+    let on = rate ~use_jit ~use_bound_batching:true in
+    Printf.printf
+      "  %-6s %d invocations: fuel checked per-insn %9.0f/s, batched \
+       %9.0f/s  (%+.1f%%)\n"
+      engine count off on
+      ((on -. off) /. off *. 100.);
+    (off, on)
+  in
+  let ioff, ion = line "interp" ~use_jit:false in
+  ignore (line "jit" ~use_jit:true);
+  Printf.printf
+    "  acceptance: interp hot path with batching >= 5%% faster — %s\n"
+    (if ion >= ioff *. 1.05 then "MET" else "MISSED")
+
+(* ------------------------------------------------------------------ *)
 (* RELOAD: epoch swaps under live dispatch                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1511,6 +1604,7 @@ let experiments =
     ("profile", fun () -> profile_exp ());
     ("throughput", fun () -> throughput ()); ("chaos", fun () -> chaos_exp ());
     ("elision", fun () -> elision_exp ());
+    ("bound", fun () -> bound_exp ());
     ("reload", fun () -> ignore (reload_exp ()));
     ("parallel", fun () -> parallel_exp ()) ]
 
@@ -1577,6 +1671,7 @@ let extra_experiments =
     ("throughput-smoke", fun () -> throughput ~smoke:true ());
     ("chaos-smoke", fun () -> chaos_exp ~smoke:true ());
     ("elision-smoke", fun () -> elision_exp ~smoke:true ());
+    ("bound-smoke", fun () -> bound_exp ~smoke:true ());
     ("reload-smoke", reload_smoke);
     ("parallel-smoke", parallel_smoke);
     ("parallel-quick", fun () -> parallel_exp ~smoke:true ());

@@ -170,8 +170,13 @@ let path_count ?(cap = 1_000_000_000) t =
               let c =
                 if succs = [] then 1
                 else
+                  (* saturating: every memo value is <= cap, but a plain
+                     [acc + v] can wrap negative once cap approaches
+                     [max_int] (a 128-diamond chain has 2^128 paths) *)
                   List.fold_left
-                    (fun acc s -> min cap (acc + Hashtbl.find memo s))
+                    (fun acc s ->
+                      let v = Hashtbl.find memo s in
+                      if acc >= cap - v then cap else acc + v)
                     0 succs
               in
               Hashtbl.replace memo pc c;

@@ -49,4 +49,6 @@ val path_count : ?cap:int -> t -> int
     capped (the quantity that explodes in path-sensitive verification);
     returns the cap when the reachable subgraph is cyclic, 0 for an empty
     program, and treats a block that falls off the end of the program as a
-    path terminator (it cannot undercount a trailing non-[exit] insn). *)
+    path terminator (it cannot undercount a trailing non-[exit] insn).
+    Counts saturate at the cap — a diamond chain with 2^128 paths reports
+    the cap rather than wrapping negative, for any cap up to [max_int]. *)

@@ -2,11 +2,11 @@
    over Serve.
 
    The engine, policy and reload types ARE Serve's (re-exported with
-   equations, so values flow freely between the two modules), and
-   [run_stream] is a deprecated shim that assembles a one-domain
-   Serve.plan and re-shapes Serve.stats into the old [stream_result].
-   New code should build a [Serve.plan] and call [Serve.run]; this module
-   keeps one PR's worth of compatibility for out-of-tree callers. *)
+   equations, so values flow freely between the two modules).  Streams
+   are Serve's business — build a [Serve.plan] and call [Serve.run]; the
+   deprecated [run_stream] shim has been removed.  What remains here is
+   the one-event fan-out ([dispatch_event]), the raw building block under
+   both. *)
 
 type policy = Serve.policy =
   | Fail_fast
@@ -25,43 +25,6 @@ type engine = Serve.engine = {
 let create = Serve.create
 
 type reload_plan = Serve.reload
-
-type stream_result = {
-  events : int;
-  invocations : int;
-  finished : int;
-  stopped : int;
-  crashed : int;
-  exhausted : int;
-  skipped : int;          (* invocations suppressed by an open breaker *)
-  faults_absorbed : int;  (* crashes + exhaustions contained (not Fail_fast) *)
-  quarantined : int;      (* extensions detached during this stream *)
-  injected : int;         (* chaos injections that landed on an event *)
-  ret_checksum : int64;   (* order-sensitive fold of all outcomes *)
-  host_ns : int64;        (* wall time for the whole stream *)
-  events_per_sec : float;
-  per_ext : Supervisor.health list;  (* per-extension health, attach order *)
-  reloads : int;          (* reload plans applied (epoch swaps published) *)
-  per_epoch : (int * int) list;  (* epoch -> events served under it *)
-  event_checksums : int64 array;
-      (* per-event outcome folds ([record_checksums] only, else empty) *)
-}
-
-let all_healthy r =
-  r.crashed = 0 && r.exhausted = 0 && r.stopped = 0 && r.skipped = 0
-  && r.quarantined = 0
-
-let pp_stream_result ppf r =
-  Format.fprintf ppf
-    "events=%d invocations=%d finished=%d stopped=%d crashed=%d exhausted=%d \
-     skipped=%d absorbed=%d quarantined=%d injected=%d reloads=%d \
-     checksum=%016Lx rate=%.0f ev/s"
-    r.events r.invocations r.finished r.stopped r.crashed r.exhausted r.skipped
-    r.faults_absorbed r.quarantined r.injected r.reloads r.ret_checksum
-    r.events_per_sec
-
-let pp_per_ext ppf r =
-  List.iter (fun h -> Format.fprintf ppf "%a@." Supervisor.pp_health h) r.per_ext
 
 let synthetic_packets = Serve.synthetic_packets
 
@@ -98,32 +61,3 @@ let dispatch_event e ~hook payload =
   in
   Telemetry.Registry.observe tele_event_ns (Int64.sub (host_ns ()) started);
   reports
-
-(* ---- deprecated stream shim ---- *)
-
-let run_stream ?chaos ?(reload = []) ?(record_checksums = false) e ~hook ~gen
-    ~count () =
-  let p =
-    Serve.plan ?chaos ~gen ~reloads:reload ~record_checksums ~hook ~count ()
-  in
-  let s = Serve.run e p in
-  let t = s.Serve.totals in
-  {
-    events = t.Serve.events;
-    invocations = t.Serve.invocations;
-    finished = t.Serve.finished;
-    stopped = t.Serve.stopped;
-    crashed = t.Serve.crashed;
-    exhausted = t.Serve.exhausted;
-    skipped = t.Serve.skipped;
-    faults_absorbed = t.Serve.faults_absorbed;
-    quarantined = t.Serve.quarantined;
-    injected = t.Serve.injected;
-    ret_checksum = t.Serve.ret_checksum;
-    host_ns = t.Serve.host_ns;
-    events_per_sec = t.Serve.events_per_sec;
-    per_ext = s.Serve.per_ext;
-    reloads = t.Serve.reloads;
-    per_epoch = t.Serve.per_epoch;
-    event_checksums = s.Serve.event_checksums;
-  }

@@ -3,8 +3,10 @@
 
     The engine, policy and reload types are {!Serve}'s, re-exported with
     type equations so values flow freely between the two modules.
-    {!run_stream} survives one more release as a deprecated shim; new
-    code builds a {!Serve.plan} and calls {!Serve.run}. *)
+    Streams are {!Serve}'s business — build a {!Serve.plan} and call
+    {!Serve.run}; the deprecated [run_stream] shim has been removed.
+    What remains here is the one-event fan-out ({!dispatch_event}), the
+    raw building block under both. *)
 
 type policy = Serve.policy =
   | Fail_fast
@@ -33,55 +35,9 @@ val create : ?opts:Invoke.run_opts -> ?policy:policy -> World.t -> engine
 type reload_plan = Serve.reload
 (** A scheduled hot reload — see {!Serve.reload}. *)
 
-type stream_result = {
-  events : int;
-  invocations : int;
-  finished : int;
-  stopped : int;
-  crashed : int;
-  exhausted : int;
-  skipped : int;      (** invocations suppressed by an open breaker *)
-  faults_absorbed : int;
-      (** crashes + exhaustions contained (always 0 under [Fail_fast]) *)
-  quarantined : int;  (** extensions detached during this stream *)
-  injected : int;     (** chaos injections that landed on an event *)
-  ret_checksum : int64;  (** order-sensitive fold of all outcomes *)
-  host_ns : int64;       (** wall time for the whole stream *)
-  events_per_sec : float;
-  per_ext : Supervisor.health list;
-      (** per-extension health, attach order, quarantined included *)
-  reloads : int;  (** reload plans applied (epoch swaps published) *)
-  per_epoch : (int * int) list;
-      (** events served under each epoch, ascending epoch order *)
-  event_checksums : int64 array;
-      (** per-event outcome folds; empty unless [record_checksums] *)
-}
-
-val all_healthy : stream_result -> bool
-(** No faults, no skips, no quarantines: every invocation finished. *)
-
-val pp_stream_result : Format.formatter -> stream_result -> unit
-
-val pp_per_ext : Format.formatter -> stream_result -> unit
-(** One {!Supervisor.pp_health} line per extension. *)
-
 val synthetic_packets : ?seed:int64 -> size:int -> unit -> int -> Bytes.t
 (** Alias of {!Serve.synthetic_packets}. *)
 
 val dispatch_event : engine -> hook:string -> Bytes.t -> Invoke.run_report list
 (** One event through every extension on [hook], in attach order, with no
     supervision — the raw fan-out. *)
-
-val run_stream :
-  ?chaos:Chaos.config ->
-  ?reload:(int * reload_plan) list ->
-  ?record_checksums:bool ->
-  engine -> hook:string -> gen:(int -> Bytes.t) -> count:int -> unit ->
-  stream_result
-  [@@ocaml.deprecated
-    "Build a Serve.plan and call Serve.run instead; this shim assembles a \
-     one-domain plan and re-shapes the stats."]
-(** Deprecated one-domain shim over {!Serve.run}: identical behaviour to
-    the historical loop (supervision state accumulates across calls on
-    one engine; [?reload] boundaries, chaos and checksum recording all
-    preserved). *)

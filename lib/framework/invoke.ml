@@ -30,12 +30,16 @@ type run_opts = {
   use_jit : bool;
   jit_branch_bug : bool;         (* inject the JIT branch-offset bug *)
   use_elision : bool;            (* honour the elide pass's guard elisions *)
+  use_bound_batching : bool;     (* honour the bound pass's fuel-check
+                                    windows on proven-bounded programs *)
+  bound_watchdog : bool;         (* derive a wall-clock deadline from the
+                                    static bound when none was given *)
 }
 
 let default_opts =
   { skb_payload = None; fuel = None; wall_ns = None; max_depth = None;
     ns_per_insn = 1L; use_jit = false; jit_branch_bug = false;
-    use_elision = true }
+    use_elision = true; use_bound_batching = true; bound_watchdog = false }
 
 (* ---- reusable invocation context ---- *)
 
@@ -85,6 +89,15 @@ let reuse_skb ictx payload =
 let tele_runs = Telemetry.Registry.counter "loader.runs"
 let tele_run_ns = Telemetry.Registry.histogram "loader.run.ns"
 
+(* Bound-vs-observed cross-check: every non-tail-calling invocation of a
+   statically bounded program records its retired-instruction count, and
+   any run that retires more than the static bound bumps the violation
+   counter — which must stay 0 (the pass's soundness contract). *)
+let tele_bound_observed =
+  Telemetry.Registry.histogram "analysis.bound.observed_insns"
+let tele_bound_violations =
+  Telemetry.Registry.counter "analysis.bound.violations"
+
 (* ---- running ---- *)
 
 (* The closed outcome algebra of an invocation.  A guard trip carries *which
@@ -126,6 +139,9 @@ type run_report = {
   health : Kernel.health;
   trace : string list;
   resources_outstanding : int;  (* leaked-by-exit acquired resources *)
+  insns_retired : int64;
+      (* instructions retired by completed activations (an activation cut
+         short by a tail call is not counted; Rustlite reports 0) *)
 }
 
 (* Fill the context struct for an eBPF program type (the region is fresh or
@@ -180,9 +196,11 @@ let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
   Kernel.snapshot_refs w.World.kernel;
   Telemetry.Registry.bump tele_runs;
   let { fuel; wall_ns; max_depth; ns_per_insn; use_jit; jit_branch_bug;
-        use_elision; _ } =
+        use_elision; use_bound_batching; bound_watchdog; _ } =
     opts
   in
+  let retired = ref 0L in
+  let tail_called = ref false in
   let outcome =
     Telemetry.Registry.with_span "loader.run" ~hist:tele_run_ns
       ~clock:(fun () -> Kernel_sim.Vclock.now w.World.kernel.Kernel.clock)
@@ -201,6 +219,36 @@ let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
                  = Array.length prog.Program.insns ->
             a.Analysis.Driver.elide
           | _ -> [||]
+      in
+      (* the bound pass's verdict and fuel-check window vector, honoured
+         under the same provenance rule as elision: first program in the
+         chain only (tail-call targets carry their own analysis) *)
+      let static_bound =
+        match analysis with
+        | Some { Analysis.Driver.cost = Some c; _ } -> (
+          match c.Analysis.Bound_pass.bound with
+          | Analysis.Bound_pass.Bounded b
+            when Array.length c.Analysis.Bound_pass.spans
+                 = Array.length prog.Program.insns ->
+            Some (b, c.Analysis.Bound_pass.spans)
+          | _ -> None)
+        | _ -> None
+      in
+      let spans0 =
+        match static_bound with
+        | Some (_, spans) when use_bound_batching -> spans
+        | _ -> [||]
+      in
+      let wall_ns =
+        match (wall_ns, static_bound) with
+        | None, Some (b, _) when bound_watchdog ->
+          (* advisory deadline hint: well past anything a bounded program
+             can spend, so it only fires if the static bound lied *)
+          Some
+            (Int64.add
+               (Int64.mul (Int64.mul (Int64.of_int b) ns_per_insn) 8L)
+               4096L)
+        | w, _ -> w
       in
       let desc = Program.ctx_of_prog_type prog.Program.prog_type in
       let region =
@@ -238,17 +286,28 @@ let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
               ignore (Runtime.Guard.terminate hctx reason))
           timers
       in
-      let rec go prog elide remaining_tail_calls =
+      let rec go prog elide spans remaining_tail_calls =
         match
-          if use_jit then
+          if use_jit then begin
             let compiled =
               Runtime.Jit.compile ~bug_branch_off_by_one:jit_branch_bug ~elide
                 hctx prog
             in
-            Runtime.Jit.run ?fuel ~ns_per_insn hctx compiled ~ctx_addr:ctx.Kmem.base
-          else
-            Runtime.Interp.run ?fuel ?wall_ns ?max_depth ~ns_per_insn ~elide ~hctx
-              ~prog ~ctx_addr:ctx.Kmem.base ()
+            let r, n =
+              Runtime.Jit.run_counted ?fuel ~ns_per_insn ~spans hctx compiled
+                ~ctx_addr:ctx.Kmem.base
+            in
+            retired := Int64.add !retired n;
+            r
+          end
+          else begin
+            let r, n =
+              Runtime.Interp.run_counted ?fuel ?wall_ns ?max_depth ~ns_per_insn
+                ~elide ~spans ~hctx ~prog ~ctx_addr:ctx.Kmem.base ()
+            in
+            retired := Int64.add !retired n;
+            r
+          end
         with
         | r ->
           (* softirq: deliver any timers the program armed *)
@@ -262,6 +321,7 @@ let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
         | exception Hctx.Tail_call prog_id -> (
           (* the old program's invocation ends here; leave its RCU section
              before entering the next program in the chain *)
+          tail_called := true;
           Kernel_sim.Rcu.read_unlock w.World.kernel.Kernel.rcu ~context:"tail_call";
           if remaining_tail_calls = 0 then Finished 0L
           else
@@ -270,9 +330,16 @@ let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
                observable half-way through a chain *)
             match Epoch.find_prog snap prog_id with
             | None -> Finished (-22L)
-            | Some next -> go next [||] (remaining_tail_calls - 1))
+            | Some next -> go next [||] [||] (remaining_tail_calls - 1))
       in
-      go prog elide0 max_tail_calls)
+      let r = go prog elide0 spans0 max_tail_calls in
+      (match static_bound with
+      | Some (b, _) when not !tail_called ->
+        Telemetry.Registry.observe tele_bound_observed !retired;
+        if Int64.compare !retired (Int64.of_int b) > 0 then
+          Telemetry.Registry.bump tele_bound_violations
+      | _ -> ());
+      r)
     | Pipeline.Rustlite_ext { ext; map_ids } -> (
       let kctx = { Rustlite.Kcrate.hctx; map_ids } in
       match
@@ -289,4 +356,5 @@ let run ?(opts = default_opts) ?ictx ?snap (w : World.t)
     health = Kernel.health w.World.kernel;
     trace = Hctx.trace_output hctx;
     resources_outstanding = Helpers.Resources.outstanding hctx.Hctx.resources;
+    insns_retired = !retired;
   }

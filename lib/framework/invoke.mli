@@ -18,10 +18,24 @@ type run_opts = {
       (** honour the elide pass's guard elisions carried on the loaded
           handle (no-op when the analysis did not run); off = always
           evaluate every guard dynamically *)
+  use_bound_batching : bool;
+      (** honour the bound pass's fuel-check windows on proven-bounded
+          programs: one up-front fuel charge per straight-line window
+          instead of a check per instruction.  Outcome- and
+          trip-point-identical to per-instruction checking (a window opens
+          only when the tank covers it whole); off = check every
+          instruction *)
+  bound_watchdog : bool;
+      (** when no [wall_ns] was given and the program has a static bound,
+          derive an advisory wall-clock deadline from it (well past what a
+          bounded program can spend — it only fires if the bound lied).
+          Off by default: a derived deadline changes outcomes for programs
+          that sleep in helpers, so it is strictly opt-in *)
 }
 
 val default_opts : run_opts
-(** No packet, no guards, 1ns/insn, interpreter, elision honoured. *)
+(** No packet, no guards, 1ns/insn, interpreter, elision and fuel-check
+    batching honoured, no derived watchdog. *)
 
 type t
 (** A reusable invocation context bound to one world. *)
@@ -53,6 +67,12 @@ type run_report = {
   health : Kernel_sim.Kernel.health;
   trace : string list;                  (** bpf_trace_printk / kcrate trace *)
   resources_outstanding : int;          (** acquired resources left at exit *)
+  insns_retired : int64;
+      (** instructions retired by completed activations: the quantity the
+          bound pass's [Bounded n] promises never exceeds [n].  An
+          activation cut short by a tail call is not counted (the
+          bound-vs-observed cross-check skips tail-calling runs); Rustlite
+          extensions report 0 *)
 }
 
 val max_tail_calls : int

@@ -35,6 +35,15 @@ let of_pipeline_error : Pipeline.error -> load_error = function
     Rejected
       { Bpf_verifier.Verifier.at_pc = 0;
         reason = Printf.sprintf "too many instructions (%d > %d)" count max }
+  | Pipeline.Cost_budget_exceeded { bound; max } ->
+    Rejected
+      { Bpf_verifier.Verifier.at_pc = 0;
+        reason =
+          Printf.sprintf "worst-case cost %d exceeds budget %d" bound max }
+  | Pipeline.Unbounded_cost ->
+    Rejected
+      { Bpf_verifier.Verifier.at_pc = 0;
+        reason = "no static instruction bound (unbounded policy: deny)" }
   | Pipeline.Unknown_helper name -> Fixup_failed name
   | Pipeline.Verifier_rejected r -> Rejected r
   | Pipeline.Verifier_crashed msg -> Verifier_crashed msg
@@ -66,6 +75,7 @@ type run_report = Invoke.run_report = {
   health : Kernel_sim.Kernel.health;
   trace : string list;
   resources_outstanding : int;
+  insns_retired : int64;
 }
 
 let max_tail_calls = Invoke.max_tail_calls

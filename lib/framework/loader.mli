@@ -60,6 +60,7 @@ type run_report = Invoke.run_report = {
   health : Kernel_sim.Kernel.health;
   trace : string list;                  (** bpf_trace_printk / kcrate trace *)
   resources_outstanding : int;          (** acquired resources left at exit *)
+  insns_retired : int64;                (** see {!Invoke.run_report} *)
 }
 
 val max_tail_calls : int

@@ -41,6 +41,9 @@ let stage_name = function
 
 type error =
   | Too_many_insns of { count : int; max : int }  (* admission: size cap *)
+  | Cost_budget_exceeded of { bound : int; max : int }
+      (* admission: static worst-case bound over the aconfig budget *)
+  | Unbounded_cost                                (* admission: no static bound, policy Deny *)
   | Unknown_helper of string                      (* fixup: unresolved relocation *)
   | Verifier_rejected of Verifier.reject          (* gate, path A *)
   | Verifier_crashed of string                    (* gate, path A: verifier bug fired *)
@@ -48,7 +51,7 @@ type error =
   | Duplicate_map of string                       (* link, path B: ambiguous map name *)
 
 let stage_of_error = function
-  | Too_many_insns _ -> Admission
+  | Too_many_insns _ | Cost_budget_exceeded _ | Unbounded_cost -> Admission
   | Unknown_helper _ -> Fixup
   | Verifier_rejected _ | Verifier_crashed _ | Bad_signature -> Gate
   | Duplicate_map _ -> Link
@@ -56,6 +59,12 @@ let stage_of_error = function
 let pp_error ppf = function
   | Too_many_insns { count; max } ->
     Format.fprintf ppf "[admission] too many instructions (%d > %d)" count max
+  | Cost_budget_exceeded { bound; max } ->
+    Format.fprintf ppf
+      "[admission] worst-case cost %d exceeds the max_cost budget %d" bound max
+  | Unbounded_cost ->
+    Format.fprintf ppf
+      "[admission] no static instruction bound and the unbounded policy is deny"
   | Unknown_helper name -> Format.fprintf ppf "[fixup] unknown helper %s" name
   | Verifier_rejected r -> Format.fprintf ppf "[gate] verifier rejected: %a" Verifier.pp_reject r
   | Verifier_crashed msg -> Format.fprintf ppf "[gate] KERNEL BUG in verifier: %s" msg
@@ -77,6 +86,7 @@ let tele_gate_ns = Telemetry.Registry.histogram "pipeline.gate_ns"
 let tele_analysis_hits = Telemetry.Registry.counter "pipeline.analysis_cache_hits"
 let tele_analysis_misses = Telemetry.Registry.counter "pipeline.analysis_cache_misses"
 let tele_analysis_ns = Telemetry.Registry.histogram "pipeline.analysis_ns"
+let tele_budget_rejects = Telemetry.Registry.counter "pipeline.cost_budget_rejects"
 
 (* Loading happens before the simulated clock moves; host CPU time is the
    meaningful measure (it is dominated by verification on path A and by
@@ -254,6 +264,27 @@ let load_ebpf ?use_cache ?into (w : World.t) (prog : Program.t) :
             let* prog = stage_span Fixup (fun () -> fixup prog) in
             let analysis =
               stage_span Analyze (fun () -> analyze_ebpf ?use_cache ~aconfig w prog)
+            in
+            (* cost-budget admission rides the analyze result: a static
+               bound over the epoch's max_cost budget (or an Unbounded
+               verdict under the Deny policy) rejects before the gate *)
+            let* () =
+              match analysis with
+              | Some { Analysis.Driver.cost = Some c; _ } -> (
+                match
+                  ( c.Analysis.Bound_pass.bound,
+                    aconfig.Analysis.Driver.max_cost,
+                    aconfig.Analysis.Driver.on_unbounded )
+                with
+                | Analysis.Bound_pass.Bounded bound, Some max, _
+                  when bound > max ->
+                  Telemetry.Registry.bump tele_budget_rejects;
+                  Error (Cost_budget_exceeded { bound; max })
+                | Analysis.Bound_pass.Unbounded, _, Analysis.Driver.Deny ->
+                  Telemetry.Registry.bump tele_budget_rejects;
+                  Error Unbounded_cost
+                | _ -> Ok ())
+              | _ -> Ok ()
             in
             let* vstats =
               stage_span Gate (fun () ->

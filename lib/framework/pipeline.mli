@@ -24,6 +24,10 @@ val stage_name : stage -> string
 type error =
   | Too_many_insns of { count : int; max : int }
       (** admission: program exceeds the instruction cap *)
+  | Cost_budget_exceeded of { bound : int; max : int }
+      (** admission: static worst-case cost over the [max_cost] budget *)
+  | Unbounded_cost
+      (** admission: no static bound and the unbounded policy is [Deny] *)
   | Unknown_helper of string  (** fixup: unresolved helper relocation *)
   | Verifier_rejected of Bpf_verifier.Verifier.reject  (** gate, path A *)
   | Verifier_crashed of string  (** gate, path A: a verifier bug fired *)

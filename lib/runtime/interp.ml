@@ -32,7 +32,10 @@ type t = {
   ns_per_insn : int64;
   max_depth : int;                 (* deepest allowed call depth *)
   rcu_check_interval : int;
+  mutable rcu_left : int;          (* insns until the next stall/watchdog check *)
   mutable insns_retired : int64;
+  spans : int array;               (* per-pc fuel-check window length from the
+                                      bound pass; [||] = check every insn *)
   tele_on : bool;                  (* telemetry state, sampled once per run *)
   mutable pc_tally : int array;    (* per-run block-profile diff array, flushed at exit *)
   elide : int array;               (* per-pc statically resolved jump target,
@@ -48,13 +51,14 @@ let stack_size = 512
 
 let create ?(fuel = -1L) ?(wall_ns = -1L) ?(ns_per_insn = 1L)
     ?(max_depth = max_call_depth) ?(rcu_check_interval = 4096) ?(elide = [||])
-    (hctx : Hctx.t) =
+    ?(spans = [||]) (hctx : Hctx.t) =
   let wall_deadline =
     if Int64.compare wall_ns 0L < 0 then -1L
     else Int64.add (Vclock.now hctx.kernel.clock) wall_ns
   in
   { hctx; fuel; wall_deadline; ns_per_insn; max_depth; rcu_check_interval;
-    insns_retired = 0L; tele_on = Telemetry.Registry.enabled (); pc_tally = [||];
+    rcu_left = rcu_check_interval; insns_retired = 0L; spans;
+    tele_on = Telemetry.Registry.enabled (); pc_tally = [||];
     elide; prof_armed = false; prof_next = Int64.max_int;
     prof_leaders = [||]; prof_prefix = "" }
 
@@ -204,6 +208,23 @@ let flush_tallies t (insns : Insn.insn array) =
     t.pc_tally <- [||]
   end
 
+(* Retire one instruction: global count, virtual clock, and the periodic
+   RCU-stall/watchdog check.  The period is a plain int countdown rather
+   than [Int64.rem insns_retired interval] — same cadence (a check fires
+   after every [rcu_check_interval]-th retired instruction, counted across
+   nested activations), without a hardware division per instruction. *)
+let rcu_tick t =
+  t.insns_retired <- Int64.add t.insns_retired 1L;
+  Vclock.advance t.hctx.kernel.clock t.ns_per_insn;
+  t.rcu_left <- t.rcu_left - 1;
+  if t.rcu_left <= 0 then begin
+    t.rcu_left <- t.rcu_check_interval;
+    Rcu.check_stall t.hctx.kernel.rcu ~context:"bpf_prog";
+    if Int64.compare t.wall_deadline 0L >= 0
+       && Int64.compare (Vclock.now t.hctx.kernel.clock) t.wall_deadline > 0
+    then raise (Guard.Terminate Guard.Watchdog_timeout)
+  end
+
 (* charge one instruction; raises Guard.Terminate on guard trip.
 
    Fuel is checked *before* the instruction's effects: [~fuel:N] executes
@@ -215,14 +236,7 @@ let tick t =
     if Int64.equal t.fuel 0L then raise (Guard.Terminate Guard.Fuel_exhausted);
     t.fuel <- Int64.sub t.fuel 1L
   end;
-  t.insns_retired <- Int64.add t.insns_retired 1L;
-  Vclock.advance t.hctx.kernel.clock t.ns_per_insn;
-  if Int64.rem t.insns_retired (Int64.of_int t.rcu_check_interval) = 0L then begin
-    Rcu.check_stall t.hctx.kernel.rcu ~context:"bpf_prog";
-    if Int64.compare t.wall_deadline 0L >= 0
-       && Int64.compare (Vclock.now t.hctx.kernel.clock) t.wall_deadline > 0
-    then raise (Guard.Terminate Guard.Watchdog_timeout)
-  end
+  rcu_tick t
 
 let u64 v = v
 
@@ -262,6 +276,42 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
   let running = ref true in
   let retval = ref 0L in
   let prof_on = t.prof_armed in
+  (* Fuel-check batching (bound pass): when the window vector says the next
+     [s] instructions run straight-line with no call in between, charge all
+     [s] up front and skip the per-insn fuel test for the rest of the
+     window.  A window opens only when the tank covers the whole span, so a
+     fuel trip lands on exactly the instruction the per-insn check would
+     have stopped at; retirement, the virtual clock, and the RCU countdown
+     stay per-instruction, so watchdog timing, chaos outcomes, and the
+     checksum oracle are bit-identical with batching on or off.  [batch] is
+     per-activation: a callee (bpf-to-bpf call, helper callback) shares
+     [t.fuel] but never a caller's open window — windows end at calls by
+     construction of the span vector. *)
+  let spans = t.spans in
+  let batch = ref 0 in
+  let charge at =
+    if !batch > 0 then begin
+      decr batch;
+      rcu_tick t
+    end
+    else begin
+      if Int64.compare t.fuel 0L >= 0 then begin
+        let s =
+          if at < Array.length spans then Array.unsafe_get spans at else 1
+        in
+        if s > 1 && Int64.compare t.fuel (Int64.of_int s) >= 0 then begin
+          t.fuel <- Int64.sub t.fuel (Int64.of_int s);
+          batch := s - 1
+        end
+        else begin
+          if Int64.equal t.fuel 0L then
+            raise (Guard.Terminate Guard.Fuel_exhausted);
+          t.fuel <- Int64.sub t.fuel 1L
+        end
+      end;
+      rcu_tick t
+    end
+  in
   (try
   while !running do
     if !pc < 0 || !pc >= Array.length insns then
@@ -275,7 +325,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
          identical with elision on or off — elision saves host-side decode
          and condition evaluation, never simulated budget, which is what
          keeps Chaos fuel-pressure outcomes bit-identical either way. *)
-      tick t;
+      charge !pc;
       if prof_on then prof_check t !pc;
       let next = Array.unsafe_get t.elide !pc in
       if tele_on && next <> !pc + 1 then begin
@@ -287,7 +337,7 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
     end
     else begin
     let insn = insns.(!pc) in
-    tick t;
+    charge !pc;
     (match insn with
     | Insn.Alu { op; width; dst; src } ->
       let s = match src with Insn.Reg r -> regs.(r) | Insn.Imm v -> Int64.of_int v in
@@ -479,9 +529,11 @@ let rec exec_insns t (insns : Insn.insn array) ~entry ~depth ~(args : int64 arra
 
 (* Run a program whose context struct lives at [ctx_addr]. *)
 let run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
-    ?elide ~(hctx : Hctx.t) ~(prog : Program.t) ~ctx_addr () : outcome * int64 =
+    ?elide ?spans ~(hctx : Hctx.t) ~(prog : Program.t) ~ctx_addr () :
+    outcome * int64 =
   let t =
-    create ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ?elide hctx
+    create ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ?elide
+      ?spans hctx
   in
   (* charge clock via the helpers' charge hook too *)
   hctx.charge <- (fun ns -> Vclock.advance hctx.kernel.clock ns);
@@ -508,8 +560,8 @@ let run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
   flush_tallies t prog.Program.insns;
   (outcome, t.insns_retired)
 
-let run ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ?elide ~hctx
-    ~prog ~ctx_addr () =
+let run ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval ?elide
+    ?spans ~hctx ~prog ~ctx_addr () =
   fst
     (run_counted ?fuel ?wall_ns ?ns_per_insn ?max_depth ?rcu_check_interval
-       ?elide ~hctx ~prog ~ctx_addr ())
+       ?elide ?spans ~hctx ~prog ~ctx_addr ())

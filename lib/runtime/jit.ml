@@ -239,9 +239,13 @@ let compile ?(bug_branch_off_by_one = false) ?(elide = [||]) (hctx : Hctx.t)
   { prog; ops = Array.mapi compile_one prog.Program.insns;
     bug_branch_off_by_one }
 
-(* Run compiled code.  The same guards as the interpreter apply. *)
-let run ?(fuel = -1L) ?(ns_per_insn = 1L) (hctx : Hctx.t) (c : compiled) ~ctx_addr :
-    Interp.outcome =
+(* Run compiled code.  The same guards as the interpreter apply.  [spans]
+   is the bound pass's fuel-check window vector: same batching contract as
+   the interpreter (charge a straight-line window up front only when the
+   tank covers it; the executed count and clock stay per-op), so trip
+   points and outcomes are bit-identical with batching on or off. *)
+let run_counted ?(fuel = -1L) ?(ns_per_insn = 1L) ?(spans = [||])
+    (hctx : Hctx.t) (c : compiled) ~ctx_addr : Interp.outcome * int64 =
   let stack = Hctx.stack_frame hctx 0 in
   let st =
     { regs = Array.make 11 0L; jpc = 0; done_ = false }
@@ -285,16 +289,30 @@ let run ?(fuel = -1L) ?(ns_per_insn = 1L) (hctx : Hctx.t) (c : compiled) ~ctx_ad
         (* same off-by-one-free fuel semantics as Interp.tick: the check
            precedes the op, so fuel:N runs exactly N instructions *)
         let fuel_left = ref fuel in
+        let batch = ref 0 in
         match
           while not st.done_ do
             if st.jpc < 0 || st.jpc >= Array.length c.ops then
               Oops.raise_oops ~kind:Oops.Control_flow_hijack
                 ~context:(Printf.sprintf "jit pc=%d out of program" st.jpc)
                 ~time_ns:(Vclock.now hctx.kernel.clock) ();
-            if Int64.compare !fuel_left 0L >= 0 then begin
-              if Int64.equal !fuel_left 0L then
-                raise (Guard.Terminate Guard.Fuel_exhausted);
-              fuel_left := Int64.sub !fuel_left 1L
+            if !batch > 0 then decr batch
+            else if Int64.compare !fuel_left 0L >= 0 then begin
+              let s =
+                if st.jpc < Array.length spans then
+                  Array.unsafe_get spans st.jpc
+                else 1
+              in
+              if s > 1 && Int64.compare !fuel_left (Int64.of_int s) >= 0
+              then begin
+                fuel_left := Int64.sub !fuel_left (Int64.of_int s);
+                batch := s - 1
+              end
+              else begin
+                if Int64.equal !fuel_left 0L then
+                  raise (Guard.Terminate Guard.Fuel_exhausted);
+                fuel_left := Int64.sub !fuel_left 1L
+              end
             end;
             let e = !executed + 1 in
             executed := e;
@@ -316,4 +334,7 @@ let run ?(fuel = -1L) ?(ns_per_insn = 1L) (hctx : Hctx.t) (c : compiled) ~ctx_ad
   if Telemetry.Registry.enabled () then
     Telemetry.Registry.incr tele_insns ~n:!executed;
   ignore stack;
-  result
+  (result, Int64.of_int !executed)
+
+let run ?fuel ?ns_per_insn ?spans hctx c ~ctx_addr =
+  fst (run_counted ?fuel ?ns_per_insn ?spans hctx c ~ctx_addr)

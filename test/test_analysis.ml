@@ -1,9 +1,11 @@
 (* The static-analysis layer: the worklist dataflow engine (termination on
    cyclic CFGs, widening, monotone join laws), each lint pass against the
-   known-good/known-bad corpus, and the two ground-truth properties the
+   known-good/known-bad corpus, and the ground-truth properties the
    ISSUE pins down: a leak the resource pass reports is a real unreleased
-   resource under Invoke, and guard elision never changes an outcome under
-   Chaos fault injection. *)
+   resource under Invoke, guard elision never changes an outcome under
+   Chaos fault injection, a static instruction bound always dominates the
+   retired count under random chaos, and statically-unbounded programs
+   still trip the runtime watchdog (fuel batching masks nothing). *)
 
 open Untenable
 open Ebpf.Asm
@@ -13,6 +15,7 @@ module Dataflow = Analysis.Dataflow
 module Driver = Analysis.Driver
 module Finding = Analysis.Finding
 module Resource_pass = Analysis.Resource_pass
+module Bound_pass = Analysis.Bound_pass
 module World = Framework.World
 module Invoke = Framework.Invoke
 module Chaos = Framework.Chaos
@@ -305,7 +308,7 @@ let test_driver_config_toggles () =
   Alcotest.(check int) "no findings when off" 0 (List.length off.Driver.findings);
   let only_lock =
     Driver.analyze
-      ~config:{ Driver.resource = false; lock = true; elide = false }
+      ~config:{ Driver.all_off with Driver.lock = true }
       insns
   in
   Alcotest.(check (list string)) "only lock runs" [ "lock" ]
@@ -469,6 +472,170 @@ let chaos_no_masking_property =
              : bool))
           injections)
 
+(* ---- cost & termination: the bound pass ---- *)
+
+let cost_of items =
+  match (Driver.analyze (insns_of items)).Driver.cost with
+  | Some c -> c
+  | None -> Alcotest.fail "bound pass did not run"
+
+let retired_of ?(opts = Invoke.default_opts) p =
+  let world = World.create_populated () in
+  let r = Invoke.run ~opts world (fabricate p) in
+  Int64.to_int r.Invoke.insns_retired
+
+let alu_loop_items =
+  [ mov_i r0 0; mov_i r6 64; label "loop"; add_i r0 3; sub_i r6 1;
+    jne_i r6 0 "loop"; exit_ ]
+
+let test_bound_counted_loop () =
+  let c = cost_of alu_loop_items in
+  (match c.Bound_pass.loops with
+  | [ l ] -> Alcotest.(check (option int)) "trips" (Some 65) l.Bound_pass.trips
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls));
+  match c.Bound_pass.bound with
+  | Bound_pass.Unbounded -> Alcotest.fail "counted loop must be bounded"
+  | Bound_pass.Bounded b ->
+    let observed = retired_of (prog alu_loop_items) in
+    Alcotest.(check bool) "bound dominates retired count" true (observed <= b)
+
+let test_bound_nested_loops () =
+  let items =
+    [ mov_i r0 0; mov_i r6 8; label "outer"; mov_i r7 16; label "inner";
+      add_i r0 1; sub_i r7 1; jne_i r7 0 "inner"; sub_i r6 1;
+      jne_i r6 0 "outer"; exit_ ]
+  in
+  let c = cost_of items in
+  Alcotest.(check int) "both loops found" 2 (List.length c.Bound_pass.loops);
+  Alcotest.(check bool) "both trip counts inferred" true
+    (List.for_all (fun l -> l.Bound_pass.trips <> None) c.Bound_pass.loops);
+  match c.Bound_pass.bound with
+  | Bound_pass.Unbounded -> Alcotest.fail "nested counted loops must be bounded"
+  | Bound_pass.Bounded b ->
+    let observed = retired_of (prog items) in
+    Alcotest.(check bool) "bound dominates retired count" true (observed <= b)
+
+(* the shapes no sound analysis may guess a number for: a data-dependent
+   exit, callback iteration through an [unbounded]-flagged helper, and a
+   bpf-to-bpf call *)
+let test_bound_honest_unbounded () =
+  let is_unbounded items =
+    (cost_of items).Bound_pass.bound = Bound_pass.Unbounded
+  in
+  Alcotest.(check bool) "data-dependent exit" true
+    (is_unbounded
+       [ label "loop"; call (h "bpf_get_prandom_u32"); jne_i r0 0 "loop";
+         mov_i r0 0; exit_ ]);
+  Alcotest.(check bool) "bpf_loop callback" true
+    (is_unbounded
+       [ mov_i r1 4; mov_label r2 "cb"; mov_i r3 0; mov_i r4 0;
+         call (h "bpf_loop"); mov_i r0 0; exit_; label "cb"; mov_i r0 0;
+         exit_ ]);
+  Alcotest.(check bool) "bpf-to-bpf call" true
+    (is_unbounded
+       [ call_sub "sub"; mov_i r0 0; exit_; label "sub"; mov_i r0 1; exit_ ])
+
+(* ---- ground truth: the static bound dominates execution ---- *)
+
+(* Random counted ALU loops (optionally nested): always inferable, so an
+   [Unbounded] verdict here is an inference regression, and a retired
+   count above the bound is a soundness bug.  Each program runs under
+   every chaos injection with fuel batching on and off: outcomes and
+   retired counts must agree pairwise, and both must respect the bound. *)
+let gen_bounded =
+  QCheck.Gen.(
+    fun st ->
+      let n = int_range 1 40 st in
+      let outer = if bool st then int_range 1 6 st else 0 in
+      let body =
+        List.init (int_range 1 5 st) (fun _ ->
+            match int_bound 2 st with
+            | 0 -> `Add (1 + int_bound 9 st)
+            | 1 -> `Xor (int_bound 255 st)
+            | _ -> `And (int_bound 255 st))
+      in
+      (n, outer, body))
+
+let bounded_items (n, outer, body) =
+  let body =
+    List.map
+      (function
+        | `Add k -> add_i r0 k | `Xor k -> xor_i r0 k | `And k -> and_i r0 k)
+      body
+  in
+  if outer = 0 then
+    [ mov_i r0 0; mov_i r6 n; label "loop" ]
+    @ body
+    @ [ sub_i r6 1; jne_i r6 0 "loop"; exit_ ]
+  else
+    [ mov_i r0 0; mov_i r6 outer; label "outer"; mov_i r7 n; label "inner" ]
+    @ body
+    @ [ sub_i r7 1; jne_i r7 0 "inner"; sub_i r6 1; jne_i r6 0 "outer";
+        exit_ ]
+
+let bound_soundness_property =
+  QCheck.Test.make ~count:40
+    ~name:"static bound >= retired insns under chaos, batching on and off"
+    (QCheck.make gen_bounded) (fun shape ->
+      let p = prog ~name:"boundgen" (bounded_items shape) in
+      let c =
+        match (Driver.analyze p.Ebpf.Program.insns).Driver.cost with
+        | Some c -> c
+        | None -> QCheck.Test.fail_report "bound pass did not run"
+      in
+      match c.Bound_pass.bound with
+      | Bound_pass.Unbounded ->
+        QCheck.Test.fail_report "counted loop inferred unbounded"
+      | Bound_pass.Bounded b ->
+        List.for_all
+          (fun inj ->
+            let run_with use_bound_batching =
+              let world = World.create_populated () in
+              Chaos.arm inj world.World.bugs;
+              let opts =
+                Chaos.apply_opts inj
+                  { Invoke.default_opts with use_bound_batching }
+              in
+              Invoke.run ~opts world (fabricate p)
+            in
+            let off = run_with false and on = run_with true in
+            if not (outcome_agrees off.Invoke.outcome on.Invoke.outcome) then
+              QCheck.Test.fail_reportf "under %s: batching changed the outcome"
+                (Chaos.describe inj)
+            else if
+              not (Int64.equal off.Invoke.insns_retired on.Invoke.insns_retired)
+            then
+              QCheck.Test.fail_reportf
+                "under %s: batching changed retired %Ld -> %Ld"
+                (Chaos.describe inj) off.Invoke.insns_retired
+                on.Invoke.insns_retired
+            else if Int64.to_int on.Invoke.insns_retired > b then
+              QCheck.Test.fail_reportf "under %s: retired %Ld > static bound %d"
+                (Chaos.describe inj) on.Invoke.insns_retired b
+            else true)
+          [ Chaos.Calm; Chaos.Fuel_pressure 7L; Chaos.Fuel_pressure 100L;
+            Chaos.Stack_pressure ])
+
+(* ---- no masking: unbounded programs stay the watchdog's problem ---- *)
+
+let test_unbounded_still_trips_watchdog () =
+  let items = [ mov_i r0 0; label "spin"; add_i r0 1; ja "spin" ] in
+  let p = prog items in
+  Alcotest.(check bool) "statically unbounded" true
+    ((cost_of items).Bound_pass.bound = Bound_pass.Unbounded);
+  let trips () =
+    Telemetry.Counter.value (Telemetry.Registry.counter "guard.watchdog_trips")
+  in
+  let before = trips () in
+  let world = World.create_populated () in
+  let opts = { Invoke.default_opts with Invoke.wall_ns = Some 50_000L } in
+  let r = Invoke.run ~opts world (fabricate p) in
+  (match r.Invoke.outcome with
+  | Invoke.Exhausted _ -> ()
+  | o ->
+    Alcotest.failf "expected a watchdog trip, got %a" Invoke.pp_outcome o);
+  Alcotest.(check bool) "guard.watchdog_trips bumped" true (trips () > before)
+
 let suite =
   [
     Alcotest.test_case "engine: terminates on cyclic CFG" `Quick
@@ -503,7 +670,15 @@ let suite =
       test_elide_loop_guard_kept;
     Alcotest.test_case "driver: config toggles passes" `Quick
       test_driver_config_toggles;
+    Alcotest.test_case "bound: counted loop" `Quick test_bound_counted_loop;
+    Alcotest.test_case "bound: nested counted loops" `Quick
+      test_bound_nested_loops;
+    Alcotest.test_case "bound: honest unbounded verdicts" `Quick
+      test_bound_honest_unbounded;
+    Alcotest.test_case "bound: unbounded still trips the watchdog" `Quick
+      test_unbounded_still_trips_watchdog;
     QCheck_alcotest.to_alcotest join_laws_property;
     QCheck_alcotest.to_alcotest leak_ground_truth_property;
     QCheck_alcotest.to_alcotest chaos_no_masking_property;
+    QCheck_alcotest.to_alcotest bound_soundness_property;
   ]

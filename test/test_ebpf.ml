@@ -204,6 +204,23 @@ let test_cfg_path_explosion () =
   let cfg = Cfg.build (assemble_exn items) in
   Alcotest.(check int) "2^10 paths" 1024 (Cfg.path_count cfg)
 
+(* regression: a 128-diamond chain has 2^128 paths — far past [max_int] —
+   and the multiply must saturate at the cap instead of wrapping negative *)
+let test_cfg_path_count_saturates () =
+  let open Asm in
+  let items =
+    List.concat_map
+      (fun i -> [ jeq_i r1 i (Printf.sprintf "d%d" i); label (Printf.sprintf "d%d" i) ])
+      (List.init 128 (fun i -> i))
+    @ [ exit_ ]
+  in
+  let cfg = Cfg.build (assemble_exn items) in
+  let n = Cfg.path_count cfg in
+  Alcotest.(check bool) "count stays non-negative" true (n >= 0);
+  Alcotest.(check int) "count saturates at the default cap" 1_000_000_000 n;
+  Alcotest.(check int) "count saturates at a small cap" 7
+    (Cfg.path_count ~cap:7 cfg)
+
 (* hardening: a loop confined to dead code must still be reported (the
    pre-5.3 rejection is syntactic, not reachability-based) *)
 let test_cfg_unreachable_loop () =
@@ -278,6 +295,8 @@ let suite =
     Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
     Alcotest.test_case "cfg loop" `Quick test_cfg_loop;
     Alcotest.test_case "cfg path explosion" `Quick test_cfg_path_explosion;
+    Alcotest.test_case "cfg path count saturates" `Quick
+      test_cfg_path_count_saturates;
     Alcotest.test_case "cfg unreachable loop" `Quick test_cfg_unreachable_loop;
     Alcotest.test_case "cfg no trailing exit" `Quick test_cfg_no_trailing_exit;
     Alcotest.test_case "cfg self-loop" `Quick test_cfg_self_loop;

@@ -1,12 +1,11 @@
 (* Serve tests: the sharded determinism oracle (N-domain sharded ≡
-   1-domain sharded ≡ sequential ≡ the deprecated run_stream shim, for
-   stateless filter populations under Isolate), plan validation, queue
-   overflow accounting, cross-domain epoch grace, and the telemetry
-   registry merge the shard barrier relies on. *)
+   1-domain sharded ≡ sequential, for stateless filter populations under
+   Isolate), plan validation, queue overflow accounting, cross-domain
+   epoch grace, and the telemetry registry merge the shard barrier
+   relies on. *)
 
 open Untenable
 module World = Framework.World
-module Dispatch = Framework.Dispatch
 module Serve = Framework.Serve
 module Shard = Framework.Shard
 module Attach = Framework.Attach
@@ -83,21 +82,11 @@ let determinism_oracle =
       in
       (* the same stream forced through the sharded machinery *)
       let par = Serve.sharded (build_engine ()) (mk ()) in
-      (* and through the deprecated one-domain shim *)
-      let shim =
-        (Dispatch.run_stream [@alert "-deprecated"]) ?chaos
-          ~reload:(reload_schedule ~count ~reloads)
-          ~record_checksums:true (build_engine ()) ~hook:"xdp"
-          ~gen:(Serve.synthetic_packets ~size:48 ())
-          ~count ()
-      in
       par.Serve.totals.Serve.events = count
       && par.Serve.totals.Serve.reloads = reloads
       && Int64.equal par.Serve.totals.Serve.ret_checksum
            seq.Serve.totals.Serve.ret_checksum
-      && par.Serve.event_checksums = seq.Serve.event_checksums
-      && Int64.equal shim.Dispatch.ret_checksum seq.Serve.totals.Serve.ret_checksum
-      && shim.Dispatch.event_checksums = seq.Serve.event_checksums)
+      && par.Serve.event_checksums = seq.Serve.event_checksums)
 
 (* ---------------- plan validation ---------------- *)
 
