@@ -4,7 +4,7 @@
 # the real numbers).
 
 .PHONY: all build test check bench bench-telemetry bench-profile lint-smoke \
-        bound-smoke trace-smoke profile-smoke parallel-smoke clean
+        bound-smoke trace-smoke profile-smoke parallel-smoke fuzz-smoke clean
 
 all: build
 
@@ -27,6 +27,7 @@ check:
 	$(MAKE) bound-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) profile-smoke
+	$(MAKE) fuzz-smoke
 
 # The three analysis passes over the lint corpus (which includes the §2.2
 # probe-read exploit vehicle): every known-bad program must be flagged,
@@ -95,6 +96,29 @@ parallel-smoke:
 	dune build @all
 	dune exec bench/main.exe -- parallel-smoke
 	@echo "parallel-smoke: OK"
+
+# Differential-fuzzing conformance gate: a pinned seed drives >= 500
+# generated programs through the quick execution-mode matrix with zero
+# divergences; a planted JIT branch bug must be caught and shrunk (or the
+# zero is vacuous); and the `fuzz --replay` CLI honors exit-code
+# discipline on good, diverging, and corrupt corpus files.
+fuzz-smoke:
+	dune build @all
+	dune exec bench/main.exe -- fuzz-smoke
+	dune exec bin/untenable_cli.exe -- fuzz --seed 1 --budget 500 \
+	  --corpus /tmp/untenable-fuzz-corpus > /tmp/fuzz_smoke.out
+	grep -q '^divergences: 0' /tmp/fuzz_smoke.out
+	dune exec bin/untenable_cli.exe -- fuzz --seed 42 --budget 60 \
+	  --plant-jit-bug --corpus /tmp/untenable-fuzz-corpus > /tmp/fuzz_plant.out; \
+	  test $$? -eq 1
+	grep -q '^divergences: [1-9]' /tmp/fuzz_plant.out
+	dune exec bin/untenable_cli.exe -- fuzz \
+	  --replay $$(ls -d /tmp/untenable-fuzz-corpus/*.fuzz | head -1) \
+	  > /tmp/fuzz_replay.out
+	grep -q 'conforming' /tmp/fuzz_replay.out
+	! dune exec bin/untenable_cli.exe -- fuzz --replay /tmp/no-such-file.fuzz \
+	  2> /dev/null
+	@echo "fuzz-smoke: OK"
 
 bench:
 	dune exec bench/main.exe

@@ -1596,6 +1596,72 @@ let parallel_smoke () =
     "parallel-smoke: OK — 4-domain sharded serving matches the sequential \
      loop event for event (calm and mid-stream-reload legs)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing: generator throughput and oracle conformance   *)
+(* ------------------------------------------------------------------ *)
+
+(* The seeded generator swept through the oracle's execution-mode matrix:
+   programs/sec (each program runs on every leg of the matrix) and the
+   divergence count, which on an unmodified tree must be zero.  The smoke
+   variant is the CI gate: a pinned seed, >= 500 programs, zero
+   divergences across the quick matrix, plus one planted-JIT-bug probe
+   that must BE caught to prove the oracle has teeth. *)
+let fuzz_exp ?(smoke = false) () =
+  let budget = if smoke then 500 else 1_000 in
+  let matrix = if smoke then "quick" else "full" in
+  let seed = 0xF00DL in
+  let t0 = Unix.gettimeofday () in
+  let r = Fuzz.Driver.run ~seed ~budget ~matrix () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let per_sec = float_of_int r.Fuzz.Driver.programs /. dt in
+  if smoke then begin
+    if r.Fuzz.Driver.findings <> [] then begin
+      Printf.eprintf "fuzz-smoke: FAILED — %d divergence(s) on seed %Ld:\n"
+        (List.length r.Fuzz.Driver.findings) seed;
+      List.iter
+        (fun f -> Format.eprintf "  %a@." Fuzz.Driver.pp_finding f)
+        r.Fuzz.Driver.findings;
+      exit 1
+    end;
+    (* The oracle must also catch a planted bug, or "zero divergences"
+       is vacuous. *)
+    let planted =
+      Fuzz.Driver.run ~seed ~budget:60 ~matrix:"quick"
+        ~plant:[ Fuzz.Oracle.jit_branch_bug_key ] ()
+    in
+    (match planted.Fuzz.Driver.findings with
+    | [] ->
+      Printf.eprintf
+        "fuzz-smoke: FAILED — planted JIT branch bug was not caught\n";
+      exit 1
+    | f :: _ when f.Fuzz.Driver.shrunk.Fuzz.Shrink.insns > 10 ->
+      Printf.eprintf
+        "fuzz-smoke: FAILED — planted-bug counterexample did not shrink \
+         (%d insns)\n"
+        f.Fuzz.Driver.shrunk.Fuzz.Shrink.insns;
+      exit 1
+    | f :: _ ->
+      Printf.printf
+        "fuzz-smoke: OK — %d programs, 0 divergences (quick matrix, seed \
+         %Ld, %.0f programs/sec); planted JIT bug caught and shrunk to %d \
+         insns\n"
+        r.Fuzz.Driver.programs seed per_sec
+        f.Fuzz.Driver.shrunk.Fuzz.Shrink.insns)
+  end
+  else begin
+    print_string
+      (Report.section "FUZZ: differential conformance across execution modes");
+    print_string
+      (Report.table
+         ~header:[ "matrix"; "programs"; "divergences"; "programs/sec" ]
+         [ [ matrix; string_of_int r.Fuzz.Driver.programs;
+             string_of_int (List.length r.Fuzz.Driver.findings);
+             Printf.sprintf "%.0f" per_sec ] ]);
+    List.iter
+      (fun f -> Format.printf "  %a@." Fuzz.Driver.pp_finding f)
+      r.Fuzz.Driver.findings
+  end
+
 let experiments =
   [ ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("tab1", tab1 ~run_demos:true);
     ("tab2", tab2); ("exp-safety", exp_safety); ("exp-term", exp_term);
@@ -1606,7 +1672,8 @@ let experiments =
     ("elision", fun () -> elision_exp ());
     ("bound", fun () -> bound_exp ());
     ("reload", fun () -> ignore (reload_exp ()));
-    ("parallel", fun () -> parallel_exp ()) ]
+    ("parallel", fun () -> parallel_exp ());
+    ("fuzz", fun () -> fuzz_exp ()) ]
 
 (* Not part of the default full run: a reduced-iteration variant for
    `make check`. *)
@@ -1674,6 +1741,7 @@ let extra_experiments =
     ("bound-smoke", fun () -> bound_exp ~smoke:true ());
     ("reload-smoke", reload_smoke);
     ("parallel-smoke", parallel_smoke);
+    ("fuzz-smoke", fun () -> fuzz_exp ~smoke:true ());
     ("parallel-quick", fun () -> parallel_exp ~smoke:true ());
     ("tele-isolate", tele_isolate) ]
 

@@ -36,6 +36,12 @@
                                              over the bound corpus: loop trip
                                              counts, worst-case bounds, and the
                                              max observed retired-insn count
+     untenable-cli fuzz [--seed N]           differential fuzzing: generate
+                   [--budget N]              seeded programs, cross-check every
+                   [--matrix M] [--dist D]   execution mode against the others,
+                   [--replay FILE]           shrink + persist divergences (or
+                   [--plant-jit-bug]         replay one corpus counterexample)
+                   [--corpus DIR]
 *)
 
 open Untenable
@@ -1176,6 +1182,111 @@ let rl_run_cmd =
        ~doc:"Run rustlite source through the signed-extension path (with watchdog)")
     Term.(const run $ src $ wall)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run seed budget matrix dist replay plant_jit corpus_dir =
+    let plant = if plant_jit then [ Fuzz.Oracle.jit_branch_bug_key ] else [] in
+    match replay with
+    | Some path -> (
+      match Fuzz.Driver.replay ~matrix ~plant path with
+      | Error msg ->
+        Printf.eprintf "fuzz: cannot replay %s: %s\n" path msg;
+        exit 1
+      | Ok None ->
+        Printf.printf "replay %s: conforming (matrix %s, no divergence)\n" path
+          matrix;
+        save_snapshot ()
+      | Ok (Some d) ->
+        Format.printf "replay %s: DIVERGENCE %a@." path Fuzz.Oracle.pp_divergence
+          d;
+        save_snapshot ();
+        exit 1)
+    | None -> (
+      let dist =
+        match dist with
+        | None -> None
+        | Some s -> (
+          match Fuzz.Gen.dist_of_string s with
+          | Some d -> Some d
+          | None ->
+            Printf.eprintf
+              "fuzz: unknown distribution %S (expected clean, adversarial or \
+               hang)\n"
+              s;
+            exit 1)
+      in
+      match
+        Fuzz.Driver.run ~seed ~budget ~matrix ?dist ~plant
+          ~corpus_dir ()
+      with
+      | exception Invalid_argument msg ->
+        Printf.eprintf "fuzz: %s\n" msg;
+        exit 1
+      | report ->
+        Printf.printf "fuzz: seed=%Ld budget=%d matrix=%s\n" seed budget matrix;
+        Printf.printf "programs: %d\n" report.Fuzz.Driver.programs;
+        Printf.printf "divergences: %d\n"
+          (List.length report.Fuzz.Driver.findings);
+        Printf.printf "shrink steps: %d\n" report.Fuzz.Driver.shrink_steps;
+        List.iter
+          (fun f -> Format.printf "  %a@." Fuzz.Driver.pp_finding f)
+          report.Fuzz.Driver.findings;
+        save_snapshot ();
+        if report.Fuzz.Driver.findings <> [] then exit 1)
+  in
+  let seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"PRNG seed for the program generator.")
+  in
+  let budget =
+    Arg.(value & opt int 500 & info [ "budget" ] ~doc:"Number of programs to generate.")
+  in
+  let matrix =
+    Arg.(
+      value
+      & opt string "quick"
+      & info [ "matrix" ]
+          ~doc:"Execution-mode matrix: quick, modes, serve, or full.")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dist" ]
+          ~doc:"Pin the program distribution: clean, adversarial, or hang.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one persisted corpus counterexample instead of generating.")
+  in
+  let plant_jit =
+    Arg.(
+      value & flag
+      & info [ "plant-jit-bug" ]
+          ~doc:
+            "Force the historical JIT backward-branch bug on in every leg's \
+             world; the oracle must catch it.")
+  in
+  let corpus_dir =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory where shrunk counterexamples are persisted.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded eBPF programs and cross-check \
+          every execution mode (interpreter/JIT, elision, fuel batching, \
+          sequential/sharded serving, chaos) against each other; shrink and \
+          persist any divergence")
+    Term.(
+      const run $ seed $ budget $ matrix $ dist $ replay $ plant_jit
+      $ corpus_dir)
+
 let main =
   Cmd.group
     (Cmd.info "untenable-cli" ~version:Untenable.version
@@ -1183,7 +1294,7 @@ let main =
     [ helpers_cmd; audit_cmd; demos_cmd; demo_cmd; dispatch_cmd; serve_cmd;
       supervise_cmd;
       profile_cmd; flame_cmd; top_cmd; trace_check_cmd; matrix_cmd;
-      datasets_cmd; lint_cmd; bound_cmd; rl_check_cmd; rl_run_cmd; stats_cmd;
-      trace_cmd ]
+      datasets_cmd; lint_cmd; bound_cmd; fuzz_cmd; rl_check_cmd; rl_run_cmd;
+      stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -27,7 +27,10 @@
     - {!Framework} — worlds, the staged load pipeline with its verdict
       cache, attach/dispatch with per-extension supervision (circuit
       breakers, quarantine, chaos injection), the exploit corpus, and the
-      executable safety matrix.
+      executable safety matrix;
+    - {!Fuzz} — the differential fuzzing subsystem: a seeded program
+      generator, an execution-mode conformance oracle, a divergence
+      shrinker, and corpus persistence for replay.
 
     Quick start (see also [examples/quickstart.ml]):
 
@@ -55,6 +58,7 @@ module Callgraph = Callgraph
 module Kerndata = Kerndata
 module Rustlite = Rustlite
 module Framework = Framework
+module Fuzz = Fuzz
 
 let version = "1.0.0"
 

@@ -1,0 +1,90 @@
+(* Corpus persistence: a shrunk counterexample is written as a small text
+   file — a header line, the program type, the name, and the hex-encoded
+   kernel wire format ({!Ebpf.Encode}) — so a divergence found once can be
+   replayed forever (`fuzz --replay FILE`), diffed in review, and uploaded
+   as a CI artifact.  Generated programs carry no relocations (helper ids
+   are emitted resolved), so the wire bytes are the whole program. *)
+
+let magic = "untenable-fuzz-corpus v1"
+
+let hex_of_bytes b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex payload"
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+      | c -> Error (Printf.sprintf "invalid hex digit %C" c)
+    in
+    let out = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n / 2 then Ok out
+      else
+        match (digit s.[2 * i], digit s.[(2 * i) + 1]) with
+        | Ok hi, Ok lo ->
+          Bytes.set out i (Char.chr ((hi lsl 4) lor lo));
+          go (i + 1)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+let prog_type_of_string = function
+  | "socket_filter" -> Some Ebpf.Program.Socket_filter
+  | "xdp" -> Some Ebpf.Program.Xdp
+  | "kprobe" -> Some Ebpf.Program.Kprobe
+  | "tracepoint" -> Some Ebpf.Program.Tracepoint
+  | _ -> None
+
+let to_string (p : Ebpf.Program.t) =
+  String.concat "\n"
+    [ magic;
+      Ebpf.Program.prog_type_to_string p.Ebpf.Program.prog_type;
+      p.Ebpf.Program.name;
+      hex_of_bytes (Ebpf.Encode.to_bytes p.Ebpf.Program.insns); "" ]
+
+let of_string text : (Ebpf.Program.t, string) result =
+  match String.split_on_char '\n' text with
+  | m :: ty :: name :: hex :: _rest when String.equal m magic -> (
+    match prog_type_of_string ty with
+    | None -> Error (Printf.sprintf "unknown program type %S" ty)
+    | Some prog_type -> (
+      match bytes_of_hex (String.trim hex) with
+      | Error e -> Error ("corrupt payload: " ^ e)
+      | Ok wire -> (
+        match Ebpf.Encode.of_bytes wire with
+        | Error e -> Error ("undecodable program: " ^ e)
+        | Ok insns -> Ok (Ebpf.Program.make ~name ~prog_type insns))))
+  | m :: _ when not (String.equal m magic) ->
+    Error (Printf.sprintf "bad header (expected %S)" magic)
+  | _ -> Error "truncated corpus file"
+
+let load path : (Ebpf.Program.t, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> of_string text
+
+(* Save under a digest-derived name so re-finding the same counterexample
+   is idempotent.  Returns the path written. *)
+let save ~dir (p : Ebpf.Program.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s.fuzz" (String.sub (Ebpf.Program.digest p) 0 16))
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p));
+  path

@@ -1,0 +1,107 @@
+(* Campaign driver: generate [budget] programs from a pinned seed, run
+   each through the oracle matrix, shrink every divergence, and persist
+   the minimized counterexamples to the corpus directory.  The whole
+   pipeline is deterministic in (seed, budget, matrix, dist, plant) —
+   which is what lets `make fuzz-smoke` and CI pin a seed and assert
+   zero divergences, and lets the planted-bug acceptance test assert
+   that a forced {!Oracle.jit_branch_bug_key} is caught and shrunk.
+
+   Telemetry: [fuzz.programs_generated], [fuzz.divergences] (and
+   [fuzz.shrink_steps], owned by {!Shrink}). *)
+
+let tele_programs = Telemetry.Registry.counter "fuzz.programs_generated"
+let tele_divergences = Telemetry.Registry.counter "fuzz.divergences"
+
+type finding = {
+  index : int;                    (* which generated program diverged *)
+  dist : Gen.dist;
+  divergence : Oracle.divergence; (* as first observed, pre-shrink *)
+  shrunk : Shrink.result;
+  corpus_path : string option;    (* where the minimized program went *)
+}
+
+type report = {
+  seed : int64;
+  budget : int;
+  matrix : Oracle.matrix;
+  programs : int;
+  findings : finding list;
+  shrink_steps : int;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "program #%d (%s): %a; shrunk to %d insns in %d steps%a"
+    f.index
+    (Gen.dist_to_string f.dist)
+    Oracle.pp_divergence f.divergence f.shrunk.Shrink.insns
+    f.shrunk.Shrink.steps
+    (fun ppf -> function
+      | None -> ()
+      | Some p -> Format.fprintf ppf " -> %s" p)
+    f.corpus_path
+
+(* Default distribution mix: mostly verifier-clean, with adversarial and
+   hang-shaped programs salted in.  [?dist] pins a single distribution. *)
+let roll_dist rng = function
+  | Some d -> d
+  | None ->
+    Rng.weighted rng
+      [ (6, Gen.Clean); (3, Gen.Adversarial); (1, Gen.Hang) ]
+
+let run ?(seed = 1L) ?(budget = 500) ?(matrix = "quick") ?dist ?(plant = [])
+    ?corpus_dir ?(max_findings = 3) ?(max_shrink_steps = 400) () =
+  let m =
+    match Oracle.matrix_of_string matrix with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "unknown fuzz matrix %S (expected one of: %s)" matrix
+           (String.concat ", " Oracle.matrix_names))
+  in
+  let rng = Rng.create seed in
+  let findings = ref [] in
+  let programs = ref 0 in
+  let shrink_steps = ref 0 in
+  (for i = 1 to budget do
+     if List.length !findings < max_findings then begin
+       let d = roll_dist rng dist in
+       let shape = Gen.generate ~dist:d (Rng.split rng) in
+       let prog =
+         Gen.program_of_shape_exn ~name:(Printf.sprintf "fuzz_%Ld_%d" seed i)
+           shape
+       in
+       incr programs;
+       Telemetry.Registry.bump tele_programs;
+       match Oracle.check ~plant m prog with
+       | None -> ()
+       | Some divergence ->
+         Telemetry.Registry.bump tele_divergences;
+         let diverges p = Oracle.check ~plant m p <> None in
+         let shrunk = Shrink.run ~max_steps:max_shrink_steps ~diverges shape in
+         shrink_steps := !shrink_steps + shrunk.Shrink.steps;
+         let corpus_path =
+           Option.map (fun dir -> Corpus.save ~dir shrunk.Shrink.program)
+             corpus_dir
+         in
+         findings :=
+           { index = i; dist = d; divergence; shrunk; corpus_path }
+           :: !findings
+     end
+   done);
+  { seed; budget; matrix = m; programs = !programs;
+    findings = List.rev !findings; shrink_steps = !shrink_steps }
+
+(* Replay a persisted counterexample: load it from the corpus and run the
+   oracle matrix once.  [Error] covers unreadable/corrupt files — the CLI
+   turns that into exit-code-1 discipline. *)
+let replay ?(matrix = "quick") ?(plant = []) path :
+    (Oracle.divergence option, string) result =
+  match Oracle.matrix_of_string matrix with
+  | None ->
+    Error
+      (Printf.sprintf "unknown fuzz matrix %S (expected one of: %s)" matrix
+         (String.concat ", " Oracle.matrix_names))
+  | Some m -> (
+    match Corpus.load path with
+    | Error e -> Error e
+    | Ok prog -> Ok (Oracle.check ~plant m prog))

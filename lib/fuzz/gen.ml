@@ -1,0 +1,271 @@
+(* The seeded eBPF program generator: a weighted instruction grammar that
+   always emits CFG-valid programs (every jump targets a label the same
+   chunk defines, every path reaches an [exit]), shaped by one of three
+   distributions:
+
+   - [Clean]: programs the verifier accepts — bounded loops, null-checked
+     map access, paired ringbuf reserve/submit, ctx field loads;
+   - [Adversarial]: programs the verifier would reject or that fault at
+     runtime — resource leaks, unchecked map-value derefs, out-of-stack
+     stores, the §2.2 probe-read vehicle;
+   - [Hang]: programs shaped like the paper's termination exploits —
+     statically unbounded or fuel-exhausting loops.
+
+   The unit of generation is the {!chunk}: a self-contained item list
+   (private labels, no cross-chunk control flow) so the shrinker can drop
+   any chunk and still assemble a valid program.  All scratch state lives
+   in r0/r6/r7/r8; r9 carries the ctx pointer from the prologue; stack
+   slots are aligned offsets in [-64, -8]. *)
+
+open Ebpf.Asm
+
+type dist = Clean | Adversarial | Hang
+
+let dist_to_string = function
+  | Clean -> "clean"
+  | Adversarial -> "adversarial"
+  | Hang -> "hang"
+
+let dist_of_string = function
+  | "clean" -> Some Clean
+  | "adversarial" -> Some Adversarial
+  | "hang" -> Some Hang
+  | _ -> None
+
+(* The fixed map/tail-call topology every generated program compiles
+   against; {!Oracle.setup_world} recreates it identically in every
+   execution leg. *)
+type env = {
+  arr_fd : int;       (* Array map: key u32, value u64, 16 entries *)
+  hash_fd : int;      (* Hash map: key u32, value u64, 8 entries *)
+  rb_fd : int;        (* Ringbuf: 256 bytes *)
+  tail_index : int;   (* tail-call table slot holding the leaf program *)
+}
+
+type chunk = { kind : string; items : item list }
+
+type shape = {
+  dist : dist;
+  prologue : item list;
+  chunks : chunk list;
+  epilogue : item list;
+  uses_maps : bool;
+      (* whether any chunk reads or writes map/ringbuf state: such
+         programs are per-event stateful, so the oracle must not compare
+         them across different shard partitions *)
+}
+
+let h = Helpers.Registry.id_of_name
+
+(* ---- chunk builders; [k] uniquifies labels ---- *)
+
+let lbl k s = Printf.sprintf "c%d_%s" k s
+
+let alu_body rng =
+  List.init (Rng.range rng 1 4) (fun _ ->
+      let reg = Rng.pick rng [ r6; r8 ] in
+      match Rng.int rng 10 with
+      | 0 -> add_i reg (Rng.int rng 1024)
+      | 1 -> sub_i reg (Rng.int rng 1024)
+      | 2 -> xor_i reg (Rng.int rng 0xffff)
+      | 3 -> and_i reg (Rng.int rng 0xffff lor 0xff)
+      | 4 -> or_i reg (Rng.int rng 255)
+      | 5 -> mul_i reg (1 + Rng.int rng 7)
+      | 6 -> div_i reg (1 + Rng.int rng 7)
+      | 7 -> mod_i reg (1 + Rng.int rng 7)
+      | 8 -> lsh_i reg (Rng.int rng 16)
+      | _ -> add_r r6 r8)
+
+let chunk_alu rng _env _k = { kind = "alu"; items = alu_body rng }
+
+(* if (r6 <cond> imm) { then } else { else } — both arms rejoin. *)
+let chunk_diamond rng _env k =
+  let cond = Rng.int rng 100 in
+  let jump =
+    match Rng.int rng 3 with
+    | 0 -> jgt_i r6 cond (lbl k "t")
+    | 1 -> jeq_i r6 cond (lbl k "t")
+    | _ -> jlt_i r6 cond (lbl k "t")
+  in
+  { kind = "diamond";
+    items =
+      (jump :: alu_body rng)
+      @ [ ja (lbl k "e"); label (lbl k "t") ]
+      @ alu_body rng
+      @ [ label (lbl k "e") ] }
+
+(* A counted loop on r7: always statically boundable. *)
+let chunk_loop rng _env k =
+  let trips = Rng.range rng 1 12 in
+  { kind = "loop";
+    items =
+      [ mov_i r7 trips; label (lbl k "l") ]
+      @ alu_body rng
+      @ [ sub_i r7 1; jne_i r7 0 (lbl k "l") ] }
+
+(* Read the ctx (skb len at 0, protocol at 4) through r9. *)
+let chunk_ctx rng _env _k =
+  let off = if Rng.bool rng then 0 else 4 in
+  { kind = "ctx"; items = [ ldxw r8 r9 off; add_r r6 r8 ] }
+
+let stack_slot rng = -8 * Rng.range rng 1 8
+
+let chunk_stack rng _env _k =
+  let off = stack_slot rng in
+  { kind = "stack";
+    items = [ stxdw r10 off r6; ldxdw r8 r10 off; xor_r r6 r8 ] }
+
+(* Null-checked array/hash lookup: key at fp-8, deref only when non-null. *)
+let chunk_map_lookup rng env k =
+  let fd = if Rng.bool rng then env.arr_fd else env.hash_fd in
+  let key = Rng.int rng 16 in
+  { kind = "map_lookup";
+    items =
+      [ stw r10 (-8) key; map_fd r1 fd; mov_r r2 r10; add_i r2 (-8);
+        call (h "bpf_map_lookup_elem"); jeq_i r0 0 (lbl k "miss");
+        ldxdw r8 r0 0; add_r r6 r8; label (lbl k "miss"); mov_i r0 0 ] }
+
+(* Update: key at fp-8, value (current r6) at fp-16. *)
+let chunk_map_update rng env _k =
+  let fd = if Rng.bool rng then env.arr_fd else env.hash_fd in
+  let key = Rng.int rng (if fd = env.arr_fd then 16 else 8) in
+  { kind = "map_update";
+    items =
+      [ stw r10 (-8) key; stxdw r10 (-16) r6; map_fd r1 fd; mov_r r2 r10;
+        add_i r2 (-8); mov_r r3 r10; add_i r3 (-16); mov_i r4 0;
+        call (h "bpf_map_update_elem") ] }
+
+(* Paired ringbuf reserve/submit of one u64 record. *)
+let chunk_ringbuf _rng env k =
+  { kind = "ringbuf";
+    items =
+      [ map_fd r1 env.rb_fd; mov_i r2 8; mov_i r3 0;
+        call (h "bpf_ringbuf_reserve"); jeq_i r0 0 (lbl k "full");
+        stxdw r0 0 r6; mov_r r1 r0; mov_i r2 0;
+        call (h "bpf_ringbuf_submit"); label (lbl k "full"); mov_i r0 0 ] }
+
+(* The hctx-seeded PRNG: [Hctx.reset] reseeds it per invocation, so the
+   stream is identical in every execution mode.  (bpf_ktime_get_ns is
+   deliberately not generated: the virtual clock is charged differently
+   under fuel-check batching and the JIT, so its reads are legitimately
+   mode-dependent and would drown the oracle in false divergences.) *)
+let chunk_helper_misc rng _env _k =
+  let mask = [ 0xff; 0xfff; 0x7 ] |> Rng.pick rng in
+  { kind = "helper_misc";
+    items = [ call (h "bpf_get_prandom_u32"); and_i r0 mask; add_r r6 r0 ] }
+
+(* Tail call into the leaf program the oracle loads at [env.tail_index];
+   on success the rest of the program never runs. *)
+let chunk_tail_call _rng env _k =
+  { kind = "tail_call";
+    items =
+      [ mov_r r1 r9; mov_i r2 0; mov_i r3 env.tail_index;
+        call (h "bpf_tail_call") ] }
+
+(* ---- adversarial chunks ---- *)
+
+(* Acquire without release: the classic §2.2 leak.  The acquired sk is a
+   kernel address — allocation-order dependent, so different in a shard's
+   cloned world — and must not escape into the data flow; only the
+   found/not-found bit and the outstanding-resource count (which the
+   oracle checks directly) are observable. *)
+let chunk_leak _rng _env k =
+  { kind = "leak";
+    items =
+      [ mov_i r1 8080; call (h "bpf_sk_lookup_tcp");
+        jeq_i r0 0 (lbl k "n"); mov_i r0 1; label (lbl k "n"); add_r r6 r0 ] }
+
+(* Deref a lookup miss without the null check: arr keys >= 16 miss. *)
+let chunk_null_deref rng env _k =
+  let key = 16 + Rng.int rng 8 in
+  { kind = "null_deref";
+    items =
+      [ stw r10 (-8) key; map_fd r1 env.arr_fd; mov_r r2 r10; add_i r2 (-8);
+        call (h "bpf_map_lookup_elem"); ldxdw r8 r0 0 ] }
+
+(* Store above the frame pointer: out of the stack region. *)
+let chunk_oob_stack rng _env _k =
+  { kind = "oob_stack"; items = [ stdw r10 (8 * Rng.range rng 1 4) 42 ] }
+
+(* The §2.2 probe-read vehicle: clean unless the Bugdb entry is armed. *)
+let chunk_probe_read _rng _env _k =
+  { kind = "probe_read";
+    items =
+      [ call (h "bpf_get_current_task"); mov_r r3 r0; mov_r r1 r10;
+        add_i r1 (-16); mov_i r2 16; call (h "bpf_probe_read_kernel") ] }
+
+(* ---- hang chunks ---- *)
+
+(* A counted loop far past any sane fuel budget. *)
+let chunk_big_loop rng _env k =
+  let trips = 50_000 + Rng.int rng 100_000 in
+  { kind = "big_loop";
+    items =
+      [ mov_i r7 trips; label (lbl k "b"); add_i r6 1; sub_i r7 1;
+        jne_i r7 0 (lbl k "b") ] }
+
+(* Statically unbounded: loop until the PRNG rolls 0 mod 4. *)
+let chunk_data_loop _rng _env k =
+  { kind = "data_loop";
+    items =
+      [ label (lbl k "d"); call (h "bpf_get_prandom_u32"); and_i r0 3;
+        jne_i r0 0 (lbl k "d") ] }
+
+(* The honest infinite loop; only a runtime guard ends it. *)
+let chunk_spin _rng _env k =
+  { kind = "spin"; items = [ label (lbl k "s"); add_i r6 1; ja (lbl k "s") ] }
+
+(* ---- distribution tables ---- *)
+
+let stateful_kinds = [ "map_lookup"; "map_update"; "ringbuf" ]
+
+let table = function
+  | Clean ->
+    [ (5, chunk_alu); (3, chunk_diamond); (3, chunk_loop); (2, chunk_ctx);
+      (2, chunk_stack); (2, chunk_map_lookup); (2, chunk_map_update);
+      (1, chunk_ringbuf); (1, chunk_helper_misc); (1, chunk_tail_call) ]
+  | Adversarial ->
+    [ (3, chunk_alu); (2, chunk_diamond); (2, chunk_loop); (1, chunk_ctx);
+      (1, chunk_stack); (2, chunk_map_lookup); (1, chunk_map_update);
+      (2, chunk_leak); (2, chunk_null_deref); (1, chunk_oob_stack);
+      (2, chunk_probe_read) ]
+  | Hang ->
+    [ (3, chunk_alu); (2, chunk_loop); (1, chunk_ctx); (2, chunk_big_loop);
+      (2, chunk_data_loop); (1, chunk_spin) ]
+
+let default_env = { arr_fd = 1; hash_fd = 2; rb_fd = 3; tail_index = 0 }
+
+(* ---- generation ---- *)
+
+let prologue =
+  (* r9 = ctx; deterministic non-trivial seeds in the scratch registers *)
+  [ mov_r r9 r1; mov_i r0 0; mov_i r6 17; mov_i r7 0; mov_i r8 5 ]
+
+let epilogue = [ mov_r r0 r6; and_i r0 0xff; exit_ ]
+
+let generate ?(env = default_env) ~dist rng =
+  let n = Rng.range rng 2 8 in
+  let chunks =
+    List.init n (fun k -> (Rng.weighted rng (table dist)) rng env k)
+  in
+  let uses_maps =
+    List.exists (fun c -> List.mem c.kind stateful_kinds) chunks
+  in
+  { dist; prologue; chunks; epilogue; uses_maps }
+
+let items_of_shape s =
+  s.prologue @ List.concat_map (fun c -> c.items) s.chunks @ s.epilogue
+
+let insn_count s =
+  List.fold_left
+    (fun acc it -> match it with Label _ -> acc | _ -> acc + 1)
+    0 (items_of_shape s)
+
+let program_of_shape ?(name = "fuzz") s =
+  Ebpf.Program.of_items ~name ~prog_type:Ebpf.Program.Socket_filter
+    (items_of_shape s)
+
+let program_of_shape_exn ?name s =
+  match program_of_shape ?name s with
+  | Ok p -> p
+  | Error msg -> failwith ("fuzz generator emitted invalid program: " ^ msg)

@@ -1,0 +1,334 @@
+(* The differential oracle: run one generated program through a matrix of
+   execution modes and cross-check everything observable — outcome
+   variant (with the returned value / exhausted resource), retired
+   instruction count, outstanding resources, the trace stream, map and
+   ringbuf final-state digests, and (for serving legs) the stream
+   checksums.
+
+   Legs come in two comparison groups:
+
+   - {e invoke} legs: one invocation per leg on a fresh world —
+     interpreter vs JIT, guard elision on/off, fuel-check batching
+     on/off.  All invoke legs must observe identically.
+   - {e serve} groups: a short event stream per leg — sequential vs
+     forced-sharded (1..N domains), calm and under a chaos schedule.
+     Legs within a group must observe identically; map-using programs
+     are per-event stateful, so multi-domain legs (whose shard-local map
+     partitioning legitimately changes what each event reads) only apply
+     to stateless programs, exactly the scope {!Serve}'s determinism
+     contract is stated for.
+
+   Every leg rebuilds the same world: the {!Gen.env} map topology with
+   the same fds, a verified leaf program in tail-call slot 0, and the
+   standard population.  The planted-bug hook is {!Helpers.Bugdb}:
+   [check ~plant] forces the given keys on in each leg's world, and a JIT
+   leg consults {!jit_branch_bug_key} — force it on and every JIT leg
+   compiles with the historical branch-offset bug (CVE-2021-29154's
+   shape), which is exactly what the oracle must catch. *)
+
+module World = Framework.World
+module Serve = Framework.Serve
+module Attach = Framework.Attach
+module Pipeline = Framework.Pipeline
+module Invoke = Framework.Invoke
+module Chaos = Framework.Chaos
+module Driver = Analysis.Driver
+module Bugdb = Helpers.Bugdb
+module Bpf_map = Maps.Bpf_map
+module Kmem = Kernel_sim.Kmem
+module Kernel = Kernel_sim.Kernel
+
+(* A Bugdb key with no version window: only [Bugdb.force_on] activates it.
+   JIT legs translate it into [Invoke.run_opts.jit_branch_bug]. *)
+let jit_branch_bug_key = "jbug:jit-branch-backward-off-by-one"
+
+let fuel_budget = 4096L
+
+(* ---- legs and matrices ---- *)
+
+type leg = { label : string; jit : bool; elision : bool; batching : bool }
+
+type serve_leg = {
+  slabel : string;
+  sharded : bool;  (* force the sharded machinery even for 1 domain *)
+  sdomains : int;
+  schaos : bool;
+  sjit : bool;
+  stateless_only : bool;
+}
+
+type matrix = {
+  mname : string;
+  invoke_legs : leg list;
+  serve_groups : serve_leg list list;
+  events : int;  (* stream length for serve legs *)
+}
+
+let ileg label ~jit ~elision ~batching = { label; jit; elision; batching }
+
+let sleg slabel ?(sharded = false) ?(sdomains = 1) ?(schaos = false)
+    ?(sjit = false) ?(stateless_only = false) () =
+  { slabel; sharded; sdomains; schaos; sjit; stateless_only }
+
+let base_leg = ileg "interp" ~jit:false ~elision:true ~batching:true
+
+let mode_legs =
+  (* the full interp × jit × elision × batching cube *)
+  List.concat_map
+    (fun jit ->
+      List.concat_map
+        (fun elision ->
+          List.map
+            (fun batching ->
+              ileg
+                (Printf.sprintf "%s%s%s"
+                   (if jit then "jit" else "interp")
+                   (if elision then "+elide" else "-elide")
+                   (if batching then "+batch" else "-batch"))
+                ~jit ~elision ~batching)
+            [ true; false ])
+        [ true; false ])
+    [ false; true ]
+
+let quick_legs =
+  [ base_leg;
+    ileg "jit" ~jit:true ~elision:true ~batching:true;
+    ileg "interp-elide" ~jit:false ~elision:false ~batching:true;
+    ileg "interp-batch" ~jit:false ~elision:true ~batching:false ]
+
+let calm_group ~wide =
+  [ sleg "seq" (); sleg "seq+jit" ~sjit:true (); sleg "shard1" ~sharded:true () ]
+  @
+  if wide then
+    [ sleg "shard2" ~sharded:true ~sdomains:2 ~stateless_only:true ();
+      sleg "shard3" ~sharded:true ~sdomains:3 ~stateless_only:true () ]
+  else []
+
+let chaos_group =
+  [ sleg "seq+chaos" ~schaos:true ();
+    sleg "shard1+chaos" ~sharded:true ~schaos:true () ]
+
+let matrices =
+  [ { mname = "quick"; invoke_legs = quick_legs;
+      serve_groups = [ [ sleg "seq" (); sleg "shard1" ~sharded:true () ] ];
+      events = 12 };
+    { mname = "modes"; invoke_legs = mode_legs; serve_groups = []; events = 0 };
+    { mname = "serve"; invoke_legs = [ base_leg ];
+      serve_groups = [ calm_group ~wide:true; chaos_group ]; events = 24 };
+    { mname = "full"; invoke_legs = mode_legs;
+      serve_groups = [ calm_group ~wide:true; chaos_group ]; events = 24 } ]
+
+let matrix_of_string name =
+  List.find_opt (fun m -> String.equal m.mname name) matrices
+
+let matrix_names = List.map (fun m -> m.mname) matrices
+
+(* ---- world setup: identical in every leg ---- *)
+
+let map_defs =
+  [ { Bpf_map.name = "fuzz_arr"; kind = Bpf_map.Array; key_size = 4;
+      value_size = 8; max_entries = 16; lock_off = None };
+    { Bpf_map.name = "fuzz_hash"; kind = Bpf_map.Hash; key_size = 4;
+      value_size = 8; max_entries = 8; lock_off = None };
+    { Bpf_map.name = "fuzz_rb"; kind = Bpf_map.Ringbuf; key_size = 0;
+      value_size = 0; max_entries = 256; lock_off = None } ]
+
+let leaf_items = Ebpf.Asm.[ mov_i r0 7; exit_ ]
+
+let setup_world ?(plant = []) () =
+  let world = World.create_populated () in
+  let fds =
+    List.map (fun def -> (World.register_map world def).Bpf_map.id) map_defs
+  in
+  let env =
+    match fds with
+    | [ arr_fd; hash_fd; rb_fd ] ->
+      { Gen.arr_fd; hash_fd; rb_fd; tail_index = 0 }
+    | _ -> assert false
+  in
+  let leaf =
+    Ebpf.Program.of_items_exn ~name:"fuzz_leaf"
+      ~prog_type:Ebpf.Program.Socket_filter leaf_items
+  in
+  (match Pipeline.load_ebpf world leaf with
+  | Ok (Pipeline.Ebpf_prog { prog_id; _ }) ->
+    World.set_tail_call world ~index:env.Gen.tail_index ~prog_id
+  | Ok _ -> assert false
+  | Error e ->
+    failwith (Format.asprintf "fuzz leaf failed to load: %a" Pipeline.pp_error e));
+  List.iter (Bugdb.force_on world.World.bugs) plant;
+  (world, env)
+
+(* Hand the program straight to the runtime, path-B style: the oracle
+   compares execution modes against each other, not against what the
+   verify gate accepts — adversarial and hang-shaped programs must run. *)
+let fabricate (p : Ebpf.Program.t) =
+  Pipeline.Ebpf_prog
+    { prog_id = 999; prog = p;
+      vstats =
+        { Bpf_verifier.Verifier.insns_processed = 0; states_explored = 0;
+          prune_hits = 0; callbacks_verified = 0; log = "" };
+      analysis = Some (Driver.analyze p.Ebpf.Program.insns) }
+
+(* ---- observations ---- *)
+
+let short_digest s = String.sub (Hash.Sha256.hex_digest s) 0 12
+
+(* Map / ringbuf final state, folded to a digest.  Hash-map iteration
+   order is canonicalized by sorting on key bytes; the ringbuf digest
+   covers pending record payloads (drained) and the outstanding
+   reservation count (leak visibility). *)
+let digest_maps world (env : Gen.env) =
+  let mem = world.World.kernel.Kernel.mem in
+  let buf = Buffer.create 256 in
+  let value m region slot =
+    Kmem.load_bytes mem
+      ~addr:(Kmem.region_addr region (slot * m.Bpf_map.def.Bpf_map.value_size))
+      ~len:m.Bpf_map.def.Bpf_map.value_size ~context:"fuzz_digest"
+  in
+  let add_map fd =
+    match Bpf_map.Registry.find world.World.maps fd with
+    | None -> Buffer.add_string buf "missing;"
+    | Some m -> (
+      match m.Bpf_map.storage with
+      | Bpf_map.Array_storage region ->
+        for i = 0 to m.Bpf_map.def.Bpf_map.max_entries - 1 do
+          Buffer.add_bytes buf (value m region i)
+        done
+      | Bpf_map.Hash_storage (region, st) ->
+        Hashtbl.fold (fun k slot acc -> (k, slot) :: acc) st.Bpf_map.slots []
+        |> List.sort compare
+        |> List.iter (fun (k, slot) ->
+               Buffer.add_string buf k;
+               Buffer.add_bytes buf (value m region slot))
+      | Bpf_map.Ringbuf_storage rb ->
+        Buffer.add_string buf
+          (Printf.sprintf "pending=%d outstanding=%d;"
+             (Maps.Ringbuf.pending_records rb)
+             (List.length (Maps.Ringbuf.outstanding_reservations rb)));
+        List.iter (Buffer.add_bytes buf) (Maps.Ringbuf.consume rb)
+      | _ -> Buffer.add_string buf "other;")
+  in
+  (try List.iter add_map [ env.Gen.arr_fd; env.Gen.hash_fd; env.Gen.rb_fd ]
+   with e -> Buffer.add_string buf ("unreadable:" ^ Printexc.to_string e));
+  short_digest (Buffer.contents buf)
+
+let outcome_tag = function
+  | Invoke.Finished v -> Printf.sprintf "finished:%Ld" v
+  | Invoke.Stopped _ -> "stopped"
+  | Invoke.Crashed _ -> "crashed"
+  | Invoke.Exhausted (res, _) -> "exhausted:" ^ Invoke.resource_to_string res
+
+(* One deterministic 48-byte packet for single-invocation legs. *)
+let payload =
+  Bytes.init 48 (fun i -> Char.chr ((i * 7) land 0xff))
+
+let run_invoke_leg ~plant loaded (leg : leg) =
+  let world, env = setup_world ~plant () in
+  let opts =
+    { Invoke.default_opts with
+      Invoke.fuel = Some fuel_budget;
+      skb_payload = Some payload;
+      use_jit = leg.jit;
+      jit_branch_bug = leg.jit && Bugdb.active world.World.bugs jit_branch_bug_key;
+      use_elision = leg.elision;
+      use_bound_batching = leg.batching }
+  in
+  let r = Invoke.run ~opts world loaded in
+  Printf.sprintf "%s retired=%Ld outstanding=%d trace=%s maps=%s"
+    (outcome_tag r.Invoke.outcome)
+    r.Invoke.insns_retired r.Invoke.resources_outstanding
+    (short_digest (String.concat "\n" r.Invoke.trace))
+    (digest_maps world env)
+
+let chaos_config = { Chaos.default_config with Chaos.fault_rate = 0.1 }
+
+let run_serve_leg ~plant ~events loaded (sleg : serve_leg) =
+  let world, _env = setup_world ~plant () in
+  let opts =
+    { Invoke.default_opts with
+      Invoke.fuel = Some fuel_budget;
+      use_jit = sleg.sjit;
+      jit_branch_bug =
+        sleg.sjit && Bugdb.active world.World.bugs jit_branch_bug_key }
+  in
+  let engine = Serve.create ~opts world in
+  ignore (Attach.attach engine.Serve.attach ~hook:"xdp" loaded);
+  let plan =
+    Serve.plan
+      ?chaos:(if sleg.schaos then Some chaos_config else None)
+      ~domains:sleg.sdomains ~record_checksums:true ~size:48 ~hook:"xdp"
+      ~count:events ()
+  in
+  let s = (if sleg.sharded then Serve.sharded else Serve.run) engine plan in
+  let t = s.Serve.totals in
+  Printf.sprintf
+    "events=%d inv=%d fin=%d stop=%d crash=%d exh=%d checksum=%Ld ev=%s"
+    t.Serve.events t.Serve.invocations t.Serve.finished t.Serve.stopped
+    t.Serve.crashed t.Serve.exhausted t.Serve.ret_checksum
+    (short_digest
+       (String.concat ","
+          (Array.to_list (Array.map Int64.to_string s.Serve.event_checksums))))
+
+(* ---- the cross-check ---- *)
+
+type divergence = {
+  group : string;      (* "invoke" or "serve[N]" *)
+  ref_leg : string;
+  ref_obs : string;
+  div_leg : string;
+  div_obs : string;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "group %s: %s observed {%s} but %s observed {%s}" d.group
+    d.ref_leg d.ref_obs d.div_leg d.div_obs
+
+(* Run every leg of [matrix] on [prog]; [Some divergence] reports the
+   first leg that disagrees with its group's reference leg. *)
+let check ?(plant = []) matrix (prog : Ebpf.Program.t) : divergence option =
+  let loaded = fabricate prog in
+  let stateless = Ebpf.Program.referenced_maps prog = [] in
+  let find_div ~group name_of run legs =
+    match legs with
+    | [] | [ _ ] -> None
+    | ref_leg :: rest ->
+      let ref_obs = run ref_leg in
+      let rec go = function
+        | [] -> None
+        | leg :: rest ->
+          let obs = run leg in
+          if String.equal obs ref_obs then go rest
+          else
+            Some
+              { group; ref_leg = name_of ref_leg; ref_obs;
+                div_leg = name_of leg; div_obs = obs }
+      in
+      go rest
+  in
+  let invoke_div =
+    find_div ~group:"invoke"
+      (fun (l : leg) -> l.label)
+      (run_invoke_leg ~plant loaded)
+      matrix.invoke_legs
+  in
+  match invoke_div with
+  | Some _ as d -> d
+  | None ->
+    let rec serve_groups i = function
+      | [] -> None
+      | legs :: rest -> (
+        let legs =
+          List.filter (fun s -> stateless || not s.stateless_only) legs
+        in
+        match
+          find_div
+            ~group:(Printf.sprintf "serve[%d]" i)
+            (fun (s : serve_leg) -> s.slabel)
+            (run_serve_leg ~plant ~events:matrix.events loaded)
+            legs
+        with
+        | Some _ as d -> d
+        | None -> serve_groups (i + 1) rest)
+    in
+    serve_groups 0 matrix.serve_groups

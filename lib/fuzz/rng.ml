@@ -1,0 +1,51 @@
+(* Seeded, deterministic PRNG for the fuzz generator: splitmix64, the
+   standard seeding/stream generator (Steele et al., "Fast splittable
+   pseudorandom number generators").  Self-contained so fuzz runs never
+   depend on [Random]'s global state — the same seed produces the same
+   program stream on every host, which is what makes a pinned-seed
+   fuzz-smoke gate and corpus replay meaningful. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound); bound must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+(* Uniform int in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(* Weighted choice over a non-empty [(weight, value)] list; weights are
+   relative positive ints. *)
+let weighted t choices =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted: no positive weight";
+  let roll = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: unreachable"
+    | (w, v) :: rest -> if roll < acc + w then v else go (acc + w) rest
+  in
+  go 0 choices
+
+(* Derive an independent stream (for per-program sub-generators). *)
+let split t = create (Int64.logxor (next t) 0xA5A5_5A5A_0F0F_F0F0L)

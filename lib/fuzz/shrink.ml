@@ -1,0 +1,95 @@
+(* Divergence minimization.  A generated program arrives as a prologue,
+   a list of self-contained chunks, and an epilogue ({!Gen.shape}); the
+   shrinker first drops whole segments (any chunk, then the prologue),
+   then individual items, greedily re-testing the divergence predicate
+   after each candidate.  Labels are never removed (a jump's target must
+   keep resolving) and neither is the final [exit]; chunks keep their
+   labels and jumps together, so every candidate still assembles.
+
+   Each candidate evaluation is one shrink step — counted in the
+   [fuzz.shrink_steps] telemetry counter and capped by [max_steps],
+   since every step replays the whole oracle matrix. *)
+
+open Ebpf.Asm
+
+let tele_steps = Telemetry.Registry.counter "fuzz.shrink_steps"
+
+type result = {
+  program : Ebpf.Program.t;  (* smallest still-diverging program *)
+  insns : int;               (* its instruction count (labels excluded) *)
+  steps : int;               (* candidate evaluations spent *)
+}
+
+let insn_count items =
+  List.fold_left
+    (fun acc it -> match it with Label _ -> acc | _ -> acc + 1)
+    0 items
+
+let removable = function Label _ -> false | _ -> true
+
+(* [diverges] replays the oracle on a candidate program; candidates that
+   fail to assemble are simply skipped. *)
+let run ?(max_steps = 400) ~diverges (shape : Gen.shape) =
+  let steps = ref 0 in
+  let best = ref None in
+  let attempt items =
+    if !steps >= max_steps then false
+    else begin
+      incr steps;
+      Telemetry.Registry.bump tele_steps;
+      match
+        Ebpf.Program.of_items ~name:"fuzz_shrunk"
+          ~prog_type:Ebpf.Program.Socket_filter items
+      with
+      | Error _ -> false
+      | Ok p ->
+        if diverges p then begin
+          best := Some (p, items);
+          true
+        end
+        else false
+    end
+  in
+  (* Pass 1: drop whole segments.  The epilogue is pinned; everything
+     else (prologue included) is fair game. *)
+  let epilogue = shape.Gen.epilogue in
+  let rec drop_segments segs =
+    let n = List.length segs in
+    let rec try_at i =
+      if i >= n then segs
+      else
+        let cand = List.filteri (fun j _ -> j <> i) segs in
+        if attempt (List.concat cand @ epilogue) then drop_segments cand
+        else try_at (i + 1)
+    in
+    try_at 0
+  in
+  let segs =
+    drop_segments
+      (shape.Gen.prologue :: List.map (fun c -> c.Gen.items) shape.Gen.chunks)
+  in
+  (* Pass 2: drop single items.  The last item (the epilogue's [exit])
+     stays; labels stay. *)
+  let rec drop_items items =
+    let n = List.length items in
+    let rec try_at i =
+      if i >= n - 1 then items
+      else if not (removable (List.nth items i)) then try_at (i + 1)
+      else
+        let cand = List.filteri (fun j _ -> j <> i) items in
+        if attempt cand then drop_items cand else try_at (i + 1)
+    in
+    try_at 0
+  in
+  let (_ : item list) = drop_items (List.concat segs @ epilogue) in
+  let program, items =
+    match !best with
+    | Some (p, items) -> (p, items)
+    | None ->
+      (* No candidate ever succeeded: the original is the minimum. *)
+      ( Ebpf.Program.of_items_exn ~name:"fuzz_shrunk"
+          ~prog_type:Ebpf.Program.Socket_filter
+          (Gen.items_of_shape shape),
+        Gen.items_of_shape shape )
+  in
+  { program; insns = insn_count items; steps = !steps }

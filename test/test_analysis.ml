@@ -22,10 +22,11 @@ module Chaos = Framework.Chaos
 
 let h = Helpers.Registry.id_of_name
 
-let prog ?(name = "t") ?(prog_type = Ebpf.Program.Socket_filter) items =
-  Ebpf.Program.of_items_exn ~name ~prog_type items
-
-let insns_of items = (prog items).Ebpf.Program.insns
+(* Program builders and the verify-gate bypass are shared scaffolding. *)
+let prog = Generators.prog
+let insns_of = Generators.insns_of
+let fabricate = Generators.fabricate
+let outcome_agrees = Generators.outcome_agrees
 
 let findings_of ?config items =
   (Driver.analyze ?config (insns_of items)).Driver.findings
@@ -319,17 +320,6 @@ let test_driver_config_toggles () =
 
 (* ---- ground truth: reported leaks are real leaks ---- *)
 
-(* Hand a program straight to the runtime the way a path-B kernel would:
-   the fabricated handle skips the verify gate, so the property is about
-   the analysis against execution, not about what the verifier accepts. *)
-let fabricate p =
-  Framework.Pipeline.Ebpf_prog
-    { prog_id = 1; prog = p;
-      vstats =
-        { Bpf_verifier.Verifier.insns_processed = 0; states_explored = 0;
-          prune_hits = 0; callbacks_verified = 0; log = "" };
-      analysis = Some (Driver.analyze p.Ebpf.Program.insns) }
-
 type action = Acquire of int | Release of int
 
 (* A well-formed straight-line acquire/release schedule over slots r6..r9:
@@ -429,14 +419,6 @@ let guarded_prog guards =
     @ [ call (h "bpf_get_current_task"); mov_r r3 r0; mov_r r1 r10;
         add_i r1 (-16); mov_i r2 16; call (h "bpf_probe_read_kernel");
         mov_i r0 0; exit_; label "trap"; mov_i r0 77; exit_ ])
-
-let outcome_agrees a b =
-  match (a, b) with
-  | Invoke.Finished x, Invoke.Finished y -> x = y
-  | Invoke.Crashed _, Invoke.Crashed _ -> true
-  | Invoke.Stopped _, Invoke.Stopped _ -> true
-  | Invoke.Exhausted (x, _), Invoke.Exhausted (y, _) -> x = y
-  | _ -> false
 
 let chaos_no_masking_property =
   QCheck.Test.make ~count:40 ~name:"elision masks no injected fault"

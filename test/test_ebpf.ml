@@ -149,6 +149,27 @@ let roundtrip_property =
       | Ok decoded -> decoded = insns
       | Error _ -> false)
 
+(* CFG-valid programs from the shared fuzz grammar (not just random insn
+   soup): the wire encoding must round-trip insn-for-insn and byte-for-
+   byte, and the disassembly of the decoded image must read identically —
+   for verifier-clean, adversarial, and hang-shaped programs alike. *)
+let fuzz_roundtrip_property dist =
+  QCheck.Test.make ~count:100
+    ~name:
+      (Printf.sprintf "generated %s programs: encode/disasm/encode round-trip"
+         (Fuzz.Gen.dist_to_string dist))
+    (Generators.arb_fuzz_program ~dist)
+    (fun p ->
+      let insns = p.Program.insns in
+      let wire = Encode.to_bytes insns in
+      match Encode.of_bytes wire with
+      | Error _ -> false
+      | Ok decoded ->
+        decoded = insns
+        && Bytes.equal (Encode.to_bytes decoded) wire
+        && String.equal (Disasm.to_string decoded) (Disasm.to_string insns)
+        && String.length (Disasm.to_string decoded) > 0)
+
 (* ---------------- disasm ---------------- *)
 
 let contains s sub =
@@ -303,4 +324,7 @@ let suite =
     Alcotest.test_case "referenced maps" `Quick test_program_referenced_maps;
     Alcotest.test_case "ctx descriptors" `Quick test_ctx_descriptors;
     QCheck_alcotest.to_alcotest roundtrip_property;
+    QCheck_alcotest.to_alcotest (fuzz_roundtrip_property Fuzz.Gen.Clean);
+    QCheck_alcotest.to_alcotest (fuzz_roundtrip_property Fuzz.Gen.Adversarial);
+    QCheck_alcotest.to_alcotest (fuzz_roundtrip_property Fuzz.Gen.Hang);
   ]

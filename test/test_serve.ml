@@ -8,50 +8,15 @@ open Untenable
 module World = Framework.World
 module Serve = Framework.Serve
 module Shard = Framework.Shard
-module Attach = Framework.Attach
 module Epoch = Framework.Epoch
-module Pipeline = Framework.Pipeline
 module Chaos = Framework.Chaos
 module Supervisor = Framework.Supervisor
 open Ebpf.Asm
 
-let h = Helpers.Registry.id_of_name
-
-(* A stateless population — per-event outcomes depend only on the payload,
-   the scope the determinism contract is stated for. *)
-let build_engine () =
-  let world = World.create_populated () in
-  let engine = Serve.create world in
-  let filter name items =
-    Ebpf.Program.of_items_exn ~name ~prog_type:Ebpf.Program.Socket_filter items
-  in
-  List.iter
-    (fun p ->
-      match Pipeline.load_ebpf world p with
-      | Ok loaded -> ignore (Attach.attach engine.Serve.attach ~hook:"xdp" loaded)
-      | Error e -> failwith (Format.asprintf "%a" Pipeline.pp_error e))
-    [ filter "len" [ ldxw r0 r1 0; exit_ ];
-      filter "parity" [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ];
-      filter "port"
-        [ stdw r10 (-8) 0; mov_i r1 16; mov_r r2 r10; add_i r2 (-8);
-          mov_i r3 2; call (h "bpf_skb_load_bytes"); ldxb r6 r10 (-8);
-          lsh_i r6 8; ldxb r7 r10 (-7); or_r r6 r7; mov_r r0 r6; exit_ ] ];
-  engine
-
-(* A hot reload: stage a fresh filter on the epoch builder and attach it —
-   segment capture, snapshot retention and the swap publish all engage. *)
-let hot_reload k (e : Serve.engine) b =
-  let name = Printf.sprintf "hot%d" k in
-  let prog =
-    Ebpf.Program.of_items_exn ~name ~prog_type:Ebpf.Program.Socket_filter
-      [ mov_i r0 (300 + k); exit_ ]
-  in
-  match Pipeline.load_ebpf ~into:b e.Serve.world prog with
-  | Ok loaded -> ignore (Attach.attach e.Serve.attach ~hook:"xdp" loaded)
-  | Error err -> failwith (Format.asprintf "%a" Pipeline.pp_error err)
-
-let reload_schedule ~count ~reloads =
-  List.init reloads (fun k -> ((k + 1) * count / (reloads + 1), hot_reload k))
+(* The stateless three-filter engine, the hot-reload hook and the reload
+   schedule all live in the shared scaffolding. *)
+let build_engine = Generators.build_serve_engine
+let reload_schedule = Generators.reload_schedule
 
 (* ---------------- the determinism oracle ---------------- *)
 
@@ -145,6 +110,54 @@ let test_drop_newest_accounting () =
      array still has one entry per generated event *)
   Alcotest.(check int) "one checksum slot per event" count
     (Array.length r.Serve.event_checksums)
+
+(* A queue of capacity 1 is the tightest legal bound: the second push in
+   a row must drop (and be counted) while the first still pops intact. *)
+let test_shard_queue_capacity_one () =
+  (match Shard.create ~capacity:0 Shard.Drop_newest with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  let q = Shard.create ~capacity:1 Shard.Drop_newest in
+  Alcotest.(check bool) "push 1" true (Shard.push q 1);
+  Alcotest.(check bool) "push 2 dropped" false (Shard.push q 2);
+  Alcotest.(check bool) "push 3 dropped" false (Shard.push q 3);
+  Alcotest.(check int) "both drops counted" 2 (Shard.dropped q);
+  Alcotest.(check int) "peak is the capacity" 1 (Shard.peak q);
+  Alcotest.(check int) "no producer waits under Drop_newest" 0
+    (Shard.backpressure_waits q);
+  Shard.close q;
+  Alcotest.(check (option int)) "survivor pops" (Some 1) (Shard.pop q);
+  Alcotest.(check (option int)) "drained" None (Shard.pop q)
+
+(* Single-domain sharded plan over a capacity-1 Block queue: nothing may
+   drop, the peak must cap at the capacity, and the stream must still
+   reconstruct the sequential checksum exactly. *)
+let test_single_domain_queue_counters () =
+  let count = 100 in
+  let seq =
+    Serve.run (build_engine ())
+      (Serve.plan ~record_checksums:true ~size:48 ~hook:"xdp" ~count ())
+  in
+  let r =
+    Serve.sharded (build_engine ())
+      (Serve.plan ~domains:1 ~queue_capacity:1 ~overflow:Shard.Block
+         ~record_checksums:true ~size:48 ~hook:"xdp" ~count ())
+  in
+  let t = r.Serve.totals in
+  Alcotest.(check int) "all events served" count t.Serve.events;
+  Alcotest.(check int) "nothing dropped under Block" 0 t.Serve.dropped;
+  (match r.Serve.per_shard with
+  | [ s ] ->
+    Alcotest.(check int) "peak capped at capacity" 1 s.Serve.s_queue_peak;
+    Alcotest.(check int) "no shard drops" 0 s.Serve.s_dropped;
+    Alcotest.(check bool) "wait counter is sane" true
+      (s.Serve.s_backpressure_waits >= 0
+      && s.Serve.s_backpressure_waits <= count)
+  | l -> Alcotest.failf "expected one shard, got %d" (List.length l));
+  Alcotest.(check int64) "checksum matches sequential"
+    seq.Serve.totals.Serve.ret_checksum t.Serve.ret_checksum;
+  Alcotest.(check bool) "per-event checksums match" true
+    (r.Serve.event_checksums = seq.Serve.event_checksums)
 
 (* ---------------- cross-domain epoch grace ---------------- *)
 
@@ -254,6 +267,10 @@ let suite =
     Alcotest.test_case "shard queue Drop_newest" `Quick test_shard_queue_drop_newest;
     Alcotest.test_case "sharded Drop_newest accounting" `Quick
       test_drop_newest_accounting;
+    Alcotest.test_case "shard queue at capacity 1" `Quick
+      test_shard_queue_capacity_one;
+    Alcotest.test_case "single-domain queue counters" `Quick
+      test_single_domain_queue_counters;
     Alcotest.test_case "cross-domain epoch grace" `Quick test_multi_domain_grace;
     Alcotest.test_case "registry merge" `Quick test_registry_merge;
     Alcotest.test_case "ring merge drop accounting" `Quick test_ring_merge_drops;

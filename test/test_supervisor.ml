@@ -5,8 +5,6 @@
 
 open Untenable
 module World = Framework.World
-module Loader = Framework.Loader
-module Invoke = Framework.Invoke
 module Dispatch = Framework.Dispatch
 module Serve = Framework.Serve
 module Supervisor = Framework.Supervisor
@@ -14,9 +12,11 @@ module Chaos = Framework.Chaos
 module Attach = Framework.Attach
 module Kernel = Kernel_sim.Kernel
 module Bugdb = Helpers.Bugdb
-open Ebpf.Asm
 
-let h = Helpers.Registry.id_of_name
+(* The crasher/healthy populations and the engine factory live in the
+   shared scaffolding (Generators). *)
+let healthy_filters = Generators.healthy_filters
+let build_engine = Generators.build_dispatch_engine
 
 (* ---------------- the breaker state machine, no engine ---------------- *)
 
@@ -153,47 +153,6 @@ let test_chaos_disarm_unpins () =
     (Bugdb.active world.World.bugs key)
 
 (* ---------------- dispatch integration ---------------- *)
-
-let load world name ~prog_type items =
-  match
-    Loader.load_ebpf world
-      (Ebpf.Program.of_items_exn ~name ~prog_type items)
-  with
-  | Ok loaded -> loaded
-  | Error e -> Alcotest.failf "load %s: %a" name Loader.pp_load_error e
-
-let healthy_filters =
-  [ ("len", [ ldxw r0 r1 0; exit_ ]);
-    ("parity", [ ldxw r6 r1 0; mov_r r0 r6; and_i r0 1; exit_ ]) ]
-
-(* Verifier-accepted, crashes every invocation once the probe-read bug is
-   armed in the world's Bugdb (the §2.2 vehicle). *)
-let crasher_items =
-  [ call (h "bpf_get_current_task");
-    mov_r r3 r0;
-    mov_r r1 r10;
-    add_i r1 (-16);
-    mov_i r2 16;
-    call (h "bpf_probe_read_kernel");
-    mov_i r0 0;
-    exit_ ]
-
-let build_engine ?policy ~with_crasher () =
-  let world = World.create_populated () in
-  let engine = Dispatch.create ?policy world in
-  if with_crasher then begin
-    Bugdb.force_on world.World.bugs "hbug:probe-read-size-unchecked";
-    ignore
-      (Attach.attach engine.Dispatch.attach ~hook:"xdp"
-         (load world "crasher" ~prog_type:Ebpf.Program.Kprobe crasher_items))
-  end;
-  List.iter
-    (fun (name, items) ->
-      ignore
-        (Attach.attach engine.Dispatch.attach ~hook:"xdp"
-           (load world name ~prog_type:Ebpf.Program.Socket_filter items)))
-    healthy_filters;
-  engine
 
 (* A compact view of a one-domain Serve run: just the fields these tests
    assert on, so the call sites stay readable. *)

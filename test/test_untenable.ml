@@ -19,6 +19,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("supervisor", Test_supervisor.suite);
       ("serve", Test_serve.suite);
+      ("fuzz", Test_fuzz.suite);
       ("observability", Test_observability.suite);
       ("data", Test_data.suite);
       ("integration", Test_integration.suite);
